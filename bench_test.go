@@ -1,0 +1,448 @@
+package fieldrepl
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`):
+//
+//	BenchmarkFigure10            — parameter table
+//	BenchmarkFigure11            — 4 unclustered %diff graphs (analytical)
+//	BenchmarkFigure12            — unclustered selected-cost table, checked
+//	                               against the published values
+//	BenchmarkFigure13            — 4 clustered %diff graphs (analytical)
+//	BenchmarkFigure14            — clustered selected-cost table, checked
+//	BenchmarkEngineRead/...      — measured read-query I/O per strategy
+//	BenchmarkEngineUpdate/...    — measured update-query I/O per strategy
+//	BenchmarkEngineMix/...       — measured C_total at the paper's mixes
+//	BenchmarkAblation...         — §4.3.1 inlining and §4.3.3 collapsing
+//
+// Engine benchmarks report pages/query, the unit of the paper's analysis;
+// wall-clock time is incidental (the store is memory-backed).
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/costmodel"
+	"github.com/exodb/fieldrepl/internal/exp"
+	"github.com/exodb/fieldrepl/internal/workload"
+)
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := exp.Figure10Table(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func benchSweeps(b *testing.B, make func(int) []exp.Sweep) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sweeps := make(40)
+		if len(sweeps) != 4 {
+			b.Fatalf("got %d graphs", len(sweeps))
+		}
+		for _, sw := range sweeps {
+			if len(sw.Series) != 6 {
+				b.Fatalf("graph %s has %d series", sw.Title(), len(sw.Series))
+			}
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) { benchSweeps(b, exp.Figure11) }
+
+func BenchmarkFigure13(b *testing.B) { benchSweeps(b, exp.Figure13) }
+
+// figureCells re-derives a Figure 12/14 column and checks it against the
+// published values, so the bench doubles as a regression gate.
+func benchFigureTable(b *testing.B, setting costmodel.Setting, want map[string][2]float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, f := range []float64{1, 20} {
+			for _, st := range []costmodel.Strategy{costmodel.NoReplication, costmodel.InPlace, costmodel.Separate} {
+				p := costmodel.Default()
+				p.F = f
+				p.Fr = 0.002
+				read := math.Ceil(p.ReadCost(st, setting))
+				update := math.Ceil(p.UpdateCost(st, setting))
+				key := fmt.Sprintf("f%.0f/%s", f, st)
+				if w, ok := want[key]; ok {
+					if math.Abs(read-w[0]) > 1 || math.Abs(update-w[1]) > 1 {
+						b.Fatalf("%s: got (%.0f, %.0f), paper says (%.0f, %.0f)", key, read, update, w[0], w[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	benchFigureTable(b, costmodel.Unclustered, map[string][2]float64{
+		"f1/no replication":        {43, 22},
+		"f1/in-place replication":  {23, 42},
+		"f1/separate replication":  {41, 42},
+		"f20/no replication":       {691, 22},
+		"f20/in-place replication": {407, 427},
+		"f20/separate replication": {509, 42},
+	})
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	benchFigureTable(b, costmodel.Clustered, map[string][2]float64{
+		"f1/no replication":        {24, 4},
+		"f1/in-place replication":  {4, 24},
+		"f1/separate replication":  {23, 6},
+		"f20/no replication":       {316, 4},
+		"f20/in-place replication": {32, 400},
+		"f20/separate replication": {133, 6},
+	})
+}
+
+// Engine benchmarks share prebuilt databases (building dominates otherwise).
+var (
+	benchOnce sync.Once
+	benchDBs  map[string]*workload.Built
+	benchErr  error
+)
+
+func benchDB(b *testing.B, strat workload.Strategy, clustered bool) *workload.Built {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDBs = map[string]*workload.Built{}
+		for _, s := range []workload.Strategy{workload.NoReplication, workload.InPlace, workload.Separate} {
+			for _, cl := range []bool{false, true} {
+				built, err := workload.Build(workload.Spec{
+					SCount: 500, F: 5, Clustered: cl, Strategy: s, Seed: 77,
+				})
+				if err != nil {
+					benchErr = err
+					return
+				}
+				benchDBs[fmt.Sprintf("%v/%v", s, cl)] = built
+			}
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDBs[fmt.Sprintf("%v/%v", strat, clustered)]
+}
+
+func benchStrategies() []workload.Strategy {
+	return []workload.Strategy{workload.NoReplication, workload.InPlace, workload.Separate}
+}
+
+// BenchmarkEngineRead measures the paper's read query per strategy and
+// setting on the running engine, reporting pages/query.
+func BenchmarkEngineRead(b *testing.B) {
+	for _, clustered := range []bool{false, true} {
+		for _, strat := range benchStrategies() {
+			name := fmt.Sprintf("%v/%v", settingName(clustered), strat)
+			b.Run(name, func(b *testing.B) {
+				built := benchDB(b, strat, clustered)
+				var pages int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := built.ReadQuery(0.01)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pages += st.Total()
+				}
+				b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineUpdate measures the paper's update query (with propagation).
+func BenchmarkEngineUpdate(b *testing.B) {
+	for _, clustered := range []bool{false, true} {
+		for _, strat := range benchStrategies() {
+			name := fmt.Sprintf("%v/%v", settingName(clustered), strat)
+			b.Run(name, func(b *testing.B) {
+				built := benchDB(b, strat, clustered)
+				var pages int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := built.UpdateQuery(0.004)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pages += st.Total()
+				}
+				b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineMix measures C_total at representative update probabilities
+// (the x-axis of Figures 11/13) on the engine.
+func BenchmarkEngineMix(b *testing.B) {
+	for _, p := range []float64{0.1, 0.5} {
+		for _, strat := range benchStrategies() {
+			name := fmt.Sprintf("p%.1f/%v", p, strat)
+			b.Run(name, func(b *testing.B) {
+				built := benchDB(b, strat, false)
+				var pages float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := built.RunMix(p, 4, 0.01, 0.004)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pages += res.AvgIO
+				}
+				b.ReportMetric(pages/float64(b.N), "pages/query")
+			})
+		}
+	}
+}
+
+func settingName(clustered bool) string {
+	if clustered {
+		return "clustered"
+	}
+	return "unclustered"
+}
+
+// BenchmarkAblationInlineLinks compares update propagation with and without
+// the §4.3.1 single-OID link inlining, at sharing level 1 where it matters.
+func BenchmarkAblationInlineLinks(b *testing.B) {
+	for _, inline := range []bool{true, false} {
+		name := "inline=off"
+		inlineMax := -1
+		if inline {
+			name = "inline=on"
+			inlineMax = 1
+		}
+		b.Run(name, func(b *testing.B) {
+			built, err := workload.Build(workload.Spec{
+				SCount: 500, F: 1, Strategy: workload.InPlace, Seed: 5,
+				PoolPages: 4096, InlineMax: inlineMax,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer built.Close()
+			var pages int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := built.UpdateQuery(0.01)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages += st.Total()
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+		})
+	}
+}
+
+// BenchmarkAblationCollapsed compares terminal-update propagation through a
+// collapsed 2-level inverted path against the uncollapsed chain (§4.3.3).
+func BenchmarkAblationCollapsed(b *testing.B) {
+	for _, collapsed := range []bool{false, true} {
+		name := "uncollapsed"
+		if collapsed {
+			name = "collapsed"
+		}
+		b.Run(name, func(b *testing.B) {
+			db, orgOIDs := buildTwoLevel(b, collapsed)
+			defer db.Close()
+			var pages int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.ColdCache(); err != nil {
+					b.Fatal(err)
+				}
+				before := db.IO()
+				if err := db.Update("Org", orgOIDs[i%len(orgOIDs)], V{"name": S(fmt.Sprintf("renamed-%d", i))}); err != nil {
+					b.Fatal(err)
+				}
+				if err := db.FlushAll(); err != nil {
+					b.Fatal(err)
+				}
+				d := db.IO().Sub(before)
+				pages += d.Total()
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+		})
+	}
+}
+
+// buildTwoLevel makes an org/dept/emp database with a 2-level path.
+func buildTwoLevel(b *testing.B, collapsed bool) (*DB, []OID) {
+	b.Helper()
+	db, err := Open(Config{PoolPages: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mustExec := func(s string) {
+		if _, err := db.Exec(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustExec(`
+define type ORG  ( name: char[], budget: int )
+define type DEPT ( name: char[], budget: int, org: ref ORG )
+define type EMP  ( name: char[], salary: int, dept: ref DEPT )
+create Org:  {own ref ORG}
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+`)
+	var opts []ReplicateOption
+	if collapsed {
+		opts = append(opts, Collapsed())
+	}
+	if err := db.Replicate("Emp1.dept.org.name", InPlace, opts...); err != nil {
+		b.Fatal(err)
+	}
+	var orgs, depts []OID
+	for i := 0; i < 10; i++ {
+		oid, err := db.Insert("Org", V{"name": S(fmt.Sprintf("org-%d", i)), "budget": I(int64(i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		orgs = append(orgs, oid)
+	}
+	for i := 0; i < 50; i++ {
+		oid, err := db.Insert("Dept", V{"name": S(fmt.Sprintf("dept-%d", i)), "budget": I(int64(i)), "org": R(orgs[i%len(orgs)])})
+		if err != nil {
+			b.Fatal(err)
+		}
+		depts = append(depts, oid)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := db.Insert("Emp1", V{"name": S(fmt.Sprintf("e-%d", i)), "salary": I(int64(i)), "dept": R(depts[(i*7)%len(depts)])}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, orgs
+}
+
+// BenchmarkAblationDeferred compares eager propagation against deferred
+// (flush-on-read) propagation under an update burst followed by one read —
+// the access pattern the paper's §8 future-work item targets. Each iteration
+// performs 8 updates to one department's replicated field and then one read.
+func BenchmarkAblationDeferred(b *testing.B) {
+	for _, deferred := range []bool{false, true} {
+		name := "eager"
+		if deferred {
+			name = "deferred"
+		}
+		b.Run(name, func(b *testing.B) {
+			db, err := Open(Config{PoolPages: 4096})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Exec(`
+define type DEPT ( name: char[], budget: int )
+define type EMP  ( name: char[], dept: ref DEPT )
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+`); err != nil {
+				b.Fatal(err)
+			}
+			var opts []ReplicateOption
+			if deferred {
+				opts = append(opts, Deferred())
+			}
+			if err := db.Replicate("Emp1.dept.name", InPlace, opts...); err != nil {
+				b.Fatal(err)
+			}
+			var depts []OID
+			for i := 0; i < 20; i++ {
+				oid, err := db.Insert("Dept", V{"name": S(fmt.Sprintf("d%d", i)), "budget": I(int64(i))})
+				if err != nil {
+					b.Fatal(err)
+				}
+				depts = append(depts, oid)
+			}
+			for i := 0; i < 2000; i++ {
+				if _, err := db.Insert("Emp1", V{"name": S(fmt.Sprintf("e%d", i)), "dept": R(depts[i%len(depts)])}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var pages int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				before := db.IO()
+				d := depts[i%len(depts)]
+				// Updates arrive spread over time: each one starts cold, so
+				// eager propagation pays its page I/O every time while
+				// deferred pays once at the read.
+				for u := 0; u < 8; u++ {
+					if err := db.ColdCache(); err != nil {
+						b.Fatal(err)
+					}
+					if err := db.Update("Dept", d, V{"name": S(fmt.Sprintf("n%d-%d", i, u))}); err != nil {
+						b.Fatal(err)
+					}
+					if err := db.FlushAll(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := db.ColdCache(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db.Query(Query{Set: "Emp1", Project: []string{"dept.name"},
+					Where: &Pred{Expr: "name", Op: EQ, Value: S("e0")}, ForceScan: true}); err != nil {
+					b.Fatal(err)
+				}
+				if err := db.FlushAll(); err != nil {
+					b.Fatal(err)
+				}
+				pages += db.IO().Sub(before).Total()
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/burst")
+		})
+	}
+}
+
+// BenchmarkNLevelModel evaluates the n-level model extension across depths,
+// asserting the §3.3.2/§5.1 shape claims each iteration.
+func BenchmarkNLevelModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		np := costmodel.DefaultNLevel(100000, 10, 5)
+		np.Fr = 0.002
+		none, err := np.NLevelReadCost(costmodel.NoReplication)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inp, _ := np.NLevelReadCost(costmodel.InPlace)
+		sep, _ := np.NLevelReadCost(costmodel.Separate)
+		if !(inp < sep && sep < none) {
+			b.Fatalf("2-level model ordering: %v %v %v", inp, sep, none)
+		}
+	}
+}
+
+// BenchmarkEngineTwoLevelRead measures the 2-level read query per strategy.
+func BenchmarkEngineTwoLevelRead(b *testing.B) {
+	for _, strat := range benchStrategies() {
+		b.Run(strat.String(), func(b *testing.B) {
+			built, err := workload.BuildTwoLevel(workload.TwoLevelSpec{
+				RCount: 2000, F: 5, G: 4, Strategy: strat, Seed: 23,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer built.Close()
+			var pages int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := built.ReadQuery(0.01)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages += st.Total()
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+		})
+	}
+}

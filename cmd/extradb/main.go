@@ -1,0 +1,69 @@
+// Command extradb runs scripts in the EXTRA-style surface language. With
+// -dir the database persists: a directory that already holds a database is
+// reopened, so state accumulates across invocations.
+//
+//	extradb script.extra [more.extra ...]    # run script files in order
+//	extradb -                                 # read a script from stdin
+//	extradb -dir ./data script.extra          # persist (and reopen) under ./data
+//
+// Retrieve statements print aligned tables; other statements print one-line
+// summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/exodb/fieldrepl"
+)
+
+func main() {
+	dir := flag.String("dir", "", "store page files under this directory (default: in-memory)")
+	pool := flag.Int("pool", 1024, "buffer pool size in pages")
+	showIO := flag.Bool("io", false, "print page I/O after each statement")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] script.extra ... (or - for stdin)")
+		os.Exit(2)
+	}
+
+	db, err := fieldrepl.Open(fieldrepl.Config{Dir: *dir, PoolPages: *pool})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	for _, arg := range flag.Args() {
+		var src []byte
+		if arg == "-" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(arg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		before := db.IO()
+		outs, err := db.Exec(string(src))
+		for _, o := range outs {
+			if len(o.Columns) > 0 {
+				fmt.Println(o.Table())
+			} else {
+				fmt.Println(o.Message)
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *showIO {
+			fmt.Printf("-- I/O: %v\n", db.IO().Sub(before))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "extradb: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command figures regenerates the paper's evaluation tables and graphs
+// (Figures 10-14) from the analytical cost model.
+//
+// Usage:
+//
+//	figures [-fig 10|11|12|13|14|all] [-csv] [-steps N]
+//
+// Graph figures (11, 13) render as ASCII plots by default, or as CSV series
+// with -csv for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/exodb/fieldrepl/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, or all")
+	csv := flag.Bool("csv", false, "emit graph figures as CSV instead of ASCII plots")
+	steps := flag.Int("steps", 40, "update-probability steps for graph figures")
+	flag.Parse()
+
+	emit := func(name string) {
+		switch name {
+		case "10":
+			fmt.Println(exp.Figure10Table())
+		case "11":
+			fmt.Println("Figure 11: Results for Unclustered Indexes")
+			fmt.Println()
+			for _, sw := range exp.Figure11(*steps) {
+				if *csv {
+					fmt.Printf("# %s\n%s\n", sw.Title(), sw.CSV())
+				} else {
+					fmt.Println(sw.ASCIIPlot())
+				}
+			}
+		case "12":
+			fmt.Println(exp.Figure12Table())
+		case "13":
+			fmt.Println("Figure 13: Results for Clustered Indexes")
+			fmt.Println()
+			for _, sw := range exp.Figure13(*steps) {
+				if *csv {
+					fmt.Printf("# %s\n%s\n", sw.Title(), sw.CSV())
+				} else {
+					fmt.Println(sw.ASCIIPlot())
+				}
+			}
+		case "14":
+			fmt.Println(exp.Figure14Table())
+		default:
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *fig == "all" {
+		for _, name := range []string{"10", "11", "12", "13", "14"} {
+			emit(name)
+			fmt.Println()
+		}
+		return
+	}
+	emit(*fig)
+}

@@ -1,0 +1,91 @@
+package fieldrepl_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/exodb/fieldrepl"
+)
+
+// Example builds the paper's employee schema, replicates a path, and runs
+// the Section 3.1 query.
+func Example() {
+	db, err := fieldrepl.Open(fieldrepl.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Exec(`
+define type DEPT ( name: char[], budget: int )
+define type EMP  ( name: char[], salary: int, dept: ref DEPT )
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+
+let research = insert Dept (name = "Research", budget = 100)
+insert Emp1 (name = "Alice", salary = 120000, dept = research)
+insert Emp1 (name = "Bob",   salary = 90000,  dept = research)
+
+replicate Emp1.dept.name
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Query(fieldrepl.Query{
+		Set:     "Emp1",
+		Project: []string{"name", "dept.name"},
+		Where:   &fieldrepl.Pred{Expr: "salary", Op: fieldrepl.GT, Value: fieldrepl.I(100000)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s works in %s\n", row.Get(0).Str(), row.Get(1).Str())
+	}
+	// Output: Alice works in Research
+}
+
+// ExampleDB_Update shows update propagation through a replicated path.
+func ExampleDB_Update() {
+	db, _ := fieldrepl.Open(fieldrepl.Config{})
+	defer db.Close()
+	db.DefineType("DEPT", []fieldrepl.Field{
+		{Name: "name", Kind: fieldrepl.String},
+	})
+	db.DefineType("EMP", []fieldrepl.Field{
+		{Name: "name", Kind: fieldrepl.String},
+		{Name: "dept", Kind: fieldrepl.Ref, RefType: "DEPT"},
+	})
+	db.CreateSet("Dept", "DEPT")
+	db.CreateSet("Emp1", "EMP")
+	d, _ := db.Insert("Dept", fieldrepl.V{"name": fieldrepl.S("Research")})
+	db.Insert("Emp1", fieldrepl.V{"name": fieldrepl.S("Alice"), "dept": fieldrepl.R(d)})
+	db.Replicate("Emp1.dept.name", fieldrepl.InPlace)
+
+	// The rename propagates to the hidden replica inside Alice's object.
+	db.Update("Dept", d, fieldrepl.V{"name": fieldrepl.S("R&D")})
+	res, _ := db.Query(fieldrepl.Query{Set: "Emp1", Project: []string{"dept.name"}})
+	fmt.Println(res.Rows[0].Get(0).Str())
+	// Output: R&D
+}
+
+// ExampleDB_Inverse shows a bidirectional-reference lookup answered from the
+// inverted path's link structures.
+func ExampleDB_Inverse() {
+	db, _ := fieldrepl.Open(fieldrepl.Config{})
+	defer db.Close()
+	db.Exec(`
+define type DEPT ( name: char[] )
+define type EMP  ( name: char[], dept: ref DEPT )
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+let d = insert Dept (name = "Research")
+insert Emp1 (name = "Alice", dept = d)
+insert Emp1 (name = "Bob",   dept = d)
+replicate Emp1.dept.name
+`)
+	res, _ := db.Query(fieldrepl.Query{Set: "Dept", Project: []string{"name"}})
+	members, viaLinks, _ := db.Inverse("Emp1", "dept", res.Rows[0].OID)
+	fmt.Printf("%d members, via inverted path: %v\n", len(members), viaLinks)
+	// Output: 2 members, via inverted path: true
+}

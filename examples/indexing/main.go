@@ -1,0 +1,114 @@
+// Indexing: a B+tree on a replicated path (paper §3.3.4). The index maps
+// organization names directly to Emp1 objects, so an associative lookup on
+// Emp1.dept.org.name needs one index probe — where the path-index schemes of
+// [Maie86a] would traverse three B+trees, and an unindexed system would scan
+// and join.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/exodb/fieldrepl"
+)
+
+func main() {
+	db, err := fieldrepl.Open(fieldrepl.Config{PoolPages: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Exec(`
+define type ORG  ( name: char[], budget: int )
+define type DEPT ( name: char[], budget: int, org: ref ORG )
+define type EMP  ( name: char[], age: int, salary: int, dept: ref DEPT )
+create Org:  {own ref ORG}
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+create Emp2: {own ref EMP}
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// 200 organizations, 400 departments, 3000 employees: the looked-up
+	// organization is selective (~15 employees), the regime where an index
+	// pays off.
+	var orgs, depts []fieldrepl.OID
+	for i := 0; i < 200; i++ {
+		oid, _ := db.Insert("Org", fieldrepl.V{
+			"name": fieldrepl.S(fmt.Sprintf("org-%02d", i)), "budget": fieldrepl.I(int64(i)),
+		})
+		orgs = append(orgs, oid)
+	}
+	for i := 0; i < 400; i++ {
+		oid, _ := db.Insert("Dept", fieldrepl.V{
+			"name": fieldrepl.S(fmt.Sprintf("dept-%03d", i)), "budget": fieldrepl.I(int64(i)),
+			"org": fieldrepl.R(orgs[i%len(orgs)]),
+		})
+		depts = append(depts, oid)
+	}
+	for i := 0; i < 3000; i++ {
+		if _, err := db.Insert("Emp1", fieldrepl.V{
+			"name": fieldrepl.S(fmt.Sprintf("emp-%04d", i)), "age": fieldrepl.I(int64(20 + i%45)),
+			"salary": fieldrepl.I(int64(40000 + i)), "dept": fieldrepl.R(depts[(i*37)%len(depts)]),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	lookup := fieldrepl.Query{
+		Set:     "Emp1",
+		Project: []string{"name", "dept.org.name"},
+		Where:   &fieldrepl.Pred{Expr: "dept.org.name", Op: fieldrepl.EQ, Value: fieldrepl.S("org-07")},
+	}
+	measure := func(label string) {
+		if err := db.ColdCache(); err != nil {
+			log.Fatal(err)
+		}
+		before := db.IO()
+		res, err := db.Query(lookup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io := db.IO().Sub(before)
+		via := res.UsedIndex
+		if via == "" {
+			via = "scan + functional joins"
+		}
+		fmt.Printf("%-40s %4d rows, %4d page reads  (%s)\n", label, len(res.Rows), io.Reads, via)
+	}
+
+	fmt.Println(`associative lookup: retrieve (Emp1.name) where Emp1.dept.org.name = "org-07"`)
+	fmt.Println()
+	measure("no replication, no index:")
+
+	// §3.3.4: replicate, then build the index on the replicated values.
+	if _, err := db.Exec(`
+replicate Emp1.dept.org.name
+build btree on Emp1.dept.org.name
+`); err != nil {
+		log.Fatal(err)
+	}
+	measure("replicated + path index:")
+
+	// The index stays exact as updates propagate.
+	if _, err := db.UpdateWhere("Org",
+		fieldrepl.Pred{Expr: "name", Op: fieldrepl.EQ, Value: fieldrepl.S("org-07")},
+		fieldrepl.V{"name": fieldrepl.S("org-07-renamed")}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(fieldrepl.Query{
+		Set: "Emp1", Project: []string{"name"},
+		Where: &fieldrepl.Pred{Expr: "dept.org.name", Op: fieldrepl.EQ, Value: fieldrepl.S("org-07-renamed")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter renaming org-07, the index finds %d employees under the new name\n", len(res.Rows))
+
+	if errs := db.VerifyReplication(); len(errs) > 0 {
+		log.Fatalf("replication invariant violated: %v", errs)
+	}
+	fmt.Println("replication invariant verified")
+}

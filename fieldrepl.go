@@ -1,0 +1,350 @@
+package fieldrepl
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/engine"
+	"github.com/exodb/fieldrepl/internal/extra"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// Config configures a database.
+type Config struct {
+	// PoolPages is the buffer pool size in 4 KiB pages (default 256).
+	PoolPages int
+	// Dir, when non-empty, stores the database in page files under this
+	// directory; otherwise it is in-memory.
+	Dir string
+	// InlineMax is the link-inlining threshold of paper §4.3.1: link
+	// structures with at most this many referrers live inline in the owning
+	// object. Default 1; set negative to disable inlining.
+	InlineMax int
+}
+
+// DB is a database handle. It is safe for concurrent use: operations are
+// serialized by an internal mutex (the engine is single-writer; there is no
+// finer-grained concurrency control).
+type DB struct {
+	mu     sync.Mutex
+	e      *engine.DB
+	interp *extra.Interp
+}
+
+// lock acquires the serialization mutex and returns the unlock func, for
+// one-line method prologues.
+func (db *DB) lock() func() {
+	db.mu.Lock()
+	return db.mu.Unlock
+}
+
+// Open creates a database.
+func Open(cfg Config) (*DB, error) {
+	e, err := engine.Open(engine.Config{PoolPages: cfg.PoolPages, Dir: cfg.Dir, InlineMax: cfg.InlineMax})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{e: e, interp: extra.NewInterp(e)}, nil
+}
+
+// Close flushes and releases the database.
+func (db *DB) Close() error { defer db.lock()(); return db.e.Close() }
+
+// DefineType registers an object type.
+func (db *DB) DefineType(name string, fields []Field) error {
+	defer db.lock()()
+	sf := make([]schema.Field, len(fields))
+	for i, f := range fields {
+		sf[i] = schema.Field{Name: f.Name, Kind: schema.Kind(f.Kind), RefType: f.RefType}
+	}
+	return db.e.DefineType(name, sf)
+}
+
+// CreateSet creates a named top-level set of the given type, stored as its
+// own file.
+func (db *DB) CreateSet(name, typeName string) error {
+	defer db.lock()()
+	return db.e.CreateSet(name, typeName)
+}
+
+// Replicate declares a replication path in dotted syntax — "Emp1.dept.name",
+// "Emp1.dept.org.name", "Emp1.dept.all" (full object replication), or
+// "Emp1.dept.org" (reference replication, collapsing the path) — and builds
+// the replicated state over existing data.
+func (db *DB) Replicate(path string, strategy Strategy, opts ...ReplicateOption) error {
+	defer db.lock()()
+	var o replicateOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	var copts []catalog.PathOption
+	if o.collapsed {
+		copts = append(copts, catalog.WithCollapsed())
+	}
+	if o.deferred {
+		copts = append(copts, catalog.WithDeferred())
+	}
+	return db.e.Replicate(path, catalog.Strategy(strategy), copts...)
+}
+
+// Inverse answers a bidirectional-reference query: the OIDs of objects in
+// the source set whose reference chain refExpr ("dept", "dept.org") reaches
+// target. When a replication path maintains the needed inverted-path link
+// the answer comes directly from link structures without scanning;
+// viaInvertedPath reports whether it did.
+func (db *DB) Inverse(source, refExpr string, target OID) (oids []OID, viaInvertedPath bool, err error) {
+	defer db.lock()()
+	raw, via, err := db.e.Inverse(source, refExpr, target.inner)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]OID, len(raw))
+	for i, o := range raw {
+		out[i] = OID{inner: o}
+	}
+	return out, via == "inverted-path", nil
+}
+
+// FlushReplication applies all pending deferred propagations now.
+func (db *DB) FlushReplication() error { defer db.lock()(); return db.e.FlushReplication() }
+
+// PendingPropagations reports the number of queued deferred propagations.
+func (db *DB) PendingPropagations() int { defer db.lock()(); return db.e.PendingPropagations() }
+
+// BuildIndex builds a B+tree index named name on set.expr, where expr is a
+// base field ("salary") or a replicated path ("dept.org.name", which must be
+// replicated in-place first). clustered records that the set file is
+// physically ordered by this key.
+func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
+	defer db.lock()()
+	return db.e.BuildIndex(name, set, expr, clustered)
+}
+
+func toEngineValues(vals V) map[string]schema.Value {
+	out := make(map[string]schema.Value, len(vals))
+	for k, v := range vals {
+		out[k] = v.inner
+	}
+	return out
+}
+
+// Insert stores a new object and returns its OID. Unassigned fields hold
+// zero values.
+func (db *DB) Insert(set string, vals V) (OID, error) {
+	defer db.lock()()
+	oid, err := db.e.Insert(set, toEngineValues(vals))
+	return OID{inner: oid}, err
+}
+
+// Get reads an object's visible fields.
+func (db *DB) Get(set string, oid OID) (Record, error) {
+	defer db.lock()()
+	obj, err := db.e.Get(set, oid.inner)
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{OID: oid, Fields: make(map[string]Value, len(obj.Values))}
+	for i, f := range obj.Type.Fields {
+		rec.Fields[f.Name] = Value{inner: obj.Values[i]}
+	}
+	return rec, nil
+}
+
+// Update assigns fields of the object at oid, propagating every replication
+// structure and index.
+func (db *DB) Update(set string, oid OID, vals V) error {
+	defer db.lock()()
+	return db.e.Update(set, oid.inner, toEngineValues(vals))
+}
+
+// Delete removes the object at oid. Deleting an object still referenced
+// through a replication path fails.
+func (db *DB) Delete(set string, oid OID) error {
+	defer db.lock()()
+	return db.e.Delete(set, oid.inner)
+}
+
+// Count returns the number of objects in a set.
+func (db *DB) Count(set string) (int, error) { defer db.lock()(); return db.e.Count(set) }
+
+func toEnginePred(p *Pred) (*engine.Pred, error) {
+	if p == nil {
+		return nil, nil
+	}
+	out := &engine.Pred{Expr: p.Expr, Value: p.Value.inner, Value2: p.Value2.inner}
+	switch p.Op {
+	case EQ:
+		out.Op = engine.OpEQ
+	case LT:
+		out.Op = engine.OpLT
+	case LE:
+		out.Op = engine.OpLE
+	case GT:
+		out.Op = engine.OpGT
+	case GE:
+		out.Op = engine.OpGE
+	case Between:
+		out.Op = engine.OpBetween
+	default:
+		return nil, fmt.Errorf("fieldrepl: unknown operator %d", p.Op)
+	}
+	return out, nil
+}
+
+// Query executes a retrieve. Path expressions in projections and predicates
+// use replicated data when a matching replication path exists and fall back
+// to functional joins otherwise, so the same query works — at different I/O
+// costs — with and without replication.
+func (db *DB) Query(q Query) (*Result, error) {
+	defer db.lock()()
+	ep, err := toEnginePred(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	eq := engine.Query{
+		Set: q.Set, Project: q.Project, Where: ep,
+		EmitOutput: q.EmitOutput, ForceScan: q.ForceScan,
+	}
+	for i := range q.Filters {
+		fp, err := toEnginePred(&q.Filters[i])
+		if err != nil {
+			return nil, err
+		}
+		eq.Filters = append(eq.Filters, *fp)
+	}
+	res, err := db.e.Query(eq)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{UsedIndex: res.UsedIndex, OutputPages: int(res.OutputPages)}
+	for _, r := range res.Rows {
+		row := Row{OID: OID{inner: r.OID}, Values: make([]Value, len(r.Values))}
+		for i, v := range r.Values {
+			row.Values[i] = Value{inner: v}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// UpdateWhere applies vals to every object matching where, returning the
+// number updated.
+func (db *DB) UpdateWhere(set string, where Pred, vals V) (int, error) {
+	defer db.lock()()
+	ep, err := toEnginePred(&where)
+	if err != nil {
+		return 0, err
+	}
+	return db.e.UpdateWhere(set, *ep, toEngineValues(vals))
+}
+
+// Output is the result of executing one surface-language statement.
+type Output struct {
+	Message string
+	Columns []string
+	Rows    [][]string
+	OID     OID
+}
+
+// Table renders a retrieve output as an aligned text table.
+func (o Output) Table() string {
+	eo := extra.Output{Message: o.Message, Columns: o.Columns, Rows: o.Rows}
+	return eo.FormatTable()
+}
+
+// Exec runs a script in the EXTRA-style surface language ("define type ...",
+// "create ...", "replicate ...", "build btree on ...", "insert ...",
+// "retrieve ... where ...", "replace ...", "delete ..."), returning one
+// Output per statement. Variable bindings (let x = insert ...) persist
+// across calls.
+func (db *DB) Exec(script string) ([]Output, error) {
+	defer db.lock()()
+	outs, err := db.interp.Exec(script)
+	converted := make([]Output, len(outs))
+	for i, o := range outs {
+		converted[i] = Output{Message: o.Message, Columns: o.Columns, Rows: o.Rows, OID: OID{inner: o.OID}}
+	}
+	return converted, err
+}
+
+// ExecOne runs a single-statement script.
+func (db *DB) ExecOne(stmt string) (Output, error) {
+	outs, err := db.Exec(stmt)
+	if err != nil {
+		return Output{}, err
+	}
+	if len(outs) != 1 {
+		return Output{}, fmt.Errorf("fieldrepl: expected one statement, got %d", len(outs))
+	}
+	return outs[0], nil
+}
+
+// IO returns cumulative page-level I/O counters: only buffer-pool misses and
+// write-backs are counted, the page transfers a disk-resident system would
+// perform.
+func (db *DB) IO() IOStats {
+	defer db.lock()()
+	st := db.e.IO()
+	return IOStats{Reads: st.Reads, Writes: st.Writes}
+}
+
+// ResetIO zeroes the I/O counters.
+func (db *DB) ResetIO() { defer db.lock()(); db.e.ResetIO() }
+
+// ColdCache flushes and empties the buffer pool so the next operation starts
+// with a cold cache — the measurement discipline used by the experiments.
+func (db *DB) ColdCache() error { defer db.lock()(); return db.e.ColdCache() }
+
+// FlushAll writes back all dirty buffered pages.
+func (db *DB) FlushAll() error { defer db.lock()(); return db.e.FlushAll() }
+
+// NumPages returns the page count of a set's file.
+func (db *DB) NumPages(set string) (int, error) {
+	defer db.lock()()
+	n, err := db.e.NumPages(set)
+	return int(n), err
+}
+
+// VerifyReplication checks the global replication invariant — every
+// replicated value equals the value reachable through its forward path, link
+// structures are exact, and S′ refcounts match — returning all violations.
+func (db *DB) VerifyReplication() []error { defer db.lock()(); return db.e.VerifyReplication() }
+
+// Unreplicate removes a replication path declared with Replicate, tearing
+// down its hidden values and any link/S′ structures not shared with other
+// paths. An index built on the path must be dropped first.
+func (db *DB) Unreplicate(path string, strategy Strategy) error {
+	defer db.lock()()
+	return db.e.Unreplicate(path, catalog.Strategy(strategy))
+}
+
+// DropIndex removes an index built with BuildIndex.
+func (db *DB) DropIndex(name string) error { defer db.lock()(); return db.e.DropIndex(name) }
+
+// SetStats describes the physical state of a set's file.
+type SetStats struct {
+	Pages       int
+	Live        int     // live objects
+	Forwarded   int     // objects whose record moved behind a forwarding stub
+	DeadSlots   int     // free slot-directory entries
+	PayloadSize int64   // total live record bytes
+	FreeBytes   int64   // reclaimable bytes
+	AvgPayload  float64 // mean live record size
+}
+
+// Stats reports the physical statistics of a set's file: useful for judging
+// replication's space effects (in-place replication widens source objects
+// and may forward records that grew after a path was added).
+func (db *DB) Stats(set string) (SetStats, error) {
+	defer db.lock()()
+	st, err := db.e.SetStats(set)
+	if err != nil {
+		return SetStats{}, err
+	}
+	return SetStats{
+		Pages: int(st.Pages), Live: st.Live, Forwarded: st.Forwarded,
+		DeadSlots: st.DeadSlots, PayloadSize: st.PayloadSize,
+		FreeBytes: st.FreeBytes, AvgPayload: st.AvgPayload(),
+	}, nil
+}

@@ -1,0 +1,3 @@
+module github.com/exodb/fieldrepl
+
+go 1.22

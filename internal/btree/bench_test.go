@@ -1,0 +1,85 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/buffer"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+func benchTree(b *testing.B, prefill int) *Tree {
+	b.Helper()
+	store := pagefile.NewMemStore()
+	b.Cleanup(func() { store.Close() })
+	pool := buffer.New(store, 1024)
+	tr, err := Create(pool, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < prefill; i++ {
+		if err := tr.Insert(Int64Key(rng.Int63()), oidFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tr := benchTree(b, 0)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(Int64Key(rng.Int63()), oidFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeLookup(b *testing.B) {
+	tr := benchTree(b, 50000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Lookup(Int64Key(rng.Int63())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeRangeScan100(b *testing.B) {
+	tr := benchTree(b, 0)
+	for i := 0; i < 50000; i++ {
+		if err := tr.Insert(Int64Key(int64(i)), oidFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64((i * 997) % 49000)
+		n := 0
+		err := tr.Range(Int64Key(lo), Int64Key(lo+99), func(Key, pagefile.OID) bool {
+			n++
+			return true
+		})
+		if err != nil || n != 100 {
+			b.Fatalf("scanned %d, err %v", n, err)
+		}
+	}
+}
+
+func BenchmarkTreeDelete(b *testing.B) {
+	tr := benchTree(b, 0)
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(Int64Key(int64(i)), oidFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Delete(Int64Key(int64(i)), oidFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

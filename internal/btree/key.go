@@ -1,0 +1,68 @@
+// Package btree implements a disk-resident B+tree over the buffer pool, used
+// for the indexes in the cost model (the B-trees on field_r and field_s) and
+// for indexes built on replicated paths (paper §3.3.4).
+//
+// Keys are fixed 16-byte values with order-preserving encodings for int64,
+// float64, and (prefix-truncated) strings. Values are physical OIDs.
+// Duplicate keys are allowed; entries are unique on the composite
+// (key, OID), which makes deletes exact and keeps navigation deterministic.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+)
+
+// KeySize is the fixed size of index keys in bytes.
+const KeySize = 16
+
+// Key is a fixed-size, byte-comparable index key.
+type Key [KeySize]byte
+
+// CompareKeys orders keys as unsigned byte strings.
+func CompareKeys(a, b Key) int { return bytes.Compare(a[:], b[:]) }
+
+// Int64Key encodes v so that unsigned byte comparison matches signed integer
+// order: big-endian with the sign bit flipped.
+func Int64Key(v int64) Key {
+	var k Key
+	binary.BigEndian.PutUint64(k[0:8], uint64(v)^(1<<63))
+	return k
+}
+
+// Int64FromKey decodes a key produced by Int64Key.
+func Int64FromKey(k Key) int64 {
+	return int64(binary.BigEndian.Uint64(k[0:8]) ^ (1 << 63))
+}
+
+// Float64Key encodes v so byte comparison matches float order (NaNs sort
+// after +Inf; -0 and +0 encode differently but adjacently).
+func Float64Key(v float64) Key {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: flip everything
+	} else {
+		bits |= 1 << 63 // positive: flip sign bit
+	}
+	var k Key
+	binary.BigEndian.PutUint64(k[0:8], bits)
+	return k
+}
+
+// StringKey encodes the first 16 bytes of s, zero padded. Comparison order
+// matches string order for strings that differ within their first 16 bytes;
+// longer strings sharing a 16-byte prefix collate equal, which is acceptable
+// for the associative lookups the paper describes (the executor rechecks the
+// full value).
+func StringKey(s string) Key {
+	var k Key
+	copy(k[:], s)
+	return k
+}
+
+// MinKey and MaxKey bound the key space.
+var (
+	MinKey = Key{}
+	MaxKey = Key{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+)

@@ -1,0 +1,91 @@
+package btree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64KeyOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := Int64Key(a), Int64Key(b)
+		switch {
+		case a < b:
+			return CompareKeys(ka, kb) < 0
+		case a > b:
+			return CompareKeys(ka, kb) > 0
+		default:
+			return CompareKeys(ka, kb) == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64KeyRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return Int64FromKey(Int64Key(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{math.MinInt64, -1, 0, 1, math.MaxInt64} {
+		if Int64FromKey(Int64Key(v)) != v {
+			t.Fatalf("round trip failed for %d", v)
+		}
+	}
+}
+
+func TestFloat64KeyOrderPreserving(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -3.5, -1, -math.SmallestNonzeroFloat64, 0, math.SmallestNonzeroFloat64, 0.5, 1, 2.75, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		a, b := vals[i-1], vals[i]
+		if CompareKeys(Float64Key(a), Float64Key(b)) >= 0 {
+			t.Errorf("Float64Key(%g) !< Float64Key(%g)", a, b)
+		}
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka, kb := Float64Key(a), Float64Key(b)
+		switch {
+		case a < b:
+			return CompareKeys(ka, kb) < 0
+		case a > b:
+			return CompareKeys(ka, kb) > 0
+		default:
+			return CompareKeys(ka, kb) == 0 || a == 0 // -0 vs +0 encode adjacently
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringKeyOrder(t *testing.T) {
+	ss := []string{"", "Acme", "Acme Corp", "acme", "dept-01", "dept-02", "zeta"}
+	sorted := append([]string(nil), ss...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		a, b := sorted[i-1], sorted[i]
+		if CompareKeys(StringKey(a), StringKey(b)) > 0 {
+			t.Errorf("StringKey(%q) > StringKey(%q)", a, b)
+		}
+	}
+	// Strings sharing a 16-byte prefix collate equal (documented behavior).
+	long1 := "0123456789abcdefXXX"
+	long2 := "0123456789abcdefYYY"
+	if CompareKeys(StringKey(long1), StringKey(long2)) != 0 {
+		t.Error("16-byte-prefix-equal strings should collate equal")
+	}
+}
+
+func TestMinMaxKeys(t *testing.T) {
+	if CompareKeys(MinKey, MaxKey) >= 0 {
+		t.Fatal("MinKey >= MaxKey")
+	}
+	if CompareKeys(Int64Key(math.MinInt64), MinKey) < 0 {
+		t.Fatal("int64 min sorts below MinKey")
+	}
+}

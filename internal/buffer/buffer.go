@@ -1,0 +1,281 @@
+// Package buffer implements a fixed-size buffer pool over a pagefile.Store
+// with clock (second-chance) replacement, pin counting, and dirty-page
+// write-back.
+//
+// The pool is the boundary at which the experiments measure I/O: only buffer
+// misses reach the store as reads and only evictions/flushes reach it as
+// writes, exactly the page transfers a disk-resident DBMS would perform. The
+// cost model's "optimal join" assumption — each page needed by a query is
+// read once — is realized by giving a query a pool at least as large as its
+// working set and calling Reset between queries (cold cache per query).
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+// Errors returned by the pool.
+var (
+	ErrPoolExhausted = errors.New("buffer: all frames pinned")
+	ErrStillPinned   = errors.New("buffer: page still pinned")
+)
+
+// Pool is a buffer pool. Methods are safe for concurrent use, though the
+// engine serializes operations; concurrency safety guards against misuse.
+type Pool struct {
+	store pagefile.Store
+
+	mu     sync.Mutex
+	frames []frame
+	table  map[pagefile.PageID]int
+	hand   int
+
+	hits      int64
+	misses    int64
+	evictions int64
+	flushes   int64
+}
+
+type frame struct {
+	page  pagefile.Page
+	pid   pagefile.PageID
+	valid bool
+	dirty bool
+	pins  int
+	ref   bool // clock reference bit
+}
+
+// New returns a pool of nframes frames over store. nframes must be >= 1.
+func New(store pagefile.Store, nframes int) *Pool {
+	if nframes < 1 {
+		panic("buffer: pool needs at least one frame")
+	}
+	return &Pool{
+		store:  store,
+		frames: make([]frame, nframes),
+		table:  make(map[pagefile.PageID]int, nframes),
+	}
+}
+
+// Store returns the underlying page store.
+func (p *Pool) Store() pagefile.Store { return p.store }
+
+// Size returns the number of frames.
+func (p *Pool) Size() int { return len(p.frames) }
+
+// Handle is a pinned page. The caller must call Unpin exactly once when done,
+// and MarkDirty before Unpin if the page was modified.
+type Handle struct {
+	pool *Pool
+	idx  int
+	pid  pagefile.PageID
+}
+
+// PageID returns the identity of the pinned page.
+func (h *Handle) PageID() pagefile.PageID { return h.pid }
+
+// Page returns the page bytes. Valid only while pinned.
+func (h *Handle) Page() *pagefile.Page { return &h.pool.frames[h.idx].page }
+
+// MarkDirty records that the page was modified and must be written back
+// before eviction.
+func (h *Handle) MarkDirty() {
+	h.pool.mu.Lock()
+	h.pool.frames[h.idx].dirty = true
+	h.pool.mu.Unlock()
+}
+
+// Unpin releases the pin.
+func (h *Handle) Unpin() {
+	h.pool.mu.Lock()
+	defer h.pool.mu.Unlock()
+	f := &h.pool.frames[h.idx]
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %s", h.pid))
+	}
+	f.pins--
+}
+
+// Get pins page pid, reading it from the store on a miss.
+func (p *Pool) Get(pid pagefile.PageID) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.table[pid]; ok {
+		f := &p.frames[idx]
+		f.pins++
+		f.ref = true
+		p.hits++
+		return &Handle{pool: p, idx: idx, pid: pid}, nil
+	}
+	p.misses++
+	idx, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if err := p.store.ReadPage(pid, &f.page); err != nil {
+		f.valid = false
+		return nil, err
+	}
+	f.pid = pid
+	f.valid = true
+	f.dirty = false
+	f.pins = 1
+	f.ref = true
+	p.table[pid] = idx
+	return &Handle{pool: p, idx: idx, pid: pid}, nil
+}
+
+// NewPage allocates a fresh page in file fid, pins it, and returns the
+// handle along with the new page's id. The page contents are zeroed and the
+// frame is marked dirty so it will be written back.
+func (p *Pool) NewPage(fid pagefile.FileID) (*Handle, pagefile.PageID, error) {
+	pageNo, err := p.store.Allocate(fid)
+	if err != nil {
+		return nil, pagefile.PageID{}, err
+	}
+	pid := pagefile.PageID{File: fid, Page: pageNo}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.victimLocked()
+	if err != nil {
+		return nil, pagefile.PageID{}, err
+	}
+	f := &p.frames[idx]
+	f.page = pagefile.Page{}
+	f.pid = pid
+	f.valid = true
+	f.dirty = true
+	f.pins = 1
+	f.ref = true
+	p.table[pid] = idx
+	return &Handle{pool: p, idx: idx, pid: pid}, pid, nil
+}
+
+// victimLocked finds a free or evictable frame using the clock algorithm,
+// writing back the victim if dirty. Caller holds p.mu.
+func (p *Pool) victimLocked() (int, error) {
+	n := len(p.frames)
+	// Prefer an invalid (never used) frame.
+	for i := range p.frames {
+		if !p.frames[i].valid {
+			return i, nil
+		}
+	}
+	// Clock sweep: up to 2n steps gives every unpinned frame a second chance.
+	for step := 0; step < 2*n; step++ {
+		idx := p.hand
+		p.hand = (p.hand + 1) % n
+		f := &p.frames[idx]
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if err := p.evictLocked(idx); err != nil {
+			return 0, err
+		}
+		return idx, nil
+	}
+	// Last resort: any unpinned frame regardless of reference bit.
+	for idx := range p.frames {
+		if p.frames[idx].pins == 0 {
+			if err := p.evictLocked(idx); err != nil {
+				return 0, err
+			}
+			return idx, nil
+		}
+	}
+	return 0, ErrPoolExhausted
+}
+
+func (p *Pool) evictLocked(idx int) error {
+	f := &p.frames[idx]
+	if f.dirty {
+		if err := p.store.WritePage(f.pid, &f.page); err != nil {
+			return err
+		}
+		p.flushes++
+		f.dirty = false
+	}
+	delete(p.table, f.pid)
+	f.valid = false
+	p.evictions++
+	return nil
+}
+
+// FlushAll writes back every dirty page, leaving them resident.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid && f.dirty {
+			if err := p.store.WritePage(f.pid, &f.page); err != nil {
+				return err
+			}
+			p.flushes++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Reset flushes all dirty pages and then drops every resident page, leaving
+// the pool cold. It fails with ErrStillPinned if any page is pinned. The
+// experiment harness calls Reset between queries so each query starts with a
+// cold cache, matching the cost model.
+func (p *Pool) Reset() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].pins > 0 {
+			return fmt.Errorf("%w: %s", ErrStillPinned, p.frames[i].pid)
+		}
+	}
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid {
+			continue
+		}
+		if f.dirty {
+			if err := p.store.WritePage(f.pid, &f.page); err != nil {
+				return err
+			}
+			p.flushes++
+		}
+		delete(p.table, f.pid)
+		f.valid = false
+		f.dirty = false
+	}
+	p.hand = 0
+	return nil
+}
+
+// PoolStats is a snapshot of pool counters.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Flushes   int64
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Flushes: p.flushes}
+}
+
+// ResetStats zeroes the pool counters (not the store's).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits, p.misses, p.evictions, p.flushes = 0, 0, 0, 0
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// chainEntry is one step of a forward path walk.
+type chainEntry struct {
+	oid pagefile.OID
+	obj *schema.Object
+}
+
+// walkChain follows p's reference chain starting from source object src.
+// The result holds one entry per position 1..n (the objects reached by each
+// ref); it is shorter if a null reference breaks the chain. Position 0 (the
+// source itself) is not included.
+func (m *Manager) walkChain(p *catalog.Path, src *schema.Object) ([]chainEntry, error) {
+	var out []chainEntry
+	cur := src
+	for i, ref := range p.Spec.Refs {
+		oid, err := refValue(cur, ref)
+		if err != nil {
+			return nil, err
+		}
+		if oid.IsNil() {
+			return out, nil
+		}
+		obj, err := m.st.ReadObject(oid, p.Types[i+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chainEntry{oid: oid, obj: obj})
+		cur = obj
+	}
+	return out, nil
+}
+
+// walkChainFrom follows p's chain starting at position pos (1-based: the
+// object start is at position pos, i.e. it was reached by ref pos-1) down to
+// the terminal. The result holds entries for positions pos..n; start itself
+// is included as the first entry.
+func (m *Manager) walkChainFrom(p *catalog.Path, pos int, start pagefile.OID) ([]chainEntry, error) {
+	if start.IsNil() {
+		return nil, nil
+	}
+	obj, err := m.st.ReadObject(start, p.Types[pos])
+	if err != nil {
+		return nil, err
+	}
+	out := []chainEntry{{oid: start, obj: obj}}
+	cur := obj
+	for i := pos; i < len(p.Spec.Refs); i++ {
+		oid, err := refValue(cur, p.Spec.Refs[i])
+		if err != nil {
+			return nil, err
+		}
+		if oid.IsNil() {
+			return out, nil
+		}
+		next, err := m.st.ReadObject(oid, p.Types[i+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chainEntry{oid: oid, obj: next})
+		cur = next
+	}
+	return out, nil
+}
+
+// terminalValues extracts p's replicated field values from a terminal
+// object; a nil terminal yields zero values (broken chain).
+func terminalValues(p *catalog.Path, terminal *schema.Object) map[uint8]schema.Value {
+	vals := make(map[uint8]schema.Value, len(p.Fields))
+	for _, f := range p.Fields {
+		if terminal == nil {
+			vals[f.Idx] = schema.Zero(f.Kind)
+		} else {
+			vals[f.Idx] = terminal.Values[f.Terminal]
+		}
+	}
+	return vals
+}
+
+// terminalOf returns the terminal entry of a full chain walk, or nil if the
+// chain is broken.
+func terminalOf(p *catalog.Path, chain []chainEntry) *chainEntry {
+	if len(chain) < len(p.Spec.Refs) {
+		return nil
+	}
+	return &chain[len(chain)-1]
+}
+
+// setSourceHidden installs p's replicated values into source object src
+// (in-place strategy), notifying the listener about changes. It reports
+// whether anything changed.
+func (m *Manager) setSourceHidden(srcOID pagefile.OID, src *schema.Object, p *catalog.Path, vals map[uint8]schema.Value) bool {
+	changed := false
+	for _, f := range p.Fields {
+		v := vals[f.Idx]
+		old, had := src.GetHidden(p.ID, f.Idx)
+		if !had {
+			old = schema.Zero(f.Kind)
+		}
+		if !had || !old.Equal(v) {
+			src.SetHidden(p.ID, f.Idx, v)
+			changed = true
+			if m.listener != nil && (!old.Equal(v) || !had) {
+				// First installation notifies even for a zero value, so
+				// indexes on the replicated path cover every source.
+				m.listener.HiddenChanged(srcOID, p, f, old, v)
+			}
+		}
+	}
+	return changed
+}

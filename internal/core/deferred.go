@@ -1,0 +1,162 @@
+package core
+
+import (
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+// Deferred propagation (paper §8 future work: "replication techniques in
+// which updates are not propagated until needed"). For a path registered
+// with catalog.WithDeferred, data-field updates to terminal objects are
+// queued instead of walked down the inverted path; the queue is drained —
+// with one propagation per distinct terminal, however many times it was
+// updated — when the path's replicated values are next read or on an
+// explicit flush. Structural maintenance (inserts, deletes, reference moves)
+// remains eager so the inverted path itself is always exact; only the hidden
+// values go stale while updates are pending.
+
+// pendKey identifies one queued propagation.
+type pendKey struct {
+	path     uint8
+	terminal pagefile.OID
+}
+
+// enqueueDeferred records that the terminal at oid changed under path p.
+func (m *Manager) enqueueDeferred(p *catalog.Path, oid pagefile.OID) {
+	if m.pending == nil {
+		m.pending = make(map[pendKey]bool)
+	}
+	k := pendKey{path: p.ID, terminal: oid}
+	if !m.pending[k] {
+		m.pending[k] = true
+		m.pendingOrder = append(m.pendingOrder, k)
+	}
+}
+
+// PendingPropagations reports the number of queued (path, terminal)
+// propagations.
+func (m *Manager) PendingPropagations() int { return len(m.pending) }
+
+// HasPending reports whether path p has queued propagations.
+func (m *Manager) HasPending(p *catalog.Path) bool {
+	for k := range m.pending {
+		if k.path == p.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushPath drains the deferred-propagation queue for one path.
+func (m *Manager) FlushPath(p *catalog.Path) error {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	kept := m.pendingOrder[:0]
+	var toRun []pendKey
+	for _, k := range m.pendingOrder {
+		if !m.pending[k] {
+			continue
+		}
+		if k.path == p.ID {
+			toRun = append(toRun, k)
+			delete(m.pending, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	m.pendingOrder = kept
+	for _, k := range toRun {
+		if err := m.runDeferred(p, k.terminal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushAllPending drains the whole deferred-propagation queue.
+func (m *Manager) FlushAllPending() error {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	order := m.pendingOrder
+	m.pendingOrder = nil
+	pending := m.pending
+	m.pending = nil
+	for _, k := range order {
+		if !pending[k] {
+			continue
+		}
+		p := m.pathByID(k.path)
+		if p == nil {
+			continue
+		}
+		if err := m.runDeferred(p, k.terminal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) pathByID(id uint8) *catalog.Path {
+	for _, p := range m.cat.Paths() {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// runDeferred performs the queued propagation: the terminal's current values
+// flow down the (current) inverted path. If the terminal has meanwhile left
+// the path — its last referrer was deleted — there is nothing to update.
+func (m *Manager) runDeferred(p *catalog.Path, terminal pagefile.OID) error {
+	obj, err := m.st.ReadObject(terminal, p.TerminalType())
+	if err != nil {
+		return err
+	}
+	vals := terminalValues(p, obj)
+	if p.Collapsed {
+		return m.propagateCollapsed(p, obj, vals)
+	}
+	if obj.FindLink(p.Links[len(p.Links)-1].ID) == nil {
+		return nil
+	}
+	return m.propagateInPlace(p, len(p.Links)-1, obj, vals)
+}
+
+// InverseLookup returns the OIDs of the objects in source set that reach
+// target through the given reference prefix, using the inverted path's link
+// structures when a replication path maintains them (§8: "ways in which
+// inverted paths can be used ... in implementing inverse functions"). The
+// target object is read and its link structure consulted — no scan of the
+// source set is needed. ok is false when no path maintains the needed link,
+// in which case the caller must fall back to a scan.
+//
+// For a one-link prefix the result is exact. For longer prefixes the lookup
+// descends the inverted path level by level, exactly as update propagation
+// does.
+func (m *Manager) InverseLookup(source string, prefix []string, target pagefile.OID) (oids []pagefile.OID, ok bool, err error) {
+	l, found := m.cat.LinkFor(source, prefix)
+	if !found {
+		return nil, false, nil
+	}
+	// Find a (any) path containing this link to learn the level types.
+	paths := m.cat.PathsWithLink(l.ID)
+	if len(paths) == 0 {
+		return nil, false, nil
+	}
+	p := paths[0]
+	if l.Level >= len(p.Links) || p.Links[l.Level] != l {
+		return nil, false, nil
+	}
+	tObj, err := m.st.ReadObject(target, p.Types[l.Level+1])
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := m.collectSources(p, l.Level, tObj)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}

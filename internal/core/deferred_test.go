@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+func TestDeferredPropagationQueuesAndFlushes(t *testing.T) {
+	fx := load(t)
+	db := fx.db
+	p := db.replicate("Emp1.dept.name", catalog.InPlace, catalog.WithDeferred())
+
+	// A burst of renames: nothing propagates, the queue holds one entry per
+	// distinct terminal.
+	for _, name := range []string{"A", "B", "C", "Final"} {
+		if err := db.update("Dept", fx.d1, map[string]schema.Value{"name": str(name)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.mgr.PendingPropagations(); got != 1 {
+		t.Fatalf("pending = %d, want 1 (deduplicated)", got)
+	}
+	// The stored hidden value is still the build-time one.
+	e1 := db.read("Emp1", fx.e1)
+	if v, _ := e1.GetHidden(p.ID, 0); v.S != "Research" {
+		t.Fatalf("hidden before flush = %v", v)
+	}
+	// Flush applies the latest value once.
+	if err := db.mgr.FlushPath(p); err != nil {
+		t.Fatal(err)
+	}
+	if db.mgr.PendingPropagations() != 0 {
+		t.Fatal("queue not drained")
+	}
+	e1 = db.read("Emp1", fx.e1)
+	if v, _ := e1.GetHidden(p.ID, 0); v.S != "Final" {
+		t.Fatalf("hidden after flush = %v", v)
+	}
+	db.verify()
+}
+
+func TestDeferredMultipleTerminals(t *testing.T) {
+	fx := load(t)
+	db := fx.db
+	db.replicate("Emp1.dept.name", catalog.InPlace, catalog.WithDeferred())
+	if err := db.update("Dept", fx.d1, map[string]schema.Value{"name": str("X1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.update("Dept", fx.d2, map[string]schema.Value{"name": str("X2")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.mgr.PendingPropagations(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	if err := db.mgr.FlushAllPending(); err != nil {
+		t.Fatal(err)
+	}
+	db.verify() // verify() checks hidden == forward-path values
+}
+
+func TestDeferredVerifyFlushesFirst(t *testing.T) {
+	fx := load(t)
+	db := fx.db
+	db.replicate("Emp1.dept.name", catalog.InPlace, catalog.WithDeferred())
+	if err := db.update("Dept", fx.d1, map[string]schema.Value{"name": str("Fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	// Verify is defined over the quiesced state: it flushes, then checks.
+	db.verify()
+	e1 := db.read("Emp1", fx.e1)
+	p, _ := db.cat.FindPath(mustSpec(t, "Emp1.dept.name"), catalog.InPlace)
+	if v, _ := e1.GetHidden(p.ID, 0); v.S != "Fresh" {
+		t.Fatalf("hidden after verify = %v", v)
+	}
+}
+
+func mustSpec(t *testing.T, s string) catalog.PathSpec {
+	t.Helper()
+	spec, err := catalog.ParsePathSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestDeferredWithStructuralChanges(t *testing.T) {
+	fx := load(t)
+	db := fx.db
+	p := db.replicate("Emp1.dept.name", catalog.InPlace, catalog.WithDeferred())
+
+	// Pending update, then a source moves away from the updated terminal
+	// before the flush: the move re-resolves eagerly; the flush must not
+	// resurrect stale state.
+	if err := db.update("Dept", fx.d1, map[string]schema.Value{"name": str("Pending")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.update("Emp1", fx.e1, map[string]schema.Value{"dept": ref(fx.d2)}); err != nil {
+		t.Fatal(err)
+	}
+	// The moved source sees its new dept immediately (structural ops eager).
+	e1 := db.read("Emp1", fx.e1)
+	if v, _ := e1.GetHidden(p.ID, 0); v.S != "Sales" {
+		t.Fatalf("moved source hidden = %v", v)
+	}
+	if err := db.mgr.FlushAllPending(); err != nil {
+		t.Fatal(err)
+	}
+	// e2 (still on d1) got the pending value; e1 kept its new dept's value.
+	e2 := db.read("Emp1", fx.e2)
+	if v, _ := e2.GetHidden(p.ID, 0); v.S != "Pending" {
+		t.Fatalf("e2 hidden = %v", v)
+	}
+	e1 = db.read("Emp1", fx.e1)
+	if v, _ := e1.GetHidden(p.ID, 0); v.S != "Sales" {
+		t.Fatalf("e1 hidden after flush = %v", v)
+	}
+	db.verify()
+}
+
+func TestDeferredTerminalLosesAllReferrers(t *testing.T) {
+	fx := load(t)
+	db := fx.db
+	db.replicate("Emp1.dept.name", catalog.InPlace, catalog.WithDeferred())
+	if err := db.update("Dept", fx.d2, map[string]schema.Value{"name": str("Gone")}); err != nil {
+		t.Fatal(err)
+	}
+	// The only referrer of d2 leaves before the flush.
+	if err := db.remove("Emp1", fx.e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.mgr.FlushAllPending(); err != nil {
+		t.Fatalf("flush after referrer loss: %v", err)
+	}
+	db.verify()
+}
+
+func TestDeferredCollapsed(t *testing.T) {
+	fx := load(t)
+	db := fx.db
+	p := db.replicate("Emp1.dept.org.name", catalog.InPlace, catalog.WithCollapsed(), catalog.WithDeferred())
+	if err := db.update("Org", fx.orgA, map[string]schema.Value{"name": str("Lazy")}); err != nil {
+		t.Fatal(err)
+	}
+	if db.mgr.PendingPropagations() != 1 {
+		t.Fatalf("pending = %d", db.mgr.PendingPropagations())
+	}
+	if err := db.mgr.FlushPath(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.replicated(p, "Emp1", fx.e1, "name"); got.S != "Lazy" {
+		t.Fatalf("collapsed deferred value = %v", got)
+	}
+	db.verify()
+}
+
+func TestDeferredRequiresInPlace(t *testing.T) {
+	db := newTestDB(t)
+	spec := mustSpec(t, "Emp1.dept.name")
+	if _, err := db.cat.AddPath(spec, catalog.Separate, catalog.WithDeferred()); err == nil {
+		t.Fatal("deferred separate path accepted")
+	}
+}
+
+func TestInverseLookupViaLinks(t *testing.T) {
+	fx := load(t)
+	db := fx.db
+	db.replicate("Emp1.dept.name", catalog.InPlace)
+
+	oids, ok, err := db.mgr.InverseLookup("Emp1", []string{"dept"}, fx.d1)
+	if err != nil || !ok {
+		t.Fatalf("InverseLookup: ok=%v err=%v", ok, err)
+	}
+	want := map[pagefile.OID]bool{fx.e1: true, fx.e2: true}
+	if len(oids) != 2 || !want[oids[0]] || !want[oids[1]] {
+		t.Fatalf("referrers of d1 = %v", oids)
+	}
+	// Unreferenced target: empty but ok.
+	oids, ok, err = db.mgr.InverseLookup("Emp1", []string{"dept"}, fx.d3)
+	if err != nil || !ok || len(oids) != 0 {
+		t.Fatalf("unreferenced target: %v, %v, %v", oids, ok, err)
+	}
+	// No link maintained for Emp2.dept: not ok.
+	if _, ok, _ := db.mgr.InverseLookup("Emp2", []string{"dept"}, fx.d1); ok {
+		t.Fatal("InverseLookup claimed a link it does not have")
+	}
+}
+
+func TestInverseLookupTwoLevel(t *testing.T) {
+	fx := load(t)
+	db := fx.db
+	db.replicate("Emp1.dept.org.name", catalog.InPlace)
+	oids, ok, err := db.mgr.InverseLookup("Emp1", []string{"dept", "org"}, fx.orgA)
+	if err != nil || !ok {
+		t.Fatalf("two-level inverse: ok=%v err=%v", ok, err)
+	}
+	if len(oids) != 3 { // e1, e2 via d1; e3 via d2
+		t.Fatalf("sources reaching orgA = %v", oids)
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// TestRandomizedInvariant drives a long random operation sequence — source
+// inserts/deletes, source ref changes, intermediate ref changes, terminal
+// data updates — against a database with a mix of replication paths, and
+// checks the full replication invariant with Verify() throughout. This is
+// the package's strongest correctness evidence: every propagation and ripple
+// rule of §4 and §5 must hold under arbitrary interleaving.
+func TestRandomizedInvariant(t *testing.T) {
+	configs := []struct {
+		name  string
+		paths []struct {
+			spec  string
+			strat catalog.Strategy
+			opts  []catalog.PathOption
+		}
+		opts []Option
+	}{
+		{
+			name: "inplace-mixed-levels",
+			paths: []struct {
+				spec  string
+				strat catalog.Strategy
+				opts  []catalog.PathOption
+			}{
+				{"Emp1.dept.name", catalog.InPlace, nil},
+				{"Emp1.dept.budget", catalog.InPlace, nil},
+				{"Emp1.dept.org.name", catalog.InPlace, nil},
+				{"Emp2.dept.org.budget", catalog.InPlace, nil},
+			},
+		},
+		{
+			name: "separate-mixed-levels",
+			paths: []struct {
+				spec  string
+				strat catalog.Strategy
+				opts  []catalog.PathOption
+			}{
+				{"Emp1.dept.name", catalog.Separate, nil},
+				{"Emp1.dept.budget", catalog.Separate, nil},
+				{"Emp1.dept.org.name", catalog.Separate, nil},
+			},
+		},
+		{
+			name: "mixed-strategies-and-all",
+			paths: []struct {
+				spec  string
+				strat catalog.Strategy
+				opts  []catalog.PathOption
+			}{
+				{"Emp1.dept.all", catalog.InPlace, nil},
+				{"Emp1.dept.org.name", catalog.Separate, nil},
+				{"Emp2.dept.name", catalog.Separate, nil},
+			},
+			opts: []Option{WithInlineMax(2)},
+		},
+		{
+			name: "no-inlining",
+			paths: []struct {
+				spec  string
+				strat catalog.Strategy
+				opts  []catalog.PathOption
+			}{
+				{"Emp1.dept.org.name", catalog.InPlace, nil},
+			},
+			opts: []Option{WithInlineMax(0)},
+		},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			db := newTestDB(t, cfg.opts...)
+			rng := rand.New(rand.NewSource(42))
+
+			// Seed data: orgs and depts (never deleted, so delete-guard
+			// complications stay out of this test; deletion of referenced
+			// targets is covered separately).
+			var orgs, depts []pagefile.OID
+			for i := 0; i < 4; i++ {
+				orgs = append(orgs, db.insert("Org", map[string]schema.Value{
+					"name": str(fmt.Sprintf("org-%d", i)), "budget": num(int64(1000 * i)),
+				}))
+			}
+			for i := 0; i < 8; i++ {
+				depts = append(depts, db.insert("Dept", map[string]schema.Value{
+					"name": str(fmt.Sprintf("dept-%d", i)), "budget": num(int64(100 * i)),
+					"org": ref(orgs[rng.Intn(len(orgs))]),
+				}))
+			}
+			emps := map[string][]pagefile.OID{"Emp1": nil, "Emp2": nil}
+			randDept := func() pagefile.OID {
+				// Occasionally a null ref to exercise broken chains.
+				if rng.Intn(10) == 0 {
+					return pagefile.NilOID
+				}
+				return depts[rng.Intn(len(depts))]
+			}
+			for i := 0; i < 15; i++ {
+				set := "Emp1"
+				if i%3 == 0 {
+					set = "Emp2"
+				}
+				emps[set] = append(emps[set], db.insert(set, map[string]schema.Value{
+					"name": str(fmt.Sprintf("e-%d", i)), "age": num(20), "salary": num(50000),
+					"dept": ref(randDept()),
+				}))
+			}
+
+			// Register paths over the existing data.
+			for _, ps := range cfg.paths {
+				db.replicate(ps.spec, ps.strat, ps.opts...)
+			}
+			db.verify()
+
+			nameCounter := 0
+			for step := 0; step < 400; step++ {
+				op := rng.Intn(10)
+				switch {
+				case op < 3: // insert an employee
+					set := "Emp1"
+					if rng.Intn(3) == 0 {
+						set = "Emp2"
+					}
+					nameCounter++
+					emps[set] = append(emps[set], db.insert(set, map[string]schema.Value{
+						"name": str(fmt.Sprintf("new-%d", nameCounter)), "age": num(int64(rng.Intn(60))),
+						"salary": num(int64(rng.Intn(200000))), "dept": ref(randDept()),
+					}))
+				case op < 5: // delete an employee
+					set := "Emp1"
+					if rng.Intn(3) == 0 {
+						set = "Emp2"
+					}
+					if len(emps[set]) == 0 {
+						continue
+					}
+					i := rng.Intn(len(emps[set]))
+					oid := emps[set][i]
+					emps[set] = append(emps[set][:i], emps[set][i+1:]...)
+					if err := db.remove(set, oid); err != nil {
+						t.Fatalf("step %d: remove: %v", step, err)
+					}
+				case op < 7: // move an employee's dept
+					set := "Emp1"
+					if rng.Intn(3) == 0 {
+						set = "Emp2"
+					}
+					if len(emps[set]) == 0 {
+						continue
+					}
+					oid := emps[set][rng.Intn(len(emps[set]))]
+					if err := db.update(set, oid, map[string]schema.Value{"dept": ref(randDept())}); err != nil {
+						t.Fatalf("step %d: emp dept move: %v", step, err)
+					}
+				case op < 8: // move a dept's org
+					d := depts[rng.Intn(len(depts))]
+					if err := db.update("Dept", d, map[string]schema.Value{"org": ref(orgs[rng.Intn(len(orgs))])}); err != nil {
+						t.Fatalf("step %d: dept org move: %v", step, err)
+					}
+				case op < 9: // rename / rebudget a dept
+					d := depts[rng.Intn(len(depts))]
+					nameCounter++
+					if err := db.update("Dept", d, map[string]schema.Value{
+						"name": str(fmt.Sprintf("dept-r%d", nameCounter)), "budget": num(int64(rng.Intn(10000))),
+					}); err != nil {
+						t.Fatalf("step %d: dept update: %v", step, err)
+					}
+				default: // rename / rebudget an org
+					o := orgs[rng.Intn(len(orgs))]
+					nameCounter++
+					if err := db.update("Org", o, map[string]schema.Value{
+						"name": str(fmt.Sprintf("org-r%d", nameCounter)), "budget": num(int64(rng.Intn(10000))),
+					}); err != nil {
+						t.Fatalf("step %d: org update: %v", step, err)
+					}
+				}
+				if step%40 == 39 {
+					if errs := db.mgr.Verify(); len(errs) > 0 {
+						for _, e := range errs {
+							t.Error(e)
+						}
+						t.Fatalf("step %d: invariant violated", step)
+					}
+				}
+			}
+			db.verify()
+		})
+	}
+}
+
+// TestRandomizedCollapsed exercises the collapsed-path machinery under the
+// same random regime but without null refs (collapsed paths require complete
+// chains).
+func TestRandomizedCollapsed(t *testing.T) {
+	db := newTestDB(t)
+	rng := rand.New(rand.NewSource(7))
+	var orgs, depts []pagefile.OID
+	for i := 0; i < 3; i++ {
+		orgs = append(orgs, db.insert("Org", map[string]schema.Value{"name": str(fmt.Sprintf("o%d", i)), "budget": num(0)}))
+	}
+	for i := 0; i < 6; i++ {
+		depts = append(depts, db.insert("Dept", map[string]schema.Value{
+			"name": str(fmt.Sprintf("d%d", i)), "budget": num(0), "org": ref(orgs[rng.Intn(len(orgs))]),
+		}))
+	}
+	var emps []pagefile.OID
+	for i := 0; i < 12; i++ {
+		emps = append(emps, db.insert("Emp1", map[string]schema.Value{
+			"name": str(fmt.Sprintf("e%d", i)), "age": num(0), "salary": num(0),
+			"dept": ref(depts[rng.Intn(len(depts))]),
+		}))
+	}
+	db.replicate("Emp1.dept.org.name", catalog.InPlace, catalog.WithCollapsed())
+	db.verify()
+
+	n := 0
+	for step := 0; step < 300; step++ {
+		switch rng.Intn(6) {
+		case 0:
+			n++
+			emps = append(emps, db.insert("Emp1", map[string]schema.Value{
+				"name": str(fmt.Sprintf("n%d", n)), "age": num(0), "salary": num(0),
+				"dept": ref(depts[rng.Intn(len(depts))]),
+			}))
+		case 1:
+			if len(emps) == 0 {
+				continue
+			}
+			i := rng.Intn(len(emps))
+			oid := emps[i]
+			emps = append(emps[:i], emps[i+1:]...)
+			if err := db.remove("Emp1", oid); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		case 2:
+			if len(emps) == 0 {
+				continue
+			}
+			if err := db.update("Emp1", emps[rng.Intn(len(emps))], map[string]schema.Value{"dept": ref(depts[rng.Intn(len(depts))])}); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		case 3:
+			if err := db.update("Dept", depts[rng.Intn(len(depts))], map[string]schema.Value{"org": ref(orgs[rng.Intn(len(orgs))])}); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		default:
+			n++
+			if err := db.update("Org", orgs[rng.Intn(len(orgs))], map[string]schema.Value{"name": str(fmt.Sprintf("r%d", n))}); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		if step%30 == 29 {
+			if errs := db.mgr.Verify(); len(errs) > 0 {
+				for _, e := range errs {
+					t.Error(e)
+				}
+				t.Fatalf("step %d: collapsed invariant violated", step)
+			}
+		}
+	}
+	db.verify()
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// groupType builds the synthetic type describing a group's S′ objects: one
+// field per replicated field, in index order. The paper stores "the
+// replicated values for D1.name and D1.budget together in one object"
+// (Figure 7); the synthetic type is that object's layout.
+func groupType(g *catalog.Group) *schema.Type {
+	fields := make([]schema.Field, len(g.Fields))
+	for _, f := range g.Fields {
+		fields[f.Idx] = schema.Field{Name: f.Name, Kind: f.Kind}
+	}
+	t, err := schema.NewType(fmt.Sprintf("__sprime_%d", g.ID), 0x8000|uint16(g.ID), fields)
+	if err != nil {
+		// Group fields come from validated paths; this cannot fail.
+		panic(fmt.Sprintf("core: building S′ type for group %d: %v", g.ID, err))
+	}
+	return t
+}
+
+// newSPrimeObject builds an S′ object carrying terminal's replicated values.
+func newSPrimeObject(g *catalog.Group, terminal *schema.Object) *schema.Object {
+	t := groupType(g)
+	o := schema.NewObject(t)
+	for _, f := range g.Fields {
+		o.Values[f.Idx] = terminal.Values[f.Terminal]
+	}
+	return o
+}
+
+// ReadSPrime loads and decodes the S′ object at soid for group g.
+func (m *Manager) ReadSPrime(g *catalog.Group, soid pagefile.OID) (*schema.Object, error) {
+	file, err := m.st.GroupFile(g)
+	if err != nil {
+		return nil, err
+	}
+	data, err := file.Read(soid)
+	if err != nil {
+		return nil, err
+	}
+	return schema.Decode(groupType(g), data)
+}
+
+// ensureSeparateTerminal registers src at the terminal of separate path p:
+// the terminal gets (or shares) an S′ object, its refcount counts src, and
+// src's hidden S′ reference is installed. chain is the walk from src.
+func (m *Manager) ensureSeparateTerminal(p *catalog.Path, srcOID pagefile.OID, src *schema.Object, chain []chainEntry) error {
+	g := p.Group
+	term := terminalOf(p, chain)
+	if term == nil {
+		src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(pagefile.NilOID))
+		return nil
+	}
+	se := term.obj.FindSep(g.ID)
+	if se != nil {
+		if prev, ok := src.GetHidden(g.ID, catalog.HiddenSPrimeIdx); ok && prev.R == se.SOID {
+			return nil // already registered
+		}
+		se.RefCount++
+		if err := m.st.WriteObject(term.oid, term.obj); err != nil {
+			return err
+		}
+		src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(se.SOID))
+		return nil
+	}
+	file, err := m.st.GroupFile(g)
+	if err != nil {
+		return err
+	}
+	soid, err := file.InsertNear(newSPrimeObject(g, term.obj).Encode(), term.oid.Page)
+	if err != nil {
+		return err
+	}
+	term.obj.SetSep(schema.SepEntry{GroupID: g.ID, SOID: soid, RefCount: 1})
+	if err := m.st.WriteObject(term.oid, term.obj); err != nil {
+		return err
+	}
+	src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(soid))
+	return nil
+}
+
+// releaseSeparateTerminal drops src's registration at the terminal of p,
+// deleting the S′ object when its refcount reaches zero.
+func (m *Manager) releaseSeparateTerminal(p *catalog.Path, srcOID pagefile.OID, src *schema.Object, chain []chainEntry) error {
+	g := p.Group
+	term := terminalOf(p, chain)
+	if term == nil {
+		src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(pagefile.NilOID))
+		return nil
+	}
+	se := term.obj.FindSep(g.ID)
+	if se == nil {
+		src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(pagefile.NilOID))
+		return nil
+	}
+	if hv, ok := src.GetHidden(g.ID, catalog.HiddenSPrimeIdx); !ok || hv.R != se.SOID {
+		// src was never registered at this terminal (e.g. broken chain at
+		// registration time); nothing to release.
+		src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(pagefile.NilOID))
+		return nil
+	}
+	se.RefCount--
+	if se.RefCount == 0 {
+		file, err := m.st.GroupFile(g)
+		if err != nil {
+			return err
+		}
+		if err := file.Delete(se.SOID); err != nil {
+			return err
+		}
+		term.obj.RemoveSep(g.ID)
+	}
+	if err := m.st.WriteObject(term.oid, term.obj); err != nil {
+		return err
+	}
+	src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(pagefile.NilOID))
+	return nil
+}
+
+// refreshSPrime re-copies the group's replicated fields from terminal into
+// the S′ object at soid. This is the separate strategy's whole update
+// propagation for data fields: one shared object, one write (§5.2).
+func (m *Manager) refreshSPrime(g *catalog.Group, soid pagefile.OID, terminal *schema.Object) error {
+	file, err := m.st.GroupFile(g)
+	if err != nil {
+		return err
+	}
+	data, err := file.Read(soid)
+	if err != nil {
+		return err
+	}
+	sobj, err := schema.Decode(groupType(g), data)
+	if err != nil {
+		return err
+	}
+	changed := false
+	for _, f := range g.Fields {
+		v := terminal.Values[f.Terminal]
+		if !sobj.Values[f.Idx].Equal(v) {
+			sobj.Values[f.Idx] = v
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return file.Update(soid, sobj.Encode())
+}
+
+// buildGroupOrdered constructs (or reconstructs) a group's S′ file over the
+// existing data with the S′ objects in the same physical order as the
+// terminal set — the clustering property the paper relies on ("the objects
+// in which replicated data is stored are kept in the same order as the
+// corresponding objects", §5, Figure 7). Link structures along the ref chain
+// are (re-)registered idempotently in the same pass.
+//
+// The build is three-phase: scan the source set collecting, per terminal,
+// the list of registered sources (and ensure the inverted-path links); then
+// create S′ objects in terminal physical order; finally install the hidden
+// S′ references in the sources.
+func (m *Manager) buildGroupOrdered(p *catalog.Path) error {
+	g := p.Group
+	file, err := m.groupBuildFile(g)
+	if err != nil {
+		return err
+	}
+	srcFile, err := m.st.SetFile(g.Source)
+	if err != nil {
+		return err
+	}
+	srcType := p.Types[0]
+
+	type termInfo struct {
+		oid     pagefile.OID
+		sources []pagefile.OID
+	}
+	var terms []*termInfo
+	byTerm := map[pagefile.OID]*termInfo{}
+	var broken []pagefile.OID
+
+	err = srcFile.Scan(func(oid pagefile.OID, payload []byte) error {
+		src, err := schema.Decode(srcType, payload)
+		if err != nil {
+			return err
+		}
+		chain, err := m.walkChain(p, src)
+		if err != nil {
+			return err
+		}
+		// Ensure the (n-1)-level inverted path links, idempotently.
+		referrer := oid
+		for pos := 0; pos < len(p.Links) && pos < len(chain); pos++ {
+			target := chain[pos]
+			changed, err := m.addReferrer(p.Links[pos], target.oid, target.obj, referrer)
+			if err != nil {
+				return err
+			}
+			if changed {
+				if err := m.st.WriteObject(target.oid, target.obj); err != nil {
+					return err
+				}
+			}
+			referrer = target.oid
+		}
+		term := terminalOf(p, chain)
+		if term == nil {
+			broken = append(broken, oid)
+			return nil
+		}
+		ti, ok := byTerm[term.oid]
+		if !ok {
+			ti = &termInfo{oid: term.oid}
+			byTerm[term.oid] = ti
+			terms = append(terms, ti)
+		}
+		ti.sources = append(ti.sources, oid)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// S′ objects in terminal physical order.
+	sort.Slice(terms, func(i, j int) bool { return terms[i].oid.Less(terms[j].oid) })
+	termType := p.TerminalType()
+	soidOf := make(map[pagefile.OID]pagefile.OID, len(terms))
+	for _, ti := range terms {
+		tObj, err := m.st.ReadObject(ti.oid, termType)
+		if err != nil {
+			return err
+		}
+		soid, err := file.Insert(newSPrimeObject(g, tObj).Encode())
+		if err != nil {
+			return err
+		}
+		tObj.SetSep(schema.SepEntry{GroupID: g.ID, SOID: soid, RefCount: uint32(len(ti.sources))})
+		if err := m.st.WriteObject(ti.oid, tObj); err != nil {
+			return err
+		}
+		soidOf[ti.oid] = soid
+	}
+
+	// Hidden S′ references in the sources.
+	for _, ti := range terms {
+		for _, s := range ti.sources {
+			src, err := m.st.ReadObject(s, srcType)
+			if err != nil {
+				return err
+			}
+			src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(soidOf[ti.oid]))
+			if err := m.st.WriteObject(s, src); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range broken {
+		src, err := m.st.ReadObject(s, srcType)
+		if err != nil {
+			return err
+		}
+		src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, schema.RefValue(pagefile.NilOID))
+		if err := m.st.WriteObject(s, src); err != nil {
+			return err
+		}
+	}
+	g.Built = len(g.Fields)
+	return nil
+}
+
+// groupBuildFile returns the file an ordered group build writes into: a
+// fresh file when the group was already materialized (field extension), or
+// the group's first file.
+func (m *Manager) groupBuildFile(g *catalog.Group) (*heap.File, error) {
+	if g.HasFile && g.Built > 0 {
+		return m.st.RecreateGroupFile(g)
+	}
+	return m.st.GroupFile(g)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// TeardownPath removes a path's replicated state so the catalog entry can be
+// dropped: hidden values leave the source objects, link structures that no
+// other path shares are dismantled, and — when the path is the last member
+// of its S′ group — the terminals' S′ registrations are cleared. The
+// heap pages of dismantled link/S′ files become orphaned (page stores do not
+// delete files); a fresh file is allocated if an identical path is later
+// re-created.
+//
+// Paths sharing links with p keep those links untouched; only links with no
+// remaining path are dismantled.
+func (m *Manager) TeardownPath(p *catalog.Path) error {
+	// Purge any pending deferred propagation for p.
+	if m.pending != nil {
+		kept := m.pendingOrder[:0]
+		for _, k := range m.pendingOrder {
+			if k.path == p.ID {
+				delete(m.pending, k)
+				continue
+			}
+			kept = append(kept, k)
+		}
+		m.pendingOrder = kept
+	}
+
+	// Determine which links die with p. PathsWithLink still includes p
+	// itself at this point, so "dead" means p is the only user.
+	dead := map[uint8]bool{}
+	links := p.Links
+	if p.CollapsedLink != nil {
+		links = append(links, p.CollapsedLink)
+	}
+	for _, l := range links {
+		if len(m.cat.PathsWithLink(l.ID)) == 1 {
+			dead[l.ID] = true
+		}
+	}
+	lastGroupMember := p.Group != nil && len(m.cat.PathsWithGroup(p.Group.ID)) == 1
+
+	srcFile, err := m.st.SetFile(p.Spec.Source)
+	if err != nil {
+		return err
+	}
+	srcType := p.Types[0]
+	visited := map[pagefile.OID]bool{}
+	var clearTarget func(pos int, oid pagefile.OID, obj *schema.Object) error
+	clearTarget = func(pos int, oid pagefile.OID, obj *schema.Object) error {
+		// pos indexes the link whose pair lives on obj (obj is the target of
+		// ref pos). Remove dead pairs/link objects, then continue up.
+		if visited[oid] {
+			return nil
+		}
+		visited[oid] = true
+		changed := false
+		if pos < len(links) && dead[links[pos].ID] {
+			if lp := obj.FindLink(links[pos].ID); lp != nil {
+				if lp.Mode == schema.LinkModeObject {
+					store, err := m.linkStore(links[pos])
+					if err != nil {
+						return err
+					}
+					if err := store.Delete(lp.LinkOID); err != nil {
+						return err
+					}
+				}
+				obj.RemoveLink(links[pos].ID)
+				changed = true
+			}
+		}
+		if lastGroupMember && pos == len(p.Spec.Refs)-1 {
+			if obj.RemoveSep(p.Group.ID) {
+				changed = true
+			}
+		}
+		if changed {
+			if err := m.st.WriteObject(oid, obj); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	return srcFile.Scan(func(oid pagefile.OID, payload []byte) error {
+		src, err := schema.Decode(srcType, payload)
+		if err != nil {
+			return err
+		}
+		changed := false
+		switch p.Strategy {
+		case catalog.InPlace:
+			if len(src.Hidden) > 0 {
+				before := len(src.Hidden)
+				m.dropHiddenNotifying(p, oid, src)
+				changed = len(src.Hidden) != before
+			}
+		case catalog.Separate:
+			if lastGroupMember {
+				for _, h := range src.Hidden {
+					if h.PathID == p.Group.ID {
+						src.DropHiddenPath(p.Group.ID)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if changed {
+			if err := m.st.WriteObject(oid, src); err != nil {
+				return err
+			}
+		}
+		// Walk the chain clearing dead structures. For collapsed paths the
+		// single tagged link object lives on the terminal and the marker on
+		// the intermediate; both carry the collapsed link's ID.
+		chain, err := m.walkChain(p, src)
+		if err != nil {
+			return err
+		}
+		if p.Collapsed {
+			for _, ent := range chain {
+				if visited[ent.oid] {
+					continue
+				}
+				visited[ent.oid] = true
+				if lp := ent.obj.FindLink(p.CollapsedLink.ID); lp != nil {
+					if lp.Mode == schema.LinkModeObject && dead[p.CollapsedLink.ID] {
+						store, err := m.linkStore(p.CollapsedLink)
+						if err != nil {
+							return err
+						}
+						if err := store.Delete(lp.LinkOID); err != nil {
+							return err
+						}
+					}
+					if dead[p.CollapsedLink.ID] {
+						ent.obj.RemoveLink(p.CollapsedLink.ID)
+						if err := m.st.WriteObject(ent.oid, ent.obj); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		}
+		for pos, ent := range chain {
+			if err := clearTarget(pos, ent.oid, ent.obj); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ErrPathInUse is returned when a path cannot be torn down because an index
+// depends on its replicated values.
+var ErrPathInUse = fmt.Errorf("core: path has dependent indexes")

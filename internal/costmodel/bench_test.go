@@ -1,0 +1,25 @@
+package costmodel
+
+import "testing"
+
+func BenchmarkYaoExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if y := Yao(200000, 33, 400); y <= 0 || y >= 1 {
+			b.Fatalf("y = %v", y)
+		}
+	}
+}
+
+func BenchmarkTotalCostSweep(b *testing.B) {
+	p := Default()
+	p.F = 20
+	p.Fr = 0.002
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pu := 0.0; pu <= 1.0; pu += 0.05 {
+			for _, st := range []Strategy{NoReplication, InPlace, Separate} {
+				_ = p.TotalCost(st, Unclustered, pu)
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package costmodel implements the analytical I/O cost model of Section 6 of
+// the paper, comparing no replication, in-place replication, and separate
+// replication for 1-level read/update query mixes in unclustered- and
+// clustered-index settings.
+//
+// The equations are transcribed from §6.5 (unclustered) and §6.7
+// (clustered). Three conventions, reverse-engineered so that the model
+// reproduces every value published in Figures 12 and 14, are documented on
+// the code below:
+//
+//  1. Yao's function is evaluated exactly (the product form from [Yao77]),
+//     not with the (1-b/a)^c approximation.
+//  2. In the clustered setting, index-clustered accesses to a file cost at
+//     least one page (ceil of the fractional page count): Figure 14's
+//     separate-replication update cost of 6 is only reproduced with
+//     2*ceil(fs*Ps') rather than 2*fs*Ps'.
+//  3. With sharing level f = 1 every link object holds exactly one OID, and
+//     the paper's §4.3.1 optimization ("there is no reason not to make this
+//     optimization") eliminates link objects entirely; Figure 12's in-place
+//     update cost of 42 at f = 1 is only reproduced with the Cread/L term
+//     dropped. Params.InlineSingleOIDLinks (default true) applies it.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Strategy enumerates the three compared configurations.
+type Strategy int
+
+// The strategies of §6.
+const (
+	NoReplication Strategy = iota
+	InPlace
+	Separate
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case NoReplication:
+		return "no replication"
+	case InPlace:
+		return "in-place replication"
+	case Separate:
+		return "separate replication"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Setting selects the index clustering regime of the analysis (§6.4).
+type Setting int
+
+// The two analysis settings.
+const (
+	Unclustered Setting = iota
+	Clustered
+)
+
+func (s Setting) String() string {
+	if s == Clustered {
+		return "clustered"
+	}
+	return "unclustered"
+}
+
+// Params holds the cost-model parameters of Figure 10. Sizes are in bytes.
+type Params struct {
+	B float64 // bytes per disk page available for user data
+	H float64 // storage overhead per object (object header)
+	M float64 // B+tree fanout
+
+	SCount float64 // |S|: number of objects in S
+	F      float64 // sharing level: every S object is referenced by F objects in R
+	Fr     float64 // read-query selectivity (fraction of R read)
+	Fs     float64 // update-query selectivity (fraction of S updated)
+
+	OIDSize     float64 // size of OIDs
+	LinkIDSize  float64 // size of link IDs
+	TypeTagSize float64 // size of type-tags
+
+	K     float64 // size of the replicated field, repfield
+	RSize float64 // size of R objects with no replication
+	SSize float64 // size of S objects with no replication
+	TSize float64 // size of output (T) objects
+
+	// InlineSingleOIDLinks applies §4.3.1 when F == 1: single-OID link
+	// objects are stored inline, removing the link-file read from in-place
+	// update propagation. Figure 12's published f=1 values assume it.
+	InlineSingleOIDLinks bool
+}
+
+// Default returns the Figure 10 defaults (EXODUS storage manager constants).
+func Default() Params {
+	return Params{
+		B: 4056, H: 20, M: 350,
+		SCount: 10000, F: 1, Fr: 0.001, Fs: 0.001,
+		OIDSize: 8, LinkIDSize: 1, TypeTagSize: 2,
+		K: 20, RSize: 100, SSize: 200, TSize: 100,
+		InlineSingleOIDLinks: true,
+	}
+}
+
+// RCount returns |R| = f * |S|.
+func (p Params) RCount() float64 { return p.F * p.SCount }
+
+// r returns the R object size under a strategy: in-place replication widens
+// R objects by the replicated field; separate replication stores the hidden
+// S′ reference.
+func (p Params) r(s Strategy) float64 {
+	switch s {
+	case InPlace:
+		return p.RSize + p.K
+	case Separate:
+		return p.RSize + p.OIDSize
+	default:
+		return p.RSize
+	}
+}
+
+// s returns the S object size under a strategy: objects along a replication
+// path carry (link-OID, link-ID) pairs (in-place) or the S′ OID, a refcount,
+// and a replicated-field tag (separate, §5.2).
+func (p Params) s(st Strategy) float64 {
+	switch st {
+	case InPlace:
+		return p.SSize + p.OIDSize + p.LinkIDSize
+	case Separate:
+		return p.SSize + p.OIDSize + 4 + 1 // S′ OID + refcount + field tag
+	default:
+		return p.SSize
+	}
+}
+
+// sPrime is the S′ object size: the replicated field plus a type-tag.
+func (p Params) sPrime() float64 { return p.K + p.TypeTagSize }
+
+// l is the link object size: a link ID, a type-tag, and F referrer OIDs.
+func (p Params) l() float64 { return p.LinkIDSize + p.TypeTagSize + p.F*p.OIDSize }
+
+// perPage returns O_x = floor(B / (h + x)).
+func (p Params) perPage(objSize float64) float64 {
+	return math.Floor(p.B / (p.H + objSize))
+}
+
+// pages returns P = ceil(n / perPage).
+func pages(n, perPage float64) float64 { return math.Ceil(n / perPage) }
+
+// Yao computes y(a, b, c) = 1 - prod_{i=0}^{c-1} (a-b-i)/(a-i), the expected
+// fraction of pages touched when c records are drawn without replacement
+// from a records packed b to a page [Yao77]. It is evaluated exactly.
+func Yao(a, b, c float64) float64 {
+	if b <= 0 || c <= 0 || a <= 0 {
+		return 0
+	}
+	if c >= a-b {
+		return 1
+	}
+	n := int(math.Round(c))
+	logProd := 0.0
+	for i := 0; i < n; i++ {
+		fi := float64(i)
+		logProd += math.Log((a - b - fi) / (a - fi))
+	}
+	return 1 - math.Exp(logProd)
+}
+
+// indexCost is the cost of reading an unclustered or clustered B+tree index:
+// descend to a leaf, then scan across leaves for the qualifying entries
+// (§6.5.1). n is the file cardinality, sel the selectivity.
+func (p Params) indexCost(n, sel float64) float64 {
+	descend := math.Ceil(math.Log(n) / math.Log(p.M))
+	scan := math.Ceil(sel*n/p.M - 1)
+	if scan < 0 {
+		scan = 0
+	}
+	return descend + scan
+}
+
+// outputCost is C_generate/T = P_t.
+func (p Params) outputCost() float64 {
+	return pages(p.Fr*p.RCount(), p.perPage(p.TSize))
+}
+
+// linkReadApplies reports whether the C_read/L term is charged: it is
+// eliminated when F == 1 and the §4.3.1 inlining optimization is on.
+func (p Params) linkReadApplies() bool {
+	return !(p.InlineSingleOIDLinks && p.F <= 1)
+}
+
+// ReadCost returns C_read for a strategy in a setting (§6.5.1/3/5, §6.7).
+// The value is left fractional; the paper rounds final values up.
+func (p Params) ReadCost(st Strategy, set Setting) float64 {
+	R := p.RCount()
+	frR := p.Fr * R
+	Or := p.perPage(p.r(st))
+	Pr := pages(R, Or)
+	cost := p.indexCost(R, p.Fr)
+	if set == Clustered {
+		// R is read in clustered order: ceil(fr * Pr) pages.
+		cost += math.Ceil(p.Fr * Pr)
+	} else {
+		cost += Pr * Yao(R, Or, frR)
+	}
+	switch st {
+	case NoReplication:
+		Os := p.perPage(p.s(st))
+		Ps := pages(p.SCount, Os)
+		cost += Ps * Yao(R, p.F*Os, frR)
+	case Separate:
+		Osp := p.perPage(p.sPrime())
+		Psp := pages(p.SCount, Osp)
+		cost += Psp * Yao(R, p.F*Osp, frR)
+	case InPlace:
+		// No functional join at all.
+	}
+	return cost + p.outputCost()
+}
+
+// UpdateCost returns C_update for a strategy in a setting (§6.5.2/4/6, §6.7).
+func (p Params) UpdateCost(st Strategy, set Setting) float64 {
+	R := p.RCount()
+	fsS := p.Fs * p.SCount
+	Os := p.perPage(p.s(st))
+	Ps := pages(p.SCount, Os)
+	cost := p.indexCost(p.SCount, p.Fs)
+	if set == Clustered {
+		cost += 2 * math.Ceil(p.Fs*Ps)
+	} else {
+		cost += 2 * Ps * Yao(p.SCount, Os, fsS)
+	}
+	switch st {
+	case InPlace:
+		if p.linkReadApplies() {
+			Ol := p.perPage(p.l())
+			Pl := pages(p.SCount, Ol)
+			if set == Clustered {
+				cost += p.Fs * Pl
+			} else {
+				cost += Pl * Yao(p.SCount, Ol, fsS)
+			}
+		}
+		// Each updated S object propagates to f objects in R; fs*f*|S| =
+		// fs*|R| objects of R are updated, unclustered in both settings.
+		Or := p.perPage(p.r(st))
+		Pr := pages(R, Or)
+		cost += 2 * Pr * Yao(R, Or, p.Fs*R)
+	case Separate:
+		Osp := p.perPage(p.sPrime())
+		Psp := pages(p.SCount, Osp)
+		if set == Clustered {
+			cost += 2 * math.Ceil(p.Fs*Psp)
+		} else {
+			cost += 2 * Psp * Yao(p.SCount, Osp, fsS)
+		}
+	case NoReplication:
+	}
+	return cost
+}
+
+// TotalCost is C_total = (1-P_update)*C_read + P_update*C_update (§6).
+func (p Params) TotalCost(st Strategy, set Setting, pUpdate float64) float64 {
+	return (1-pUpdate)*p.ReadCost(st, set) + pUpdate*p.UpdateCost(st, set)
+}
+
+// PercentDiff is the quantity plotted in Figures 11 and 13: the percentage
+// difference in C_total of a strategy relative to no replication (negative
+// means the strategy is cheaper).
+func (p Params) PercentDiff(st Strategy, set Setting, pUpdate float64) float64 {
+	base := p.TotalCost(NoReplication, set, pUpdate)
+	return 100 * (p.TotalCost(st, set, pUpdate) - base) / base
+}

@@ -1,0 +1,297 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFigure10Defaults pins the core parameter defaults against Figure 10.
+func TestFigure10Defaults(t *testing.T) {
+	p := Default()
+	if p.B != 4056 || p.H != 20 || p.M != 350 {
+		t.Fatalf("EXODUS constants wrong: %+v", p)
+	}
+	if p.SCount != 10000 || p.Fr != 0.001 || p.Fs != 0.001 {
+		t.Fatalf("workload defaults wrong: %+v", p)
+	}
+	if p.OIDSize != 8 || p.LinkIDSize != 1 || p.TypeTagSize != 2 {
+		t.Fatalf("encoding sizes wrong: %+v", p)
+	}
+	if p.K != 20 || p.RSize != 100 || p.SSize != 200 || p.TSize != 100 {
+		t.Fatalf("object sizes wrong: %+v", p)
+	}
+	// Derived quantities from Figure 10's definitions.
+	if got := p.sPrime(); got != 22 {
+		t.Fatalf("s' = %v, want k + type-tag = 22", got)
+	}
+	if got := p.l(); got != 1+2+8 {
+		t.Fatalf("l = %v, want 11 at f=1", got)
+	}
+	if got := p.perPage(p.RSize); got != 33 {
+		t.Fatalf("O_r = %v, want 33", got)
+	}
+	if got := p.perPage(p.SSize); got != 18 {
+		t.Fatalf("O_s = %v, want 18", got)
+	}
+	if got := pages(p.SCount, p.perPage(p.SSize)); got != 556 {
+		t.Fatalf("P_s = %v, want 556", got)
+	}
+	if got := p.RCount(); got != 10000 {
+		t.Fatalf("|R| = %v", got)
+	}
+}
+
+func TestYao(t *testing.T) {
+	// Degenerate cases.
+	if Yao(100, 0, 5) != 0 || Yao(100, 10, 0) != 0 {
+		t.Fatal("Yao degenerate cases wrong")
+	}
+	if Yao(100, 10, 91) != 1 {
+		t.Fatal("Yao must saturate at 1 when c > a-b")
+	}
+	// Drawing every record touches every page.
+	if y := Yao(100, 10, 90); y < 0.999999 {
+		t.Fatalf("Yao(100,10,90) = %v, want ~1", y)
+	}
+	// Single draw: probability a given page is hit is b/a... i.e. y = b/a.
+	if y := Yao(100, 10, 1); math.Abs(y-0.1) > 1e-12 {
+		t.Fatalf("Yao(100,10,1) = %v, want 0.1", y)
+	}
+	// Monotone in c.
+	prev := 0.0
+	for c := 1.0; c <= 50; c++ {
+		y := Yao(1000, 20, c)
+		if y <= prev {
+			t.Fatalf("Yao not increasing at c=%v", c)
+		}
+		prev = y
+	}
+	// Exact formula beats the (1-b/a)^c approximation from above.
+	y := Yao(10000, 18, 20)
+	approx := 1 - math.Pow(1-18.0/10000, 20)
+	if y < approx {
+		t.Fatalf("exact Yao %v below sampling-with-replacement approx %v", y, approx)
+	}
+}
+
+// figureCase pins one cell of Figure 12 or Figure 14.
+type figureCase struct {
+	f        float64
+	strategy Strategy
+	setting  Setting
+	read     float64
+	update   float64
+}
+
+// TestFigure12PaperValues reproduces every value of Figure 12 (unclustered
+// access, fr = .002). "Fractional values were rounded up to the nearest
+// unit" (§6.6).
+func TestFigure12PaperValues(t *testing.T) {
+	cases := []figureCase{
+		{1, NoReplication, Unclustered, 43, 22},
+		{1, InPlace, Unclustered, 23, 42},
+		{1, Separate, Unclustered, 41, 42},
+		{20, NoReplication, Unclustered, 691, 22},
+		{20, InPlace, Unclustered, 407, 427},
+		{20, Separate, Unclustered, 509, 42},
+	}
+	checkFigure(t, cases)
+}
+
+// TestFigure14PaperValues reproduces every value of Figure 14 (clustered
+// access, fr = .002).
+func TestFigure14PaperValues(t *testing.T) {
+	cases := []figureCase{
+		{1, NoReplication, Clustered, 24, 4},
+		{1, InPlace, Clustered, 4, 24},
+		{1, Separate, Clustered, 23, 6},
+		{20, NoReplication, Clustered, 316, 4},
+		{20, InPlace, Clustered, 32, 400},
+		{20, Separate, Clustered, 133, 6},
+	}
+	checkFigure(t, cases)
+}
+
+func checkFigure(t *testing.T, cases []figureCase) {
+	t.Helper()
+	for _, c := range cases {
+		p := Default()
+		p.F = c.f
+		p.Fr = 0.002
+		read := math.Ceil(p.ReadCost(c.strategy, c.setting))
+		update := math.Ceil(p.UpdateCost(c.strategy, c.setting))
+		if !closeTo(read, c.read) {
+			t.Errorf("f=%v %v %v: C_read = %v, paper says %v", c.f, c.strategy, c.setting, read, c.read)
+		}
+		if !closeTo(update, c.update) {
+			t.Errorf("f=%v %v %v: C_update = %v, paper says %v", c.f, c.strategy, c.setting, update, c.update)
+		}
+	}
+}
+
+// closeTo allows ±1 page on values above 100 (the published table was
+// computed with unspecified intermediate rounding); small values must match
+// exactly.
+func closeTo(got, want float64) bool {
+	if want > 100 {
+		return math.Abs(got-want) <= 1
+	}
+	return got == want
+}
+
+// TestInlineOptimizationEffect: without §4.3.1 inlining the f=1 in-place
+// update cost includes the link-file read (~9 pages at the defaults),
+// landing near 51 instead of the published 42.
+func TestInlineOptimizationEffect(t *testing.T) {
+	p := Default()
+	p.Fr = 0.002
+	p.InlineSingleOIDLinks = false
+	got := math.Ceil(p.UpdateCost(InPlace, Unclustered))
+	if got < 49 || got > 53 {
+		t.Fatalf("without inlining, f=1 in-place update = %v, expected ~51", got)
+	}
+	p.InlineSingleOIDLinks = true
+	got = math.Ceil(p.UpdateCost(InPlace, Unclustered))
+	if got != 42 {
+		t.Fatalf("with inlining, f=1 in-place update = %v, want 42", got)
+	}
+	// At f > 1 the flag has no effect.
+	p.F = 20
+	with := p.UpdateCost(InPlace, Unclustered)
+	p.InlineSingleOIDLinks = false
+	without := p.UpdateCost(InPlace, Unclustered)
+	if with != without {
+		t.Fatal("inlining flag changed f=20 cost")
+	}
+}
+
+// TestTotalCostMix checks the C_total identity and endpoints.
+func TestTotalCostMix(t *testing.T) {
+	p := Default()
+	p.F = 10
+	p.Fr = 0.002
+	for _, st := range []Strategy{NoReplication, InPlace, Separate} {
+		read := p.ReadCost(st, Unclustered)
+		update := p.UpdateCost(st, Unclustered)
+		if got := p.TotalCost(st, Unclustered, 0); got != read {
+			t.Fatalf("%v: TotalCost(0) = %v, want C_read %v", st, got, read)
+		}
+		if got := p.TotalCost(st, Unclustered, 1); got != update {
+			t.Fatalf("%v: TotalCost(1) = %v, want C_update %v", st, got, update)
+		}
+		mid := p.TotalCost(st, Unclustered, 0.5)
+		if math.Abs(mid-(read+update)/2) > 1e-9 {
+			t.Fatalf("%v: TotalCost(0.5) not the midpoint", st)
+		}
+	}
+	if p.PercentDiff(NoReplication, Unclustered, 0.3) != 0 {
+		t.Fatal("PercentDiff of baseline must be 0")
+	}
+}
+
+// TestPaperShapeClaims verifies the qualitative claims of §6.6 and §6.8 that
+// the graphs in Figures 11 and 13 illustrate.
+func TestPaperShapeClaims(t *testing.T) {
+	for _, set := range []Setting{Unclustered, Clustered} {
+		// "in-place replication always outperforms separate replication when
+		// the probability of an update query is less than roughly 0.15".
+		for _, f := range []float64{1, 10, 20, 50} {
+			for _, fr := range []float64{0.001, 0.002, 0.005} {
+				p := Default()
+				p.F, p.Fr = f, fr
+				for _, pu := range []float64{0, 0.05, 0.1} {
+					in := p.PercentDiff(InPlace, set, pu)
+					sep := p.PercentDiff(Separate, set, pu)
+					// "roughly": near the crossover at large f the curves
+					// are within a few points of each other.
+					if in > sep+3 {
+						t.Errorf("%v f=%v fr=%v P=%v: in-place (%v) worse than separate (%v)", set, f, fr, pu, in, sep)
+					}
+					if in >= 0 {
+						t.Errorf("%v f=%v fr=%v P=%v: in-place not beneficial (%v%%)", set, f, fr, pu, in)
+					}
+				}
+				// "separate replication always outperforms in-place when the
+				// update probability exceeds roughly 0.35" (f > 1).
+				if f > 1 {
+					for _, pu := range []float64{0.4, 0.7, 1.0} {
+						in := p.PercentDiff(InPlace, set, pu)
+						sep := p.PercentDiff(Separate, set, pu)
+						if sep > in {
+							t.Errorf("%v f=%v fr=%v P=%v: separate (%v) worse than in-place (%v)", set, f, fr, pu, sep, in)
+						}
+					}
+				}
+			}
+		}
+		// "for f = 1, separate replication provides almost no benefit" at
+		// read-only mixes: within a few percent of no replication.
+		p := Default()
+		p.Fr = 0.002
+		if d := p.PercentDiff(Separate, set, 0); d < -12 || d > 2 {
+			t.Errorf("%v f=1: separate read-only diff = %v%%, expected near zero", set, d)
+		}
+		// "In-place replication performs its best for small values of f":
+		// in-place at P=0 is strictly better at f=1 than separate.
+		if p.PercentDiff(InPlace, set, 0) >= p.PercentDiff(Separate, set, 0) {
+			t.Errorf("%v: in-place not better than separate at f=1, P=0", set)
+		}
+	}
+
+	// "separate replication performs its best for large values of f": its
+	// read-only advantage grows from f=1 to f=20.
+	for _, set := range []Setting{Unclustered, Clustered} {
+		p1, p20 := Default(), Default()
+		p1.Fr, p20.Fr = 0.002, 0.002
+		p20.F = 20
+		if p20.PercentDiff(Separate, set, 0) >= p1.PercentDiff(Separate, set, 0) {
+			t.Errorf("%v: separate advantage did not grow with f", set)
+		}
+	}
+
+	// Clustered savings exceed unclustered savings on a percentage basis
+	// (§6.8: "the improvement was even more dramatic").
+	p := Default()
+	p.F, p.Fr = 10, 0.002
+	if p.PercentDiff(InPlace, Clustered, 0.1) >= p.PercentDiff(InPlace, Unclustered, 0.1) {
+		t.Error("clustered in-place savings not larger than unclustered")
+	}
+}
+
+// TestReadFlipEffect reproduces the "flip" discussed in §6.6: at f=10,
+// higher read selectivity helps separate replication; by f=50 it hurts,
+// because the cost of reading R swamps the savings.
+func TestReadFlipEffect(t *testing.T) {
+	diff := func(f, fr float64) float64 {
+		p := Default()
+		p.F, p.Fr = f, fr
+		return p.PercentDiff(Separate, Unclustered, 0)
+	}
+	if !(diff(10, 0.005) < diff(10, 0.001)) {
+		t.Errorf("at f=10, fr=.005 (%v) should beat fr=.001 (%v)", diff(10, 0.005), diff(10, 0.001))
+	}
+	if !(diff(50, 0.001) < diff(50, 0.005)) {
+		t.Errorf("at f=50, fr=.001 (%v) should beat fr=.005 (%v)", diff(50, 0.001), diff(50, 0.005))
+	}
+}
+
+// TestPublishedRangeClaims checks the abstract/conclusion headline numbers.
+func TestPublishedRangeClaims(t *testing.T) {
+	// Unclustered, f > 1, P < 0.2: in-place reduces I/O by ~20-45%.
+	for _, f := range []float64{10, 20, 50} {
+		for _, fr := range []float64{0.001, 0.002, 0.005} {
+			p := Default()
+			p.F, p.Fr = f, fr
+			for _, pu := range []float64{0.05, 0.1, 0.15} {
+				d := p.PercentDiff(InPlace, Unclustered, pu)
+				if d > -10 || d < -50 {
+					t.Errorf("unclustered in-place f=%v fr=%v P=%v: %v%%, outside the published ~15-45%% band", f, fr, pu, d)
+				}
+				dc := p.PercentDiff(InPlace, Clustered, pu)
+				if dc > -38 || dc < -95 {
+					t.Errorf("clustered in-place f=%v fr=%v P=%v: %v%%, outside the published 40-90%% band", f, fr, pu, dc)
+				}
+			}
+		}
+	}
+}

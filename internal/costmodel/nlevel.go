@@ -1,0 +1,218 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// N-level extension of the Section 6 cost model.
+//
+// The paper's analysis covers 1-level reference paths only ("Only queries
+// with 1-level functional joins are considered", §6) but argues that one of
+// the most important uses of field replication is eliminating more than one
+// functional join (§3.3.2). This file extends the read-query analysis to
+// n-level paths R.ref1...refn.field under the same assumptions: relatively
+// unclustered levels, optimal joins (each needed page read once), and
+// index-assisted selection on R.
+//
+// The extension needs one quantity the 1-level model gets for free: how many
+// *distinct* objects a level touches. When d parents each reference one of
+// N_i objects at level i uniformly (the unclustered assumption), the
+// expected number of distinct children is
+//
+//	distinct(N, d) = N * (1 - (1 - 1/N)^d)
+//
+// and the expected pages touched follows from Yao over those objects.
+// At level 1 the fan-in is exact (each object of level 1 is referenced by
+// |R|/N_1 sources), matching the base model's use of f*O_s in Yao; deeper
+// levels use the uniform-reference approximation above.
+
+// Level describes one step of an n-level reference path: the set reached by
+// the i-th reference attribute.
+type Level struct {
+	Count float64 // number of objects in the level's set
+	Size  float64 // object size in bytes (base, before replication widening)
+}
+
+// NLevelParams extends Params with a chain of levels. Params supplies the
+// page geometry, |R| (via SCount*F ... unused here), selectivities, and the
+// replicated-field size; Levels[i] describes the set reached by ref i+1.
+type NLevelParams struct {
+	Params
+	RCount0 float64 // |R|
+	Levels  []Level
+}
+
+// DefaultNLevel returns an employee-database-like 2-level instance: |R|
+// sources, |R|/f departments, |R|/(f*g) organizations.
+func DefaultNLevel(rCount float64, f, g float64) NLevelParams {
+	p := Default()
+	return NLevelParams{
+		Params:  p,
+		RCount0: rCount,
+		Levels: []Level{
+			{Count: rCount / f, Size: p.SSize},
+			{Count: rCount / (f * g), Size: p.SSize},
+		},
+	}
+}
+
+// distinct returns the expected number of distinct targets when d uniform
+// references land on n objects.
+func distinct(n, d float64) float64 {
+	if n <= 0 || d <= 0 {
+		return 0
+	}
+	return n * (1 - math.Pow(1-1/n, d))
+}
+
+// NLevelReadCost returns the expected page I/O of a read query that selects
+// fr*|R| source objects through an index and projects a field reached
+// through every level of the path.
+//
+//   - NoReplication walks every level: each level's distinct objects are
+//     fetched from its own file.
+//   - InPlace reads only R (widened by the replicated field): zero joins.
+//   - Separate joins R with the S′ file of the terminal group: one join,
+//     against a file packed with k-byte objects, regardless of path depth
+//     (the paper's "separate replication effectively reduces an n-level
+//     reference to a 1-level reference", §5.1).
+func (p NLevelParams) NLevelReadCost(st Strategy) (float64, error) {
+	if len(p.Levels) == 0 {
+		return 0, fmt.Errorf("costmodel: n-level model needs at least one level")
+	}
+	R := p.RCount0
+	sel := p.Fr * R
+	rSize := p.RSize
+	if st == InPlace {
+		rSize += p.K
+	}
+	if st == Separate {
+		rSize += p.OIDSize
+	}
+	Or := p.perPage(rSize)
+	Pr := pages(R, Or)
+	cost := p.indexCost(R, p.Fr) + Pr*Yao(R, Or, sel)
+
+	switch st {
+	case NoReplication:
+		d := sel
+		for i, lv := range p.Levels {
+			size := lv.Size
+			if i < len(p.Levels)-1 {
+				// Intermediate levels hold a reference attribute onward; the
+				// base size already accounts for it in this simple model.
+				_ = i
+			}
+			dObjs := distinct(lv.Count, d)
+			O := p.perPage(size)
+			P := pages(lv.Count, O)
+			// Pages holding dObjs distinct objects of the level.
+			cost += P * Yao(lv.Count, O, dObjs)
+			d = dObjs
+		}
+	case Separate:
+		terminal := p.Levels[len(p.Levels)-1]
+		dTerm := sel
+		for _, lv := range p.Levels {
+			dTerm = distinct(lv.Count, dTerm)
+		}
+		Osp := p.perPage(p.sPrime())
+		Psp := pages(terminal.Count, Osp)
+		cost += Psp * Yao(terminal.Count, Osp, dTerm)
+	case InPlace:
+		// No joins at all.
+	}
+	return cost + p.outputCostN(sel), nil
+}
+
+// outputCostN is the output-file term for sel result tuples.
+func (p NLevelParams) outputCostN(sel float64) float64 {
+	return pages(sel, p.perPage(p.TSize))
+}
+
+// NLevelUpdateCost returns the expected page I/O of an update query that
+// modifies the replicated field in fs * |terminal| terminal objects, under
+// the same assumptions as the base model's update analysis:
+//
+//   - NoReplication touches only the terminal set (read+write).
+//   - Separate additionally rewrites the affected S′ objects (one shared
+//     object per terminal, regardless of depth or fan-out — §5.2).
+//   - InPlace propagates each terminal update through the inverted path: at
+//     level i the affected objects multiply by that level's fan-in, ending
+//     with reads of the link files and a read+write of every affected source
+//     object. Fan-ins are derived from the level counts
+//     (fanin_i = N_{i-1}/N_i, with N_0 = |R|).
+//
+// The terminal's index cost uses the base model's index equation.
+func (p NLevelParams) NLevelUpdateCost(st Strategy) (float64, error) {
+	if len(p.Levels) == 0 {
+		return 0, fmt.Errorf("costmodel: n-level model needs at least one level")
+	}
+	term := p.Levels[len(p.Levels)-1]
+	updated := p.Fs * term.Count
+	sizeT := term.Size
+	if st == InPlace {
+		sizeT += p.OIDSize + p.LinkIDSize
+	}
+	Ot := p.perPage(sizeT)
+	Pt := pages(term.Count, Ot)
+	cost := p.indexCost(term.Count, p.Fs) + 2*Pt*Yao(term.Count, Ot, updated)
+
+	switch st {
+	case Separate:
+		Osp := p.perPage(p.sPrime())
+		Psp := pages(term.Count, Osp)
+		cost += 2 * Psp * Yao(term.Count, Osp, updated)
+	case InPlace:
+		// Walk the inverted path from the terminal toward the sources.
+		counts := make([]float64, 0, len(p.Levels)+1)
+		counts = append(counts, p.RCount0)
+		for _, lv := range p.Levels {
+			counts = append(counts, lv.Count)
+		}
+		affected := updated // objects at the current level needing work
+		for i := len(p.Levels); i >= 1; i-- {
+			parentCount := counts[i-1] // objects one level closer to R
+			fanin := parentCount / counts[i]
+			// Read the link file of this level: one link object per
+			// affected target, l bytes each with fanin OIDs.
+			l := p.LinkIDSize + p.TypeTagSize + fanin*p.OIDSize
+			Ol := p.perPage(l)
+			Pl := pages(counts[i], Ol)
+			cost += Pl * Yao(counts[i], Ol, affected)
+			affected *= fanin
+			if i-1 == 0 {
+				// Source level: read+write the affected R objects.
+				rSize := p.RSize + p.K
+				Or := p.perPage(rSize)
+				Pr := pages(p.RCount0, Or)
+				cost += 2 * Pr * Yao(p.RCount0, Or, affected)
+			} else {
+				// Intermediate level objects are only traversed (their link
+				// pairs point onward); reading them is charged via the next
+				// iteration's link-file access in this simplified model.
+				size := p.Levels[i-2].Size
+				O := p.perPage(size)
+				P := pages(counts[i-1], O)
+				cost += P * Yao(counts[i-1], O, affected)
+			}
+		}
+	case NoReplication:
+	}
+	return cost, nil
+}
+
+// NLevelJoinSavings returns, per strategy, the fraction of the
+// no-replication read cost saved (0..1).
+func (p NLevelParams) NLevelJoinSavings(st Strategy) (float64, error) {
+	base, err := p.NLevelReadCost(NoReplication)
+	if err != nil {
+		return 0, err
+	}
+	c, err := p.NLevelReadCost(st)
+	if err != nil {
+		return 0, err
+	}
+	return (base - c) / base, nil
+}

@@ -1,0 +1,164 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistinct(t *testing.T) {
+	if d := distinct(0, 5); d != 0 {
+		t.Fatalf("distinct(0,5) = %v", d)
+	}
+	if d := distinct(100, 0); d != 0 {
+		t.Fatalf("distinct(100,0) = %v", d)
+	}
+	// One draw: exactly one distinct target.
+	if d := distinct(100, 1); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("distinct(100,1) = %v", d)
+	}
+	// Many draws saturate at n.
+	if d := distinct(10, 10000); d < 9.999 {
+		t.Fatalf("distinct(10,10000) = %v", d)
+	}
+	// Monotone in d.
+	prev := 0.0
+	for d := 1.0; d <= 64; d *= 2 {
+		v := distinct(1000, d)
+		if v <= prev {
+			t.Fatalf("distinct not increasing at d=%v", d)
+		}
+		prev = v
+	}
+}
+
+func TestNLevelMatchesBaseModelAtOneLevel(t *testing.T) {
+	// With one level configured like the base model's S, the n-level
+	// no-replication read cost should be close to the base equation. They
+	// are not identical by construction: the base model uses the exact
+	// fan-in (f objects of R per S object), the extension the uniform
+	// approximation; at f=1 both describe ~unique references.
+	base := Default()
+	base.Fr = 0.002
+	np := NLevelParams{
+		Params:  base,
+		RCount0: base.RCount(),
+		Levels:  []Level{{Count: base.SCount, Size: base.SSize}},
+	}
+	got, err := np.NLevelReadCost(NoReplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.ReadCost(NoReplication, Unclustered)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("1-level n-model = %v, base model = %v", got, want)
+	}
+	// In-place agrees too (no join terms at all).
+	gotIP, _ := np.NLevelReadCost(InPlace)
+	wantIP := base.ReadCost(InPlace, Unclustered)
+	if math.Abs(gotIP-wantIP)/wantIP > 0.05 {
+		t.Fatalf("1-level in-place n-model = %v, base = %v", gotIP, wantIP)
+	}
+}
+
+func TestNLevelSavingsGrowWithDepth(t *testing.T) {
+	// The deeper the path, the bigger in-place replication's win: each level
+	// is one more join eliminated (§3.3.2).
+	shallow := DefaultNLevel(100000, 10, 5)
+	shallow.Fr = 0.002
+	shallow.Levels = shallow.Levels[:1]
+	deep := DefaultNLevel(100000, 10, 5)
+	deep.Fr = 0.002
+	deep3 := DefaultNLevel(100000, 10, 5)
+	deep3.Fr = 0.002
+	deep3.Levels = append(deep3.Levels, Level{Count: 100000 / (10 * 5 * 4), Size: deep3.SSize})
+
+	s1, err := shallow.NLevelJoinSavings(InPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := deep.NLevelJoinSavings(InPlace)
+	s3, _ := deep3.NLevelJoinSavings(InPlace)
+	if !(0 < s1 && s1 < s2 && s2 < s3 && s3 < 1) {
+		t.Fatalf("savings did not grow with depth: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestNLevelSeparateIsDepthInsensitive(t *testing.T) {
+	// Separate replication reduces an n-level reference to a 1-level
+	// reference against the small S′ file (§5.1): its cost barely moves
+	// with depth while no-replication's grows.
+	two := DefaultNLevel(100000, 10, 5)
+	two.Fr = 0.002
+	three := DefaultNLevel(100000, 10, 5)
+	three.Fr = 0.002
+	three.Levels = append(three.Levels, Level{Count: 100000 / (10 * 5 * 4), Size: three.SSize})
+
+	sep2, err := two.NLevelReadCost(Separate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep3, _ := three.NLevelReadCost(Separate)
+	none2, _ := two.NLevelReadCost(NoReplication)
+	none3, _ := three.NLevelReadCost(NoReplication)
+	if none3 <= none2 {
+		t.Fatalf("no-replication cost did not grow with depth: %v vs %v", none3, none2)
+	}
+	// Depth never hurts separate (a deeper terminal means fewer distinct
+	// S′ objects, if anything), and it beats no replication at both depths.
+	if sep3 > sep2+1 {
+		t.Fatalf("separate grew with depth: %v -> %v", sep2, sep3)
+	}
+	if sep2 >= none2 || sep3 >= none3 {
+		t.Fatalf("separate not beneficial: %v/%v, %v/%v", sep2, none2, sep3, none3)
+	}
+}
+
+func TestNLevelEmptyLevelsRejected(t *testing.T) {
+	np := NLevelParams{Params: Default(), RCount0: 100}
+	if _, err := np.NLevelReadCost(InPlace); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+	if _, err := np.NLevelJoinSavings(InPlace); err == nil {
+		t.Fatal("savings with empty levels accepted")
+	}
+}
+
+func TestNLevelUpdateCosts(t *testing.T) {
+	np := DefaultNLevel(100000, 10, 5)
+	np.Fs = 0.001
+	none, err := np.NLevelUpdateCost(NoReplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, _ := np.NLevelUpdateCost(Separate)
+	inp, _ := np.NLevelUpdateCost(InPlace)
+	// Updates order none < separate << in-place (fan-out 10*5 = 50 sources
+	// per terminal for in-place propagation).
+	if !(none < sep && sep < inp) {
+		t.Fatalf("update ordering: none=%v sep=%v inplace=%v", none, sep, inp)
+	}
+	// Separate stays within ~2x of no replication (one extra shared write
+	// per updated terminal), as in the base model.
+	if sep > 3*none {
+		t.Fatalf("separate update = %v, none = %v", sep, none)
+	}
+	// In-place grows with the total fan-out.
+	if inp < 5*none {
+		t.Fatalf("in-place update = %v suspiciously cheap (none = %v)", inp, none)
+	}
+	// 1-level degenerate case tracks the base model within tolerance.
+	base := Default()
+	base.F = 10
+	np1 := NLevelParams{Params: base, RCount0: base.RCount(), Levels: []Level{{Count: base.SCount, Size: base.SSize}}}
+	got, err := np1.NLevelUpdateCost(InPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.UpdateCost(InPlace, Unclustered)
+	if got < 0.7*want || got > 1.3*want {
+		t.Fatalf("1-level n-model update = %v, base = %v", got, want)
+	}
+	if _, err := (NLevelParams{Params: Default(), RCount0: 1}).NLevelUpdateCost(InPlace); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+}

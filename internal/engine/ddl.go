@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/exodb/fieldrepl/internal/btree"
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/core"
+	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// DefineType registers a type (EXTRA "define type").
+func (db *DB) DefineType(name string, fields []schema.Field) error {
+	_, err := db.cat.DefineType(name, fields)
+	return err
+}
+
+// CreateSet creates a named top-level set stored as its own disk file
+// (EXTRA "create").
+func (db *DB) CreateSet(name, typeName string) error {
+	f, err := heap.Create(db.pool, name)
+	if err != nil {
+		return err
+	}
+	if _, err := db.cat.CreateSet(name, typeName, f.ID()); err != nil {
+		return err
+	}
+	db.files[f.ID()] = f
+	return nil
+}
+
+// Replicate registers a replication path given in the paper's dotted syntax
+// ("Emp1.dept.name", "Emp1.dept.org.name", "Emp1.dept.all") and builds its
+// replicated state over existing data.
+func (db *DB) Replicate(path string, strategy catalog.Strategy, opts ...catalog.PathOption) error {
+	spec, err := catalog.ParsePathSpec(path)
+	if err != nil {
+		return err
+	}
+	p, err := db.cat.AddPath(spec, strategy, opts...)
+	if err != nil {
+		return err
+	}
+	return db.mgr.BuildPath(p)
+}
+
+// BuildIndex builds a B+tree on a set (EXTRA "build btree on"). expr is
+// either a base field name ("salary") or a dotted path ("dept.org.name");
+// path indexes require the path to be replicated in-place first (§3.3.4).
+// clustered records whether the set's file is physically ordered by this key
+// (a workload property; the executor uses it for plan metadata only).
+func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
+	typ, err := db.cat.SetType(set)
+	if err != nil {
+		return err
+	}
+	parts := strings.Split(expr, ".")
+	field := parts[len(parts)-1]
+	refs := parts[:len(parts)-1]
+
+	var keyKind schema.Kind
+	var path *catalog.Path
+	if len(refs) == 0 {
+		f, ok := typ.Field(field)
+		if !ok {
+			return fmt.Errorf("engine: set %s has no field %q", set, field)
+		}
+		if f.Kind == schema.KindRef {
+			return fmt.Errorf("engine: cannot index reference attribute %s.%s", set, field)
+		}
+		keyKind = f.Kind
+	} else {
+		spec := catalog.PathSpec{Source: set, Refs: refs, Field: field}
+		p, ok := db.cat.FindPath(spec, catalog.InPlace)
+		if !ok {
+			return fmt.Errorf("engine: index on path %s requires the path to be replicated in-place first (§3.3.4)", spec)
+		}
+		if p.Deferred && db.mgr.HasPending(p) {
+			if err := db.mgr.FlushPath(p); err != nil {
+				return err
+			}
+		}
+		path = p
+		for _, pf := range p.Fields {
+			if pf.Name == field {
+				keyKind = pf.Kind
+			}
+		}
+		if keyKind == schema.KindRef {
+			return fmt.Errorf("engine: cannot index replicated reference attribute %s", spec)
+		}
+	}
+
+	tree, err := btree.Create(db.pool, "__idx_"+name)
+	if err != nil {
+		return err
+	}
+	ix := &catalog.Index{
+		Name: name, Set: set, Field: field, Path: refs,
+		Clustered: clustered, KeyKind: keyKind, FileID: tree.FileID(),
+	}
+	if err := db.cat.AddIndex(ix); err != nil {
+		return err
+	}
+	db.trees[name] = tree
+
+	// Backfill from existing data.
+	setFile, err := db.SetFile(set)
+	if err != nil {
+		return err
+	}
+	return setFile.Scan(func(oid pagefile.OID, payload []byte) error {
+		obj, err := schema.Decode(typ, payload)
+		if err != nil {
+			return err
+		}
+		var v schema.Value
+		if path == nil {
+			v, _ = obj.Get(field)
+		} else {
+			var rf catalog.ReplField
+			for _, pf := range path.Fields {
+				if pf.Name == field {
+					rf = pf
+				}
+			}
+			v, err = db.mgr.ReadReplicated(path, obj, rf.Idx)
+			if err != nil {
+				return err
+			}
+		}
+		return tree.Insert(keyFor(v), oid)
+	})
+}
+
+// Unreplicate removes a replication path: hidden values, link structures not
+// shared with other paths, and (for the last path of an S′ group) the S′
+// registrations are torn down, and the catalog entry is dropped. Fails if an
+// index is built on the path's replicated values; drop the index first.
+func (db *DB) Unreplicate(path string, strategy catalog.Strategy) error {
+	spec, err := catalog.ParsePathSpec(path)
+	if err != nil {
+		return err
+	}
+	p, ok := db.cat.FindPath(spec, strategy)
+	if !ok {
+		return fmt.Errorf("engine: no %s replication path %s", strategy, spec)
+	}
+	for _, f := range p.Fields {
+		if ix, ok := db.cat.PathIndexFor(p.Spec.Source, p.Spec.Refs, f.Name); ok {
+			return fmt.Errorf("%w: index %s on %s", core.ErrPathInUse, ix.Name, spec)
+		}
+	}
+	if err := db.mgr.TeardownPath(p); err != nil {
+		return err
+	}
+	return db.cat.RemovePath(p)
+}
+
+// DropIndex removes an index definition and stops maintaining it. The
+// index's pages are orphaned (page stores do not delete files).
+func (db *DB) DropIndex(name string) error {
+	if err := db.cat.RemoveIndex(name); err != nil {
+		return err
+	}
+	delete(db.trees, name)
+	return nil
+}
+
+// keyFor maps a value to its order-preserving index key.
+func keyFor(v schema.Value) btree.Key {
+	switch v.Kind {
+	case schema.KindInt:
+		return btree.Int64Key(v.I)
+	case schema.KindFloat:
+		return btree.Float64Key(v.F)
+	case schema.KindString:
+		return btree.StringKey(v.S)
+	default:
+		return btree.Key{}
+	}
+}
+
+// HiddenChanged implements core.Listener: it keeps indexes on replicated
+// paths exact as update propagation rewrites hidden values.
+func (db *DB) HiddenChanged(source pagefile.OID, p *catalog.Path, f catalog.ReplField, old, new schema.Value) {
+	ix, ok := db.cat.PathIndexFor(p.Spec.Source, p.Spec.Refs, f.Name)
+	if !ok {
+		return
+	}
+	tree := db.trees[ix.Name]
+	if tree == nil {
+		return
+	}
+	// Tolerate a missing old entry (first installation) and an existing new
+	// entry (idempotent re-propagation); any other failure is surfaced by
+	// the next DML operation.
+	if err := tree.Delete(keyFor(old), source); err != nil && !errors.Is(err, btree.ErrNotFound) {
+		db.idxErr = err
+	}
+	if err := tree.Insert(keyFor(new), source); err != nil && !errors.Is(err, btree.ErrExists) {
+		db.idxErr = err
+	}
+}
+
+// maintainBaseIndexes applies an object transition (nil old = insert, nil
+// new = delete) to the base-field indexes of a set.
+func (db *DB) maintainBaseIndexes(set string, oid pagefile.OID, old, new *schema.Object) error {
+	for _, ix := range db.cat.IndexesOn(set) {
+		if ix.IsPathIndex() {
+			continue
+		}
+		tree := db.trees[ix.Name]
+		if tree == nil {
+			continue
+		}
+		var oldV, newV schema.Value
+		hasOld, hasNew := false, false
+		if old != nil {
+			oldV, _ = old.Get(ix.Field)
+			hasOld = true
+		}
+		if new != nil {
+			newV, _ = new.Get(ix.Field)
+			hasNew = true
+		}
+		if hasOld && hasNew && oldV.Equal(newV) {
+			continue
+		}
+		if hasOld {
+			if err := tree.Delete(keyFor(oldV), oid); err != nil {
+				return fmt.Errorf("engine: index %s: %w", ix.Name, err)
+			}
+		}
+		if hasNew {
+			if err := tree.Insert(keyFor(newV), oid); err != nil {
+				return fmt.Errorf("engine: index %s: %w", ix.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// dropPathIndexEntriesOnDelete is unnecessary: core notifies the listener
+// with (old -> zero) transitions while unregistering a deleted source, and
+// the final zero-value entries are removed below in Delete via
+// removePathIndexZeroEntries.
+func (db *DB) removePathIndexZeroEntries(set string, oid pagefile.OID) {
+	for _, ix := range db.cat.IndexesOn(set) {
+		if !ix.IsPathIndex() {
+			continue
+		}
+		if tree := db.trees[ix.Name]; tree != nil {
+			_ = tree.Delete(keyFor(schema.Zero(ix.KeyKind)), oid)
+		}
+	}
+}

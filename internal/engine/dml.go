@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// Insert stores a new object in a set and returns its OID. Replicated
+// hidden fields, inverted-path structures, S′ registration, and indexes are
+// maintained.
+func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
+	s, ok := db.cat.SetByName(set)
+	if !ok {
+		return pagefile.OID{}, fmt.Errorf("%w: %s", ErrNoSuchSet, set)
+	}
+	typ, err := db.cat.SetType(set)
+	if err != nil {
+		return pagefile.OID{}, err
+	}
+	obj := schema.NewObject(typ)
+	for k, v := range vals {
+		if err := obj.Set(k, v); err != nil {
+			return pagefile.OID{}, err
+		}
+	}
+	file, err := db.heapFor(s.FileID)
+	if err != nil {
+		return pagefile.OID{}, err
+	}
+	oid, err := file.Insert(obj.Encode())
+	if err != nil {
+		return pagefile.OID{}, err
+	}
+	if err := db.mgr.OnInsert(s, oid, obj); err != nil {
+		return pagefile.OID{}, err
+	}
+	if err := db.maintainBaseIndexes(set, oid, nil, obj); err != nil {
+		return pagefile.OID{}, err
+	}
+	if err := db.takeIdxErr(); err != nil {
+		return pagefile.OID{}, err
+	}
+	return oid, nil
+}
+
+// Get reads an object.
+func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
+	typ, err := db.cat.SetType(set)
+	if err != nil {
+		return nil, err
+	}
+	return db.ReadObject(oid, typ)
+}
+
+// Update applies field changes to the object at oid, propagating through
+// every replication structure and index.
+func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
+	s, ok := db.cat.SetByName(set)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchSet, set)
+	}
+	typ, err := db.cat.SetType(set)
+	if err != nil {
+		return err
+	}
+	old, err := db.ReadObject(oid, typ)
+	if err != nil {
+		return err
+	}
+	next := old.Clone()
+	for k, v := range vals {
+		if err := next.Set(k, v); err != nil {
+			return err
+		}
+	}
+	if err := db.WriteObject(oid, next); err != nil {
+		return err
+	}
+	if err := db.mgr.OnUpdate(s, oid, old, next); err != nil {
+		return err
+	}
+	if err := db.maintainBaseIndexes(set, oid, old, next); err != nil {
+		return err
+	}
+	return db.takeIdxErr()
+}
+
+// Delete removes an object. Objects still referenced through a replication
+// path are refused (core.ErrStillReferenced).
+func (db *DB) Delete(set string, oid pagefile.OID) error {
+	s, ok := db.cat.SetByName(set)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchSet, set)
+	}
+	typ, err := db.cat.SetType(set)
+	if err != nil {
+		return err
+	}
+	obj, err := db.ReadObject(oid, typ)
+	if err != nil {
+		return err
+	}
+	if err := db.mgr.OnDelete(s, oid, obj); err != nil {
+		return err
+	}
+	db.removePathIndexZeroEntries(set, oid)
+	if err := db.maintainBaseIndexes(set, oid, obj, nil); err != nil {
+		return err
+	}
+	file, err := db.heapFor(s.FileID)
+	if err != nil {
+		return err
+	}
+	if err := file.Delete(oid); err != nil {
+		return err
+	}
+	return db.takeIdxErr()
+}
+
+// Count returns the number of objects in a set.
+func (db *DB) Count(set string) (int, error) {
+	f, err := db.SetFile(set)
+	if err != nil {
+		return 0, err
+	}
+	return f.Count()
+}

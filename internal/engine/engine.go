@@ -1,0 +1,350 @@
+// Package engine assembles the substrates into a running object-oriented
+// database: a page store, a buffer pool, heap files per set, B+tree indexes,
+// the system catalog, and the field-replication manager. It exposes the
+// DDL/DML/query operations the examples, experiments, and the public
+// fieldrepl API use.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/exodb/fieldrepl/internal/btree"
+	"github.com/exodb/fieldrepl/internal/buffer"
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/core"
+	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// Config configures a database instance.
+type Config struct {
+	// PoolPages is the buffer pool size in pages (default 256). Experiments
+	// size the pool to a query's working set so that, combined with
+	// ColdCache between queries, measured I/O realizes the cost model's
+	// "optimal join" assumption.
+	PoolPages int
+	// Dir, when non-empty, stores page files on disk under this directory;
+	// otherwise the database is in-memory (the experiment default, where
+	// page I/O counts rather than page residence is what matters).
+	Dir string
+	// InlineMax is the link-inlining threshold of §4.3.1 (default 1; 0
+	// disables inlining).
+	InlineMax int
+}
+
+// DB is a database instance.
+type DB struct {
+	store pagefile.Store
+	pool  *buffer.Pool
+	cat   *catalog.Catalog
+	mgr   *core.Manager
+	dir   string
+
+	files   map[pagefile.FileID]*heap.File
+	trees   map[string]*btree.Tree
+	nextOut int
+
+	// idxErr records an index-maintenance failure raised inside a listener
+	// callback (which cannot return an error); the next DML call surfaces it.
+	idxErr error
+}
+
+// takeIdxErr returns and clears a deferred index-maintenance error.
+func (db *DB) takeIdxErr() error {
+	err := db.idxErr
+	db.idxErr = nil
+	return err
+}
+
+// catalogFileName is the catalog snapshot inside a file-backed database
+// directory; its presence marks the directory as an existing database.
+const catalogFileName = "catalog.json"
+
+// Open creates a database. With a Dir that already holds a database
+// (created by a previous Open/Close cycle), the database is reopened: the
+// page files are reattached and the catalog restored.
+func Open(cfg Config) (*DB, error) {
+	if cfg.PoolPages == 0 {
+		cfg.PoolPages = 256
+	}
+	if cfg.PoolPages < btree.MinPoolFrames {
+		return nil, fmt.Errorf("engine: pool of %d pages is below the B+tree minimum %d", cfg.PoolPages, btree.MinPoolFrames)
+	}
+	var store pagefile.Store
+	var cat *catalog.Catalog
+	reopen := false
+	if cfg.Dir == "" {
+		store = pagefile.NewMemStore()
+	} else {
+		catPath := filepath.Join(cfg.Dir, catalogFileName)
+		if data, err := os.ReadFile(catPath); err == nil {
+			cat, err = catalog.Restore(data)
+			if err != nil {
+				return nil, fmt.Errorf("engine: restoring catalog: %w", err)
+			}
+			fs, err := pagefile.OpenFileStore(cfg.Dir)
+			if err != nil {
+				return nil, err
+			}
+			store = fs
+			reopen = true
+		} else {
+			fs, err := pagefile.NewFileStore(cfg.Dir)
+			if err != nil {
+				return nil, err
+			}
+			store = fs
+		}
+	}
+	if cat == nil {
+		cat = catalog.New()
+	}
+	db := &DB{
+		store: store,
+		pool:  buffer.New(store, cfg.PoolPages),
+		cat:   cat,
+		dir:   cfg.Dir,
+		files: map[pagefile.FileID]*heap.File{},
+		trees: map[string]*btree.Tree{},
+	}
+	inlineMax := cfg.InlineMax
+	if inlineMax == 0 {
+		inlineMax = 1
+	} else if inlineMax < 0 {
+		inlineMax = 0
+	}
+	db.mgr = core.New(db.cat, db, core.WithInlineMax(inlineMax), core.WithListener(db))
+	if reopen {
+		if err := db.rehydrate(); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// rehydrate reattaches heap files and indexes recorded in a restored catalog.
+func (db *DB) rehydrate() error {
+	openHeap := func(fid pagefile.FileID) error {
+		if _, done := db.files[fid]; done {
+			return nil
+		}
+		f, err := heap.Open(db.pool, fid)
+		if err != nil {
+			return err
+		}
+		db.files[fid] = f
+		return nil
+	}
+	for _, s := range db.cat.Sets() {
+		if err := openHeap(s.FileID); err != nil {
+			return fmt.Errorf("engine: reopening set %s: %w", s.Name, err)
+		}
+	}
+	for _, p := range db.cat.Paths() {
+		links := p.Links
+		if p.CollapsedLink != nil {
+			links = append(links, p.CollapsedLink)
+		}
+		for _, l := range links {
+			if l.HasFile {
+				if err := openHeap(l.FileID); err != nil {
+					return fmt.Errorf("engine: reopening link %d: %w", l.ID, err)
+				}
+			}
+		}
+		if p.Group != nil && p.Group.HasFile {
+			if err := openHeap(p.Group.FileID); err != nil {
+				return fmt.Errorf("engine: reopening S′ group %d: %w", p.Group.ID, err)
+			}
+		}
+	}
+	for _, s := range db.cat.Sets() {
+		for _, ix := range db.cat.IndexesOn(s.Name) {
+			if _, done := db.trees[ix.Name]; done {
+				continue
+			}
+			tree, err := btree.Open(db.pool, ix.FileID)
+			if err != nil {
+				return fmt.Errorf("engine: reopening index %s: %w", ix.Name, err)
+			}
+			db.trees[ix.Name] = tree
+		}
+	}
+	return nil
+}
+
+// Close flushes and releases the database, persisting the catalog snapshot
+// for file-backed databases so they can be reopened.
+func (db *DB) Close() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if db.dir != "" {
+		data, err := db.cat.Snapshot()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(db.dir, catalogFileName), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return db.store.Close()
+}
+
+// Catalog exposes the system catalog (read-only use).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Manager exposes the replication manager (used by tests and the invariant
+// checker).
+func (db *DB) Manager() *core.Manager { return db.mgr }
+
+// --- core.Storage implementation ---
+
+func (db *DB) heapFor(fid pagefile.FileID) (*heap.File, error) {
+	f, ok := db.files[fid]
+	if !ok {
+		return nil, fmt.Errorf("engine: no heap file %d", fid)
+	}
+	return f, nil
+}
+
+// ReadObject implements core.Storage.
+func (db *DB) ReadObject(oid pagefile.OID, typ *schema.Type) (*schema.Object, error) {
+	f, err := db.heapFor(oid.File)
+	if err != nil {
+		return nil, err
+	}
+	data, err := f.Read(oid)
+	if err != nil {
+		return nil, err
+	}
+	return schema.Decode(typ, data)
+}
+
+// WriteObject implements core.Storage.
+func (db *DB) WriteObject(oid pagefile.OID, o *schema.Object) error {
+	f, err := db.heapFor(oid.File)
+	if err != nil {
+		return err
+	}
+	return f.Update(oid, o.Encode())
+}
+
+// LinkFile implements core.Storage.
+func (db *DB) LinkFile(l *catalog.Link) (*heap.File, error) {
+	if l.HasFile {
+		return db.heapFor(l.FileID)
+	}
+	f, err := heap.Create(db.pool, fmt.Sprintf("__link_%d", l.ID))
+	if err != nil {
+		return nil, err
+	}
+	l.FileID = f.ID()
+	l.HasFile = true
+	db.files[f.ID()] = f
+	return f, nil
+}
+
+// GroupFile implements core.Storage.
+func (db *DB) GroupFile(g *catalog.Group) (*heap.File, error) {
+	if g.HasFile {
+		return db.heapFor(g.FileID)
+	}
+	f, err := heap.Create(db.pool, fmt.Sprintf("__sprime_%d", g.ID))
+	if err != nil {
+		return nil, err
+	}
+	g.FileID = f.ID()
+	g.HasFile = true
+	db.files[f.ID()] = f
+	return f, nil
+}
+
+// RecreateGroupFile implements core.Storage.
+func (db *DB) RecreateGroupFile(g *catalog.Group) (*heap.File, error) {
+	f, err := heap.Create(db.pool, fmt.Sprintf("__sprime_%d_r", g.ID))
+	if err != nil {
+		return nil, err
+	}
+	g.FileID = f.ID()
+	g.HasFile = true
+	db.files[f.ID()] = f
+	return f, nil
+}
+
+// SetFile implements core.Storage.
+func (db *DB) SetFile(name string) (*heap.File, error) {
+	s, ok := db.cat.SetByName(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: no set %s", name)
+	}
+	return db.heapFor(s.FileID)
+}
+
+// --- I/O accounting and cache control ---
+
+// IOStats is a snapshot of page-level I/O counters.
+type IOStats struct {
+	Reads  int64
+	Writes int64
+	Allocs int64
+}
+
+// Total returns reads + writes.
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// Sub returns the delta s - t.
+func (s IOStats) Sub(t IOStats) IOStats {
+	return IOStats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Allocs: s.Allocs - t.Allocs}
+}
+
+// IO returns the cumulative page I/O counters of the underlying store. Only
+// buffer misses and write-backs are counted, exactly the page transfers the
+// cost model charges.
+func (db *DB) IO() IOStats {
+	st := db.store.Stats()
+	return IOStats{Reads: st.Reads(), Writes: st.Writes(), Allocs: st.Allocs()}
+}
+
+// ResetIO zeroes the I/O counters.
+func (db *DB) ResetIO() { db.store.Stats().Reset() }
+
+// ColdCache flushes and empties the buffer pool, so the next query starts
+// cold — the measurement discipline that realizes the cost model's
+// assumptions (each query reads each needed page exactly once).
+func (db *DB) ColdCache() error { return db.pool.Reset() }
+
+// PoolStats exposes buffer pool counters.
+func (db *DB) PoolStats() buffer.PoolStats { return db.pool.Stats() }
+
+// NumPages returns the page count of a set's backing file.
+func (db *DB) NumPages(set string) (uint32, error) {
+	f, err := db.SetFile(set)
+	if err != nil {
+		return 0, err
+	}
+	return f.NumPages()
+}
+
+// FlushAll writes back all dirty buffered pages.
+func (db *DB) FlushAll() error { return db.pool.FlushAll() }
+
+// VerifyReplication runs the full replication invariant checker.
+func (db *DB) VerifyReplication() []error { return db.mgr.Verify() }
+
+// ErrNoSuchSet is returned for operations on unknown sets.
+var ErrNoSuchSet = errors.New("engine: no such set")
+
+// SetStats reports the physical statistics of a set's heap file.
+func (db *DB) SetStats(set string) (heap.Stats, error) {
+	f, err := db.SetFile(set)
+	if err != nil {
+		return heap.Stats{}, err
+	}
+	return f.Stats()
+}

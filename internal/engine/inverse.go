@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// Inverse answers a bidirectional-reference query (paper §8: inverted paths
+// "implementing inverse functions"): the OIDs of objects in the source set
+// whose reference chain refExpr ("dept", or "dept.org") reaches target. When
+// a replication path maintains the needed inverted-path link the answer
+// comes from the target's link structure — no scan; otherwise the source set
+// is scanned. via reports which ("inverted-path" or "scan").
+func (db *DB) Inverse(source, refExpr string, target pagefile.OID) (oids []pagefile.OID, via string, err error) {
+	refs := strings.Split(refExpr, ".")
+	if len(refs) == 0 || refs[0] == "" {
+		return nil, "", fmt.Errorf("engine: empty reference expression")
+	}
+	typ, err := db.cat.SetType(source)
+	if err != nil {
+		return nil, "", err
+	}
+	// Validate the chain against the schema.
+	cur := typ
+	for _, r := range refs {
+		f, ok := cur.Field(r)
+		if !ok || f.Kind != schema.KindRef {
+			return nil, "", fmt.Errorf("engine: %s has no reference attribute %q", cur.Name, r)
+		}
+		next, ok := db.cat.TypeByName(f.RefType)
+		if !ok {
+			return nil, "", fmt.Errorf("engine: unknown type %s", f.RefType)
+		}
+		cur = next
+	}
+
+	if got, ok, err := db.mgr.InverseLookup(source, refs, target); err != nil {
+		return nil, "", err
+	} else if ok {
+		return got, "inverted-path", nil
+	}
+
+	// Fallback: scan the source set and walk each object's chain.
+	file, err := db.SetFile(source)
+	if err != nil {
+		return nil, "", err
+	}
+	err = file.Scan(func(oid pagefile.OID, payload []byte) error {
+		obj, err := schema.Decode(typ, payload)
+		if err != nil {
+			return err
+		}
+		reached, err := db.chainReaches(typ, obj, refs, target)
+		if err != nil {
+			return err
+		}
+		if reached {
+			oids = append(oids, oid)
+		}
+		return nil
+	})
+	return oids, "scan", err
+}
+
+// chainReaches walks obj's reference chain and reports whether it ends at
+// target.
+func (db *DB) chainReaches(typ *schema.Type, obj *schema.Object, refs []string, target pagefile.OID) (bool, error) {
+	cur, curType := obj, typ
+	for i, r := range refs {
+		v, _ := cur.Get(r)
+		if v.R.IsNil() {
+			return false, nil
+		}
+		if i == len(refs)-1 {
+			return v.R == target, nil
+		}
+		f, _ := curType.Field(r)
+		nextType, ok := db.cat.TypeByName(f.RefType)
+		if !ok {
+			return false, fmt.Errorf("engine: unknown type %s", f.RefType)
+		}
+		next, err := db.ReadObject(v.R, nextType)
+		if err != nil {
+			return false, err
+		}
+		cur, curType = next, nextType
+	}
+	return false, nil
+}
+
+// FlushReplication drains all pending deferred propagations.
+func (db *DB) FlushReplication() error { return db.mgr.FlushAllPending() }
+
+// PendingPropagations reports the number of queued deferred propagations.
+func (db *DB) PendingPropagations() int { return db.mgr.PendingPropagations() }
+
+// ReplStorage reports the auxiliary storage one replication path consumes:
+// pages of link-object files and of the S′ file (shared figures repeat for
+// paths sharing links or groups). It quantifies the paper's §4.2 space
+// discussion.
+type ReplStorage struct {
+	Path        string
+	Strategy    string
+	LinkPages   uint32
+	SPrimePages uint32
+}
+
+// ReplicationStorage reports per-path auxiliary storage.
+func (db *DB) ReplicationStorage() ([]ReplStorage, error) {
+	var out []ReplStorage
+	for _, p := range db.cat.Paths() {
+		rs := ReplStorage{Path: p.Spec.String(), Strategy: p.Strategy.String()}
+		links := p.Links
+		if p.CollapsedLink != nil {
+			links = append(links, p.CollapsedLink)
+		}
+		for _, l := range links {
+			if !l.HasFile {
+				continue
+			}
+			f, err := db.heapFor(l.FileID)
+			if err != nil {
+				return nil, err
+			}
+			n, err := f.NumPages()
+			if err != nil {
+				return nil, err
+			}
+			rs.LinkPages += n
+		}
+		if p.Group != nil && p.Group.HasFile {
+			f, err := db.heapFor(p.Group.FileID)
+			if err != nil {
+				return nil, err
+			}
+			n, err := f.NumPages()
+			if err != nil {
+				return nil, err
+			}
+			rs.SPrimePages = n
+		}
+		out = append(out, rs)
+	}
+	return out, nil
+}

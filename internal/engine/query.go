@@ -1,0 +1,529 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/exodb/fieldrepl/internal/btree"
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// Op is a comparison operator for predicates.
+type Op int
+
+// Comparison operators.
+const (
+	OpEQ Op = iota
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpBetween // Value <= x <= Value2
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEQ:
+		return "="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpBetween:
+		return "between"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Pred is a predicate on a field or dotted path expression.
+type Pred struct {
+	Expr   string // "salary" or "dept.org.name"
+	Op     Op
+	Value  schema.Value
+	Value2 schema.Value // upper bound for OpBetween
+}
+
+// Query is a retrieve statement: project the given field/path expressions
+// from the objects of Set satisfying Where.
+type Query struct {
+	Set     string
+	Project []string
+	Where   *Pred
+	// Filters are additional conjuncts applied after Where; they never
+	// drive index selection.
+	Filters []Pred
+	// EmitOutput writes the result tuples to an output file (the cost
+	// model's T), counting its page writes.
+	EmitOutput bool
+	// ForceScan disables index selection (for baseline measurements).
+	ForceScan bool
+}
+
+// Row is one result tuple.
+type Row struct {
+	OID    pagefile.OID
+	Values []schema.Value
+}
+
+// Result is a query result.
+type Result struct {
+	Rows []Row
+	// UsedIndex names the index chosen by the planner, if any.
+	UsedIndex string
+	// OutputPages is the page count of the generated output file when
+	// EmitOutput was set.
+	OutputPages uint32
+}
+
+// Query executes a retrieve.
+func (db *DB) Query(q Query) (*Result, error) {
+	typ, err := db.cat.SetType(q.Set)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.flushDeferredFor(q); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	var out *heap.File
+	if q.EmitOutput {
+		db.nextOut++
+		out, err = heap.Create(db.pool, fmt.Sprintf("__out_%d", db.nextOut))
+		if err != nil {
+			return nil, err
+		}
+		db.files[out.ID()] = out
+	}
+
+	process := func(oid pagefile.OID, obj *schema.Object) error {
+		if q.Where != nil {
+			okRow, err := db.evalPred(q.Set, obj, q.Where)
+			if err != nil {
+				return err
+			}
+			if !okRow {
+				return nil
+			}
+		}
+		for i := range q.Filters {
+			okRow, err := db.evalPred(q.Set, obj, &q.Filters[i])
+			if err != nil {
+				return err
+			}
+			if !okRow {
+				return nil
+			}
+		}
+		row := Row{OID: oid, Values: make([]schema.Value, len(q.Project))}
+		for i, expr := range q.Project {
+			v, err := db.resolveExpr(q.Set, obj, expr)
+			if err != nil {
+				return err
+			}
+			row.Values[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+		if out != nil {
+			if _, err := out.Insert(encodeRow(row)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ran, err := db.tryIndexedAccess(q, typ, res, process)
+	if err != nil {
+		return nil, err
+	}
+	if !ran {
+		file, err := db.SetFile(q.Set)
+		if err != nil {
+			return nil, err
+		}
+		err = file.Scan(func(oid pagefile.OID, payload []byte) error {
+			obj, err := schema.Decode(typ, payload)
+			if err != nil {
+				return err
+			}
+			return process(oid, obj)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if out != nil {
+		res.OutputPages, err = out.NumPages()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// flushDeferredFor drains deferred propagation for every replication path
+// the query's expressions resolve through ("not propagated until needed",
+// paper §8): the first read after a burst of terminal updates pays one
+// propagation per distinct updated terminal.
+func (db *DB) flushDeferredFor(q Query) error {
+	exprs := append([]string(nil), q.Project...)
+	if q.Where != nil {
+		exprs = append(exprs, q.Where.Expr)
+	}
+	for _, f := range q.Filters {
+		exprs = append(exprs, f.Expr)
+	}
+	for _, expr := range exprs {
+		refs, field := splitExpr(expr)
+		if len(refs) == 0 {
+			continue
+		}
+		spec := catalog.PathSpec{Source: q.Set, Refs: refs, Field: field}
+		if p, ok := db.cat.FindPath(spec, catalog.InPlace); ok && p.Deferred && db.mgr.HasPending(p) {
+			if err := db.mgr.FlushPath(p); err != nil {
+				return err
+			}
+		}
+		// A deferred ref-replicating prefix (§3.3.3) may also serve this
+		// expression; flush those too.
+		for k := len(refs); k >= 2; k-- {
+			prefixSpec := catalog.PathSpec{Source: q.Set, Refs: refs[:k-1], Field: refs[k-1]}
+			if p, ok := db.cat.FindPath(prefixSpec, catalog.InPlace); ok && p.Deferred && db.mgr.HasPending(p) {
+				if err := db.mgr.FlushPath(p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// tryIndexedAccess drives process over index-qualified candidates. It
+// reports false when no usable index exists.
+func (db *DB) tryIndexedAccess(q Query, typ *schema.Type, res *Result, process func(pagefile.OID, *schema.Object) error) (bool, error) {
+	if q.Where == nil || q.ForceScan {
+		return false, nil
+	}
+	refs, field := splitExpr(q.Where.Expr)
+	var ix *catalog.Index
+	var found bool
+	if len(refs) == 0 {
+		ix, found = db.cat.IndexFor(q.Set, field)
+	} else {
+		ix, found = db.cat.PathIndexFor(q.Set, refs, field)
+	}
+	if !found {
+		return false, nil
+	}
+	tree := db.trees[ix.Name]
+	if tree == nil {
+		return false, nil
+	}
+	res.UsedIndex = ix.Name
+	lo, hi := keyRange(q.Where)
+	var cbErr error
+	err := tree.Range(lo, hi, func(_ btree.Key, oid pagefile.OID) bool {
+		obj, rerr := db.ReadObject(oid, typ)
+		if rerr != nil {
+			cbErr = rerr
+			return false
+		}
+		// The predicate is rechecked on the resolved value: string keys are
+		// prefix-truncated and range bounds may be exclusive.
+		if perr := process(oid, obj); perr != nil {
+			cbErr = perr
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = cbErr
+	}
+	return true, err
+}
+
+// keyRange computes the inclusive key range covering a predicate; exactness
+// comes from the recheck.
+func keyRange(p *Pred) (btree.Key, btree.Key) {
+	k := keyFor(p.Value)
+	switch p.Op {
+	case OpEQ:
+		return k, k
+	case OpLT, OpLE:
+		return btree.MinKey, k
+	case OpGT, OpGE:
+		return k, btree.MaxKey
+	case OpBetween:
+		return k, keyFor(p.Value2)
+	default:
+		return btree.MinKey, btree.MaxKey
+	}
+}
+
+func splitExpr(expr string) (refs []string, field string) {
+	parts := strings.Split(expr, ".")
+	return parts[:len(parts)-1], parts[len(parts)-1]
+}
+
+// evalPred evaluates a predicate against an object, resolving path
+// expressions through replicated data when possible.
+func (db *DB) evalPred(set string, obj *schema.Object, p *Pred) (bool, error) {
+	v, err := db.resolveExpr(set, obj, p.Expr)
+	if err != nil {
+		return false, err
+	}
+	c, err := compareValues(v, p.Value)
+	if err != nil {
+		return false, err
+	}
+	switch p.Op {
+	case OpEQ:
+		return c == 0, nil
+	case OpLT:
+		return c < 0, nil
+	case OpLE:
+		return c <= 0, nil
+	case OpGT:
+		return c > 0, nil
+	case OpGE:
+		return c >= 0, nil
+	case OpBetween:
+		if c < 0 {
+			return false, nil
+		}
+		c2, err := compareValues(v, p.Value2)
+		if err != nil {
+			return false, err
+		}
+		return c2 <= 0, nil
+	default:
+		return false, fmt.Errorf("engine: unknown operator %v", p.Op)
+	}
+}
+
+func compareValues(a, b schema.Value) (int, error) {
+	if a.Kind != b.Kind {
+		return 0, fmt.Errorf("engine: cannot compare %s with %s", a.Kind, b.Kind)
+	}
+	switch a.Kind {
+	case schema.KindInt:
+		switch {
+		case a.I < b.I:
+			return -1, nil
+		case a.I > b.I:
+			return 1, nil
+		}
+		return 0, nil
+	case schema.KindFloat:
+		switch {
+		case a.F < b.F:
+			return -1, nil
+		case a.F > b.F:
+			return 1, nil
+		}
+		return 0, nil
+	case schema.KindString:
+		return strings.Compare(a.S, b.S), nil
+	default:
+		return 0, fmt.Errorf("engine: cannot compare %s values", a.Kind)
+	}
+}
+
+// resolveExpr resolves a projection/predicate expression against an object:
+// a plain field directly; a dotted path through, in order of preference,
+//
+//  1. an exactly matching in-place replication path (zero extra I/O),
+//  2. an exactly matching separate replication path (one S′ fetch),
+//  3. a replicated reference attribute covering a prefix (§3.3.3 path
+//     collapsing), continuing with a shortened functional join,
+//  4. a full functional join.
+func (db *DB) resolveExpr(set string, obj *schema.Object, expr string) (schema.Value, error) {
+	refs, field := splitExpr(expr)
+	if len(refs) == 0 {
+		v, ok := obj.Get(field)
+		if !ok {
+			return schema.Value{}, fmt.Errorf("engine: set %s has no field %q", set, field)
+		}
+		return v, nil
+	}
+	// 1-2. Exact replicated path.
+	spec := catalog.PathSpec{Source: set, Refs: refs, Field: field}
+	if p, ok := db.cat.FindPath(spec, catalog.InPlace); ok {
+		return db.readReplicatedByName(p, obj, field)
+	}
+	if p, ok := db.cat.FindPath(spec, catalog.Separate); ok {
+		return db.readReplicatedByName(p, obj, field)
+	}
+	// 3. Longest replicated reference prefix (collapsing).
+	for k := len(refs) - 1; k >= 1; k-- {
+		prefixSpec := catalog.PathSpec{Source: set, Refs: refs[:k], Field: refs[k]}
+		p, ok := db.cat.FindPath(prefixSpec, catalog.InPlace)
+		if !ok {
+			continue
+		}
+		hidden, err := db.readReplicatedByName(p, obj, refs[k])
+		if err != nil {
+			return schema.Value{}, err
+		}
+		if hidden.Kind != schema.KindRef {
+			continue
+		}
+		// Jump to position k+1 and walk the rest functionally.
+		termField, _ := p.TerminalType().Field(p.Spec.Field)
+		startType, ok := db.cat.TypeByName(termField.RefType)
+		if !ok {
+			return schema.Value{}, fmt.Errorf("engine: unknown type %s", termField.RefType)
+		}
+		return db.walkFunctional(startType, hidden.R, refs[k+1:], field)
+	}
+	// 4. Full functional join.
+	typ, err := db.cat.SetType(set)
+	if err != nil {
+		return schema.Value{}, err
+	}
+	return db.walkObjectPath(typ, obj, refs, field)
+}
+
+// walkFunctional follows refs starting from an OID of type startType.
+func (db *DB) walkFunctional(startType *schema.Type, start pagefile.OID, refs []string, field string) (schema.Value, error) {
+	if start.IsNil() {
+		return schema.Value{}, nil
+	}
+	obj, err := db.ReadObject(start, startType)
+	if err != nil {
+		return schema.Value{}, err
+	}
+	return db.walkObjectPath(startType, obj, refs, field)
+}
+
+// walkObjectPath performs the functional joins of a path expression,
+// reading one object per level.
+func (db *DB) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string, field string) (schema.Value, error) {
+	cur := obj
+	curType := typ
+	for _, r := range refs {
+		f, ok := curType.Field(r)
+		if !ok || f.Kind != schema.KindRef {
+			return schema.Value{}, fmt.Errorf("engine: %s has no reference attribute %q", curType.Name, r)
+		}
+		v, _ := cur.Get(r)
+		if v.R.IsNil() {
+			// Broken chain: zero value of the terminal field if resolvable,
+			// else an invalid value.
+			return schema.Value{}, nil
+		}
+		nextType, ok := db.cat.TypeByName(f.RefType)
+		if !ok {
+			return schema.Value{}, fmt.Errorf("engine: unknown type %s", f.RefType)
+		}
+		next, err := db.ReadObject(v.R, nextType)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		cur, curType = next, nextType
+	}
+	v, ok := cur.Get(field)
+	if !ok {
+		return schema.Value{}, fmt.Errorf("engine: %s has no field %q", curType.Name, field)
+	}
+	return v, nil
+}
+
+// readReplicatedByName resolves a replicated field by name on path p.
+func (db *DB) readReplicatedByName(p *catalog.Path, obj *schema.Object, field string) (schema.Value, error) {
+	fields := p.Fields
+	if p.Strategy == catalog.Separate {
+		fields = p.Group.Fields
+	}
+	for _, f := range fields {
+		if f.Name == field {
+			return db.mgr.ReadReplicated(p, obj, f.Idx)
+		}
+	}
+	return schema.Value{}, fmt.Errorf("engine: path %s does not replicate %q", p.Spec, field)
+}
+
+// encodeRow serializes a result tuple for the output file.
+func encodeRow(r Row) []byte {
+	buf := r.OID.AppendTo(nil)
+	buf = append(buf, byte(len(r.Values)))
+	for _, v := range r.Values {
+		buf = append(buf, byte(v.Kind))
+		switch v.Kind {
+		case schema.KindInt:
+			for i := 0; i < 8; i++ {
+				buf = append(buf, byte(uint64(v.I)>>(8*i)))
+			}
+		case schema.KindFloat:
+			buf = append(buf, []byte(fmt.Sprintf("%g", v.F))...)
+			buf = append(buf, 0)
+		case schema.KindString:
+			buf = append(buf, byte(len(v.S)), byte(len(v.S)>>8))
+			buf = append(buf, v.S...)
+		case schema.KindRef:
+			buf = v.R.AppendTo(buf)
+		default:
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// UpdateWhere applies vals to every object of set matching where, returning
+// the number updated — the cost model's update query.
+func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) (int, error) {
+	typ, err := db.cat.SetType(set)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.flushDeferredFor(Query{Set: set, Where: &where}); err != nil {
+		return 0, err
+	}
+	// Collect matching OIDs first (index or scan), then update; collecting
+	// first keeps the scan stable under heap mutation.
+	var matches []pagefile.OID
+	collect := func(oid pagefile.OID, obj *schema.Object) error {
+		ok, err := db.evalPred(set, obj, &where)
+		if err != nil {
+			return err
+		}
+		if ok {
+			matches = append(matches, oid)
+		}
+		return nil
+	}
+	q := Query{Set: set, Where: &where}
+	ran, err := db.tryIndexedAccess(q, typ, &Result{}, collect)
+	if err != nil {
+		return 0, err
+	}
+	if !ran {
+		file, err := db.SetFile(set)
+		if err != nil {
+			return 0, err
+		}
+		if err := file.Scan(func(oid pagefile.OID, payload []byte) error {
+			obj, err := schema.Decode(typ, payload)
+			if err != nil {
+				return err
+			}
+			return collect(oid, obj)
+		}); err != nil {
+			return 0, err
+		}
+	}
+	for _, oid := range matches {
+		if err := db.Update(set, oid, vals); err != nil {
+			return 0, err
+		}
+	}
+	return len(matches), nil
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// plot geometry: x spans p_update 0..1, y spans the percentage difference,
+// cut off at +50 and -100 like the paper's axes.
+const (
+	plotWidth  = 61
+	plotHeight = 31
+	plotYMax   = 50.0
+	plotYMin   = -100.0
+)
+
+// seriesGlyphs assigns one character per series, in the order NewSweep emits
+// them: in-place fr = .001/.002/.005 then separate fr = .001/.002/.005.
+var seriesGlyphs = []byte{'i', 'I', 'X', 's', 'S', 'Z'}
+
+// ASCIIPlot renders the sweep as a text graph in the style of Figures 11
+// and 13: percentage difference in total I/O cost (negative = cheaper than
+// no replication) versus update probability.
+func (sw Sweep) ASCIIPlot() string {
+	grid := make([][]byte, plotHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	// The horizontal zero line represents no replication.
+	zeroRow := yToRow(0)
+	for x := 0; x < plotWidth; x++ {
+		grid[zeroRow][x] = '-'
+	}
+	for si, s := range sw.Series {
+		glyph := byte('?')
+		if si < len(seriesGlyphs) {
+			glyph = seriesGlyphs[si]
+		}
+		for i, pu := range sw.PUpdates {
+			v := s.Values[i]
+			if v > plotYMax {
+				v = plotYMax
+			}
+			if v < plotYMin {
+				v = plotYMin
+			}
+			x := int(pu*float64(plotWidth-1) + 0.5)
+			grid[yToRow(v)][x] = glyph
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(sw.Title() + "\n")
+	sb.WriteString("  %diff in C_total vs no replication (cut off at +50 / -100)\n")
+	for row := 0; row < plotHeight; row++ {
+		label := "      "
+		switch row {
+		case yToRow(plotYMax):
+			label = "  +50 "
+		case zeroRow:
+			label = "    0 "
+		case yToRow(-50):
+			label = "  -50 "
+		case yToRow(plotYMin):
+			label = " -100 "
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.Write(grid[row])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("      +")
+	sb.WriteString(strings.Repeat("-", plotWidth))
+	sb.WriteByte('\n')
+	sb.WriteString("       0        .2        .4        .6        .8        1.0\n")
+	sb.WriteString("                      Update Probability\n")
+	sb.WriteString("  legend:")
+	for si, s := range sw.Series {
+		if si < len(seriesGlyphs) {
+			fmt.Fprintf(&sb, "  %c=%s", seriesGlyphs[si], s.Label)
+		}
+		if si == 2 {
+			sb.WriteString("\n         ")
+		}
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func yToRow(v float64) int {
+	frac := (plotYMax - v) / (plotYMax - plotYMin)
+	row := int(frac*float64(plotHeight-1) + 0.5)
+	if row < 0 {
+		row = 0
+	}
+	if row >= plotHeight {
+		row = plotHeight - 1
+	}
+	return row
+}

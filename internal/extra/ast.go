@@ -1,0 +1,110 @@
+package extra
+
+import "github.com/exodb/fieldrepl/internal/schema"
+
+// Stmt is one parsed statement.
+type Stmt interface{ stmt() }
+
+// DefineTypeStmt is "define type NAME ( field: type, ... )".
+type DefineTypeStmt struct {
+	Name   string
+	Fields []schema.Field
+}
+
+// CreateSetStmt is "create NAME : {own ref TYPE}".
+type CreateSetStmt struct {
+	Name     string
+	TypeName string
+}
+
+// ReplicateStmt is
+// "replicate [separate|inplace] [collapsed] [deferred] Set.ref...field".
+type ReplicateStmt struct {
+	Path      string
+	Separate  bool
+	Collapsed bool
+	Deferred  bool
+}
+
+// BuildIndexStmt is "build btree [NAME] on Set.expr [clustered]".
+type BuildIndexStmt struct {
+	Name      string // optional; generated when empty
+	Set       string
+	Expr      string // field or dotted path within the set
+	Clustered bool
+}
+
+// Literal is a literal value or a variable reference.
+type Literal struct {
+	Value schema.Value
+	Var   string // non-empty: lookup of a bound OID variable
+	IsNil bool   // the literal keyword nil (null reference)
+}
+
+// Assign is "field = literal".
+type Assign struct {
+	Field string
+	Value Literal
+}
+
+// InsertStmt is "insert Set ( field = v, ... )", optionally bound by let.
+type InsertStmt struct {
+	Set     string
+	Assigns []Assign
+	BindVar string // "let x = insert ..."
+}
+
+// PredStmt is a single comparison predicate on a (possibly dotted) path.
+type PredStmt struct {
+	Expr  string // within-set expression, set prefix stripped
+	Op    string // = < <= > >= between
+	Value Literal
+	Hi    Literal // for between
+}
+
+// RetrieveStmt is
+// "retrieve ( Set.expr, ... ) [where pred (and pred)*]".
+type RetrieveStmt struct {
+	Set     string
+	Project []string
+	Where   *PredStmt
+	Filters []*PredStmt // additional "and" conjuncts
+	Emit    bool        // "retrieve into output (...)": generate an output file
+}
+
+// ReplaceStmt is "replace Set ( field = v, ... ) [where pred (and pred)*]".
+type ReplaceStmt struct {
+	Set     string
+	Assigns []Assign
+	Where   *PredStmt
+	Filters []*PredStmt
+}
+
+// DeleteStmt is "delete Set [where pred (and pred)*]".
+type DeleteStmt struct {
+	Set     string
+	Where   *PredStmt
+	Filters []*PredStmt
+}
+
+// UnreplicateStmt is "unreplicate [separate|inplace] Set.ref...field".
+type UnreplicateStmt struct {
+	Path     string
+	Separate bool
+}
+
+// DropIndexStmt is "drop btree NAME".
+type DropIndexStmt struct {
+	Name string
+}
+
+func (*UnreplicateStmt) stmt() {}
+func (*DropIndexStmt) stmt()   {}
+func (*DefineTypeStmt) stmt()  {}
+func (*CreateSetStmt) stmt()   {}
+func (*ReplicateStmt) stmt()   {}
+func (*BuildIndexStmt) stmt()  {}
+func (*InsertStmt) stmt()      {}
+func (*RetrieveStmt) stmt()    {}
+func (*ReplaceStmt) stmt()     {}
+func (*DeleteStmt) stmt()      {}

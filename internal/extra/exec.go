@@ -1,0 +1,359 @@
+package extra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/engine"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// Interp executes EXTRA statements against a database, keeping variable
+// bindings (let x = insert ...) across calls.
+type Interp struct {
+	DB  *engine.DB
+	Env map[string]pagefile.OID
+}
+
+// NewInterp returns an interpreter over db.
+func NewInterp(db *engine.DB) *Interp {
+	return &Interp{DB: db, Env: map[string]pagefile.OID{}}
+}
+
+// Output is the result of executing one statement.
+type Output struct {
+	// Message summarizes DDL/DML effects.
+	Message string
+	// Columns/Rows hold a retrieve result.
+	Columns []string
+	Rows    [][]string
+	// OID is the inserted object's id for insert statements.
+	OID pagefile.OID
+}
+
+// Exec parses and executes a script, returning one Output per statement.
+func (in *Interp) Exec(src string) ([]Output, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var outs []Output
+	for _, s := range stmts {
+		o, err := in.execStmt(s)
+		if err != nil {
+			return outs, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// ExecOne executes a single-statement script.
+func (in *Interp) ExecOne(src string) (Output, error) {
+	outs, err := in.Exec(src)
+	if err != nil {
+		return Output{}, err
+	}
+	if len(outs) != 1 {
+		return Output{}, fmt.Errorf("extra: expected one statement, got %d", len(outs))
+	}
+	return outs[0], nil
+}
+
+func (in *Interp) execStmt(s Stmt) (Output, error) {
+	switch st := s.(type) {
+	case *DefineTypeStmt:
+		if err := in.DB.DefineType(st.Name, st.Fields); err != nil {
+			return Output{}, err
+		}
+		return Output{Message: fmt.Sprintf("defined type %s (%d fields)", st.Name, len(st.Fields))}, nil
+	case *CreateSetStmt:
+		if err := in.DB.CreateSet(st.Name, st.TypeName); err != nil {
+			return Output{}, err
+		}
+		return Output{Message: fmt.Sprintf("created set %s: {own ref %s}", st.Name, st.TypeName)}, nil
+	case *ReplicateStmt:
+		strat := catalog.InPlace
+		if st.Separate {
+			strat = catalog.Separate
+		}
+		var opts []catalog.PathOption
+		if st.Collapsed {
+			opts = append(opts, catalog.WithCollapsed())
+		}
+		if st.Deferred {
+			opts = append(opts, catalog.WithDeferred())
+		}
+		if err := in.DB.Replicate(st.Path, strat, opts...); err != nil {
+			return Output{}, err
+		}
+		spec, _ := catalog.ParsePathSpec(st.Path)
+		p, _ := in.DB.Catalog().FindPath(spec, strat)
+		seq := ""
+		if p != nil {
+			ids := p.LinkSequence()
+			parts := make([]string, len(ids))
+			for i, id := range ids {
+				parts[i] = fmt.Sprintf("%d", id)
+			}
+			seq = fmt.Sprintf(", link sequence = (%s)", strings.Join(parts, ","))
+		}
+		return Output{Message: fmt.Sprintf("replicated %s (%s)%s", st.Path, strat, seq)}, nil
+	case *UnreplicateStmt:
+		strat := catalog.InPlace
+		if st.Separate {
+			strat = catalog.Separate
+		}
+		if err := in.DB.Unreplicate(st.Path, strat); err != nil {
+			return Output{}, err
+		}
+		return Output{Message: fmt.Sprintf("unreplicated %s (%s)", st.Path, strat)}, nil
+	case *DropIndexStmt:
+		if err := in.DB.DropIndex(st.Name); err != nil {
+			return Output{}, err
+		}
+		return Output{Message: fmt.Sprintf("dropped btree %s", st.Name)}, nil
+	case *BuildIndexStmt:
+		if err := in.DB.BuildIndex(st.Name, st.Set, st.Expr, st.Clustered); err != nil {
+			return Output{}, err
+		}
+		return Output{Message: fmt.Sprintf("built btree %s on %s.%s", st.Name, st.Set, st.Expr)}, nil
+	case *InsertStmt:
+		vals := make(map[string]schema.Value, len(st.Assigns))
+		for _, a := range st.Assigns {
+			v, err := in.resolveLiteral(a.Value)
+			if err != nil {
+				return Output{}, err
+			}
+			vals[a.Field] = v
+		}
+		oid, err := in.DB.Insert(st.Set, vals)
+		if err != nil {
+			return Output{}, err
+		}
+		if st.BindVar != "" {
+			in.Env[st.BindVar] = oid
+		}
+		return Output{Message: fmt.Sprintf("inserted %v into %s", oid, st.Set), OID: oid}, nil
+	case *RetrieveStmt:
+		q := engine.Query{Set: st.Set, Project: st.Project, EmitOutput: st.Emit}
+		if st.Where != nil {
+			p, err := in.toPred(st.Where)
+			if err != nil {
+				return Output{}, err
+			}
+			q.Where = &p
+		}
+		for _, f := range st.Filters {
+			p, err := in.toPred(f)
+			if err != nil {
+				return Output{}, err
+			}
+			q.Filters = append(q.Filters, p)
+		}
+		res, err := in.DB.Query(q)
+		if err != nil {
+			return Output{}, err
+		}
+		out := Output{Columns: make([]string, len(st.Project))}
+		for i, pr := range st.Project {
+			out.Columns[i] = st.Set + "." + pr
+		}
+		for _, row := range res.Rows {
+			cells := make([]string, len(row.Values))
+			for i, v := range row.Values {
+				cells[i] = renderValue(v)
+			}
+			out.Rows = append(out.Rows, cells)
+		}
+		out.Message = fmt.Sprintf("%d objects", len(res.Rows))
+		if res.UsedIndex != "" {
+			out.Message += " (via index " + res.UsedIndex + ")"
+		}
+		return out, nil
+	case *ReplaceStmt:
+		vals := make(map[string]schema.Value, len(st.Assigns))
+		for _, a := range st.Assigns {
+			v, err := in.resolveLiteral(a.Value)
+			if err != nil {
+				return Output{}, err
+			}
+			vals[a.Field] = v
+		}
+		n, err := in.replaceWhere(st, vals)
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Message: fmt.Sprintf("replaced %d objects in %s", n, st.Set)}, nil
+	case *DeleteStmt:
+		n, err := in.deleteWhere(st)
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Message: fmt.Sprintf("deleted %d objects from %s", n, st.Set)}, nil
+	default:
+		return Output{}, fmt.Errorf("extra: unknown statement %T", s)
+	}
+}
+
+// replaceWhere collects matching OIDs through the executor (so conjuncts
+// and indexes apply), then updates each.
+func (in *Interp) replaceWhere(st *ReplaceStmt, vals map[string]schema.Value) (int, error) {
+	q := engine.Query{Set: st.Set}
+	if st.Where != nil {
+		p, err := in.toPred(st.Where)
+		if err != nil {
+			return 0, err
+		}
+		q.Where = &p
+	}
+	for _, f := range st.Filters {
+		p, err := in.toPred(f)
+		if err != nil {
+			return 0, err
+		}
+		q.Filters = append(q.Filters, p)
+	}
+	res, err := in.DB.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	for _, row := range res.Rows {
+		if err := in.DB.Update(st.Set, row.OID, vals); err != nil {
+			return 0, err
+		}
+	}
+	return len(res.Rows), nil
+}
+
+func (in *Interp) deleteWhere(st *DeleteStmt) (int, error) {
+	q := engine.Query{Set: st.Set}
+	if st.Where != nil {
+		p, err := in.toPred(st.Where)
+		if err != nil {
+			return 0, err
+		}
+		q.Where = &p
+	}
+	for _, f := range st.Filters {
+		p, err := in.toPred(f)
+		if err != nil {
+			return 0, err
+		}
+		q.Filters = append(q.Filters, p)
+	}
+	res, err := in.DB.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	for _, row := range res.Rows {
+		if err := in.DB.Delete(st.Set, row.OID); err != nil {
+			return 0, err
+		}
+	}
+	return len(res.Rows), nil
+}
+
+func (in *Interp) toPred(p *PredStmt) (engine.Pred, error) {
+	v, err := in.resolveLiteral(p.Value)
+	if err != nil {
+		return engine.Pred{}, err
+	}
+	out := engine.Pred{Expr: p.Expr, Value: v}
+	switch p.Op {
+	case "=":
+		out.Op = engine.OpEQ
+	case "<":
+		out.Op = engine.OpLT
+	case "<=":
+		out.Op = engine.OpLE
+	case ">":
+		out.Op = engine.OpGT
+	case ">=":
+		out.Op = engine.OpGE
+	case "between":
+		out.Op = engine.OpBetween
+		hi, err := in.resolveLiteral(p.Hi)
+		if err != nil {
+			return engine.Pred{}, err
+		}
+		out.Value2 = hi
+	default:
+		return engine.Pred{}, fmt.Errorf("extra: unknown operator %q", p.Op)
+	}
+	return out, nil
+}
+
+func (in *Interp) resolveLiteral(l Literal) (schema.Value, error) {
+	if l.Var != "" {
+		oid, ok := in.Env[l.Var]
+		if !ok {
+			return schema.Value{}, fmt.Errorf("extra: unbound variable %q", l.Var)
+		}
+		return schema.RefValue(oid), nil
+	}
+	return l.Value, nil
+}
+
+func renderValue(v schema.Value) string {
+	switch v.Kind {
+	case schema.KindString:
+		return v.S
+	case schema.KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case schema.KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case schema.KindRef:
+		if v.R.IsNil() {
+			return "nil"
+		}
+		return "@" + v.R.String()
+	default:
+		return ""
+	}
+}
+
+// FormatTable renders a retrieve Output as an aligned text table.
+func (o Output) FormatTable() string {
+	if len(o.Columns) == 0 {
+		return o.Message
+	}
+	widths := make([]int, len(o.Columns))
+	for i, c := range o.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range o.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(o.Columns)
+	sep := make([]string, len(o.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range o.Rows {
+		writeRow(row)
+	}
+	sb.WriteString(o.Message)
+	sb.WriteByte('\n')
+	return sb.String()
+}

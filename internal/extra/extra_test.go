@@ -1,0 +1,340 @@
+package extra
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/engine"
+)
+
+// figure1Schema is the paper's Figure 1, verbatim modulo whitespace.
+const figure1Schema = `
+define type ORG (
+    name:   char[],
+    budget: int
+)
+define type DEPT (
+    name:   char[],
+    budget: int,
+    org:    ref ORG
+)
+define type EMP (
+    name:   char[],
+    age:    int,
+    salary: int,
+    dept:   ref DEPT
+)
+create Org:  {own ref ORG}
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+create Emp2: {own ref EMP}
+`
+
+func newInterp(t *testing.T) *Interp {
+	t.Helper()
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	in := NewInterp(db)
+	if _, err := in.Exec(figure1Schema); err != nil {
+		t.Fatalf("figure 1 schema: %v", err)
+	}
+	return in
+}
+
+func seed(t *testing.T, in *Interp) {
+	t.Helper()
+	_, err := in.Exec(`
+let acme = insert Org (name = "Acme", budget = 1000)
+let globex = insert Org (name = "Globex", budget = 2000)
+let research = insert Dept (name = "Research", budget = 100, org = acme)
+let sales = insert Dept (name = "Sales", budget = 200, org = globex)
+insert Emp1 (name = "Alice", age = 30, salary = 120000, dept = research)
+insert Emp1 (name = "Bob", age = 40, salary = 90000, dept = research)
+insert Emp1 (name = "Carol", age = 50, salary = 150000, dept = sales)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"define EMP ( x: int )",                       // missing 'type'
+		"define type T ( x: bogus )",                  // bad type
+		"create X {own ref T}",                        // missing colon
+		"retrieve (name)",                             // projection without set
+		"insert Emp1 (name)",                          // missing =
+		"retrieve (Emp1.name) where Emp2.age > 3 and", // mixed set in pred
+		`insert Emp1 (name = "unterminated`,
+		"replace Emp1 (x = 1) where Emp1.a ! 3",
+		"@",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	stmts, err := Parse(`
+# a comment
+-- another comment
+define type T ( x: int ) # trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestPaperQuery(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	// The paper's Section 3.1 example query.
+	out, err := in.ExecOne(`
+retrieve (Emp1.name, Emp1.salary, Emp1.dept.name)
+    where Emp1.salary > 100000
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+	byName := map[string]string{}
+	for _, r := range out.Rows {
+		byName[r[0]] = r[2]
+	}
+	if byName["Alice"] != "Research" || byName["Carol"] != "Sales" {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+	if !strings.Contains(out.FormatTable(), "Emp1.dept.name") {
+		t.Fatal("FormatTable lacks header")
+	}
+}
+
+func TestReplicateStatementForms(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	for _, stmt := range []string{
+		"replicate Emp1.dept.name",
+		"replicate separate Emp1.dept.budget",
+		"replicate collapsed Emp1.dept.org.name",
+		"replicate inplace Emp2.dept.name",
+	} {
+		out, err := in.ExecOne(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		if !strings.Contains(out.Message, "link sequence") && !strings.Contains(out.Message, "separate") {
+			t.Fatalf("%s: message %q", stmt, out.Message)
+		}
+	}
+	if errs := in.DB.VerifyReplication(); len(errs) > 0 {
+		t.Fatalf("invariant: %v", errs)
+	}
+	// Queries now exploit replication transparently.
+	out, err := in.ExecOne(`retrieve (Emp1.name, Emp1.dept.name, Emp1.dept.org.name) where Emp1.salary > 100000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+}
+
+func TestReplacePropagation(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	if _, err := in.ExecOne("replicate Emp1.dept.name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ExecOne(`replace Dept (name = "R&D") where Dept.name = "Research"`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := in.ExecOne(`retrieve (Emp1.dept.name) where Emp1.name = "Alice"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != "R&D" {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+	if errs := in.DB.VerifyReplication(); len(errs) > 0 {
+		t.Fatalf("invariant: %v", errs)
+	}
+}
+
+func TestBuildIndexAndBetween(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	if _, err := in.ExecOne("build btree on Emp1.salary"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := in.ExecOne("retrieve (Emp1.name) where Emp1.salary between 90000 and 120000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+	if !strings.Contains(out.Message, "via index") {
+		t.Fatalf("message = %q", out.Message)
+	}
+	// Named and clustered variants parse.
+	if _, err := in.ExecOne("build btree dept_by_budget on Dept.budget clustered"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	out, err := in.ExecOne("delete Emp1 where Emp1.age >= 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Message, "deleted 2") {
+		t.Fatalf("message = %q", out.Message)
+	}
+	res, _ := in.ExecOne("retrieve (Emp1.name)")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "Alice" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestVariablesAndNil(t *testing.T) {
+	in := newInterp(t)
+	if _, err := in.ExecOne(`insert Dept (name = "Solo", budget = 1, org = nil)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ExecOne(`insert Emp1 (name = "X", age = 1, salary = 1, dept = unbound)`); err == nil {
+		t.Fatal("unbound variable accepted")
+	}
+	out, err := in.ExecOne(`retrieve (Dept.name, Dept.org)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][1] != "nil" {
+		t.Fatalf("nil ref rendered as %q", out.Rows[0][1])
+	}
+}
+
+func TestRetrieveIntoOutput(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	out, err := in.ExecOne("retrieve into output (Emp1.name, Emp1.salary)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 3 {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+}
+
+func TestReplaceAll(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	out, err := in.ExecOne("replace Emp1 (age = 99)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Message, "replaced 3") {
+		t.Fatalf("message = %q", out.Message)
+	}
+}
+
+func TestOIDLiteral(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	res, err := in.ExecOne(`retrieve (Dept.name) where Dept.name = "Research"`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatal(err)
+	}
+	// Find an OID via a variable, then insert using the explicit literal.
+	out, err := in.ExecOne(`let d = insert Dept (name = "Temp", budget = 1, org = nil)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := "@" + out.OID.String()
+	if _, err := in.ExecOne(`insert Emp1 (name = "Y", age = 1, salary = 1, dept = ` + lit + `)`); err != nil {
+		t.Fatalf("OID literal insert: %v", err)
+	}
+	q, err := in.ExecOne(`retrieve (Emp1.dept.name) where Emp1.name = "Y"`)
+	if err != nil || len(q.Rows) != 1 || q.Rows[0][0] != "Temp" {
+		t.Fatalf("rows = %v, err = %v", q.Rows, err)
+	}
+}
+
+func TestReplicateDeferredKeyword(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	if _, err := in.ExecOne("replicate deferred Emp1.dept.name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ExecOne(`replace Dept (name = "Lazy") where Dept.name = "Research"`); err != nil {
+		t.Fatal(err)
+	}
+	if in.DB.PendingPropagations() != 1 {
+		t.Fatalf("pending = %d", in.DB.PendingPropagations())
+	}
+	out, err := in.ExecOne(`retrieve (Emp1.dept.name) where Emp1.name = "Alice"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0] != "Lazy" {
+		t.Fatalf("deferred read = %v", out.Rows)
+	}
+	// Combined modifiers parse.
+	if _, err := in.ExecOne("replicate collapsed deferred Emp2.dept.org.name"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnreplicateAndDropStatements(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	script := `
+replicate Emp1.dept.name
+replicate separate Emp1.dept.budget
+build btree salidx on Emp1.salary
+unreplicate Emp1.dept.name
+unreplicate separate Emp1.dept.budget
+drop btree salidx
+`
+	outs, err := in.Exec(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 6 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	if !strings.Contains(outs[3].Message, "unreplicated") || !strings.Contains(outs[5].Message, "dropped") {
+		t.Fatalf("messages = %q, %q", outs[3].Message, outs[5].Message)
+	}
+	// Everything still answers via functional joins.
+	out, err := in.ExecOne(`retrieve (Emp1.name, Emp1.dept.name, Emp1.dept.budget)`)
+	if err != nil || len(out.Rows) != 3 {
+		t.Fatalf("rows = %v, err = %v", out.Rows, err)
+	}
+	if errs := in.DB.VerifyReplication(); len(errs) > 0 {
+		t.Fatalf("invariant: %v", errs)
+	}
+}
+
+func TestWhereAndConjuncts(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	out, err := in.ExecOne(`retrieve (Emp1.name) where Emp1.salary > 80000 and Emp1.age >= 40 and Emp1.dept.name = "Research"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != "Bob" {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+}

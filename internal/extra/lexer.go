@@ -1,0 +1,179 @@
+// Package extra implements a small surface language in the style of the
+// EXTRA data model used throughout the paper: type definitions, set
+// creation, replicate statements, index builds, and retrieve/replace/
+// insert/delete statements. A script is a sequence of statements; an
+// Interp executes them against an engine.DB.
+//
+//	define type DEPT ( name: char[], budget: int, org: ref ORG )
+//	create Dept: {own ref DEPT}
+//	replicate Emp1.dept.name
+//	replicate separate Emp1.dept.budget
+//	build btree on Emp1.salary
+//	let d1 = insert Dept (name = "Research", budget = 100, org = o1)
+//	retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000
+//	replace Dept (budget = 200) where Dept.name = "Research"
+//	delete Emp1 where Emp1.age >= 65
+package extra
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // single/double character punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// lexAll tokenizes the whole input.
+func (l *lexer) lexAll() ([]token, error) {
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments (# and -- to end of line).
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: l.line}, nil
+		}
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-'):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto body
+		}
+	}
+body:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+		l.pos++
+		isFloat := false
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+			if l.src[l.pos] == '.' {
+				// A dot followed by a non-digit terminates the number (it is
+				// a path separator, not a decimal point).
+				if l.pos+1 >= len(l.src) || !unicode.IsDigit(rune(l.src[l.pos+1])) {
+					break
+				}
+				isFloat = true
+			}
+			l.pos++
+		}
+		kind := tokInt
+		if isFloat {
+			kind = tokFloat
+		}
+		return token{kind: kind, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("extra: line %d: unterminated string", l.line)
+			}
+			ch := l.src[l.pos]
+			if ch == '"' {
+				l.pos++
+				return token{kind: tokString, text: sb.String(), line: l.line}, nil
+			}
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				default:
+					sb.WriteByte(l.src[l.pos])
+				}
+				l.pos++
+				continue
+			}
+			if ch == '\n' {
+				return token{}, fmt.Errorf("extra: line %d: newline in string", l.line)
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+	default:
+		// Two-character operators first.
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			switch two {
+			case "<=", ">=", "!=":
+				l.pos += 2
+				return token{kind: tokPunct, text: two, line: l.line}, nil
+			}
+		}
+		switch c {
+		case '(', ')', '{', '}', '[', ']', ':', ',', '=', '.', '@', '<', '>':
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, fmt.Errorf("extra: line %d: unexpected character %q", l.line, c)
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

@@ -1,0 +1,559 @@
+package extra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a script into statements.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := newLexer(src).lexAll()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == tokIdent {
+		return strings.EqualFold(t.text, text)
+	}
+	return t.text == text
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokKind]string{tokIdent: "identifier", tokInt: "integer", tokString: "string"}[kind]
+	}
+	return token{}, fmt.Errorf("extra: line %d: expected %s, found %s", p.cur().line, want, p.cur())
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	return t.text, err
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.at(tokIdent, "define"):
+		return p.defineType()
+	case p.at(tokIdent, "create"):
+		return p.createSet()
+	case p.at(tokIdent, "replicate"):
+		return p.replicate()
+	case p.at(tokIdent, "unreplicate"):
+		return p.unreplicate()
+	case p.at(tokIdent, "drop"):
+		return p.dropIndex()
+	case p.at(tokIdent, "build"):
+		return p.buildIndex()
+	case p.at(tokIdent, "insert"):
+		return p.insert("")
+	case p.at(tokIdent, "let"):
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		if !p.at(tokIdent, "insert") {
+			return nil, fmt.Errorf("extra: line %d: let binds only insert statements", p.cur().line)
+		}
+		return p.insert(name)
+	case p.at(tokIdent, "retrieve"):
+		return p.retrieve()
+	case p.at(tokIdent, "replace"):
+		return p.replace()
+	case p.at(tokIdent, "delete"):
+		return p.delete()
+	default:
+		return nil, fmt.Errorf("extra: line %d: unexpected %s at start of statement", p.cur().line, p.cur())
+	}
+}
+
+func (p *parser) defineType() (Stmt, error) {
+	p.pos++ // define
+	if _, err := p.expect(tokIdent, "type"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var fields []schema.Field
+	for {
+		fname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		f := schema.Field{Name: fname}
+		switch {
+		case p.accept(tokIdent, "int"):
+			f.Kind = schema.KindInt
+		case p.accept(tokIdent, "float"):
+			f.Kind = schema.KindFloat
+		case p.accept(tokIdent, "char"):
+			if _, err := p.expect(tokPunct, "["); err != nil {
+				return nil, err
+			}
+			// An optional declared width, accepted and ignored (strings are
+			// variable length at the storage level).
+			if p.at(tokInt, "") {
+				p.pos++
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			f.Kind = schema.KindString
+		case p.accept(tokIdent, "ref"):
+			target, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.Kind = schema.KindRef
+			f.RefType = target
+		default:
+			return nil, fmt.Errorf("extra: line %d: expected a field type, found %s", p.cur().line, p.cur())
+		}
+		fields = append(fields, f)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return &DefineTypeStmt{Name: name, Fields: fields}, nil
+}
+
+func (p *parser) createSet() (Stmt, error) {
+	p.pos++ // create
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "own"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "ref"); err != nil {
+		return nil, err
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return &CreateSetStmt{Name: name, TypeName: typeName}, nil
+}
+
+// pathExpr parses IDENT(.IDENT)* and returns the joined form.
+func (p *parser) pathExpr() (string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	parts := []string{first}
+	for p.accept(tokPunct, ".") {
+		next, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, next)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+func (p *parser) replicate() (Stmt, error) {
+	p.pos++ // replicate
+	st := &ReplicateStmt{}
+	for {
+		switch {
+		case p.accept(tokIdent, "separate"):
+			st.Separate = true
+			continue
+		case p.accept(tokIdent, "inplace"):
+			continue
+		case p.accept(tokIdent, "collapsed"):
+			st.Collapsed = true
+			continue
+		case p.accept(tokIdent, "deferred"):
+			st.Deferred = true
+			continue
+		}
+		break
+	}
+	path, err := p.pathExpr()
+	if err != nil {
+		return nil, err
+	}
+	st.Path = path
+	return st, nil
+}
+
+func (p *parser) unreplicate() (Stmt, error) {
+	p.pos++ // unreplicate
+	st := &UnreplicateStmt{}
+	switch {
+	case p.accept(tokIdent, "separate"):
+		st.Separate = true
+	case p.accept(tokIdent, "inplace"):
+	}
+	path, err := p.pathExpr()
+	if err != nil {
+		return nil, err
+	}
+	st.Path = path
+	return st, nil
+}
+
+func (p *parser) dropIndex() (Stmt, error) {
+	p.pos++ // drop
+	if _, err := p.expect(tokIdent, "btree"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropIndexStmt{Name: name}, nil
+}
+
+func (p *parser) buildIndex() (Stmt, error) {
+	p.pos++ // build
+	if _, err := p.expect(tokIdent, "btree"); err != nil {
+		return nil, err
+	}
+	st := &BuildIndexStmt{}
+	if p.at(tokIdent, "") && !p.at(tokIdent, "on") {
+		name, _ := p.ident()
+		st.Name = name
+	}
+	if _, err := p.expect(tokIdent, "on"); err != nil {
+		return nil, err
+	}
+	path, err := p.pathExpr()
+	if err != nil {
+		return nil, err
+	}
+	set, expr, ok := strings.Cut(path, ".")
+	if !ok {
+		return nil, fmt.Errorf("extra: index path %q needs the form Set.field", path)
+	}
+	st.Set, st.Expr = set, expr
+	if p.accept(tokIdent, "clustered") {
+		st.Clustered = true
+	}
+	if st.Name == "" {
+		st.Name = strings.ToLower(st.Set) + "_" + strings.ReplaceAll(st.Expr, ".", "_")
+	}
+	return st, nil
+}
+
+func (p *parser) literal() (Literal, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("extra: line %d: bad integer %q", t.line, t.text)
+		}
+		return Literal{Value: schema.IntValue(v)}, nil
+	case t.kind == tokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("extra: line %d: bad float %q", t.line, t.text)
+		}
+		return Literal{Value: schema.FloatValue(v)}, nil
+	case t.kind == tokString:
+		p.pos++
+		return Literal{Value: schema.StringValue(t.text)}, nil
+	case p.at(tokIdent, "nil"):
+		p.pos++
+		return Literal{IsNil: true, Value: schema.RefValue(pagefile.NilOID)}, nil
+	case t.kind == tokIdent:
+		p.pos++
+		return Literal{Var: t.text}, nil
+	case p.at(tokPunct, "@"):
+		// Explicit OID literal @file:page:slot.
+		p.pos++
+		f, err := p.expect(tokInt, "")
+		if err != nil {
+			return Literal{}, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return Literal{}, err
+		}
+		pg, err := p.expect(tokInt, "")
+		if err != nil {
+			return Literal{}, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return Literal{}, err
+		}
+		sl, err := p.expect(tokInt, "")
+		if err != nil {
+			return Literal{}, err
+		}
+		fv, _ := strconv.ParseUint(f.text, 10, 32)
+		pv, _ := strconv.ParseUint(pg.text, 10, 32)
+		sv, _ := strconv.ParseUint(sl.text, 10, 16)
+		return Literal{Value: schema.RefValue(pagefile.OID{File: pagefile.FileID(fv), Page: uint32(pv), Slot: uint16(sv)})}, nil
+	default:
+		return Literal{}, fmt.Errorf("extra: line %d: expected a literal, found %s", t.line, t)
+	}
+}
+
+func (p *parser) assigns() ([]Assign, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var out []Assign
+	for {
+		field, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Assign{Field: field, Value: lit})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) insert(bind string) (Stmt, error) {
+	p.pos++ // insert
+	set, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	as, err := p.assigns()
+	if err != nil {
+		return nil, err
+	}
+	return &InsertStmt{Set: set, Assigns: as, BindVar: bind}, nil
+}
+
+// pred parses "Set.expr OP literal" and strips the set prefix, checking it
+// against set when non-empty.
+func (p *parser) pred(set string) (*PredStmt, string, error) {
+	path, err := p.pathExpr()
+	if err != nil {
+		return nil, "", err
+	}
+	predSet, expr, ok := strings.Cut(path, ".")
+	if !ok {
+		return nil, "", fmt.Errorf("extra: predicate path %q needs the form Set.field", path)
+	}
+	if set != "" && predSet != set {
+		return nil, "", fmt.Errorf("extra: predicate on %s but statement targets %s", predSet, set)
+	}
+	st := &PredStmt{Expr: expr}
+	if p.accept(tokIdent, "between") {
+		st.Op = "between"
+		lo, err := p.literal()
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := p.expect(tokIdent, "and"); err != nil {
+			return nil, "", err
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return nil, "", err
+		}
+		st.Value, st.Hi = lo, hi
+		return st, predSet, nil
+	}
+	opTok := p.cur()
+	if opTok.kind != tokPunct {
+		return nil, "", fmt.Errorf("extra: line %d: expected a comparison operator, found %s", opTok.line, opTok)
+	}
+	switch opTok.text {
+	case "=", "<", "<=", ">", ">=":
+		st.Op = opTok.text
+		p.pos++
+	default:
+		return nil, "", fmt.Errorf("extra: line %d: unsupported operator %q", opTok.line, opTok.text)
+	}
+	lit, err := p.literal()
+	if err != nil {
+		return nil, "", err
+	}
+	st.Value = lit
+	return st, predSet, nil
+}
+
+func (p *parser) retrieve() (Stmt, error) {
+	p.pos++ // retrieve
+	st := &RetrieveStmt{}
+	if p.accept(tokIdent, "into") {
+		if _, err := p.expect(tokIdent, "output"); err != nil {
+			return nil, err
+		}
+		st.Emit = true
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for {
+		path, err := p.pathExpr()
+		if err != nil {
+			return nil, err
+		}
+		set, expr, ok := strings.Cut(path, ".")
+		if !ok {
+			return nil, fmt.Errorf("extra: projection %q needs the form Set.field", path)
+		}
+		if st.Set == "" {
+			st.Set = set
+		} else if st.Set != set {
+			return nil, fmt.Errorf("extra: projections mix sets %s and %s", st.Set, set)
+		}
+		st.Project = append(st.Project, expr)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if p.accept(tokIdent, "where") {
+		pr, _, err := p.pred(st.Set)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = pr
+		for p.accept(tokIdent, "and") {
+			more, _, err := p.pred(st.Set)
+			if err != nil {
+				return nil, err
+			}
+			st.Filters = append(st.Filters, more)
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) replace() (Stmt, error) {
+	p.pos++ // replace
+	set, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	as, err := p.assigns()
+	if err != nil {
+		return nil, err
+	}
+	st := &ReplaceStmt{Set: set, Assigns: as}
+	if p.accept(tokIdent, "where") {
+		pr, _, err := p.pred(set)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = pr
+		for p.accept(tokIdent, "and") {
+			more, _, err := p.pred(set)
+			if err != nil {
+				return nil, err
+			}
+			st.Filters = append(st.Filters, more)
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) delete() (Stmt, error) {
+	p.pos++ // delete
+	set, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Set: set}
+	if p.accept(tokIdent, "where") {
+		pr, _, err := p.pred(set)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = pr
+		for p.accept(tokIdent, "and") {
+			more, _, err := p.pred(set)
+			if err != nil {
+				return nil, err
+			}
+			st.Filters = append(st.Filters, more)
+		}
+	}
+	return st, nil
+}

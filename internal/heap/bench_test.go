@@ -1,0 +1,86 @@
+package heap
+
+import (
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/buffer"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+func benchFile(b *testing.B) *File {
+	b.Helper()
+	store := pagefile.NewMemStore()
+	b.Cleanup(func() { store.Close() })
+	pool := buffer.New(store, 1024)
+	f, err := Create(pool, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+func BenchmarkInsert100B(b *testing.B) {
+	f := benchFile(b)
+	payload := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Insert(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead100B(b *testing.B) {
+	f := benchFile(b)
+	payload := make([]byte, 100)
+	var oids []pagefile.OID
+	for i := 0; i < 10000; i++ {
+		oid, err := f.Insert(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Read(oids[i%len(oids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateSameSize(b *testing.B) {
+	f := benchFile(b)
+	payload := make([]byte, 100)
+	oid, err := f.Insert(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload[0] = byte(i)
+		if err := f.Update(oid, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan10k(b *testing.B) {
+	f := benchFile(b)
+	payload := make([]byte, 100)
+	for i := 0; i < 10000; i++ {
+		if _, err := f.Insert(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := f.Scan(func(pagefile.OID, []byte) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 10000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+// Package heap implements heap files: unordered collections of
+// variable-length records addressed by stable physical OIDs, stored on
+// slotted pages accessed through a buffer pool.
+//
+// Records keep their OID for life. When an update grows a record beyond its
+// page's capacity the body moves to another page and a forwarding stub is
+// left at the home slot, as in the EXODUS storage manager. Forwarding chains
+// never exceed one hop: if a moved body must move again, the home stub is
+// repointed. This matters for in-place field replication, which widens
+// objects after they were first stored.
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/exodb/fieldrepl/internal/buffer"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+// Record kinds. The first byte of every slot's contents identifies it.
+const (
+	kindHome  = 0 // record body living at its home (OID) slot
+	kindStub  = 1 // forwarding stub; payload is the OID of the moved body
+	kindMoved = 2 // moved record body; reached only through its stub
+)
+
+const (
+	homeHeaderSize  = 3                    // kind byte + u16 payload length
+	stubSize        = 1 + pagefile.OIDSize // kind byte + target OID
+	movedHeaderSize = 3                    // kind byte + u16 payload length
+	movedTrailer    = pagefile.OIDSize     // home OID, for integrity checks
+	minRecordSize   = stubSize             // every live record is >= this, so a stub always fits in place
+)
+
+// MaxPayload is the largest record payload a heap file accepts.
+const MaxPayload = pagefile.MaxRecordSize - movedHeaderSize - movedTrailer
+
+// ErrNotFound is returned when an OID does not address a live record.
+var ErrNotFound = errors.New("heap: record not found")
+
+// File is a heap file.
+type File struct {
+	pool *buffer.Pool
+	id   pagefile.FileID
+	name string
+
+	appendPage uint32
+	hasPages   bool
+}
+
+// Create makes a new, empty heap file named name in the pool's store.
+func Create(pool *buffer.Pool, name string) (*File, error) {
+	id, err := pool.Store().CreateFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{pool: pool, id: id, name: name}, nil
+}
+
+// Open wraps an existing file id as a heap file. The file must have been
+// created by Create (possibly in a prior session with a persistent store).
+func Open(pool *buffer.Pool, id pagefile.FileID) (*File, error) {
+	n, err := pool.Store().NumPages(id)
+	if err != nil {
+		return nil, err
+	}
+	name, err := pool.Store().FileName(id)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{pool: pool, id: id, name: name}
+	if n > 0 {
+		f.hasPages = true
+		f.appendPage = n - 1
+	}
+	return f, nil
+}
+
+// ID returns the file's id in the store.
+func (f *File) ID() pagefile.FileID { return f.id }
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// NumPages returns the number of pages in the file.
+func (f *File) NumPages() (uint32, error) { return f.pool.Store().NumPages(f.id) }
+
+func encodeHome(payload []byte) []byte {
+	n := homeHeaderSize + len(payload)
+	if n < minRecordSize {
+		n = minRecordSize
+	}
+	rec := make([]byte, n)
+	rec[0] = kindHome
+	binary.LittleEndian.PutUint16(rec[1:3], uint16(len(payload)))
+	copy(rec[3:], payload)
+	return rec
+}
+
+func encodeStub(target pagefile.OID) []byte {
+	rec := make([]byte, 1, stubSize)
+	rec[0] = kindStub
+	return target.AppendTo(rec)
+}
+
+func encodeMoved(payload []byte, home pagefile.OID) []byte {
+	rec := make([]byte, movedHeaderSize, movedHeaderSize+len(payload)+movedTrailer)
+	rec[0] = kindMoved
+	binary.LittleEndian.PutUint16(rec[1:3], uint16(len(payload)))
+	rec = append(rec, payload...)
+	return home.AppendTo(rec)
+}
+
+func decodePayload(rec []byte) ([]byte, error) {
+	if len(rec) < homeHeaderSize {
+		return nil, fmt.Errorf("heap: corrupt record of %d bytes", len(rec))
+	}
+	n := int(binary.LittleEndian.Uint16(rec[1:3]))
+	if homeHeaderSize+n > len(rec) {
+		return nil, fmt.Errorf("heap: corrupt record: payload length %d exceeds record", n)
+	}
+	return rec[3 : 3+n], nil
+}
+
+// Insert appends a record and returns its OID.
+func (f *File) Insert(payload []byte) (pagefile.OID, error) {
+	if len(payload) > MaxPayload {
+		return pagefile.OID{}, fmt.Errorf("heap: payload of %d bytes exceeds max %d", len(payload), MaxPayload)
+	}
+	return f.insertRecord(encodeHome(payload), true)
+}
+
+// InsertNear inserts a record, preferring page hint if it has room. It is
+// used to keep derived files (link objects, separate-replication S′ sets) in
+// the same physical order as the objects they shadow.
+func (f *File) InsertNear(payload []byte, hint uint32) (pagefile.OID, error) {
+	if len(payload) > MaxPayload {
+		return pagefile.OID{}, fmt.Errorf("heap: payload of %d bytes exceeds max %d", len(payload), MaxPayload)
+	}
+	rec := encodeHome(payload)
+	if f.hasPages && hint <= f.appendPage {
+		if oid, ok, err := f.tryInsertOn(hint, rec); err != nil {
+			return pagefile.OID{}, err
+		} else if ok {
+			return oid, nil
+		}
+	}
+	return f.insertRecord(rec, true)
+}
+
+func (f *File) insertRecord(rec []byte, retryNewPage bool) (pagefile.OID, error) {
+	if len(rec) > pagefile.MaxRecordSize {
+		return pagefile.OID{}, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(rec))
+	}
+	if f.hasPages {
+		if oid, ok, err := f.tryInsertOn(f.appendPage, rec); err != nil {
+			return pagefile.OID{}, err
+		} else if ok {
+			return oid, nil
+		}
+	}
+	if !retryNewPage {
+		return pagefile.OID{}, pagefile.ErrPageFull
+	}
+	h, pid, err := f.pool.NewPage(f.id)
+	if err != nil {
+		return pagefile.OID{}, err
+	}
+	defer h.Unpin()
+	sp := pagefile.InitSlotted(h.Page())
+	slot, err := sp.Insert(rec)
+	if err != nil {
+		return pagefile.OID{}, err
+	}
+	h.MarkDirty()
+	f.appendPage = pid.Page
+	f.hasPages = true
+	return pagefile.OID{File: f.id, Page: pid.Page, Slot: slot}, nil
+}
+
+func (f *File) tryInsertOn(page uint32, rec []byte) (pagefile.OID, bool, error) {
+	h, err := f.pool.Get(pagefile.PageID{File: f.id, Page: page})
+	if err != nil {
+		return pagefile.OID{}, false, err
+	}
+	defer h.Unpin()
+	sp := pagefile.AsSlotted(h.Page())
+	if !sp.CanFit(len(rec)) {
+		return pagefile.OID{}, false, nil
+	}
+	slot, err := sp.Insert(rec)
+	if err != nil {
+		return pagefile.OID{}, false, nil
+	}
+	h.MarkDirty()
+	return pagefile.OID{File: f.id, Page: page, Slot: slot}, true, nil
+}
+
+// Read returns a copy of the record payload at oid, following a forwarding
+// stub if present.
+func (f *File) Read(oid pagefile.OID) ([]byte, error) {
+	payload, _, err := f.readResolved(oid)
+	return payload, err
+}
+
+// readResolved returns the payload and the OID of the slot where the body
+// actually lives (== oid unless forwarded).
+func (f *File) readResolved(oid pagefile.OID) ([]byte, pagefile.OID, error) {
+	rec, err := f.rawRead(oid)
+	if err != nil {
+		return nil, pagefile.OID{}, err
+	}
+	switch rec[0] {
+	case kindHome:
+		p, err := decodePayload(rec)
+		return p, oid, err
+	case kindStub:
+		target, err := pagefile.DecodeOID(rec[1:])
+		if err != nil {
+			return nil, pagefile.OID{}, err
+		}
+		body, err := f.rawRead(target)
+		if err != nil {
+			return nil, pagefile.OID{}, err
+		}
+		if body[0] != kindMoved {
+			return nil, pagefile.OID{}, fmt.Errorf("heap: stub %v points at non-moved record", oid)
+		}
+		p, err := decodePayload(body)
+		return p, target, err
+	case kindMoved:
+		return nil, pagefile.OID{}, fmt.Errorf("%w: %v addresses a moved body, not a record", ErrNotFound, oid)
+	default:
+		return nil, pagefile.OID{}, fmt.Errorf("heap: unknown record kind %d at %v", rec[0], oid)
+	}
+}
+
+// rawRead returns a copy of the raw slot contents at oid.
+func (f *File) rawRead(oid pagefile.OID) ([]byte, error) {
+	if oid.File != f.id {
+		return nil, fmt.Errorf("heap: OID %v is not in file %d", oid, f.id)
+	}
+	h, err := f.pool.Get(oid.PageID())
+	if err != nil {
+		return nil, err
+	}
+	defer h.Unpin()
+	sp := pagefile.AsSlotted(h.Page())
+	rec, err := sp.Read(oid.Slot)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Update replaces the payload at oid, keeping the OID stable. If the new
+// payload no longer fits on the home page, the body is moved and a
+// forwarding stub is installed.
+func (f *File) Update(oid pagefile.OID, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("heap: payload of %d bytes exceeds max %d", len(payload), MaxPayload)
+	}
+	h, err := f.pool.Get(oid.PageID())
+	if err != nil {
+		return err
+	}
+	sp := pagefile.AsSlotted(h.Page())
+	rec, err := sp.Read(oid.Slot)
+	if err != nil {
+		h.Unpin()
+		return fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
+	}
+	switch rec[0] {
+	case kindHome:
+		if err := sp.Update(oid.Slot, encodeHome(payload)); err == nil {
+			h.MarkDirty()
+			h.Unpin()
+			return nil
+		} else if !errors.Is(err, pagefile.ErrPageFull) {
+			h.Unpin()
+			return err
+		}
+		// Move the body out and leave a stub. The stub (11 bytes) always fits
+		// because every live record is at least minRecordSize bytes.
+		h.Unpin()
+		target, err := f.insertBody(encodeMoved(payload, oid), oid.PageID().Page)
+		if err != nil {
+			return err
+		}
+		h2, err := f.pool.Get(oid.PageID())
+		if err != nil {
+			return err
+		}
+		defer h2.Unpin()
+		sp2 := pagefile.AsSlotted(h2.Page())
+		if err := sp2.Update(oid.Slot, encodeStub(target)); err != nil {
+			return fmt.Errorf("heap: installing forwarding stub at %v: %v", oid, err)
+		}
+		h2.MarkDirty()
+		return nil
+	case kindStub:
+		target, derr := pagefile.DecodeOID(rec[1:])
+		h.Unpin()
+		if derr != nil {
+			return derr
+		}
+		return f.updateMoved(oid, target, payload)
+	case kindMoved:
+		h.Unpin()
+		return fmt.Errorf("%w: %v addresses a moved body, not a record", ErrNotFound, oid)
+	default:
+		h.Unpin()
+		return fmt.Errorf("heap: unknown record kind %d at %v", rec[0], oid)
+	}
+}
+
+// updateMoved updates a record whose body lives at target, repointing the
+// stub at home if the body must move again.
+func (f *File) updateMoved(home, target pagefile.OID, payload []byte) error {
+	h, err := f.pool.Get(target.PageID())
+	if err != nil {
+		return err
+	}
+	sp := pagefile.AsSlotted(h.Page())
+	if err := sp.Update(target.Slot, encodeMoved(payload, home)); err == nil {
+		h.MarkDirty()
+		h.Unpin()
+		return nil
+	} else if !errors.Is(err, pagefile.ErrPageFull) {
+		h.Unpin()
+		return err
+	}
+	// Body moves again: delete the old body, insert a new one, repoint stub.
+	if err := sp.Delete(target.Slot); err != nil {
+		h.Unpin()
+		return err
+	}
+	h.MarkDirty()
+	h.Unpin()
+	newTarget, err := f.insertBody(encodeMoved(payload, home), home.Page)
+	if err != nil {
+		return err
+	}
+	hh, err := f.pool.Get(home.PageID())
+	if err != nil {
+		return err
+	}
+	defer hh.Unpin()
+	hsp := pagefile.AsSlotted(hh.Page())
+	if err := hsp.Update(home.Slot, encodeStub(newTarget)); err != nil {
+		return fmt.Errorf("heap: repointing stub at %v: %v", home, err)
+	}
+	hh.MarkDirty()
+	return nil
+}
+
+// insertBody stores an already encoded record (used for moved bodies),
+// preferring pages near the home page.
+func (f *File) insertBody(rec []byte, nearPage uint32) (pagefile.OID, error) {
+	// Try the page after the home page first so forwarded bodies stay close,
+	// then fall back to the append page / a fresh page.
+	if f.hasPages && nearPage+1 <= f.appendPage {
+		if oid, ok, err := f.tryInsertOn(nearPage+1, rec); err != nil {
+			return pagefile.OID{}, err
+		} else if ok {
+			return oid, nil
+		}
+	}
+	return f.insertRecord(rec, true)
+}
+
+// Delete removes the record at oid, including a moved body if forwarded.
+func (f *File) Delete(oid pagefile.OID) error {
+	h, err := f.pool.Get(oid.PageID())
+	if err != nil {
+		return err
+	}
+	sp := pagefile.AsSlotted(h.Page())
+	rec, err := sp.Read(oid.Slot)
+	if err != nil {
+		h.Unpin()
+		return fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
+	}
+	kind := rec[0]
+	var target pagefile.OID
+	if kind == kindStub {
+		target, err = pagefile.DecodeOID(rec[1:])
+		if err != nil {
+			h.Unpin()
+			return err
+		}
+	}
+	if kind == kindMoved {
+		h.Unpin()
+		return fmt.Errorf("%w: %v addresses a moved body, not a record", ErrNotFound, oid)
+	}
+	if err := sp.Delete(oid.Slot); err != nil {
+		h.Unpin()
+		return err
+	}
+	h.MarkDirty()
+	h.Unpin()
+	if kind == kindStub {
+		ht, err := f.pool.Get(target.PageID())
+		if err != nil {
+			return err
+		}
+		defer ht.Unpin()
+		spt := pagefile.AsSlotted(ht.Page())
+		if err := spt.Delete(target.Slot); err != nil {
+			return err
+		}
+		ht.MarkDirty()
+	}
+	return nil
+}
+
+// Scan calls fn for every live record in physical (page, slot) order of the
+// records' home OIDs. Forwarded records are visited at their home position.
+// If fn returns an error, the scan stops and returns it.
+func (f *File) Scan(fn func(oid pagefile.OID, payload []byte) error) error {
+	n, err := f.NumPages()
+	if err != nil {
+		return err
+	}
+	for page := uint32(0); page < n; page++ {
+		h, err := f.pool.Get(pagefile.PageID{File: f.id, Page: page})
+		if err != nil {
+			return err
+		}
+		sp := pagefile.AsSlotted(h.Page())
+		nslots := sp.NumSlots()
+		type item struct {
+			oid  pagefile.OID
+			body []byte // nil if forwarded; resolved below
+			fwd  pagefile.OID
+		}
+		var items []item
+		for slot := uint16(0); slot < nslots; slot++ {
+			if !sp.Live(slot) {
+				continue
+			}
+			rec, err := sp.Read(slot)
+			if err != nil {
+				h.Unpin()
+				return err
+			}
+			oid := pagefile.OID{File: f.id, Page: page, Slot: slot}
+			switch rec[0] {
+			case kindHome:
+				p, err := decodePayload(rec)
+				if err != nil {
+					h.Unpin()
+					return err
+				}
+				body := make([]byte, len(p))
+				copy(body, p)
+				items = append(items, item{oid: oid, body: body})
+			case kindStub:
+				t, err := pagefile.DecodeOID(rec[1:])
+				if err != nil {
+					h.Unpin()
+					return err
+				}
+				items = append(items, item{oid: oid, fwd: t})
+			case kindMoved:
+				// Visited through its stub.
+			}
+		}
+		h.Unpin()
+		for _, it := range items {
+			body := it.body
+			if body == nil {
+				var err error
+				body, _, err = f.readResolved(it.oid)
+				if err != nil {
+					return err
+				}
+			}
+			if err := fn(it.oid, body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of live records.
+func (f *File) Count() (int, error) {
+	n := 0
+	err := f.Scan(func(pagefile.OID, []byte) error { n++; return nil })
+	return n, err
+}

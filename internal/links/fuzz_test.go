@@ -1,0 +1,30 @@
+package links
+
+import "testing"
+
+// FuzzDecodeLinks asserts the link-object decoder never panics and that
+// successful decodes round trip.
+func FuzzDecodeLinks(f *testing.F) {
+	o := &Object{}
+	o.Add(Ref{OID: oid(1, 2)})
+	o.Add(Ref{OID: oid(3, 4)})
+	f.Add(o.Encode())
+	tagged := &Object{Tagged: true}
+	tagged.Add(Ref{OID: oid(1, 1), Tag: oid(9, 9)})
+	f.Add(tagged.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obj, err := Decode(data)
+		if err != nil {
+			return
+		}
+		back, err := Decode(obj.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Len() != obj.Len() || back.Tagged != obj.Tagged {
+			t.Fatal("round trip changed the object")
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package links implements link objects, the building blocks of inverted
+// paths (paper §4.1). A link object belongs to one object D on a replication
+// path and holds the sorted OIDs of the objects that reference D through one
+// particular reference attribute. Strung together, link objects form the
+// inverted path used to propagate updates to replicated data.
+//
+// OIDs are kept sorted so membership tests are binary searches and update
+// propagation visits referrers in physical (clustered) order. For collapsed
+// inverted paths (§4.3.3) each referrer OID carries a tag: the OID of the
+// intermediate object it reaches the terminal object through, needed to move
+// referrers when an intermediate reference attribute changes.
+package links
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+// Ref is one entry of a link object: a referrer OID and, in tagged
+// (collapsed-path) link objects, the intermediate object it came through.
+type Ref struct {
+	OID pagefile.OID
+	Tag pagefile.OID
+}
+
+// Object is a decoded link object.
+type Object struct {
+	Tagged bool
+	Refs   []Ref // sorted by OID
+}
+
+const (
+	flagTagged = 1
+	headerSize = 3 // u8 flags + u16 count
+)
+
+// Encode serializes the link object as a single flat record. The Store
+// persists link objects in the segmented format of store.go; this flat codec
+// serves in-memory round-trips and tests.
+func (o *Object) Encode() []byte {
+	entry := pagefile.OIDSize
+	if o.Tagged {
+		entry *= 2
+	}
+	buf := make([]byte, headerSize, headerSize+len(o.Refs)*entry)
+	if o.Tagged {
+		buf[0] = flagTagged
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(o.Refs)))
+	for _, r := range o.Refs {
+		buf = r.OID.AppendTo(buf)
+		if o.Tagged {
+			buf = r.Tag.AppendTo(buf)
+		}
+	}
+	return buf
+}
+
+// Decode deserializes a link object.
+func Decode(data []byte) (*Object, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("links: encoding of %d bytes too short", len(data))
+	}
+	o := &Object{Tagged: data[0]&flagTagged != 0}
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	entry := pagefile.OIDSize
+	if o.Tagged {
+		entry *= 2
+	}
+	if len(data) != headerSize+n*entry {
+		return nil, fmt.Errorf("links: encoding of %d bytes does not hold %d entries", len(data), n)
+	}
+	pos := headerSize
+	o.Refs = make([]Ref, 0, n)
+	for i := 0; i < n; i++ {
+		oid, err := pagefile.DecodeOID(data[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += pagefile.OIDSize
+		r := Ref{OID: oid}
+		if o.Tagged {
+			tag, err := pagefile.DecodeOID(data[pos:])
+			if err != nil {
+				return nil, err
+			}
+			pos += pagefile.OIDSize
+			r.Tag = tag
+		}
+		o.Refs = append(o.Refs, r)
+	}
+	return o, nil
+}
+
+// Len returns the number of referrers.
+func (o *Object) Len() int { return len(o.Refs) }
+
+// search returns the insertion position of oid and whether it is present.
+func (o *Object) search(oid pagefile.OID) (int, bool) {
+	i := sort.Search(len(o.Refs), func(i int) bool { return !o.Refs[i].OID.Less(oid) })
+	return i, i < len(o.Refs) && o.Refs[i].OID == oid
+}
+
+// Contains reports whether oid is a referrer.
+func (o *Object) Contains(oid pagefile.OID) bool {
+	_, ok := o.search(oid)
+	return ok
+}
+
+// Add inserts r in sorted position, reporting whether it was new.
+func (o *Object) Add(r Ref) bool {
+	i, found := o.search(r.OID)
+	if found {
+		return false
+	}
+	o.Refs = append(o.Refs, Ref{})
+	copy(o.Refs[i+1:], o.Refs[i:])
+	o.Refs[i] = r
+	return true
+}
+
+// Remove deletes oid, reporting whether it was present.
+func (o *Object) Remove(oid pagefile.OID) bool {
+	i, found := o.search(oid)
+	if !found {
+		return false
+	}
+	o.Refs = append(o.Refs[:i], o.Refs[i+1:]...)
+	return true
+}
+
+// OIDs returns just the referrer OIDs, in sorted order.
+func (o *Object) OIDs() []pagefile.OID {
+	out := make([]pagefile.OID, len(o.Refs))
+	for i, r := range o.Refs {
+		out[i] = r.OID
+	}
+	return out
+}
+
+// RefsWithTag returns the referrers tagged with tag (collapsed paths: the
+// referrers reaching the terminal through intermediate object tag).
+func (o *Object) RefsWithTag(tag pagefile.OID) []Ref {
+	var out []Ref
+	for _, r := range o.Refs {
+		if r.Tag == tag {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RemoveByTag deletes and returns every referrer tagged with tag.
+func (o *Object) RemoveByTag(tag pagefile.OID) []Ref {
+	var removed []Ref
+	kept := o.Refs[:0]
+	for _, r := range o.Refs {
+		if r.Tag == tag {
+			removed = append(removed, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	o.Refs = kept
+	return removed
+}

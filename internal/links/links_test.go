@@ -1,0 +1,202 @@
+package links
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/exodb/fieldrepl/internal/buffer"
+	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+func oid(p, s int) pagefile.OID {
+	return pagefile.OID{File: 1, Page: uint32(p), Slot: uint16(s)}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	o := &Object{}
+	o.Add(Ref{OID: oid(2, 1)})
+	o.Add(Ref{OID: oid(1, 5)})
+	o.Add(Ref{OID: oid(1, 2)})
+	got, err := Decode(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, o) {
+		t.Fatalf("round trip: got %+v, want %+v", got, o)
+	}
+	// Empty object round trips too.
+	empty := &Object{}
+	got, err = Decode(empty.Encode())
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty round trip: %+v, %v", got, err)
+	}
+}
+
+func TestTaggedEncodeDecode(t *testing.T) {
+	o := &Object{Tagged: true}
+	o.Add(Ref{OID: oid(1, 1), Tag: oid(9, 9)})
+	o.Add(Ref{OID: oid(1, 2), Tag: oid(9, 8)})
+	got, err := Decode(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Tagged || !reflect.DeepEqual(got.Refs, o.Refs) {
+		t.Fatalf("tagged round trip: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil decode succeeded")
+	}
+	o := &Object{}
+	o.Add(Ref{OID: oid(1, 1)})
+	enc := o.Encode()
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated decode succeeded")
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Fatal("oversized decode succeeded")
+	}
+}
+
+func TestSortedSetSemantics(t *testing.T) {
+	o := &Object{}
+	if !o.Add(Ref{OID: oid(3, 0)}) || !o.Add(Ref{OID: oid(1, 0)}) || !o.Add(Ref{OID: oid(2, 0)}) {
+		t.Fatal("Add returned false for new OIDs")
+	}
+	if o.Add(Ref{OID: oid(2, 0)}) {
+		t.Fatal("duplicate Add returned true")
+	}
+	want := []pagefile.OID{oid(1, 0), oid(2, 0), oid(3, 0)}
+	if !reflect.DeepEqual(o.OIDs(), want) {
+		t.Fatalf("OIDs = %v", o.OIDs())
+	}
+	if !o.Contains(oid(2, 0)) || o.Contains(oid(9, 9)) {
+		t.Fatal("Contains wrong")
+	}
+	if !o.Remove(oid(2, 0)) || o.Remove(oid(2, 0)) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+}
+
+func TestSortedInvariantProperty(t *testing.T) {
+	f := func(pages []uint16) bool {
+		o := &Object{}
+		for _, p := range pages {
+			o.Add(Ref{OID: oid(int(p), 0)})
+		}
+		oids := o.OIDs()
+		return sort.SliceIsSorted(oids, func(i, j int) bool { return oids[i].Less(oids[j]) })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagOperations(t *testing.T) {
+	o := &Object{Tagged: true}
+	d1, d2 := oid(100, 0), oid(100, 1)
+	o.Add(Ref{OID: oid(1, 0), Tag: d1})
+	o.Add(Ref{OID: oid(2, 0), Tag: d1})
+	o.Add(Ref{OID: oid(3, 0), Tag: d2})
+
+	withD1 := o.RefsWithTag(d1)
+	if len(withD1) != 2 {
+		t.Fatalf("RefsWithTag(d1) = %v", withD1)
+	}
+	removed := o.RemoveByTag(d1)
+	if len(removed) != 2 || o.Len() != 1 {
+		t.Fatalf("RemoveByTag removed %d, left %d", len(removed), o.Len())
+	}
+	if o.Refs[0].Tag != d2 {
+		t.Fatal("wrong survivor after RemoveByTag")
+	}
+	if got := o.RemoveByTag(oid(5, 5)); len(got) != 0 {
+		t.Fatal("RemoveByTag of absent tag removed entries")
+	}
+}
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	store := pagefile.NewMemStore()
+	t.Cleanup(func() { store.Close() })
+	pool := buffer.New(store, 16)
+	f, err := heap.Create(pool, "links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(f)
+}
+
+func TestStoreCRUD(t *testing.T) {
+	s := newStore(t)
+	o := &Object{}
+	o.Add(Ref{OID: oid(1, 1)})
+	loid, err := s.Create(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(loid)
+	if err != nil || got.Len() != 1 {
+		t.Fatalf("Read: %+v, %v", got, err)
+	}
+	added, err := s.AddRef(loid, Ref{OID: oid(1, 2)})
+	if err != nil || !added {
+		t.Fatalf("AddRef: %v, %v", added, err)
+	}
+	added, err = s.AddRef(loid, Ref{OID: oid(1, 2)})
+	if err != nil || added {
+		t.Fatalf("duplicate AddRef: %v, %v", added, err)
+	}
+	empty, err := s.RemoveRef(loid, oid(1, 1))
+	if err != nil || empty {
+		t.Fatalf("RemoveRef: empty=%v err=%v", empty, err)
+	}
+	if _, err := s.RemoveRef(loid, oid(7, 7)); err == nil {
+		t.Fatal("RemoveRef of non-referrer succeeded")
+	}
+	empty, err = s.RemoveRef(loid, oid(1, 2))
+	if err != nil || !empty {
+		t.Fatalf("final RemoveRef: empty=%v err=%v", empty, err)
+	}
+	// The link object is deleted once empty.
+	if _, err := s.Read(loid); err == nil {
+		t.Fatal("empty link object still readable")
+	}
+}
+
+func TestStoreLargeLinkObjectGrowth(t *testing.T) {
+	// A department with a thousand employees: the link object grows across
+	// the heap's forwarding machinery transparently.
+	s := newStore(t)
+	o := &Object{}
+	loid, err := s.Create(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(3)).Perm(300)
+	for _, i := range perm {
+		if _, err := s.AddRef(loid, Ref{OID: oid(i/10, i%10)}); err != nil {
+			t.Fatalf("AddRef %d: %v", i, err)
+		}
+	}
+	got, err := s.Read(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 300 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	oids := got.OIDs()
+	if !sort.SliceIsSorted(oids, func(i, j int) bool { return oids[i].Less(oids[j]) }) {
+		t.Fatal("large link object not sorted")
+	}
+}

@@ -1,0 +1,353 @@
+package links
+
+import (
+	"fmt"
+
+	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+// Link objects can be "quite large" (paper §4.1): a department with a
+// thousand employees needs a thousand referrer OIDs, which exceeds one page.
+// The Store therefore persists a logical link object as a chain of
+// *segments* — heap records each holding a sorted, disjoint, ascending run
+// of referrers plus the OID of the next segment. The head segment's OID is
+// the link-OID stored in (link-OID, link-ID) pairs and never changes.
+//
+// Segment encoding:
+//
+//	u8  flags (bit0: tagged)
+//	u16 count
+//	10  next-segment OID (nil = last)
+//	entries (10 or 20 bytes each)
+const segHeaderSize = 3 + pagefile.OIDSize
+
+func encodeSegment(tagged bool, refs []Ref, next pagefile.OID) []byte {
+	entry := pagefile.OIDSize
+	if tagged {
+		entry *= 2
+	}
+	buf := make([]byte, 3, segHeaderSize+len(refs)*entry)
+	if tagged {
+		buf[0] = flagTagged
+	}
+	buf[1] = byte(len(refs))
+	buf[2] = byte(len(refs) >> 8)
+	buf = next.AppendTo(buf)
+	for _, r := range refs {
+		buf = r.OID.AppendTo(buf)
+		if tagged {
+			buf = r.Tag.AppendTo(buf)
+		}
+	}
+	return buf
+}
+
+func decodeSegment(data []byte) (tagged bool, refs []Ref, next pagefile.OID, err error) {
+	if len(data) < segHeaderSize {
+		return false, nil, pagefile.OID{}, fmt.Errorf("links: segment of %d bytes too short", len(data))
+	}
+	tagged = data[0]&flagTagged != 0
+	n := int(data[1]) | int(data[2])<<8
+	next, err = pagefile.DecodeOID(data[3:])
+	if err != nil {
+		return false, nil, pagefile.OID{}, err
+	}
+	entry := pagefile.OIDSize
+	if tagged {
+		entry *= 2
+	}
+	if len(data) != segHeaderSize+n*entry {
+		return false, nil, pagefile.OID{}, fmt.Errorf("links: segment of %d bytes does not hold %d entries", len(data), n)
+	}
+	pos := segHeaderSize
+	refs = make([]Ref, 0, n)
+	for i := 0; i < n; i++ {
+		oid, err := pagefile.DecodeOID(data[pos:])
+		if err != nil {
+			return false, nil, pagefile.OID{}, err
+		}
+		pos += pagefile.OIDSize
+		r := Ref{OID: oid}
+		if tagged {
+			r.Tag, err = pagefile.DecodeOID(data[pos:])
+			if err != nil {
+				return false, nil, pagefile.OID{}, err
+			}
+			pos += pagefile.OIDSize
+		}
+		refs = append(refs, r)
+	}
+	return tagged, refs, next, nil
+}
+
+// Store persists link objects in a heap file, one file per link, segmenting
+// large objects across records. Link objects are inserted near the pages of
+// the objects that own them, keeping the link file in the same physical
+// order as its set (§4.1, Figure 2) so propagation I/O stays clustered.
+type Store struct {
+	file   *heap.File
+	segCap int // max refs per segment override (0 = derive from page size)
+}
+
+// NewStore wraps a heap file as a link-object store.
+func NewStore(file *heap.File) *Store { return &Store{file: file} }
+
+// WithSegmentCap lowers the per-segment capacity (testing hook to force
+// multi-segment chains with small data).
+func (s *Store) WithSegmentCap(n int) *Store {
+	s.segCap = n
+	return s
+}
+
+// File returns the underlying heap file.
+func (s *Store) File() *heap.File { return s.file }
+
+func (s *Store) capacity(tagged bool) int {
+	entry := pagefile.OIDSize
+	if tagged {
+		entry *= 2
+	}
+	c := (heap.MaxPayload - segHeaderSize) / entry
+	if s.segCap > 0 && s.segCap < c {
+		c = s.segCap
+	}
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// Create inserts a link object (splitting into segments as needed),
+// preferring placement near nearPage. It returns the head OID.
+func (s *Store) Create(o *Object, nearPage uint32) (pagefile.OID, error) {
+	c := s.capacity(o.Tagged)
+	// Chunk the sorted refs; write segments back to front so each knows its
+	// successor's OID.
+	var chunks [][]Ref
+	refs := o.Refs
+	for len(refs) > c {
+		chunks = append(chunks, refs[:c])
+		refs = refs[c:]
+	}
+	chunks = append(chunks, refs)
+	next := pagefile.NilOID
+	for i := len(chunks) - 1; i >= 0; i-- {
+		oid, err := s.file.InsertNear(encodeSegment(o.Tagged, chunks[i], next), nearPage)
+		if err != nil {
+			return pagefile.OID{}, err
+		}
+		next = oid
+	}
+	return next, nil
+}
+
+// Read loads the whole link object at head.
+func (s *Store) Read(head pagefile.OID) (*Object, error) {
+	o := &Object{}
+	cur := head
+	first := true
+	for !cur.IsNil() {
+		data, err := s.file.Read(cur)
+		if err != nil {
+			return nil, err
+		}
+		tagged, refs, next, err := decodeSegment(data)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			o.Tagged = tagged
+			first = false
+		}
+		o.Refs = append(o.Refs, refs...)
+		cur = next
+	}
+	return o, nil
+}
+
+// segment is one loaded chain element.
+type segment struct {
+	oid  pagefile.OID
+	refs []Ref
+	next pagefile.OID
+}
+
+func (s *Store) loadChain(head pagefile.OID) (tagged bool, segs []segment, err error) {
+	cur := head
+	first := true
+	for !cur.IsNil() {
+		data, err := s.file.Read(cur)
+		if err != nil {
+			return false, nil, err
+		}
+		t, refs, next, err := decodeSegment(data)
+		if err != nil {
+			return false, nil, err
+		}
+		if first {
+			tagged = t
+			first = false
+		}
+		segs = append(segs, segment{oid: cur, refs: refs, next: next})
+		cur = next
+	}
+	return tagged, segs, nil
+}
+
+func (s *Store) writeSegment(tagged bool, seg segment) error {
+	return s.file.Update(seg.oid, encodeSegment(tagged, seg.refs, seg.next))
+}
+
+// Write replaces the whole link object at head with o, reusing the existing
+// chain's segments and growing or shrinking it as needed.
+func (s *Store) Write(head pagefile.OID, o *Object) error {
+	_, segs, err := s.loadChain(head)
+	if err != nil {
+		return err
+	}
+	c := s.capacity(o.Tagged)
+	var chunks [][]Ref
+	refs := o.Refs
+	for len(refs) > c {
+		chunks = append(chunks, refs[:c])
+		refs = refs[c:]
+	}
+	chunks = append(chunks, refs)
+	// Grow the chain if needed (append new segments near the tail).
+	for len(segs) < len(chunks) {
+		oid, err := s.file.InsertNear(encodeSegment(o.Tagged, nil, pagefile.NilOID), segs[len(segs)-1].oid.Page)
+		if err != nil {
+			return err
+		}
+		segs[len(segs)-1].next = oid
+		segs = append(segs, segment{oid: oid})
+	}
+	// Shrink: delete extras beyond the needed length.
+	for i := len(chunks); i < len(segs); i++ {
+		if err := s.file.Delete(segs[i].oid); err != nil {
+			return err
+		}
+	}
+	segs = segs[:len(chunks)]
+	segs[len(segs)-1].next = pagefile.NilOID
+	for i := range segs {
+		segs[i].refs = chunks[i]
+		if i < len(segs)-1 {
+			segs[i].next = segs[i+1].oid
+		}
+		if err := s.writeSegment(o.Tagged, segs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the whole link object at head.
+func (s *Store) Delete(head pagefile.OID) error {
+	cur := head
+	for !cur.IsNil() {
+		data, err := s.file.Read(cur)
+		if err != nil {
+			return err
+		}
+		_, _, next, err := decodeSegment(data)
+		if err != nil {
+			return err
+		}
+		if err := s.file.Delete(cur); err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+// AddRef adds r to the link object at head, keeping segments as sorted,
+// disjoint ascending runs and splitting a full segment in half. It returns
+// false if r was already present.
+func (s *Store) AddRef(head pagefile.OID, r Ref) (bool, error) {
+	tagged, segs, err := s.loadChain(head)
+	if err != nil {
+		return false, err
+	}
+	// Pick the last segment whose first ref is <= r (or the first segment).
+	idx := 0
+	for i := 1; i < len(segs); i++ {
+		if len(segs[i].refs) > 0 && !r.OID.Less(segs[i].refs[0].OID) {
+			idx = i
+		} else {
+			break
+		}
+	}
+	seg := &segs[idx]
+	tmp := Object{Tagged: tagged, Refs: seg.refs}
+	if !tmp.Add(r) {
+		return false, nil
+	}
+	seg.refs = tmp.Refs
+	if len(seg.refs) <= s.capacity(tagged) {
+		return true, s.writeSegment(tagged, *seg)
+	}
+	// Split: upper half moves into a fresh segment spliced after this one.
+	mid := len(seg.refs) / 2
+	upper := append([]Ref(nil), seg.refs[mid:]...)
+	seg.refs = seg.refs[:mid]
+	newOID, err := s.file.InsertNear(encodeSegment(tagged, upper, seg.next), seg.oid.Page)
+	if err != nil {
+		return false, err
+	}
+	seg.next = newOID
+	return true, s.writeSegment(tagged, *seg)
+}
+
+// RemoveRef removes a referrer from the link object at head. It reports
+// whether the whole link object became empty (the caller then deletes the
+// owner's link pair, per §4.1.1 "delete E"); the head OID stays valid while
+// any referrer remains.
+func (s *Store) RemoveRef(head, referrer pagefile.OID) (empty bool, err error) {
+	tagged, segs, err := s.loadChain(head)
+	if err != nil {
+		return false, err
+	}
+	found := -1
+	for i := range segs {
+		tmp := Object{Tagged: tagged, Refs: segs[i].refs}
+		if tmp.Remove(referrer) {
+			segs[i].refs = tmp.Refs
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return false, fmt.Errorf("links: %v is not a referrer in link object %v", referrer, head)
+	}
+	total := 0
+	for _, seg := range segs {
+		total += len(seg.refs)
+	}
+	if total == 0 {
+		return true, s.Delete(head)
+	}
+	seg := &segs[found]
+	if len(seg.refs) > 0 {
+		return false, s.writeSegment(tagged, *seg)
+	}
+	// The segment emptied but the chain has content elsewhere.
+	if found > 0 {
+		// Unlink a middle/tail segment.
+		segs[found-1].next = seg.next
+		if err := s.writeSegment(tagged, segs[found-1]); err != nil {
+			return false, err
+		}
+		return false, s.file.Delete(seg.oid)
+	}
+	// The head emptied: absorb the next segment so the head OID survives.
+	nextSeg := segs[1]
+	seg.refs = nextSeg.refs
+	seg.next = nextSeg.next
+	if err := s.writeSegment(tagged, *seg); err != nil {
+		return false, err
+	}
+	return false, s.file.Delete(nextSeg.oid)
+}

@@ -1,0 +1,178 @@
+package links
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+// smallStore returns a store with a tiny segment capacity so chains form
+// with little data.
+func smallStore(t *testing.T, cap int) *Store {
+	t.Helper()
+	return newStore(t).WithSegmentCap(cap)
+}
+
+func TestSegmentedAddReadRemove(t *testing.T) {
+	s := smallStore(t, 4)
+	head, err := s.Create(&Object{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	model := map[pagefile.OID]bool{}
+	var keys []pagefile.OID
+	for i := 0; i < 200; i++ {
+		r := oid(rng.Intn(50), rng.Intn(50))
+		added, err := s.AddRef(head, Ref{OID: r})
+		if err != nil {
+			t.Fatalf("AddRef %d: %v", i, err)
+		}
+		if added == model[r] {
+			t.Fatalf("AddRef(%v) added=%v but model has=%v", r, added, model[r])
+		}
+		if !model[r] {
+			model[r] = true
+			keys = append(keys, r)
+		}
+	}
+	got, err := s.Read(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", got.Len(), len(model))
+	}
+	oids := got.OIDs()
+	if !sort.SliceIsSorted(oids, func(i, j int) bool { return oids[i].Less(oids[j]) }) {
+		t.Fatal("chain not globally sorted")
+	}
+	// The chain really is segmented.
+	if n, _ := s.File().Count(); n < 10 {
+		t.Fatalf("expected many segments, file has %d records", n)
+	}
+	// Remove everything in random order; head OID stays valid until empty.
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, r := range keys {
+		empty, err := s.RemoveRef(head, r)
+		if err != nil {
+			t.Fatalf("RemoveRef %d (%v): %v", i, r, err)
+		}
+		if (i == len(keys)-1) != empty {
+			t.Fatalf("empty=%v at removal %d of %d", empty, i+1, len(keys))
+		}
+		if !empty {
+			got, err := s.Read(head)
+			if err != nil {
+				t.Fatalf("Read after removal %d: %v", i, err)
+			}
+			if got.Len() != len(keys)-i-1 {
+				t.Fatalf("Len = %d after %d removals", got.Len(), i+1)
+			}
+		}
+	}
+	if n, _ := s.File().Count(); n != 0 {
+		t.Fatalf("segments leaked: %d records", n)
+	}
+}
+
+func TestSegmentedCreateLarge(t *testing.T) {
+	s := smallStore(t, 8)
+	o := &Object{}
+	for i := 0; i < 100; i++ {
+		o.Add(Ref{OID: oid(i, 0)})
+	}
+	head, err := s.Create(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(head)
+	if err != nil || got.Len() != 100 {
+		t.Fatalf("Read = %d refs, %v", got.Len(), err)
+	}
+	for i, r := range got.Refs {
+		if r.OID != oid(i, 0) {
+			t.Fatalf("ref %d = %v", i, r.OID)
+		}
+	}
+}
+
+func TestSegmentedWriteGrowShrink(t *testing.T) {
+	s := smallStore(t, 4)
+	o := &Object{Tagged: true}
+	for i := 0; i < 30; i++ {
+		o.Add(Ref{OID: oid(i, 0), Tag: oid(100+i%3, 0)})
+	}
+	head, err := s.Create(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink via Write (the collapsed-path RemoveByTag flow).
+	loaded, _ := s.Read(head)
+	loaded.RemoveByTag(oid(100, 0))
+	if err := s.Write(head, loaded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Read(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != loaded.Len() || len(back.RefsWithTag(oid(100, 0))) != 0 {
+		t.Fatalf("after shrink write: %d refs", back.Len())
+	}
+	// Grow via Write.
+	for i := 30; i < 90; i++ {
+		back.Add(Ref{OID: oid(i, 0), Tag: oid(101, 0)})
+	}
+	if err := s.Write(head, back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Read(head)
+	if err != nil || again.Len() != back.Len() {
+		t.Fatalf("after grow write: %d vs %d, %v", again.Len(), back.Len(), err)
+	}
+	if !again.Tagged {
+		t.Fatal("tagged flag lost")
+	}
+	if err := s.Delete(head); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.File().Count(); n != 0 {
+		t.Fatalf("Delete leaked %d segments", n)
+	}
+}
+
+func TestSegmentedRemoveErrors(t *testing.T) {
+	s := smallStore(t, 4)
+	o := &Object{}
+	o.Add(Ref{OID: oid(1, 0)})
+	head, _ := s.Create(o, 0)
+	if _, err := s.RemoveRef(head, oid(9, 9)); err == nil {
+		t.Fatal("RemoveRef of non-member succeeded")
+	}
+}
+
+func TestSegmentedHeadAbsorbsNext(t *testing.T) {
+	s := smallStore(t, 2)
+	o := &Object{}
+	for i := 0; i < 6; i++ {
+		o.Add(Ref{OID: oid(i, 0)})
+	}
+	head, _ := s.Create(o, 0)
+	// Empty the head segment (refs 0 and 1): the head OID must stay valid.
+	if _, err := s.RemoveRef(head, oid(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RemoveRef(head, oid(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(head)
+	if err != nil {
+		t.Fatalf("head OID died: %v", err)
+	}
+	if got.Len() != 4 || got.Refs[0].OID != oid(2, 0) {
+		t.Fatalf("after head absorption: %v", got.OIDs())
+	}
+}

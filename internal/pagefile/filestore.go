@@ -1,0 +1,227 @@
+package pagefile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FileStore is a Store backed by one OS file per page file, for users who
+// want databases that persist across processes. It performs the same
+// page-granularity I/O accounting as MemStore.
+type FileStore struct {
+	mu     sync.Mutex
+	dir    string
+	files  []*osFile
+	stats  Stats
+	closed bool
+}
+
+type osFile struct {
+	f      *os.File
+	name   string
+	npages uint32
+}
+
+// NewFileStore creates (or reuses) directory dir and returns a store whose
+// page files live there. Existing files in dir are not reopened; use
+// OpenFileStore to reattach to an existing database directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pagefile: creating store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// OpenFileStore reopens an existing database directory: every page file
+// previously created there is reattached under its original FileID, and new
+// files continue the ID sequence. File names are recovered from the on-disk
+// names (they were sanitized at creation; the catalog, not the store, is the
+// authority on set names).
+func OpenFileStore(dir string) (*FileStore, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pagefile: opening store dir: %w", err)
+	}
+	type onDisk struct {
+		id   uint64
+		name string
+		path string
+	}
+	var found []onDisk
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pf") {
+			continue
+		}
+		base := strings.TrimSuffix(e.Name(), ".pf")
+		idStr, name, ok := strings.Cut(base, "_")
+		if !ok {
+			continue
+		}
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil || id == 0 {
+			continue
+		}
+		found = append(found, onDisk{id: id, name: name, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].id < found[j].id })
+	s := &FileStore{dir: dir}
+	for i, od := range found {
+		if od.id != uint64(i+1) {
+			return nil, fmt.Errorf("pagefile: store dir %s has a gap at file id %d", dir, i+1)
+		}
+		f, err := os.OpenFile(od.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("pagefile: reopening %s: %w", od.path, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if st.Size()%PageSize != 0 {
+			f.Close()
+			return nil, fmt.Errorf("pagefile: %s has a partial page (%d bytes)", od.path, st.Size())
+		}
+		s.files = append(s.files, &osFile{f: f, name: od.name, npages: uint32(st.Size() / PageSize)})
+	}
+	return s, nil
+}
+
+// CreateFile implements Store.
+func (s *FileStore) CreateFile(name string) (FileID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	id := FileID(len(s.files) + 1)
+	path := filepath.Join(s.dir, fmt.Sprintf("%04d_%s.pf", id, sanitize(name)))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("pagefile: creating %s: %w", path, err)
+	}
+	s.files = append(s.files, &osFile{f: f, name: name})
+	return id, nil
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func (s *FileStore) file(id FileID) (*osFile, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if id == 0 || int(id) > len(s.files) {
+		return nil, ErrNoSuchFile
+	}
+	return s.files[id-1], nil
+}
+
+// Allocate implements Store.
+func (s *FileStore) Allocate(id FileID) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file(id)
+	if err != nil {
+		return 0, err
+	}
+	page := f.npages
+	var zero Page
+	if _, err := f.f.WriteAt(zero[:], int64(page)*PageSize); err != nil {
+		return 0, fmt.Errorf("pagefile: extending file %d: %w", id, err)
+	}
+	f.npages++
+	s.stats.allocs.Add(1)
+	return page, nil
+}
+
+// ReadPage implements Store.
+func (s *FileStore) ReadPage(pid PageID, buf *Page) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file(pid.File)
+	if err != nil {
+		return err
+	}
+	if pid.Page >= f.npages {
+		return fmt.Errorf("%w: %s", ErrNoSuchPage, pid)
+	}
+	if _, err := f.f.ReadAt(buf[:], int64(pid.Page)*PageSize); err != nil {
+		return fmt.Errorf("pagefile: reading %s: %w", pid, err)
+	}
+	s.stats.reads.Add(1)
+	return nil
+}
+
+// WritePage implements Store.
+func (s *FileStore) WritePage(pid PageID, buf *Page) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file(pid.File)
+	if err != nil {
+		return err
+	}
+	if pid.Page >= f.npages {
+		return fmt.Errorf("%w: %s", ErrNoSuchPage, pid)
+	}
+	if _, err := f.f.WriteAt(buf[:], int64(pid.Page)*PageSize); err != nil {
+		return fmt.Errorf("pagefile: writing %s: %w", pid, err)
+	}
+	s.stats.writes.Add(1)
+	return nil
+}
+
+// NumPages implements Store.
+func (s *FileStore) NumPages(id FileID) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file(id)
+	if err != nil {
+		return 0, err
+	}
+	return f.npages, nil
+}
+
+// FileName implements Store.
+func (s *FileStore) FileName(id FileID) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file(id)
+	if err != nil {
+		return "", err
+	}
+	return f.name, nil
+}
+
+// Stats implements Store.
+func (s *FileStore) Stats() *Stats { return &s.stats }
+
+// Close implements Store. It closes every backing OS file.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, f := range s.files {
+		if err := f.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.files = nil
+	s.closed = true
+	return firstErr
+}

@@ -1,0 +1,78 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// OID is a physical object identifier: the file, page, and slot where an
+// object lives. OIDs are physically based, as in EXODUS, which lets link
+// objects keep referrer OIDs in sorted (and therefore clustered) order.
+//
+// The in-memory representation is 10 bytes when packed; the analytical cost
+// model uses the paper's 8-byte OID constant independently of this encoding.
+type OID struct {
+	File FileID
+	Page uint32
+	Slot uint16
+}
+
+// OIDSize is the packed on-disk size of an OID in bytes.
+const OIDSize = 10
+
+// NilOID is the zero OID, used to represent a null reference.
+var NilOID OID
+
+// IsNil reports whether o is the null reference.
+func (o OID) IsNil() bool { return o == NilOID }
+
+func (o OID) String() string { return fmt.Sprintf("%d:%d:%d", o.File, o.Page, o.Slot) }
+
+// PageID returns the page the object lives on.
+func (o OID) PageID() PageID { return PageID{File: o.File, Page: o.Page} }
+
+// Less orders OIDs by (file, page, slot), i.e. physical order. Keeping link
+// object contents sorted by Less means update propagation visits referrers in
+// clustered order.
+func (o OID) Less(p OID) bool {
+	if o.File != p.File {
+		return o.File < p.File
+	}
+	if o.Page != p.Page {
+		return o.Page < p.Page
+	}
+	return o.Slot < p.Slot
+}
+
+// Compare returns -1, 0, or +1 comparing o and p in physical order.
+func (o OID) Compare(p OID) int {
+	switch {
+	case o.Less(p):
+		return -1
+	case p.Less(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// AppendTo appends the 10-byte packed encoding of o to b.
+func (o OID) AppendTo(b []byte) []byte {
+	var buf [OIDSize]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(o.File))
+	binary.LittleEndian.PutUint32(buf[4:8], o.Page)
+	binary.LittleEndian.PutUint16(buf[8:10], o.Slot)
+	return append(b, buf[:]...)
+}
+
+// DecodeOID decodes a 10-byte packed OID from the front of b.
+func DecodeOID(b []byte) (OID, error) {
+	if len(b) < OIDSize {
+		return OID{}, fmt.Errorf("pagefile: short OID encoding (%d bytes)", len(b))
+	}
+	return OID{
+		File: FileID(binary.LittleEndian.Uint32(b[0:4])),
+		Page: binary.LittleEndian.Uint32(b[4:8]),
+		Slot: binary.LittleEndian.Uint16(b[8:10]),
+	}, nil
+}

@@ -1,0 +1,216 @@
+// Package pagefile provides the lowest layer of the storage system: fixed-size
+// pages, page-addressed files, and a Store that reads and writes pages while
+// counting every I/O. Two Store implementations are provided: an in-memory
+// store (the default for experiments, where page I/O counts are the quantity
+// of interest) and an OS-file-backed store.
+//
+// The page geometry mirrors the EXODUS storage manager constants used by the
+// paper's cost model (Figure 10): 4096-byte pages with 4056 bytes available
+// for user data, and 20 bytes of per-object overhead (slot + object header).
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// PageSize is the size of every page in bytes.
+	PageSize = 4096
+	// PageHeaderSize is the number of bytes reserved at the front of every
+	// slotted page, leaving UserBytes for records and slots.
+	PageHeaderSize = 40
+	// UserBytes is the number of bytes in a page available for user data,
+	// the cost model's B parameter.
+	UserBytes = PageSize - PageHeaderSize
+)
+
+// Page is a raw disk page.
+type Page [PageSize]byte
+
+// FileID identifies a page file within a Store.
+type FileID uint32
+
+// PageID addresses one page: a file and a page number within it.
+type PageID struct {
+	File FileID
+	Page uint32
+}
+
+func (p PageID) String() string { return fmt.Sprintf("%d:%d", p.File, p.Page) }
+
+// Errors returned by Store implementations.
+var (
+	ErrNoSuchFile = errors.New("pagefile: no such file")
+	ErrNoSuchPage = errors.New("pagefile: page out of range")
+	ErrClosed     = errors.New("pagefile: store is closed")
+)
+
+// Stats accumulates I/O counters. All methods are safe for concurrent use.
+type Stats struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+	allocs atomic.Int64
+}
+
+// Reads returns the number of page reads since the last Reset.
+func (s *Stats) Reads() int64 { return s.reads.Load() }
+
+// Writes returns the number of page writes since the last Reset.
+func (s *Stats) Writes() int64 { return s.writes.Load() }
+
+// Allocs returns the number of pages allocated since the last Reset.
+func (s *Stats) Allocs() int64 { return s.allocs.Load() }
+
+// Total returns reads + writes.
+func (s *Stats) Total() int64 { return s.Reads() + s.Writes() }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.reads.Store(0)
+	s.writes.Store(0)
+	s.allocs.Store(0)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d allocs=%d", s.Reads(), s.Writes(), s.Allocs())
+}
+
+// Store is a collection of page files. Implementations count page-level I/O
+// in Stats; the buffer pool sits above a Store so that only buffer misses and
+// flushes reach it, making Stats the direct analogue of the cost model's I/O
+// counts.
+type Store interface {
+	// CreateFile creates a new, empty page file and returns its id.
+	CreateFile(name string) (FileID, error)
+	// Allocate appends a zeroed page to the file and returns its page number.
+	Allocate(f FileID) (uint32, error)
+	// ReadPage reads page pid into buf.
+	ReadPage(pid PageID, buf *Page) error
+	// WritePage writes buf to page pid.
+	WritePage(pid PageID, buf *Page) error
+	// NumPages reports the number of pages currently in the file.
+	NumPages(f FileID) (uint32, error)
+	// FileName returns the name the file was created with.
+	FileName(f FileID) (string, error)
+	// Stats returns the store's I/O counters.
+	Stats() *Stats
+	// Close releases all resources.
+	Close() error
+}
+
+// MemStore is an in-memory Store. It is the default substrate for
+// experiments: page contents live in RAM and Stats counts the page transfers
+// that a disk-resident system would perform.
+//
+// File IDs start at 1: FileID 0 is reserved so that the zero OID is
+// unambiguously the null reference.
+type MemStore struct {
+	mu     sync.RWMutex
+	files  [][]*Page // files[i] backs FileID(i+1)
+	names  []string
+	stats  Stats
+	closed bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// CreateFile implements Store.
+func (m *MemStore) CreateFile(name string) (FileID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	m.files = append(m.files, nil)
+	m.names = append(m.names, name)
+	return FileID(len(m.files)), nil
+}
+
+// Allocate implements Store.
+func (m *MemStore) Allocate(f FileID) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	if f == 0 || int(f) > len(m.files) {
+		return 0, ErrNoSuchFile
+	}
+	m.files[f-1] = append(m.files[f-1], new(Page))
+	m.stats.allocs.Add(1)
+	return uint32(len(m.files[f-1]) - 1), nil
+}
+
+// ReadPage implements Store.
+func (m *MemStore) ReadPage(pid PageID, buf *Page) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if pid.File == 0 || int(pid.File) > len(m.files) {
+		return ErrNoSuchFile
+	}
+	pages := m.files[pid.File-1]
+	if int(pid.Page) >= len(pages) {
+		return fmt.Errorf("%w: %s", ErrNoSuchPage, pid)
+	}
+	*buf = *pages[pid.Page]
+	m.stats.reads.Add(1)
+	return nil
+}
+
+// WritePage implements Store.
+func (m *MemStore) WritePage(pid PageID, buf *Page) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if pid.File == 0 || int(pid.File) > len(m.files) {
+		return ErrNoSuchFile
+	}
+	pages := m.files[pid.File-1]
+	if int(pid.Page) >= len(pages) {
+		return fmt.Errorf("%w: %s", ErrNoSuchPage, pid)
+	}
+	*pages[pid.Page] = *buf
+	m.stats.writes.Add(1)
+	return nil
+}
+
+// NumPages implements Store.
+func (m *MemStore) NumPages(f FileID) (uint32, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if f == 0 || int(f) > len(m.files) {
+		return 0, ErrNoSuchFile
+	}
+	return uint32(len(m.files[f-1])), nil
+}
+
+// FileName implements Store.
+func (m *MemStore) FileName(f FileID) (string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if f == 0 || int(f) > len(m.names) {
+		return "", ErrNoSuchFile
+	}
+	return m.names[f-1], nil
+}
+
+// Stats implements Store.
+func (m *MemStore) Stats() *Stats { return &m.stats }
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.files = nil
+	return nil
+}

@@ -1,0 +1,239 @@
+package pagefile
+
+import (
+	"testing"
+)
+
+func TestMemStoreCreateAndIO(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+
+	f, err := s.CreateFile("emp1")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	if n, _ := s.NumPages(f); n != 0 {
+		t.Fatalf("new file has %d pages, want 0", n)
+	}
+	pn, err := s.Allocate(f)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if pn != 0 {
+		t.Fatalf("first page number = %d, want 0", pn)
+	}
+
+	var p Page
+	p[0] = 0xAB
+	p[PageSize-1] = 0xCD
+	pid := PageID{File: f, Page: pn}
+	if err := s.WritePage(pid, &p); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	var q Page
+	if err := s.ReadPage(pid, &q); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if q != p {
+		t.Fatal("read page differs from written page")
+	}
+	st := s.Stats()
+	if st.Reads() != 1 || st.Writes() != 1 || st.Allocs() != 1 {
+		t.Fatalf("stats = %v, want reads=1 writes=1 allocs=1", st)
+	}
+	st.Reset()
+	if st.Total() != 0 {
+		t.Fatal("Reset did not zero stats")
+	}
+}
+
+func TestMemStoreErrors(t *testing.T) {
+	s := NewMemStore()
+	var p Page
+	if err := s.ReadPage(PageID{File: 9}, &p); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+	f, _ := s.CreateFile("x")
+	if err := s.ReadPage(PageID{File: f, Page: 3}, &p); err == nil {
+		t.Fatal("read of missing page succeeded")
+	}
+	if err := s.WritePage(PageID{File: f, Page: 3}, &p); err == nil {
+		t.Fatal("write of missing page succeeded")
+	}
+	if _, err := s.Allocate(99); err == nil {
+		t.Fatal("allocate on missing file succeeded")
+	}
+	s.Close()
+	if _, err := s.CreateFile("y"); err == nil {
+		t.Fatal("create after close succeeded")
+	}
+}
+
+func TestMemStoreFileName(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	f, _ := s.CreateFile("dept")
+	name, err := s.FileName(f)
+	if err != nil || name != "dept" {
+		t.Fatalf("FileName = %q, %v; want dept", name, err)
+	}
+	if _, err := s.FileName(42); err == nil {
+		t.Fatal("FileName of missing file succeeded")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	defer s.Close()
+
+	f, err := s.CreateFile("set one")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	p0, _ := s.Allocate(f)
+	p1, _ := s.Allocate(f)
+	if p0 != 0 || p1 != 1 {
+		t.Fatalf("page numbers = %d,%d, want 0,1", p0, p1)
+	}
+	var p Page
+	for i := range p {
+		p[i] = byte(i)
+	}
+	if err := s.WritePage(PageID{File: f, Page: 1}, &p); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	var q Page
+	if err := s.ReadPage(PageID{File: f, Page: 1}, &q); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if q != p {
+		t.Fatal("file store round trip mismatch")
+	}
+	var zero Page
+	if err := s.ReadPage(PageID{File: f, Page: 0}, &q); err != nil {
+		t.Fatalf("ReadPage 0: %v", err)
+	}
+	if q != zero {
+		t.Fatal("allocated page not zeroed")
+	}
+	if err := s.ReadPage(PageID{File: f, Page: 2}, &q); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+}
+
+func TestOIDPackUnpack(t *testing.T) {
+	cases := []OID{
+		{},
+		{File: 1, Page: 2, Slot: 3},
+		{File: ^FileID(0), Page: ^uint32(0), Slot: ^uint16(0)},
+		{File: 7, Page: 123456, Slot: 42},
+	}
+	for _, o := range cases {
+		b := o.AppendTo(nil)
+		if len(b) != OIDSize {
+			t.Fatalf("packed size = %d, want %d", len(b), OIDSize)
+		}
+		got, err := DecodeOID(b)
+		if err != nil {
+			t.Fatalf("DecodeOID: %v", err)
+		}
+		if got != o {
+			t.Fatalf("round trip: got %v, want %v", got, o)
+		}
+	}
+	if _, err := DecodeOID([]byte{1, 2}); err == nil {
+		t.Fatal("short decode succeeded")
+	}
+}
+
+func TestOIDOrdering(t *testing.T) {
+	a := OID{File: 1, Page: 1, Slot: 1}
+	cases := []struct {
+		b    OID
+		want int
+	}{
+		{OID{File: 1, Page: 1, Slot: 1}, 0},
+		{OID{File: 1, Page: 1, Slot: 2}, -1},
+		{OID{File: 1, Page: 2, Slot: 0}, -1},
+		{OID{File: 2, Page: 0, Slot: 0}, -1},
+		{OID{File: 0, Page: 9, Slot: 9}, 1},
+		{OID{File: 1, Page: 0, Slot: 9}, 1},
+		{OID{File: 1, Page: 1, Slot: 0}, 1},
+	}
+	for _, c := range cases {
+		if got := a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", a, c.b, got, c.want)
+		}
+		if (a.Less(c.b)) != (c.want < 0) {
+			t.Errorf("Less(%v, %v) inconsistent with Compare", a, c.b)
+		}
+	}
+	if !NilOID.IsNil() {
+		t.Fatal("NilOID.IsNil() = false")
+	}
+	if a.IsNil() {
+		t.Fatal("non-nil OID reported nil")
+	}
+}
+
+func TestOpenFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var pid PageID
+	{
+		s, err := NewFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, _ := s.CreateFile("alpha")
+		f2, _ := s.CreateFile("beta")
+		if f1 != 1 || f2 != 2 {
+			t.Fatalf("file ids = %d, %d", f1, f2)
+		}
+		pn, _ := s.Allocate(f2)
+		var p Page
+		p[0], p[PageSize-1] = 0x5A, 0xA5
+		pid = PageID{File: f2, Page: pn}
+		if err := s.WritePage(pid, &p); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	defer s.Close()
+	var q Page
+	if err := s.ReadPage(pid, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 0x5A || q[PageSize-1] != 0xA5 {
+		t.Fatal("page contents lost across reopen")
+	}
+	if n, _ := s.NumPages(pid.File); n != 1 {
+		t.Fatalf("NumPages = %d", n)
+	}
+	if name, _ := s.FileName(1); name != "alpha" {
+		t.Fatalf("FileName(1) = %q", name)
+	}
+	// New files continue the id sequence.
+	f3, err := s.CreateFile("gamma")
+	if err != nil || f3 != 3 {
+		t.Fatalf("next file id = %d, %v", f3, err)
+	}
+}
+
+func TestOpenFileStoreEmptyDir(t *testing.T) {
+	s, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if f, err := s.CreateFile("first"); err != nil || f != 1 {
+		t.Fatalf("first file = %d, %v", f, err)
+	}
+}

@@ -1,0 +1,325 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Slotted gives record-level access to a Page using a classic slotted-page
+// layout: a fixed header, a slot directory growing forward from the header,
+// and record bytes growing backward from the end of the page.
+//
+//	+--------+-----------------+......free......+----------+---------+
+//	| header | slot0 slot1 ... |                | record1  | record0 |
+//	+--------+-----------------+......free......+----------+---------+
+//	0       40                 slotEnd       dataStart            4096
+//
+// Each slot entry is 4 bytes: record offset (u16) and record length (u16).
+// Offset 0 marks a dead (deleted) slot; live record offsets are always
+// >= PageHeaderSize so 0 is unambiguous. Slots are never removed once
+// allocated, so a (page, slot) pair — the tail of an OID — remains stable for
+// the life of the record.
+type Slotted struct {
+	P *Page
+}
+
+const (
+	slotSize   = 4
+	slotBase   = PageHeaderSize
+	pageMagic  = 0x5DB1
+	deadOffset = 0
+
+	offMagic     = 0
+	offFlags     = 2
+	offNumSlots  = 4
+	offDataStart = 6
+	offNextPage  = 8
+)
+
+// ErrPageFull is returned when a record does not fit in the page.
+var ErrPageFull = errors.New("pagefile: page full")
+
+// ErrNoSuchSlot is returned for out-of-range or dead slots.
+var ErrNoSuchSlot = errors.New("pagefile: no such slot")
+
+// MaxRecordSize is the largest record that fits on a freshly initialized
+// page (user bytes minus one slot entry).
+const MaxRecordSize = UserBytes - slotSize
+
+// InitSlotted formats p as an empty slotted page and returns it wrapped.
+func InitSlotted(p *Page) Slotted {
+	s := Slotted{P: p}
+	for i := range p {
+		p[i] = 0
+	}
+	binary.LittleEndian.PutUint16(p[offMagic:], pageMagic)
+	s.setNumSlots(0)
+	s.setDataStart(PageSize)
+	binary.LittleEndian.PutUint32(p[offNextPage:], ^uint32(0))
+	return s
+}
+
+// AsSlotted wraps an already formatted page.
+func AsSlotted(p *Page) Slotted { return Slotted{P: p} }
+
+// IsFormatted reports whether the page carries the slotted-page magic.
+func (s Slotted) IsFormatted() bool {
+	return binary.LittleEndian.Uint16(s.P[offMagic:]) == pageMagic
+}
+
+// NumSlots returns the number of slot entries (live and dead).
+func (s Slotted) NumSlots() uint16 { return binary.LittleEndian.Uint16(s.P[offNumSlots:]) }
+
+func (s Slotted) setNumSlots(n uint16) { binary.LittleEndian.PutUint16(s.P[offNumSlots:], n) }
+
+func (s Slotted) dataStart() uint16 { return binary.LittleEndian.Uint16(s.P[offDataStart:]) }
+
+func (s Slotted) setDataStart(v int) {
+	binary.LittleEndian.PutUint16(s.P[offDataStart:], uint16(v%PageSize))
+}
+
+// dataStartInt returns dataStart as an int, mapping the stored 0 (which means
+// "PageSize", since 4096 does not fit in a u16) back to PageSize.
+func (s Slotted) dataStartInt() int {
+	v := int(s.dataStart())
+	if v == 0 {
+		return PageSize
+	}
+	return v
+}
+
+// NextPage returns the page's next-page link (used by heap files for the
+// free-space chain); ok is false when there is no link.
+func (s Slotted) NextPage() (uint32, bool) {
+	v := binary.LittleEndian.Uint32(s.P[offNextPage:])
+	return v, v != ^uint32(0)
+}
+
+// SetNextPage sets the next-page link.
+func (s Slotted) SetNextPage(p uint32) { binary.LittleEndian.PutUint32(s.P[offNextPage:], p) }
+
+// ClearNextPage removes the next-page link.
+func (s Slotted) ClearNextPage() { binary.LittleEndian.PutUint32(s.P[offNextPage:], ^uint32(0)) }
+
+func (s Slotted) slot(i uint16) (offset, length uint16) {
+	base := slotBase + int(i)*slotSize
+	return binary.LittleEndian.Uint16(s.P[base:]), binary.LittleEndian.Uint16(s.P[base+2:])
+}
+
+func (s Slotted) setSlot(i uint16, offset, length uint16) {
+	base := slotBase + int(i)*slotSize
+	binary.LittleEndian.PutUint16(s.P[base:], offset)
+	binary.LittleEndian.PutUint16(s.P[base+2:], length)
+}
+
+// Live reports whether slot i holds a record.
+func (s Slotted) Live(i uint16) bool {
+	if i >= s.NumSlots() {
+		return false
+	}
+	off, _ := s.slot(i)
+	return off != deadOffset
+}
+
+// Read returns the record bytes in slot i. The returned slice aliases the
+// page; callers that retain it across page modifications must copy.
+func (s Slotted) Read(i uint16) ([]byte, error) {
+	if i >= s.NumSlots() {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrNoSuchSlot, i, s.NumSlots())
+	}
+	off, length := s.slot(i)
+	if off == deadOffset {
+		return nil, fmt.Errorf("%w: slot %d is dead", ErrNoSuchSlot, i)
+	}
+	return s.P[off : off+length], nil
+}
+
+// contiguousFree returns the bytes available between the slot directory and
+// the record area.
+func (s Slotted) contiguousFree() int {
+	return s.dataStartInt() - (slotBase + int(s.NumSlots())*slotSize)
+}
+
+// FreeSpace returns the bytes available for a new record, including space
+// reclaimable by compaction, and accounting for a possible new slot entry.
+func (s Slotted) FreeSpace() int {
+	free := s.contiguousFree() + s.deadBytes()
+	if !s.hasDeadSlot() {
+		free -= slotSize
+	}
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+func (s Slotted) deadBytes() int {
+	// Dead bytes are record bytes not covered by any live slot.
+	used := 0
+	n := s.NumSlots()
+	for i := uint16(0); i < n; i++ {
+		off, length := s.slot(i)
+		if off != deadOffset {
+			used += int(length)
+		}
+	}
+	return (PageSize - s.dataStartInt()) - used
+}
+
+func (s Slotted) hasDeadSlot() bool {
+	n := s.NumSlots()
+	for i := uint16(0); i < n; i++ {
+		if off, _ := s.slot(i); off == deadOffset {
+			return true
+		}
+	}
+	return false
+}
+
+// CanFit reports whether a record of n bytes can be inserted, possibly after
+// compaction.
+func (s Slotted) CanFit(n int) bool { return n <= s.FreeSpace() && n <= MaxRecordSize }
+
+// Insert stores rec in the page and returns its slot. It reuses dead slots
+// and compacts the page if fragmentation prevents an otherwise possible
+// insert. Returns ErrPageFull if the record cannot fit.
+func (s Slotted) Insert(rec []byte) (uint16, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("%w: record of %d bytes exceeds max %d", ErrPageFull, len(rec), MaxRecordSize)
+	}
+	slot, reused := s.findDeadSlot()
+	need := len(rec)
+	if !reused {
+		need += slotSize
+	}
+	if s.contiguousFree() < need {
+		if s.contiguousFree()+s.deadBytes() < need {
+			return 0, ErrPageFull
+		}
+		s.Compact()
+		if s.contiguousFree() < need {
+			return 0, ErrPageFull
+		}
+	}
+	if !reused {
+		slot = s.NumSlots()
+		s.setNumSlots(slot + 1)
+	}
+	start := s.dataStartInt() - len(rec)
+	copy(s.P[start:], rec)
+	s.setDataStart(start)
+	s.setSlot(slot, uint16(start), uint16(len(rec)))
+	return slot, nil
+}
+
+func (s Slotted) findDeadSlot() (uint16, bool) {
+	n := s.NumSlots()
+	for i := uint16(0); i < n; i++ {
+		if off, _ := s.slot(i); off == deadOffset {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Delete marks slot i dead. The slot entry remains so other slots keep their
+// numbers; the record bytes are reclaimed by a later compaction.
+func (s Slotted) Delete(i uint16) error {
+	if !s.Live(i) {
+		return fmt.Errorf("%w: delete slot %d", ErrNoSuchSlot, i)
+	}
+	s.setSlot(i, deadOffset, 0)
+	return nil
+}
+
+// Update replaces the record in slot i with rec, keeping the slot number. If
+// rec does not fit even after compaction, ErrPageFull is returned and the
+// original record is preserved.
+func (s Slotted) Update(i uint16, rec []byte) error {
+	if !s.Live(i) {
+		return fmt.Errorf("%w: update slot %d", ErrNoSuchSlot, i)
+	}
+	off, length := s.slot(i)
+	if len(rec) <= int(length) {
+		// Shrink or same-size: overwrite in place. The leftover bytes become
+		// dead space reclaimed by compaction.
+		copy(s.P[off:], rec)
+		s.setSlot(i, off, uint16(len(rec)))
+		return nil
+	}
+	if len(rec) > MaxRecordSize {
+		return fmt.Errorf("%w: record of %d bytes exceeds max %d", ErrPageFull, len(rec), MaxRecordSize)
+	}
+	// Grow: free the old bytes, then insert fresh, possibly compacting. The
+	// old record must not be visible during compaction, but we must restore
+	// it if the new record cannot fit.
+	old := make([]byte, length)
+	copy(old, s.P[off:off+length])
+	s.setSlot(i, deadOffset, 0)
+	if s.contiguousFree() < len(rec) {
+		if s.contiguousFree()+s.deadBytes() < len(rec) {
+			s.restore(i, old)
+			return ErrPageFull
+		}
+		s.Compact()
+		if s.contiguousFree() < len(rec) {
+			s.restore(i, old)
+			return ErrPageFull
+		}
+	}
+	start := s.dataStartInt() - len(rec)
+	copy(s.P[start:], rec)
+	s.setDataStart(start)
+	s.setSlot(i, uint16(start), uint16(len(rec)))
+	return nil
+}
+
+func (s Slotted) restore(i uint16, rec []byte) {
+	// Restore after a failed grow. The original bytes still fit because we
+	// only freed them; recompact and reinsert into the same slot.
+	s.Compact()
+	start := s.dataStartInt() - len(rec)
+	copy(s.P[start:], rec)
+	s.setDataStart(start)
+	s.setSlot(i, uint16(start), uint16(len(rec)))
+}
+
+// Compact rewrites all live records contiguously at the end of the page,
+// eliminating dead space. Slot numbers are unchanged.
+func (s Slotted) Compact() {
+	type rec struct {
+		slot uint16
+		data []byte
+	}
+	n := s.NumSlots()
+	recs := make([]rec, 0, n)
+	for i := uint16(0); i < n; i++ {
+		off, length := s.slot(i)
+		if off == deadOffset {
+			continue
+		}
+		data := make([]byte, length)
+		copy(data, s.P[off:off+length])
+		recs = append(recs, rec{slot: i, data: data})
+	}
+	start := PageSize
+	for _, r := range recs {
+		start -= len(r.data)
+		copy(s.P[start:], r.data)
+		s.setSlot(r.slot, uint16(start), uint16(len(r.data)))
+	}
+	s.setDataStart(start)
+}
+
+// LiveCount returns the number of live records on the page.
+func (s Slotted) LiveCount() int {
+	n := s.NumSlots()
+	live := 0
+	for i := uint16(0); i < n; i++ {
+		if s.Live(i) {
+			live++
+		}
+	}
+	return live
+}

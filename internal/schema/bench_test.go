@@ -1,0 +1,49 @@
+package schema
+
+import (
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+func benchObject(b *testing.B) (*Type, *Object) {
+	b.Helper()
+	typ, err := NewType("EMP", 3, []Field{
+		{Name: "name", Kind: KindString},
+		{Name: "age", Kind: KindInt},
+		{Name: "salary", Kind: KindFloat},
+		{Name: "dept", Kind: KindRef, RefType: "DEPT"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := NewObject(typ)
+	o.Set("name", StringValue("Benchmark Employee"))
+	o.Set("age", IntValue(42))
+	o.Set("salary", FloatValue(123456.78))
+	o.Set("dept", RefValue(pagefile.OID{File: 2, Page: 7, Slot: 3}))
+	o.SetHidden(1, 0, StringValue("Research"))
+	o.SetLink(LinkPair{LinkID: 1, Mode: LinkModeObject, LinkOID: pagefile.OID{File: 9, Page: 1, Slot: 0}})
+	return typ, o
+}
+
+func BenchmarkEncode(b *testing.B) {
+	_, o := benchObject(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(o.Encode()) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	typ, o := benchObject(b)
+	data := o.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(typ, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package schema
+
+import (
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+// FuzzDecode asserts the object decoder never panics on arbitrary bytes: it
+// must either produce an object or return an error.
+func FuzzDecode(f *testing.F) {
+	typ, err := NewType("EMP", 3, []Field{
+		{Name: "name", Kind: KindString},
+		{Name: "age", Kind: KindInt},
+		{Name: "dept", Kind: KindRef, RefType: "DEPT"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	o := NewObject(typ)
+	o.Set("name", StringValue("seed"))
+	o.Set("age", IntValue(1))
+	o.SetHidden(1, 0, StringValue("R"))
+	o.SetLink(LinkPair{LinkID: 1, Mode: LinkModeInline, Inline: []pagefile.OID{{File: 1}}})
+	o.SetSep(SepEntry{GroupID: 2, RefCount: 3})
+	f.Add(o.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obj, err := Decode(typ, data)
+		if err == nil {
+			// A successful decode must re-encode without panicking and
+			// decode back to the same field values.
+			back, err2 := Decode(typ, obj.Encode())
+			if err2 != nil {
+				t.Fatalf("re-decode failed: %v", err2)
+			}
+			for i := range obj.Values {
+				if !obj.Values[i].Equal(back.Values[i]) {
+					t.Fatalf("value %d changed across round trip", i)
+				}
+			}
+		}
+	})
+}

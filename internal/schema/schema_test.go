@@ -1,0 +1,258 @@
+package schema
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+func empType(t *testing.T) *Type {
+	t.Helper()
+	typ, err := NewType("EMP", 3, []Field{
+		{Name: "name", Kind: KindString},
+		{Name: "age", Kind: KindInt},
+		{Name: "salary", Kind: KindFloat},
+		{Name: "dept", Kind: KindRef, RefType: "DEPT"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return typ
+}
+
+func TestNewTypeValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		fields []Field
+		substr string
+	}{
+		{"", []Field{{Name: "x", Kind: KindInt}}, "needs a name"},
+		{"T", nil, "no fields"},
+		{"T", []Field{{Name: "", Kind: KindInt}}, "no name"},
+		{"T", []Field{{Name: "a", Kind: KindInt}, {Name: "a", Kind: KindInt}}, "duplicate"},
+		{"T", []Field{{Name: "a", Kind: KindInt, RefType: "X"}}, "has a ref type"},
+		{"T", []Field{{Name: "a", Kind: KindRef}}, "needs a target"},
+		{"T", []Field{{Name: "a", Kind: Kind(99)}}, "invalid kind"},
+	}
+	for _, c := range cases {
+		_, err := NewType(c.name, 1, c.fields)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("NewType(%q, %v): err = %v, want containing %q", c.name, c.fields, err, c.substr)
+		}
+	}
+}
+
+func TestObjectGetSet(t *testing.T) {
+	typ := empType(t)
+	o := NewObject(typ)
+	if err := o.Set("name", StringValue("Alice")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Set("age", IntValue(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Set("age", StringValue("oops")); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if err := o.Set("missing", IntValue(1)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if v := o.MustGet("name"); v.S != "Alice" {
+		t.Fatalf("name = %v", v)
+	}
+	if _, ok := o.Get("nothere"); ok {
+		t.Fatal("Get of missing field ok")
+	}
+	if typ.FieldIndex("salary") != 2 {
+		t.Fatal("FieldIndex wrong")
+	}
+	if got := typ.ScalarFields(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("ScalarFields = %v", got)
+	}
+}
+
+func TestEncodeDecodeBase(t *testing.T) {
+	typ := empType(t)
+	o := NewObject(typ)
+	o.Set("name", StringValue("Bob Jones"))
+	o.Set("age", IntValue(-7))
+	o.Set("salary", FloatValue(123456.75))
+	o.Set("dept", RefValue(pagefile.OID{File: 2, Page: 9, Slot: 4}))
+
+	data := o.Encode()
+	got, err := Decode(typ, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Values, o.Values) {
+		t.Fatalf("values: got %v, want %v", got.Values, o.Values)
+	}
+	if len(got.Hidden)+len(got.Links)+len(got.Seps) != 0 {
+		t.Fatal("unexpected extension data")
+	}
+	tag, err := DecodeTag(data)
+	if err != nil || tag != 3 {
+		t.Fatalf("DecodeTag = %d, %v", tag, err)
+	}
+}
+
+func TestEncodeDecodeExtension(t *testing.T) {
+	typ := empType(t)
+	o := NewObject(typ)
+	o.Set("name", StringValue("Carol"))
+	o.SetHidden(1, 0, StringValue("Research"))
+	o.SetHidden(1, 1, IntValue(900000))
+	o.SetHidden(2, 0, RefValue(pagefile.OID{File: 5, Page: 1, Slot: 2}))
+	o.SetLink(LinkPair{LinkID: 1, Mode: LinkModeObject, LinkOID: pagefile.OID{File: 9, Page: 8, Slot: 7}})
+	o.SetLink(LinkPair{LinkID: 3, Mode: LinkModeInline, Inline: []pagefile.OID{
+		{File: 1, Page: 1, Slot: 1},
+		{File: 1, Page: 2, Slot: 0},
+	}})
+	o.SetSep(SepEntry{GroupID: 4, SOID: pagefile.OID{File: 6, Page: 5, Slot: 4}, RefCount: 17})
+
+	got, err := Decode(typ, o.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Hidden, o.Hidden) {
+		t.Fatalf("hidden: got %v, want %v", got.Hidden, o.Hidden)
+	}
+	if !reflect.DeepEqual(got.Links, o.Links) {
+		t.Fatalf("links: got %v, want %v", got.Links, o.Links)
+	}
+	if !reflect.DeepEqual(got.Seps, o.Seps) {
+		t.Fatalf("seps: got %v, want %v", got.Seps, o.Seps)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	typ := empType(t)
+	o := NewObject(typ)
+	o.Set("name", StringValue("Dave"))
+	data := o.Encode()
+
+	if _, err := Decode(typ, data[:1]); err == nil {
+		t.Fatal("short decode succeeded")
+	}
+	if _, err := Decode(typ, data[:5]); err == nil {
+		t.Fatal("truncated decode succeeded")
+	}
+	other, _ := NewType("ORG", 99, []Field{{Name: "x", Kind: KindInt}})
+	if _, err := Decode(other, data); err == nil {
+		t.Fatal("wrong-type decode succeeded")
+	}
+	if _, err := Decode(typ, append(data, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestHiddenHelpers(t *testing.T) {
+	typ := empType(t)
+	o := NewObject(typ)
+	o.SetHidden(1, 0, IntValue(10))
+	o.SetHidden(1, 1, IntValue(20))
+	o.SetHidden(2, 0, IntValue(30))
+	o.SetHidden(1, 0, IntValue(11)) // replace
+	if v, ok := o.GetHidden(1, 0); !ok || v.I != 11 {
+		t.Fatalf("GetHidden(1,0) = %v, %v", v, ok)
+	}
+	if _, ok := o.GetHidden(9, 0); ok {
+		t.Fatal("GetHidden of absent path ok")
+	}
+	o.DropHiddenPath(1)
+	if len(o.Hidden) != 1 || o.Hidden[0].PathID != 2 {
+		t.Fatalf("after DropHiddenPath: %v", o.Hidden)
+	}
+}
+
+func TestLinkAndSepHelpers(t *testing.T) {
+	typ := empType(t)
+	o := NewObject(typ)
+	o.SetLink(LinkPair{LinkID: 1, Mode: LinkModeObject, LinkOID: pagefile.OID{File: 1}})
+	o.SetLink(LinkPair{LinkID: 2, Mode: LinkModeInline})
+	if lp := o.FindLink(2); lp == nil || lp.Mode != LinkModeInline {
+		t.Fatal("FindLink(2) failed")
+	}
+	o.SetLink(LinkPair{LinkID: 1, Mode: LinkModeInline}) // replace
+	if lp := o.FindLink(1); lp.Mode != LinkModeInline {
+		t.Fatal("SetLink did not replace")
+	}
+	if !o.RemoveLink(1) || o.FindLink(1) != nil {
+		t.Fatal("RemoveLink failed")
+	}
+	if o.RemoveLink(1) {
+		t.Fatal("RemoveLink of absent link reported true")
+	}
+
+	o.SetSep(SepEntry{GroupID: 1, RefCount: 1})
+	o.SetSep(SepEntry{GroupID: 1, RefCount: 2})
+	if se := o.FindSep(1); se == nil || se.RefCount != 2 {
+		t.Fatal("SetSep did not replace")
+	}
+	if !o.RemoveSep(1) || o.FindSep(1) != nil {
+		t.Fatal("RemoveSep failed")
+	}
+}
+
+func TestClone(t *testing.T) {
+	typ := empType(t)
+	o := NewObject(typ)
+	o.Set("name", StringValue("Eve"))
+	o.SetLink(LinkPair{LinkID: 1, Mode: LinkModeInline, Inline: []pagefile.OID{{File: 1}}})
+	c := o.Clone()
+	c.Set("name", StringValue("Mallory"))
+	c.Links[0].Inline[0] = pagefile.OID{File: 99}
+	if o.MustGet("name").S != "Eve" {
+		t.Fatal("clone shares values")
+	}
+	if o.Links[0].Inline[0].File != 1 {
+		t.Fatal("clone shares inline OID slice")
+	}
+}
+
+// TestEncodePropertyRoundTrip: arbitrary field contents round trip.
+func TestEncodePropertyRoundTrip(t *testing.T) {
+	typ := empType(t)
+	f := func(name string, age int64, salary float64, file uint32, page uint32, slot uint16) bool {
+		if len(name) > 60000 {
+			name = name[:60000]
+		}
+		if math.IsNaN(salary) {
+			salary = 0
+		}
+		o := NewObject(typ)
+		o.Set("name", StringValue(name))
+		o.Set("age", IntValue(age))
+		o.Set("salary", FloatValue(salary))
+		o.Set("dept", RefValue(pagefile.OID{File: pagefile.FileID(file), Page: page, Slot: slot}))
+		got, err := Decode(typ, o.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Values, o.Values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"7":        IntValue(7),
+		"1.5":      FloatValue(1.5),
+		`"hi"`:     StringValue("hi"),
+		"ref(nil)": RefValue(pagefile.NilOID),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if !IntValue(7).Equal(IntValue(7)) || IntValue(7).Equal(IntValue(8)) {
+		t.Fatal("Equal broken")
+	}
+}
