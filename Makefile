@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race soak fuzz check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Exhaustive fault soak: one injected fault at every I/O index of the
+# calibration run (the untagged test samples every 7th index).
+soak:
+	$(GO) test -tags soak -run 'TestFaultSoak|TestSoak' -v ./internal/engine/
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSlottedParsing -fuzztime 30s ./internal/pagefile/
+
+check: build vet test race

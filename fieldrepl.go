@@ -311,6 +311,55 @@ func (db *DB) NumPages(set string) (int, error) {
 // structures are exact, and S′ refcounts match — returning all violations.
 func (db *DB) VerifyReplication() []error { defer db.lock()(); return db.e.VerifyReplication() }
 
+// Sync makes the current state durable: dirty buffered pages are written
+// back, the store is fsynced, and (for file-backed databases) the catalog
+// snapshot is rewritten. After Sync returns, a crash loses nothing.
+func (db *DB) Sync() error { defer db.lock()(); return db.e.Sync() }
+
+// TaintedSets reports sets whose derived replication state may be stale
+// after a mid-operation failure (the value is the recorded cause). A
+// successful Repair clears them.
+func (db *DB) TaintedSets() map[string]string { defer db.lock()(); return db.e.TaintedSets() }
+
+// RepairReport summarizes what a Repair pass changed.
+type RepairReport struct {
+	HiddenFixed    int     // source objects whose hidden replicated values were rewritten
+	LinksFixed     int     // link referrer structures rewritten
+	CollapsedFixed int     // collapsed link objects created, rewritten or dropped
+	MarkersFixed   int     // collapsed intermediate markers added or removed
+	GroupsRebuilt  int     // S′ groups rebuilt from scratch
+	SepSwept       int     // stale S′ entries swept
+	Remaining      []error // violations still present after repair
+}
+
+// Changed reports the total number of fixes applied.
+func (r RepairReport) Changed() int {
+	return r.HiddenFixed + r.LinksFixed + r.CollapsedFixed + r.MarkersFixed + r.GroupsRebuilt + r.SepSwept
+}
+
+// Clean reports whether the post-repair verification found no violations.
+func (r RepairReport) Clean() bool { return len(r.Remaining) == 0 }
+
+// Repair rebuilds every derived replication structure — hidden values, link
+// structures, collapsed link objects, S′ groups — from the primary objects,
+// returning a report of what changed. It is the recovery path after a
+// mid-operation failure left a set tainted: a clean post-repair verification
+// clears the taint markers.
+func (db *DB) Repair() (RepairReport, error) {
+	defer db.lock()()
+	rep, err := db.e.Repair()
+	out := RepairReport{}
+	if rep != nil {
+		out = RepairReport{
+			HiddenFixed: rep.HiddenFixed, LinksFixed: rep.LinksFixed,
+			CollapsedFixed: rep.CollapsedFixed, MarkersFixed: rep.MarkersFixed,
+			GroupsRebuilt: rep.GroupsRebuilt, SepSwept: rep.SepSwept,
+			Remaining: rep.Remaining,
+		}
+	}
+	return out, err
+}
+
 // Unreplicate removes a replication path declared with Replicate, tearing
 // down its hidden values and any link/S′ structures not shared with other
 // paths. An index built on the path must be dropped first.

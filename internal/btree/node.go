@@ -44,12 +44,14 @@ const (
 	metaMagic = 0xB7EE0001
 	nodeMagic = 0xB7EE
 
+	// Bytes 12..16 are reserved in every page layout (meta, node, and the
+	// slotted pages of other files) for the store-level page checksum.
 	metaRoot     = 4
 	metaHeight   = 8
-	metaCount    = 12
-	metaLeafCap  = 20
-	metaIntCap   = 24
-	metaFreeHead = 28
+	metaCount    = 16
+	metaLeafCap  = 24
+	metaIntCap   = 28
+	metaFreeHead = 32
 
 	nodeFlags   = 2
 	nodeNKeys   = 4

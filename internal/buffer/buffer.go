@@ -22,6 +22,9 @@ import (
 var (
 	ErrPoolExhausted = errors.New("buffer: all frames pinned")
 	ErrStillPinned   = errors.New("buffer: page still pinned")
+	// ErrNotPinned is returned by Unpin when the page is not pinned — a
+	// double-unpin bug in the caller. The pool state is unchanged.
+	ErrNotPinned = errors.New("buffer: unpin of unpinned page")
 )
 
 // Pool is a buffer pool. Methods are safe for concurrent use, though the
@@ -89,15 +92,17 @@ func (h *Handle) MarkDirty() {
 	h.pool.mu.Unlock()
 }
 
-// Unpin releases the pin.
-func (h *Handle) Unpin() {
+// Unpin releases the pin. Unpinning a page that is not pinned (a caller bug)
+// returns ErrNotPinned and leaves the pool unchanged.
+func (h *Handle) Unpin() error {
 	h.pool.mu.Lock()
 	defer h.pool.mu.Unlock()
 	f := &h.pool.frames[h.idx]
 	if f.pins <= 0 {
-		panic(fmt.Sprintf("buffer: unpin of unpinned page %s", h.pid))
+		return fmt.Errorf("%w: %s", ErrNotPinned, h.pid)
 	}
 	f.pins--
+	return nil
 }
 
 // Get pins page pid, reading it from the store on a miss.
@@ -199,7 +204,10 @@ func (p *Pool) evictLocked(idx int) error {
 	f := &p.frames[idx]
 	if f.dirty {
 		if err := p.store.WritePage(f.pid, &f.page); err != nil {
-			return err
+			// The frame stays valid, dirty, and mapped: the page contents are
+			// intact in memory and a later eviction or FlushAll can retry the
+			// write once the store recovers.
+			return fmt.Errorf("buffer: evicting %s: %w", f.pid, err)
 		}
 		p.flushes++
 		f.dirty = false
@@ -210,21 +218,25 @@ func (p *Pool) evictLocked(idx int) error {
 	return nil
 }
 
-// FlushAll writes back every dirty page, leaving them resident.
+// FlushAll writes back every dirty page, leaving them resident. A failed
+// write leaves that frame dirty for retry; the remaining frames are still
+// attempted and all failures are joined into the returned error.
 func (p *Pool) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var errs []error
 	for i := range p.frames {
 		f := &p.frames[i]
 		if f.valid && f.dirty {
 			if err := p.store.WritePage(f.pid, &f.page); err != nil {
-				return err
+				errs = append(errs, fmt.Errorf("buffer: flushing %s: %w", f.pid, err))
+				continue
 			}
 			p.flushes++
 			f.dirty = false
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Reset flushes all dirty pages and then drops every resident page, leaving
@@ -246,7 +258,9 @@ func (p *Pool) Reset() error {
 		}
 		if f.dirty {
 			if err := p.store.WritePage(f.pid, &f.page); err != nil {
-				return err
+				// Leave this frame (and any not yet visited) resident and
+				// dirty; the caller can retry Reset after the store recovers.
+				return fmt.Errorf("buffer: resetting %s: %w", f.pid, err)
 			}
 			p.flushes++
 		}

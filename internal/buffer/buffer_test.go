@@ -214,19 +214,24 @@ func TestPoolWorkingSetSinglePass(t *testing.T) {
 	}
 }
 
-func TestUnpinPanicsWhenOverReleased(t *testing.T) {
+func TestUnpinOverReleaseReturnsError(t *testing.T) {
 	p, fid := newPool(t, 2)
 	h, _, err := p.NewPage(fid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.Unpin()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double unpin did not panic")
-		}
-	}()
-	h.Unpin()
+	if err := h.Unpin(); err != nil {
+		t.Fatalf("first Unpin: %v", err)
+	}
+	if err := h.Unpin(); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("double Unpin: err = %v, want ErrNotPinned", err)
+	}
+	// The pool is still usable after the caller bug.
+	h2, err := p.Get(h.PageID())
+	if err != nil {
+		t.Fatalf("Get after double unpin: %v", err)
+	}
+	h2.Unpin()
 }
 
 // TestPoolConcurrentAccess hammers the pool from several goroutines; run
@@ -268,5 +273,53 @@ func TestPoolConcurrentAccess(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestEvictionFailureLeavesFrameRetryable drives eviction into a failing
+// store and verifies the dirty page is neither lost nor dropped: once the
+// store recovers, the same frame flushes cleanly and the data survives.
+func TestEvictionFailureLeavesFrameRetryable(t *testing.T) {
+	store := pagefile.NewFaultStore(pagefile.NewMemStore())
+	t.Cleanup(func() { store.Close() })
+	fid, err := store.CreateFile("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(store, 1)
+	h, pid, err := p.NewPage(fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Page()[100] = 0xAB
+	h.MarkDirty()
+	h.Unpin()
+
+	// Every write now fails; getting another page must fail to evict and
+	// must NOT drop the dirty frame. NewPage allocates first (one counted
+	// op), then evicts — the eviction write is at Ops()+1.
+	store.AddFault(pagefile.Fault{Index: store.Ops() + 1, Op: pagefile.OpWrite, Crash: true})
+	if _, _, err := p.NewPage(fid); !errors.Is(err, pagefile.ErrInjected) {
+		t.Fatalf("NewPage during store failure: err = %v, want ErrInjected", err)
+	}
+	if err := p.FlushAll(); !errors.Is(err, pagefile.ErrInjected) {
+		t.Fatalf("FlushAll during store failure: err = %v, want ErrInjected", err)
+	}
+
+	// Store recovers: the dirty page must still be resident and flushable.
+	store.ClearFaults()
+	if err := p.FlushAll(); err != nil {
+		t.Fatalf("FlushAll after recovery: %v", err)
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatalf("Reset after recovery: %v", err)
+	}
+	h2, err := p.Get(pid)
+	if err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+	defer h2.Unpin()
+	if h2.Page()[100] != 0xAB {
+		t.Fatalf("page byte = %#x, want 0xAB (dirty data lost during failed eviction)", h2.Page()[100])
 	}
 }

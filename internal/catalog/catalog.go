@@ -198,6 +198,7 @@ type Catalog struct {
 	linksByKey map[string]*Link
 	linksByID  map[uint8]*Link
 	groups     map[string]*Group
+	tainted    map[string]string // set name -> why its derived state is suspect
 	nextTag    uint16
 	nextPathID uint8 // shared by paths and groups (one hidden-ID space)
 	nextLinkID uint8
@@ -213,6 +214,7 @@ func New() *Catalog {
 		linksByKey: make(map[string]*Link),
 		linksByID:  make(map[uint8]*Link),
 		groups:     make(map[string]*Group),
+		tainted:    make(map[string]string),
 		nextTag:    1,
 		nextPathID: 1,
 		nextLinkID: 1,
@@ -502,6 +504,49 @@ func (c *Catalog) PathsFromSet(set string) []*Path {
 		if p.Spec.Source == set {
 			out = append(out, p)
 		}
+	}
+	return out
+}
+
+// Links returns every registered link.
+func (c *Catalog) Links() []*Link {
+	out := make([]*Link, 0, len(c.linksByID))
+	for _, l := range c.linksByID {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Groups returns every registered separate-replication group.
+func (c *Catalog) Groups() []*Group {
+	out := make([]*Group, 0, len(c.groups))
+	for _, g := range c.groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// MarkTainted records that a multi-step replication update touching set
+// failed partway, so the set's derived state (hidden values, links, S′
+// objects) may be stale. The marker survives catalog persistence and is
+// cleared by a successful repair.
+func (c *Catalog) MarkTainted(set, why string) {
+	if _, dup := c.tainted[set]; !dup {
+		c.tainted[set] = why
+	}
+}
+
+// ClearTaint removes the taint marker for one set.
+func (c *Catalog) ClearTaint(set string) { delete(c.tainted, set) }
+
+// ClearAllTaint removes every taint marker.
+func (c *Catalog) ClearAllTaint() { c.tainted = make(map[string]string) }
+
+// TaintedSets returns the current taint markers (set name -> reason).
+func (c *Catalog) TaintedSets() map[string]string {
+	out := make(map[string]string, len(c.tainted))
+	for k, v := range c.tainted {
+		out[k] = v
 	}
 	return out
 }

@@ -84,16 +84,20 @@ type pathSnap struct {
 }
 
 type catalogSnap struct {
-	Version    int         `json:"version"`
-	Types      []typeSnap  `json:"types"`
-	Sets       []setSnap   `json:"sets"`
-	Indexes    []indexSnap `json:"indexes"`
-	Links      []linkSnap  `json:"links"`
-	Groups     []groupSnap `json:"groups"`
-	Paths      []pathSnap  `json:"paths"`
-	NextTag    uint16      `json:"next_tag"`
-	NextPathID uint8       `json:"next_path_id"`
-	NextLinkID uint8       `json:"next_link_id"`
+	Version int         `json:"version"`
+	Types   []typeSnap  `json:"types"`
+	Sets    []setSnap   `json:"sets"`
+	Indexes []indexSnap `json:"indexes"`
+	Links   []linkSnap  `json:"links"`
+	Groups  []groupSnap `json:"groups"`
+	Paths   []pathSnap  `json:"paths"`
+	// Tainted records sets whose derived replication state may be stale
+	// after a mid-operation failure; persisted so a crash-and-reopen still
+	// knows repair is needed.
+	Tainted    map[string]string `json:"tainted,omitempty"`
+	NextTag    uint16            `json:"next_tag"`
+	NextPathID uint8             `json:"next_path_id"`
+	NextLinkID uint8             `json:"next_link_id"`
 }
 
 const snapshotVersion = 1
@@ -174,6 +178,9 @@ func (c *Catalog) Snapshot() ([]byte, error) {
 			ps.GroupID = p.Group.ID
 		}
 		snap.Paths = append(snap.Paths, ps)
+	}
+	if len(c.tainted) > 0 {
+		snap.Tainted = c.TaintedSets()
 	}
 	return json.MarshalIndent(snap, "", "  ")
 }
@@ -293,6 +300,9 @@ func Restore(data []byte) (*Catalog, error) {
 			p.Group = g
 		}
 		c.paths = append(c.paths, p)
+	}
+	for set, why := range snap.Tainted {
+		c.tainted[set] = why
 	}
 	return c, nil
 }

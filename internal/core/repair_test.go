@@ -1,0 +1,282 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// repairFixture builds the employee database with two departments and four
+// employees, returning the populated testDB and the inserted OIDs.
+type repairFixture struct {
+	db   *testDB
+	org  pagefile.OID
+	d1   pagefile.OID
+	d2   pagefile.OID
+	emps []pagefile.OID // e0,e1 -> d1; e2,e3 -> d2
+}
+
+func newRepairFixture(t *testing.T) *repairFixture {
+	db := newTestDB(t)
+	fx := &repairFixture{db: db}
+	fx.org = db.insert("Org", map[string]schema.Value{"name": str("exo"), "budget": num(5000)})
+	fx.d1 = db.insert("Dept", map[string]schema.Value{"name": str("toys"), "budget": num(100), "org": ref(fx.org)})
+	fx.d2 = db.insert("Dept", map[string]schema.Value{"name": str("shoes"), "budget": num(200), "org": ref(fx.org)})
+	for i, d := range []pagefile.OID{fx.d1, fx.d1, fx.d2, fx.d2} {
+		fx.emps = append(fx.emps, db.insert("Emp1", map[string]schema.Value{
+			"name": str("e" + string(rune('0'+i))), "age": num(int64(30 + i)),
+			"salary": num(int64(1000 * (i + 1))), "dept": ref(d),
+		}))
+	}
+	return fx
+}
+
+// mustDetect asserts Verify currently fails, then that Repair restores it.
+func runRepair(t *testing.T, db *testDB, wantDetected bool) *RepairReport {
+	t.Helper()
+	if errs := db.mgr.Verify(); wantDetected && len(errs) == 0 {
+		t.Fatal("corruption was not detected by Verify")
+	}
+	rep, err := db.mgr.Repair()
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !rep.Clean() {
+		for _, e := range rep.Remaining {
+			t.Error(e)
+		}
+		t.Fatalf("Repair left %d violations", len(rep.Remaining))
+	}
+	db.verify()
+	return rep
+}
+
+func TestRepairCleanIsNoOp(t *testing.T) {
+	fx := newRepairFixture(t)
+	fx.db.replicate("Emp1.dept.name", catalog.InPlace)
+	fx.db.replicate("Emp1.dept.budget", catalog.Separate)
+	rep := runRepair(t, fx.db, false)
+	if rep.Changed() != 0 {
+		t.Fatalf("Repair on clean database changed %d structures: %+v", rep.Changed(), rep)
+	}
+}
+
+func TestRepairInPlaceHidden(t *testing.T) {
+	fx := newRepairFixture(t)
+	p := fx.db.replicate("Emp1.dept.name", catalog.InPlace)
+
+	// Corrupt one source's hidden replicated value behind the manager's back.
+	empType, _ := fx.db.cat.TypeByName("EMP")
+	src, err := fx.db.ReadObject(fx.emps[0], empType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SetHidden(p.ID, p.Fields[0].Idx, str("stale"))
+	if err := fx.db.WriteObject(fx.emps[0], src); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := runRepair(t, fx.db, true)
+	if rep.HiddenFixed != 1 {
+		t.Fatalf("HiddenFixed = %d, want 1", rep.HiddenFixed)
+	}
+	if got := fx.db.replicated(p, "Emp1", fx.emps[0], "name"); got != str("toys") {
+		t.Fatalf("replicated name after repair = %v, want toys", got)
+	}
+}
+
+func TestRepairMissingLinkStructure(t *testing.T) {
+	fx := newRepairFixture(t)
+	p := fx.db.replicate("Emp1.dept.name", catalog.InPlace)
+	l := p.Links[0]
+
+	// Drop d1's whole referrer structure.
+	deptType, _ := fx.db.cat.TypeByName("DEPT")
+	d, err := fx.db.ReadObject(fx.d1, deptType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RemoveLink(l.ID)
+	if err := fx.db.WriteObject(fx.d1, d); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := runRepair(t, fx.db, true)
+	if rep.LinksFixed == 0 {
+		t.Fatal("LinksFixed = 0, want > 0")
+	}
+	d, _ = fx.db.ReadObject(fx.d1, deptType)
+	refs, err := fx.db.mgr.referrersOf(d, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Fatalf("referrers of d1 after repair = %v, want the 2 emps", refs)
+	}
+}
+
+func TestRepairSpuriousReferrerRemoved(t *testing.T) {
+	fx := newRepairFixture(t)
+	p := fx.db.replicate("Emp1.dept.name", catalog.InPlace)
+	l := p.Links[0]
+
+	// A department no employee references, carrying a fabricated referrer.
+	d3 := fx.db.insert("Dept", map[string]schema.Value{"name": str("ghost"), "budget": num(0), "org": ref(fx.org)})
+	deptType, _ := fx.db.cat.TypeByName("DEPT")
+	d, err := fx.db.ReadObject(d3, deptType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := pagefile.OID{File: 99, Page: 7, Slot: 3}
+	d.SetLink(schema.LinkPair{LinkID: l.ID, Mode: schema.LinkModeInline, Inline: []pagefile.OID{fake}})
+	if err := fx.db.WriteObject(d3, d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Verify's link check is containment-based, so the spurious entry is not
+	// necessarily detected — repair must still remove it.
+	rep := runRepair(t, fx.db, false)
+	if rep.LinksFixed == 0 {
+		t.Fatal("LinksFixed = 0, want > 0")
+	}
+	d, _ = fx.db.ReadObject(d3, deptType)
+	refs, err := fx.db.mgr.referrersOf(d, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 0 {
+		t.Fatalf("referrers of ghost dept after repair = %v, want none", refs)
+	}
+}
+
+func TestRepairSeparateGroup(t *testing.T) {
+	fx := newRepairFixture(t)
+	p := fx.db.replicate("Emp1.dept.budget", catalog.Separate)
+	g := p.Group
+	deptType, _ := fx.db.cat.TypeByName("DEPT")
+
+	// Corrupt all three separate-strategy structures at once: the S′ object's
+	// value, the terminal's refcount, and a source's hidden S′ reference.
+	d, err := fx.db.ReadObject(fx.d1, deptType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := d.FindSep(g.ID)
+	if se == nil {
+		t.Fatal("fixture: d1 has no S′ entry")
+	}
+	sobj, err := fx.db.mgr.ReadSPrime(g, se.SOID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sobj.Values[g.Fields[0].Idx] = num(-1)
+	gf, err := fx.db.GroupFile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.Update(se.SOID, sobj.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	d.SetSep(schema.SepEntry{GroupID: g.ID, SOID: se.SOID, RefCount: 42})
+	if err := fx.db.WriteObject(fx.d1, d); err != nil {
+		t.Fatal(err)
+	}
+	empType, _ := fx.db.cat.TypeByName("EMP")
+	src, err := fx.db.ReadObject(fx.emps[0], empType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SetHidden(g.ID, catalog.HiddenSPrimeIdx, ref(pagefile.OID{File: 99, Page: 1, Slot: 1}))
+	if err := fx.db.WriteObject(fx.emps[0], src); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := runRepair(t, fx.db, true)
+	if rep.GroupsRebuilt != 1 {
+		t.Fatalf("GroupsRebuilt = %d, want 1", rep.GroupsRebuilt)
+	}
+	if got := fx.db.replicated(p, "Emp1", fx.emps[0], "budget"); got != num(100) {
+		t.Fatalf("replicated budget after repair = %v, want 100", got)
+	}
+}
+
+func TestRepairSweepsStaleSepEntry(t *testing.T) {
+	fx := newRepairFixture(t)
+	p := fx.db.replicate("Emp1.dept.budget", catalog.Separate)
+	g := p.Group
+
+	// A department with no employees holding a leftover S′ entry — Verify
+	// cannot see it (no forward walk reaches the dept), but a later
+	// registration would adopt its dangling SOID.
+	d3 := fx.db.insert("Dept", map[string]schema.Value{"name": str("empty"), "budget": num(1), "org": ref(fx.org)})
+	deptType, _ := fx.db.cat.TypeByName("DEPT")
+	d, err := fx.db.ReadObject(d3, deptType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetSep(schema.SepEntry{GroupID: g.ID, SOID: pagefile.OID{File: 99, Page: 2, Slot: 2}, RefCount: 7})
+	if err := fx.db.WriteObject(d3, d); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := runRepair(t, fx.db, false)
+	if rep.SepSwept != 1 {
+		t.Fatalf("SepSwept = %d, want 1", rep.SepSwept)
+	}
+	if rep.GroupsRebuilt != 0 {
+		t.Fatalf("GroupsRebuilt = %d, want 0 (group itself was consistent)", rep.GroupsRebuilt)
+	}
+	d, _ = fx.db.ReadObject(d3, deptType)
+	if d.FindSep(g.ID) != nil {
+		t.Fatal("stale S′ entry survived repair")
+	}
+}
+
+func TestRepairCollapsed(t *testing.T) {
+	fx := newRepairFixture(t)
+	p := fx.db.replicate("Emp1.dept.org.name", catalog.InPlace, catalog.WithCollapsed())
+	cl := p.CollapsedLink
+
+	// Drop the terminal's tagged link object pair and one intermediate's
+	// marker pair.
+	orgType, _ := fx.db.cat.TypeByName("ORG")
+	o, err := fx.db.ReadObject(fx.org, orgType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RemoveLink(cl.ID)
+	if err := fx.db.WriteObject(fx.org, o); err != nil {
+		t.Fatal(err)
+	}
+	deptType, _ := fx.db.cat.TypeByName("DEPT")
+	d, err := fx.db.ReadObject(fx.d1, deptType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RemoveLink(cl.ID)
+	if err := fx.db.WriteObject(fx.d1, d); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := runRepair(t, fx.db, true)
+	if rep.CollapsedFixed == 0 {
+		t.Fatal("CollapsedFixed = 0, want > 0")
+	}
+	if rep.MarkersFixed == 0 {
+		t.Fatal("MarkersFixed = 0, want > 0")
+	}
+	d, _ = fx.db.ReadObject(fx.d1, deptType)
+	if d.FindLink(cl.ID) == nil {
+		t.Fatal("intermediate marker not restored")
+	}
+	// The restored structure must still propagate updates.
+	if err := fx.db.update("Org", fx.org, map[string]schema.Value{"name": str("megacorp")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fx.db.replicated(p, "Emp1", fx.emps[0], "name"); got != str("megacorp") {
+		t.Fatalf("replicated org name after repair+update = %v, want megacorp", got)
+	}
+	fx.db.verify()
+}

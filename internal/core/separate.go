@@ -14,27 +14,32 @@ import (
 // field per replicated field, in index order. The paper stores "the
 // replicated values for D1.name and D1.budget together in one object"
 // (Figure 7); the synthetic type is that object's layout.
-func groupType(g *catalog.Group) *schema.Type {
+func groupType(g *catalog.Group) (*schema.Type, error) {
 	fields := make([]schema.Field, len(g.Fields))
 	for _, f := range g.Fields {
 		fields[f.Idx] = schema.Field{Name: f.Name, Kind: f.Kind}
 	}
 	t, err := schema.NewType(fmt.Sprintf("__sprime_%d", g.ID), 0x8000|uint16(g.ID), fields)
 	if err != nil {
-		// Group fields come from validated paths; this cannot fail.
-		panic(fmt.Sprintf("core: building S′ type for group %d: %v", g.ID, err))
+		// Group fields normally come from validated paths, but a corrupted
+		// catalog snapshot can carry arbitrary field lists — surface that as
+		// an error rather than tearing the process down.
+		return nil, fmt.Errorf("core: building S′ type for group %d: %w", g.ID, err)
 	}
-	return t
+	return t, nil
 }
 
 // newSPrimeObject builds an S′ object carrying terminal's replicated values.
-func newSPrimeObject(g *catalog.Group, terminal *schema.Object) *schema.Object {
-	t := groupType(g)
+func newSPrimeObject(g *catalog.Group, terminal *schema.Object) (*schema.Object, error) {
+	t, err := groupType(g)
+	if err != nil {
+		return nil, err
+	}
 	o := schema.NewObject(t)
 	for _, f := range g.Fields {
 		o.Values[f.Idx] = terminal.Values[f.Terminal]
 	}
-	return o
+	return o, nil
 }
 
 // ReadSPrime loads and decodes the S′ object at soid for group g.
@@ -47,7 +52,11 @@ func (m *Manager) ReadSPrime(g *catalog.Group, soid pagefile.OID) (*schema.Objec
 	if err != nil {
 		return nil, err
 	}
-	return schema.Decode(groupType(g), data)
+	t, err := groupType(g)
+	if err != nil {
+		return nil, err
+	}
+	return schema.Decode(t, data)
 }
 
 // ensureSeparateTerminal registers src at the terminal of separate path p:
@@ -76,7 +85,11 @@ func (m *Manager) ensureSeparateTerminal(p *catalog.Path, srcOID pagefile.OID, s
 	if err != nil {
 		return err
 	}
-	soid, err := file.InsertNear(newSPrimeObject(g, term.obj).Encode(), term.oid.Page)
+	sobj, err := newSPrimeObject(g, term.obj)
+	if err != nil {
+		return err
+	}
+	soid, err := file.InsertNear(sobj.Encode(), term.oid.Page)
 	if err != nil {
 		return err
 	}
@@ -138,7 +151,11 @@ func (m *Manager) refreshSPrime(g *catalog.Group, soid pagefile.OID, terminal *s
 	if err != nil {
 		return err
 	}
-	sobj, err := schema.Decode(groupType(g), data)
+	gt, err := groupType(g)
+	if err != nil {
+		return err
+	}
+	sobj, err := schema.Decode(gt, data)
 	if err != nil {
 		return err
 	}
@@ -238,7 +255,11 @@ func (m *Manager) buildGroupOrdered(p *catalog.Path) error {
 		if err != nil {
 			return err
 		}
-		soid, err := file.Insert(newSPrimeObject(g, tObj).Encode())
+		sObj, err := newSPrimeObject(g, tObj)
+		if err != nil {
+			return err
+		}
+		soid, err := file.Insert(sObj.Encode())
 		if err != nil {
 			return err
 		}

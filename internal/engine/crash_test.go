@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// crashSetup builds a durable file-backed database with in-place and
+// separate replication, syncs it, and returns the staff.
+func crashSetup(t *testing.T, db *DB) staff {
+	t.Helper()
+	defineEmployeeSchema(t, db)
+	st := populate(t, db, 2, 3, 9)
+	if err := db.Replicate("Emp1.dept.name", catalog.InPlace); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Replicate("Emp1.dept.budget", catalog.Separate); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCrashDuringFlushNeverHalfApplied updates a replicated terminal and
+// "crashes" (every store operation fails from the first flush write onward,
+// and the engine is dropped without Close). The reopened database must
+// never silently expose a half-applied update: either the update is wholly
+// absent, or the inconsistency is visible to VerifyReplication/taint and
+// Repair restores exactness.
+func TestCrashDuringFlushNeverHalfApplied(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := pagefile.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := pagefile.NewFaultStore(inner)
+	db, err := Open(Config{Dir: dir, Store: fs, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := crashSetup(t, db)
+
+	// Work from a cold cache so the crash interrupts real disk writes, then
+	// let the second flush write of Sync fail and take the store down.
+	if err := db.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("Dept", st.depts[0], map[string]schema.Value{"budget": num(7777)}); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddFault(pagefile.Fault{Index: fs.Ops() + 1, Op: pagefile.OpWrite, Crash: true})
+	if err := db.Sync(); err == nil {
+		t.Fatal("Sync succeeded though the store crashed mid-flush")
+	} else if !errors.Is(err, pagefile.ErrInjected) {
+		t.Fatalf("Sync failed with %v, want the injected crash", err)
+	}
+	// Crash: the engine is dropped without Close; the pool's unflushed pages
+	// are lost. Only release the OS files so the test can reopen them.
+	if err := inner.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{Dir: dir, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+
+	errs := db2.VerifyReplication()
+	if len(errs) > 0 {
+		// The interrupted flush landed a prefix of the update's pages: the
+		// inconsistency is loud, and Repair must restore exactness.
+		rep, err := db2.Repair()
+		if err != nil {
+			t.Fatalf("Repair after crash: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("Repair after crash left violations: %v", rep.Remaining)
+		}
+	}
+	if errs := db2.VerifyReplication(); len(errs) > 0 {
+		t.Fatalf("replication inconsistent after reopen(+repair): %v", errs)
+	}
+	// Whatever prefix of the flush survived, each source's replicated budget
+	// must now agree with the budget its department actually has.
+	deptBudget := map[string]string{}
+	res, err := db2.Query(Query{Set: "Dept", Project: []string{"name", "budget"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		deptBudget[r.Values[0].S] = r.Values[1].String()
+	}
+	res, err = db2.Query(Query{Set: "Emp1", Project: []string{"dept.name", "dept.budget"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if got, want := r.Values[1].String(), deptBudget[r.Values[0].S]; got != want {
+			t.Fatalf("replicated budget %s for dept %s, primary has %s", got, r.Values[0].S, want)
+		}
+	}
+}
+
+// TestCrashTornWriteDetected crashes mid-flush with a torn page write — the
+// half-new half-old image a kernel leaves when power fails mid-sector-train.
+// The torn page must surface as ErrCorruptPage when next read, never decode
+// as valid data.
+func TestCrashTornWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := pagefile.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := pagefile.NewFaultStore(inner)
+	db, err := Open(Config{Dir: dir, Store: fs, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashSetup(t, db)
+
+	if err := db.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a bunch of pages, then tear the very first flush write.
+	for i := 0; i < 6; i++ {
+		if _, err := db.Insert("Emp2", map[string]schema.Value{
+			"name": str("torn"), "age": num(1), "salary": num(1), "dept": ref(pagefile.OID{}),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.AddFault(pagefile.Fault{Index: fs.Ops(), Op: pagefile.OpWrite, Torn: true, Crash: true})
+	if err := db.Sync(); err == nil {
+		t.Fatal("Sync succeeded though the store crashed with a torn write")
+	}
+	if err := inner.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn page is real damage on disk. Opening and scanning everything
+	// must surface ErrCorruptPage — from Open's rehydration or from the scan
+	// that first touches the page — and never silently decode the torn image.
+	sawCorrupt := func(err error) bool { return errors.Is(err, pagefile.ErrCorruptPage) }
+	db2, err := Open(Config{Dir: dir, PoolPages: 64})
+	if err != nil {
+		if !sawCorrupt(err) {
+			t.Fatalf("reopen failed with %v, want ErrCorruptPage", err)
+		}
+		return
+	}
+	defer db2.Close()
+	var firstErr error
+	for _, set := range []string{"Org", "Dept", "Emp1", "Emp2"} {
+		if _, err := db2.Query(Query{Set: set, Project: []string{"name"}}); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("torn page was not detected by any full-set scan")
+	}
+	if !sawCorrupt(firstErr) {
+		t.Fatalf("scan failed with %v, want ErrCorruptPage", firstErr)
+	}
+}
+
+// TestFlippedBitDetectedOnDisk flips one bit of a set's heap file on disk
+// between Close and reopen; the next read of that page must fail with
+// ErrCorruptPage instead of decoding garbage.
+func TestFlippedBitDetectedOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer db.Close()
+		tdb := db
+		// openEmployeeDB builds its own engine; inline the schema here so the
+		// file layout on disk is the standard one.
+		st := func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		st(tdb.DefineType("EMP", []schema.Field{
+			{Name: "name", Kind: schema.KindString},
+			{Name: "salary", Kind: schema.KindInt},
+		}))
+		st(tdb.CreateSet("Emp1", "EMP"))
+		for i := 0; i < 5; i++ {
+			_, err := tdb.Insert("Emp1", map[string]schema.Value{"name": str("x"), "salary": num(int64(i))})
+			st(err)
+		}
+	}()
+
+	// Flip one bit inside the Emp1 heap file's first page.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "Emp1") && strings.HasSuffix(e.Name(), ".pf") {
+			target = filepath.Join(dir, e.Name())
+		}
+	}
+	if target == "" {
+		t.Fatalf("no heap file for Emp1 in %s", dir)
+	}
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[100] ^= 0x04
+	if err := os.WriteFile(target, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{Dir: dir, PoolPages: 64})
+	if err != nil {
+		if !errors.Is(err, pagefile.ErrCorruptPage) {
+			t.Fatalf("reopen failed with %v, want ErrCorruptPage", err)
+		}
+		return
+	}
+	defer db2.Close()
+	_, err = db2.Query(Query{Set: "Emp1", Project: []string{"name", "salary"}})
+	if err == nil {
+		t.Fatal("query over a flipped-bit page succeeded")
+	}
+	if !errors.Is(err, pagefile.ErrCorruptPage) {
+		t.Fatalf("query failed with %v, want ErrCorruptPage", err)
+	}
+}

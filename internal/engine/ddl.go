@@ -30,7 +30,7 @@ func (db *DB) CreateSet(name, typeName string) error {
 		return err
 	}
 	db.files[f.ID()] = f
-	return nil
+	return db.syncIfDurable()
 }
 
 // Replicate registers a replication path given in the paper's dotted syntax
@@ -45,7 +45,14 @@ func (db *DB) Replicate(path string, strategy catalog.Strategy, opts ...catalog.
 	if err != nil {
 		return err
 	}
-	return db.mgr.BuildPath(p)
+	if err := db.mgr.BuildPath(p); err != nil {
+		// The path stays registered with its build incomplete; taint the
+		// source set so the partial state is never trusted. Repair finishes
+		// the build (it derives the same structures the build would have).
+		db.taint(spec.Source, err)
+		return err
+	}
+	return db.syncIfDurable()
 }
 
 // BuildIndex builds a B+tree on a set (EXTRA "build btree on"). expr is
@@ -108,12 +115,13 @@ func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
 	}
 	db.trees[name] = tree
 
-	// Backfill from existing data.
+	// Backfill from existing data. A failed backfill is compensated by
+	// removing the half-built index (its pages are orphaned, like DropIndex).
 	setFile, err := db.SetFile(set)
 	if err != nil {
 		return err
 	}
-	return setFile.Scan(func(oid pagefile.OID, payload []byte) error {
+	err = setFile.Scan(func(oid pagefile.OID, payload []byte) error {
 		obj, err := schema.Decode(typ, payload)
 		if err != nil {
 			return err
@@ -135,6 +143,12 @@ func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
 		}
 		return tree.Insert(keyFor(v), oid)
 	})
+	if err != nil {
+		_ = db.cat.RemoveIndex(name)
+		delete(db.trees, name)
+		return err
+	}
+	return db.syncIfDurable()
 }
 
 // Unreplicate removes a replication path: hidden values, link structures not
@@ -156,9 +170,15 @@ func (db *DB) Unreplicate(path string, strategy catalog.Strategy) error {
 		}
 	}
 	if err := db.mgr.TeardownPath(p); err != nil {
+		// Partial teardown: the path is still registered, some structures are
+		// gone. Taint so nothing trusts the remains; Repair restores them.
+		db.taint(p.Spec.Source, err)
 		return err
 	}
-	return db.cat.RemovePath(p)
+	if err := db.cat.RemovePath(p); err != nil {
+		return err
+	}
+	return db.syncIfDurable()
 }
 
 // DropIndex removes an index definition and stops maintaining it. The

@@ -1,11 +1,20 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/core"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
+
+// DML operations are atomic-or-loud: when replication or index maintenance
+// fails midway, the operation either compensates (unwinding what it already
+// did, so the failure is clean) or — when the compensation itself fails —
+// taints the set in the catalog so the inconsistency is never silent.
+// Repair() re-derives the tainted state from the primary objects.
 
 // Insert stores a new object in a set and returns its OID. Replicated
 // hidden fields, inverted-path structures, S′ registration, and indexes are
@@ -34,15 +43,49 @@ func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 		return pagefile.OID{}, err
 	}
 	if err := db.mgr.OnInsert(s, oid, obj); err != nil {
+		db.undoInsert(s, oid, obj, false, err)
 		return pagefile.OID{}, err
 	}
 	if err := db.maintainBaseIndexes(set, oid, nil, obj); err != nil {
+		db.undoInsert(s, oid, obj, true, err)
 		return pagefile.OID{}, err
 	}
 	if err := db.takeIdxErr(); err != nil {
+		db.undoInsert(s, oid, obj, true, err)
 		return pagefile.OID{}, err
 	}
 	return oid, nil
+}
+
+// undoInsert unwinds a failed Insert: the partially registered replication
+// state is unregistered and the record deleted, so the failed operation
+// leaves no trace. indexed says whether base-index maintenance already ran.
+// If the unwind itself fails, the set is tainted.
+func (db *DB) undoInsert(s *catalog.Set, oid pagefile.OID, obj *schema.Object, indexed bool, cause error) {
+	if err := db.mgr.OnDelete(s, oid, obj); err != nil && !errors.Is(err, core.ErrStillReferenced) {
+		db.taint(s.Name, cause)
+		return
+	}
+	db.removePathIndexZeroEntries(s.Name, oid)
+	if indexed {
+		if err := db.maintainBaseIndexes(s.Name, oid, obj, nil); err != nil {
+			db.taint(s.Name, cause)
+			return
+		}
+	}
+	file, err := db.heapFor(s.FileID)
+	if err == nil {
+		err = file.Delete(oid)
+	}
+	if err != nil {
+		db.taint(s.Name, cause)
+		return
+	}
+	// A deferred index error raised during the unwind also means the unwind
+	// was incomplete.
+	if err := db.takeIdxErr(); err != nil {
+		db.taint(s.Name, cause)
+	}
 }
 
 // Get reads an object.
@@ -79,12 +122,25 @@ func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value)
 		return err
 	}
 	if err := db.mgr.OnUpdate(s, oid, old, next); err != nil {
+		// Propagation stopped partway: restore the pre-update object so the
+		// primary data reads as if the update never happened, and taint the
+		// set — the derived structures may reflect either state and only a
+		// Repair pass re-derives them reliably.
+		if werr := db.WriteObject(oid, old); werr != nil {
+			err = errors.Join(err, werr)
+		}
+		db.taint(set, err)
 		return err
 	}
 	if err := db.maintainBaseIndexes(set, oid, old, next); err != nil {
+		db.taint(set, err)
 		return err
 	}
-	return db.takeIdxErr()
+	if err := db.takeIdxErr(); err != nil {
+		db.taint(set, err)
+		return err
+	}
+	return nil
 }
 
 // Delete removes an object. Objects still referenced through a replication
@@ -103,10 +159,16 @@ func (db *DB) Delete(set string, oid pagefile.OID) error {
 		return err
 	}
 	if err := db.mgr.OnDelete(s, oid, obj); err != nil {
+		// ErrStillReferenced is a clean refusal raised before any mutation;
+		// anything else stopped partway through unregistration.
+		if !errors.Is(err, core.ErrStillReferenced) {
+			db.taint(set, err)
+		}
 		return err
 	}
 	db.removePathIndexZeroEntries(set, oid)
 	if err := db.maintainBaseIndexes(set, oid, obj, nil); err != nil {
+		db.taint(set, err)
 		return err
 	}
 	file, err := db.heapFor(s.FileID)
@@ -114,6 +176,9 @@ func (db *DB) Delete(set string, oid pagefile.OID) error {
 		return err
 	}
 	if err := file.Delete(oid); err != nil {
+		// Unregistered from every path but still present in the set: loudly
+		// inconsistent; Repair re-registers it.
+		db.taint(set, err)
 		return err
 	}
 	return db.takeIdxErr()

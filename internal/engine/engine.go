@@ -34,6 +34,12 @@ type Config struct {
 	// InlineMax is the link-inlining threshold of §4.3.1 (default 1; 0
 	// disables inlining).
 	InlineMax int
+	// Store, when non-nil, is used as the page store instead of the MemStore /
+	// FileStore the engine would otherwise create. This is the fault-injection
+	// seam: tests wrap a real store in a pagefile.FaultStore to exercise
+	// failure paths. When Dir is also set, the catalog snapshot is still
+	// read/written under Dir while page I/O goes through the injected store.
+	Store pagefile.Store
 }
 
 // DB is a database instance.
@@ -77,28 +83,33 @@ func Open(cfg Config) (*DB, error) {
 	var store pagefile.Store
 	var cat *catalog.Catalog
 	reopen := false
-	if cfg.Dir == "" {
-		store = pagefile.NewMemStore()
-	} else {
+	if cfg.Dir != "" {
 		catPath := filepath.Join(cfg.Dir, catalogFileName)
 		if data, err := os.ReadFile(catPath); err == nil {
 			cat, err = catalog.Restore(data)
 			if err != nil {
 				return nil, fmt.Errorf("engine: restoring catalog: %w", err)
 			}
-			fs, err := pagefile.OpenFileStore(cfg.Dir)
-			if err != nil {
-				return nil, err
-			}
-			store = fs
 			reopen = true
-		} else {
-			fs, err := pagefile.NewFileStore(cfg.Dir)
-			if err != nil {
-				return nil, err
-			}
-			store = fs
 		}
+	}
+	switch {
+	case cfg.Store != nil:
+		store = cfg.Store
+	case cfg.Dir == "":
+		store = pagefile.NewMemStore()
+	case reopen:
+		fs, err := pagefile.OpenFileStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	default:
+		fs, err := pagefile.NewFileStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
 	}
 	if cat == nil {
 		cat = catalog.New()
@@ -184,16 +195,86 @@ func (db *DB) Close() error {
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
-	if db.dir != "" {
-		data, err := db.cat.Snapshot()
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(db.dir, catalogFileName), data, 0o644); err != nil {
-			return err
-		}
+	if err := db.writeCatalog(); err != nil {
+		return err
 	}
 	return db.store.Close()
+}
+
+// writeCatalog persists the catalog snapshot of a file-backed database; it is
+// a no-op for in-memory databases.
+func (db *DB) writeCatalog() error {
+	if db.dir == "" {
+		return nil
+	}
+	data, err := db.cat.Snapshot()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(db.dir, catalogFileName), data, 0o644)
+}
+
+// Sync makes the current state durable: all dirty buffered pages are written
+// back, the underlying store is fsynced, and (for file-backed databases) the
+// catalog snapshot is rewritten. After Sync returns, a crash loses nothing.
+func (db *DB) Sync() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := db.store.SyncAll(); err != nil {
+		return err
+	}
+	return db.writeCatalog()
+}
+
+// syncIfDurable runs Sync for file-backed databases. DDL operations call it
+// so that schema changes and their bulk builds survive a crash without an
+// orderly Close; in-memory databases skip it to keep the experiments' page
+// I/O counts undisturbed.
+func (db *DB) syncIfDurable() error {
+	if db.dir == "" {
+		return nil
+	}
+	return db.Sync()
+}
+
+// taint marks a set's derived replication state suspect after a
+// mid-operation failure, persisting the marker immediately for file-backed
+// databases so even a crash right after the failure leaves the need for
+// repair on record. The cause is recorded with the first taint.
+func (db *DB) taint(set string, cause error) {
+	db.cat.MarkTainted(set, cause.Error())
+	// Best-effort: the store may be the very thing that is failing. The
+	// in-memory marker still gates this session; Close persists it later.
+	_ = db.writeCatalog()
+}
+
+// TaintedSets reports the sets whose derived replication state may be stale
+// after a mid-operation failure, with the recorded causes. A successful
+// Repair clears them.
+func (db *DB) TaintedSets() map[string]string { return db.cat.TaintedSets() }
+
+// Repair rebuilds all derived replication state from the primary objects
+// (see core.Repair) and, when the post-repair verification comes back clean,
+// clears the taint markers and makes the repaired state durable.
+func (db *DB) Repair() (*core.RepairReport, error) {
+	rep, err := db.mgr.Repair()
+	if err != nil {
+		return rep, err
+	}
+	if err := db.takeIdxErr(); err != nil {
+		// An index-maintenance failure during repair propagation: the
+		// replication state is fixed but an index may not be. Surface it and
+		// keep the taint markers.
+		return rep, err
+	}
+	if rep.Clean() {
+		db.cat.ClearAllTaint()
+	}
+	if err := db.syncIfDurable(); err != nil {
+		return rep, err
+	}
+	return rep, nil
 }
 
 // Catalog exposes the system catalog (read-only use).

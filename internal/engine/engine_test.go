@@ -23,6 +23,13 @@ func openEmployeeDB(t *testing.T, cfg Config) *DB {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { db.Close() })
+	defineEmployeeSchema(t, db)
+	return db
+}
+
+// defineEmployeeSchema installs the ORG/DEPT/EMP types and their sets.
+func defineEmployeeSchema(t *testing.T, db *DB) {
+	t.Helper()
 	must := func(err error) {
 		t.Helper()
 		if err != nil {
@@ -48,7 +55,6 @@ func openEmployeeDB(t *testing.T, cfg Config) *DB {
 	must(db.CreateSet("Dept", "DEPT"))
 	must(db.CreateSet("Emp1", "EMP"))
 	must(db.CreateSet("Emp2", "EMP"))
-	return db
 }
 
 type staff struct {

@@ -1,0 +1,7 @@
+//go:build soak
+
+package engine
+
+// faultSoakStride under -tags soak: every single operation index of the
+// calibration run gets its own faulted run.
+const faultSoakStride = 1

@@ -1,0 +1,7 @@
+//go:build !soak
+
+package engine
+
+// faultSoakStride samples every 7th fault index in the default test run;
+// `go test -tags soak` (make soak) covers every index exhaustively.
+const faultSoakStride = 7

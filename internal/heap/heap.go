@@ -40,6 +40,16 @@ const MaxPayload = pagefile.MaxRecordSize - movedHeaderSize - movedTrailer
 // ErrNotFound is returned when an OID does not address a live record.
 var ErrNotFound = errors.New("heap: record not found")
 
+// slotReadErr classifies a failed slot read: page corruption surfaces as
+// pagefile.ErrCorruptPage (permanent, distinguishable), anything else as a
+// missing record.
+func slotReadErr(oid pagefile.OID, err error) error {
+	if errors.Is(err, pagefile.ErrCorruptPage) {
+		return fmt.Errorf("heap: reading %v: %w", oid, err)
+	}
+	return fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
+}
+
 // File is a heap file.
 type File struct {
 	pool *buffer.Pool
@@ -115,11 +125,11 @@ func encodeMoved(payload []byte, home pagefile.OID) []byte {
 
 func decodePayload(rec []byte) ([]byte, error) {
 	if len(rec) < homeHeaderSize {
-		return nil, fmt.Errorf("heap: corrupt record of %d bytes", len(rec))
+		return nil, fmt.Errorf("%w: heap record of %d bytes", pagefile.ErrCorruptPage, len(rec))
 	}
 	n := int(binary.LittleEndian.Uint16(rec[1:3]))
 	if homeHeaderSize+n > len(rec) {
-		return nil, fmt.Errorf("heap: corrupt record: payload length %d exceeds record", n)
+		return nil, fmt.Errorf("%w: heap record payload length %d exceeds record", pagefile.ErrCorruptPage, n)
 	}
 	return rec[3 : 3+n], nil
 }
@@ -191,8 +201,11 @@ func (f *File) tryInsertOn(page uint32, rec []byte) (pagefile.OID, bool, error) 
 		return pagefile.OID{}, false, nil
 	}
 	slot, err := sp.Insert(rec)
-	if err != nil {
+	if errors.Is(err, pagefile.ErrPageFull) {
 		return pagefile.OID{}, false, nil
+	}
+	if err != nil {
+		return pagefile.OID{}, false, err
 	}
 	h.MarkDirty()
 	return pagefile.OID{File: f.id, Page: page, Slot: slot}, true, nil
@@ -226,14 +239,14 @@ func (f *File) readResolved(oid pagefile.OID) ([]byte, pagefile.OID, error) {
 			return nil, pagefile.OID{}, err
 		}
 		if body[0] != kindMoved {
-			return nil, pagefile.OID{}, fmt.Errorf("heap: stub %v points at non-moved record", oid)
+			return nil, pagefile.OID{}, fmt.Errorf("%w: stub %v points at non-moved record", pagefile.ErrCorruptPage, oid)
 		}
 		p, err := decodePayload(body)
 		return p, target, err
 	case kindMoved:
 		return nil, pagefile.OID{}, fmt.Errorf("%w: %v addresses a moved body, not a record", ErrNotFound, oid)
 	default:
-		return nil, pagefile.OID{}, fmt.Errorf("heap: unknown record kind %d at %v", rec[0], oid)
+		return nil, pagefile.OID{}, fmt.Errorf("%w: unknown record kind %d at %v", pagefile.ErrCorruptPage, rec[0], oid)
 	}
 }
 
@@ -250,7 +263,10 @@ func (f *File) rawRead(oid pagefile.OID) ([]byte, error) {
 	sp := pagefile.AsSlotted(h.Page())
 	rec, err := sp.Read(oid.Slot)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
+		return nil, slotReadErr(oid, err)
+	}
+	if len(rec) == 0 {
+		return nil, fmt.Errorf("%w: empty heap record at %v", pagefile.ErrCorruptPage, oid)
 	}
 	out := make([]byte, len(rec))
 	copy(out, rec)
@@ -272,7 +288,11 @@ func (f *File) Update(oid pagefile.OID, payload []byte) error {
 	rec, err := sp.Read(oid.Slot)
 	if err != nil {
 		h.Unpin()
-		return fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
+		return slotReadErr(oid, err)
+	}
+	if len(rec) == 0 {
+		h.Unpin()
+		return fmt.Errorf("%w: empty heap record at %v", pagefile.ErrCorruptPage, oid)
 	}
 	switch rec[0] {
 	case kindHome:
@@ -314,7 +334,7 @@ func (f *File) Update(oid pagefile.OID, payload []byte) error {
 		return fmt.Errorf("%w: %v addresses a moved body, not a record", ErrNotFound, oid)
 	default:
 		h.Unpin()
-		return fmt.Errorf("heap: unknown record kind %d at %v", rec[0], oid)
+		return fmt.Errorf("%w: unknown record kind %d at %v", pagefile.ErrCorruptPage, rec[0], oid)
 	}
 }
 
@@ -383,7 +403,11 @@ func (f *File) Delete(oid pagefile.OID) error {
 	rec, err := sp.Read(oid.Slot)
 	if err != nil {
 		h.Unpin()
-		return fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
+		return slotReadErr(oid, err)
+	}
+	if len(rec) == 0 {
+		h.Unpin()
+		return fmt.Errorf("%w: empty heap record at %v", pagefile.ErrCorruptPage, oid)
 	}
 	kind := rec[0]
 	var target pagefile.OID
@@ -450,6 +474,10 @@ func (f *File) Scan(fn func(oid pagefile.OID, payload []byte) error) error {
 				return err
 			}
 			oid := pagefile.OID{File: f.id, Page: page, Slot: slot}
+			if len(rec) == 0 {
+				h.Unpin()
+				return fmt.Errorf("%w: empty heap record at %v", pagefile.ErrCorruptPage, oid)
+			}
 			switch rec[0] {
 			case kindHome:
 				p, err := decodePayload(rec)

@@ -1,0 +1,253 @@
+package pagefile
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func mustFileStore(t *testing.T) *FileStore {
+	t.Helper()
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "db"))
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func writeRecordPage(t *testing.T, s Store, f FileID, page uint32, rec []byte) {
+	t.Helper()
+	var p Page
+	sp := InitSlotted(&p)
+	if _, err := sp.Insert(rec); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := s.WritePage(PageID{File: f, Page: page}, &p); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	var p Page
+	sp := InitSlotted(&p)
+	if _, err := sp.Insert([]byte("hello checksum")); err != nil {
+		t.Fatal(err)
+	}
+	StampChecksum(&p)
+	if err := VerifyChecksum(&p); err != nil {
+		t.Fatalf("verify stamped page: %v", err)
+	}
+	// Every flipped bit in the image must be detected.
+	for _, off := range []int{0, 5, checksumOff + 1, 100, PageSize - 1} {
+		q := p
+		q[off] ^= 0x40
+		if err := VerifyChecksum(&q); !errors.Is(err, ErrCorruptPage) {
+			t.Fatalf("flipped bit at %d: err = %v, want ErrCorruptPage", off, err)
+		}
+	}
+	// The zero page is "unchecksummed" and passes.
+	var zero Page
+	if err := VerifyChecksum(&zero); err != nil {
+		t.Fatalf("zero page: %v", err)
+	}
+}
+
+func TestFileStoreDetectsFlippedBit(t *testing.T) {
+	s := mustFileStore(t)
+	f, err := s.CreateFile("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Allocate(f); err != nil {
+		t.Fatal(err)
+	}
+	pid := PageID{File: f, Page: 0}
+	writeRecordPage(t, s, f, 0, []byte("some durable record bytes"))
+
+	// Corrupt the on-disk image below the checksum layer.
+	var raw Page
+	if err := s.ReadPage(pid, &raw); err != nil {
+		t.Fatalf("ReadPage before corruption: %v", err)
+	}
+	raw[2000] ^= 1
+	if err := s.WritePageRaw(pid, &raw); err != nil {
+		t.Fatalf("WritePageRaw: %v", err)
+	}
+	var buf Page
+	err = s.ReadPage(pid, &buf)
+	if !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("ReadPage of corrupted page: err = %v, want ErrCorruptPage", err)
+	}
+}
+
+func TestFaultStoreDeterministicError(t *testing.T) {
+	run := func() (int64, error) {
+		s := NewFaultStore(NewMemStore())
+		s.AddFault(Fault{Index: 3, Op: OpWrite})
+		f, _ := s.CreateFile("x")
+		var p Page
+		InitSlotted(&p)
+		var firstErr error
+		for i := 0; i < 5 && firstErr == nil; i++ { // alloc+write pairs: ops 0..9
+			if _, err := s.Allocate(f); err != nil {
+				firstErr = err
+				break
+			}
+			if err := s.WritePage(PageID{File: f, Page: uint32(i)}, &p); err != nil {
+				firstErr = err
+			}
+		}
+		return s.Ops(), firstErr
+	}
+	ops1, err1 := run()
+	ops2, err2 := run()
+	if !errors.Is(err1, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err1)
+	}
+	if ops1 != ops2 || (err1 == nil) != (err2 == nil) {
+		t.Fatalf("fault injection not deterministic: ops %d/%d errs %v/%v", ops1, ops2, err1, err2)
+	}
+	// Op 3 is the second write (ops alternate alloc,write,alloc,write).
+	if ops1 != 4 {
+		t.Fatalf("ops = %d, want 4 (fault on op index 3)", ops1)
+	}
+}
+
+func TestFaultStoreTornWrite(t *testing.T) {
+	inner := mustFileStore(t)
+	s := NewFaultStore(inner)
+	f, _ := s.CreateFile("emp")
+	if _, err := s.Allocate(f); err != nil {
+		t.Fatal(err)
+	}
+	pid := PageID{File: f, Page: 0}
+	// First write succeeds and establishes a valid old image.
+	writeRecordPage(t, s, f, 0, []byte("old old old old old old"))
+
+	// Second write is torn: half the new image lands, then the "crash".
+	s.AddFault(Fault{Index: s.Ops(), Op: OpWrite, Torn: true})
+	var p Page
+	sp := InitSlotted(&p)
+	if _, err := sp.Insert(make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	err := s.WritePage(pid, &p)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	// The torn image must fail checksum verification on read.
+	var buf Page
+	err = inner.ReadPage(pid, &buf)
+	if !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("read of torn page: err = %v, want ErrCorruptPage", err)
+	}
+}
+
+func TestFaultStoreCrashMode(t *testing.T) {
+	s := NewFaultStore(NewMemStore())
+	f, _ := s.CreateFile("x")
+	if _, err := s.Allocate(f); err != nil {
+		t.Fatal(err)
+	}
+	s.AddFault(Fault{Index: s.Ops(), Crash: true})
+	var p Page
+	if err := s.ReadPage(PageID{File: f, Page: 0}, &p); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash fault: err = %v, want ErrInjected", err)
+	}
+	// Every subsequent op fails until faults are cleared.
+	if err := s.WritePage(PageID{File: f, Page: 0}, &p); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write: err = %v, want ErrInjected", err)
+	}
+	if err := s.SyncAll(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash sync: err = %v, want ErrInjected", err)
+	}
+	s.ClearFaults()
+	if err := s.ReadPage(PageID{File: f, Page: 0}, &p); err != nil {
+		t.Fatalf("read after ClearFaults: %v", err)
+	}
+}
+
+func TestFaultStoreSeedDeterministic(t *testing.T) {
+	a := NewFaultStore(NewMemStore())
+	b := NewFaultStore(NewMemStore())
+	a.SeedFaults(42, 10, 1000)
+	b.SeedFaults(42, 10, 1000)
+	if len(a.faults) != len(b.faults) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a.faults), len(b.faults))
+	}
+	for i := range a.faults {
+		if a.faults[i] != b.faults[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a.faults[i], b.faults[i])
+		}
+	}
+}
+
+func TestStoreCloseIdempotentAndClosedChecks(t *testing.T) {
+	for name, mk := range map[string]func() Store{
+		"mem":  func() Store { return NewMemStore() },
+		"file": func() Store { s := mustFileStore(t); return s },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			f, err := s.CreateFile("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Sync(f); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			if err := s.SyncAll(); err != nil {
+				t.Fatalf("SyncAll: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("first Close: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			if _, err := s.NumPages(f); !errors.Is(err, ErrClosed) {
+				t.Fatalf("NumPages after close: err = %v, want ErrClosed", err)
+			}
+			if _, err := s.FileName(f); !errors.Is(err, ErrClosed) {
+				t.Fatalf("FileName after close: err = %v, want ErrClosed", err)
+			}
+			if err := s.Sync(f); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Sync after close: err = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestFileStoreSyncAndReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := s.CreateFile("emp")
+	if _, err := s.Allocate(f); err != nil {
+		t.Fatal(err)
+	}
+	writeRecordPage(t, s, f, 0, []byte("durable"))
+	if err := s.Sync(f); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	defer r.Close()
+	var p Page
+	if err := r.ReadPage(PageID{File: f, Page: 0}, &p); err != nil {
+		t.Fatalf("ReadPage after reopen: %v", err)
+	}
+	sp := AsSlotted(&p)
+	rec, err := sp.Read(0)
+	if err != nil || string(rec) != "durable" {
+		t.Fatalf("record after reopen = %q, %v", rec, err)
+	}
+}

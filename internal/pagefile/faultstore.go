@@ -1,0 +1,287 @@
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the base error of every fault a FaultStore injects. Tests
+// and the repair harness use it to distinguish injected faults from real
+// store failures.
+var ErrInjected = errors.New("pagefile: injected fault")
+
+// OpKind classifies store operations for fault scoping.
+type OpKind uint8
+
+// Operation kinds a Fault can be scoped to. OpAny matches every counted
+// operation.
+const (
+	OpAny OpKind = iota
+	OpRead
+	OpWrite
+	OpAlloc
+	OpSync
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAny:
+		return "any"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAlloc:
+		return "alloc"
+	case OpSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Fault describes one deterministic fault. The store counts operations
+// (reads, writes, allocations, and — when CountSyncs is set — syncs) in
+// arrival order; a fault fires when the counter reaches Index and the
+// operation matches Op and File.
+type Fault struct {
+	// Index is the zero-based operation number at which the fault fires.
+	Index int64
+	// Op restricts the fault to one operation kind (OpAny matches all).
+	Op OpKind
+	// File restricts the fault to one file (0 matches all files).
+	File FileID
+	// Torn, on a write fault, leaves a half-written page behind: the first
+	// TornBytes bytes of the new image followed by the old image's tail are
+	// written through to the underlying store before the error is returned,
+	// bypassing checksum stamping — the page image a kernel crash mid-write
+	// leaves on disk.
+	Torn bool
+	// Crash, once the fault fires, fails every subsequent operation: the
+	// process has "crashed" and the store is gone.
+	Crash bool
+}
+
+// TornBytes is how much of the new page image a torn write persists.
+const TornBytes = PageSize / 2
+
+// rawWriter is implemented by stores that can write a page image verbatim
+// (FileStore). Torn writes need it to bypass checksum stamping.
+type rawWriter interface {
+	WritePageRaw(pid PageID, buf *Page) error
+}
+
+// FaultStore wraps a Store and injects deterministic faults into its
+// operation stream. All faults are scheduled by operation index, so a run
+// with the same workload and the same fault plan fails at exactly the same
+// point every time.
+type FaultStore struct {
+	inner Store
+
+	mu         sync.Mutex
+	ops        int64
+	faults     []Fault
+	crashed    bool
+	injected   int64
+	countSyncs bool
+}
+
+// NewFaultStore wraps inner with an empty fault plan (all operations pass
+// through until faults are added).
+func NewFaultStore(inner Store) *FaultStore { return &FaultStore{inner: inner} }
+
+// Inner returns the wrapped store.
+func (s *FaultStore) Inner() Store { return s.inner }
+
+// AddFault schedules one fault.
+func (s *FaultStore) AddFault(f Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = append(s.faults, f)
+}
+
+// SeedFaults derives n faults deterministically from seed, spread over
+// operation indexes [0, maxIndex). Roughly a quarter of them are torn
+// writes. The same seed always produces the same plan.
+func (s *FaultStore) SeedFaults(seed int64, n int, maxIndex int64) {
+	rng := rand.New(rand.NewSource(seed))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		f := Fault{Index: rng.Int63n(maxIndex)}
+		if rng.Intn(4) == 0 {
+			f.Op = OpWrite
+			f.Torn = true
+		}
+		s.faults = append(s.faults, f)
+	}
+}
+
+// ClearFaults drops every scheduled fault and un-crashes the store. The
+// operation counter keeps running.
+func (s *FaultStore) ClearFaults() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = nil
+	s.crashed = false
+}
+
+// CountSyncs includes Sync/SyncAll operations in the fault index stream.
+// Off by default so durability barriers do not shift read/write indexes.
+func (s *FaultStore) CountSyncs(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countSyncs = on
+}
+
+// Ops returns the number of operations counted so far.
+func (s *FaultStore) Ops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+// Injected returns the number of faults that have fired.
+func (s *FaultStore) Injected() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
+// step counts one operation and reports the fault to inject, if any.
+func (s *FaultStore) step(op OpKind, file FileID) (Fault, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return Fault{}, fmt.Errorf("%w: store crashed", ErrInjected)
+	}
+	idx := s.ops
+	s.ops++
+	for _, f := range s.faults {
+		if f.Index != idx {
+			continue
+		}
+		if f.Op != OpAny && f.Op != op {
+			continue
+		}
+		if f.File != 0 && f.File != file {
+			continue
+		}
+		s.injected++
+		if f.Crash {
+			s.crashed = true
+		}
+		return f, fmt.Errorf("%w: %s op %d on file %d", ErrInjected, op, idx, file)
+	}
+	return Fault{}, nil
+}
+
+// CreateFile implements Store (never faulted: it performs no page I/O).
+func (s *FaultStore) CreateFile(name string) (FileID, error) { return s.inner.CreateFile(name) }
+
+// Allocate implements Store.
+func (s *FaultStore) Allocate(f FileID) (uint32, error) {
+	if _, err := s.step(OpAlloc, f); err != nil {
+		return 0, err
+	}
+	return s.inner.Allocate(f)
+}
+
+// ReadPage implements Store.
+func (s *FaultStore) ReadPage(pid PageID, buf *Page) error {
+	if _, err := s.step(OpRead, pid.File); err != nil {
+		return err
+	}
+	return s.inner.ReadPage(pid, buf)
+}
+
+// WritePage implements Store. A torn fault persists a half-written image
+// (new head, old tail) through the raw-write path before erroring, so the
+// page is really damaged on the underlying medium.
+func (s *FaultStore) WritePage(pid PageID, buf *Page) error {
+	fault, err := s.step(OpWrite, pid.File)
+	if err != nil {
+		if fault.Torn {
+			s.tearWrite(pid, buf)
+		}
+		return err
+	}
+	return s.inner.WritePage(pid, buf)
+}
+
+// tearWrite persists the torn image: the head of the page as the store would
+// have written it (checksum already stamped — a real torn write interrupts
+// the stamped image in flight) followed by the old image's tail.
+func (s *FaultStore) tearWrite(pid PageID, buf *Page) {
+	stamped := *buf
+	StampChecksum(&stamped)
+	var torn Page
+	// Best effort: the old tail comes from the current on-disk image; a page
+	// that cannot be read back contributes zeros, which is fine for a page
+	// that is being destroyed anyway.
+	if rw, ok := s.inner.(rawWriter); ok {
+		_ = s.inner.ReadPage(pid, &torn)
+		copy(torn[:TornBytes], stamped[:TornBytes])
+		_ = rw.WritePageRaw(pid, &torn)
+		return
+	}
+	// Stores without a raw path (MemStore) take the torn image via WritePage;
+	// they do not checksum, so the damage is preserved as-is.
+	_ = s.inner.ReadPage(pid, &torn)
+	copy(torn[:TornBytes], stamped[:TornBytes])
+	_ = s.inner.WritePage(pid, &torn)
+}
+
+// NumPages implements Store (not counted: it is metadata, not page I/O).
+func (s *FaultStore) NumPages(f FileID) (uint32, error) { return s.inner.NumPages(f) }
+
+// FileName implements Store.
+func (s *FaultStore) FileName(f FileID) (string, error) { return s.inner.FileName(f) }
+
+// Sync implements Store.
+func (s *FaultStore) Sync(f FileID) error {
+	if s.syncCounted() {
+		if _, err := s.step(OpSync, f); err != nil {
+			return err
+		}
+	} else if err := s.crashCheck(); err != nil {
+		return err
+	}
+	return s.inner.Sync(f)
+}
+
+// SyncAll implements Store.
+func (s *FaultStore) SyncAll() error {
+	if s.syncCounted() {
+		if _, err := s.step(OpSync, 0); err != nil {
+			return err
+		}
+	} else if err := s.crashCheck(); err != nil {
+		return err
+	}
+	return s.inner.SyncAll()
+}
+
+func (s *FaultStore) syncCounted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countSyncs
+}
+
+func (s *FaultStore) crashCheck() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return fmt.Errorf("%w: store crashed", ErrInjected)
+	}
+	return nil
+}
+
+// Stats implements Store, delegating to the wrapped store.
+func (s *FaultStore) Stats() *Stats { return s.inner.Stats() }
+
+// Close implements Store. Close always reaches the inner store, crashed or
+// not — the harness must be able to release resources.
+func (s *FaultStore) Close() error { return s.inner.Close() }

@@ -46,6 +46,11 @@ var (
 	ErrNoSuchFile = errors.New("pagefile: no such file")
 	ErrNoSuchPage = errors.New("pagefile: page out of range")
 	ErrClosed     = errors.New("pagefile: store is closed")
+	// ErrCorruptPage marks a page whose on-disk image failed validation: a
+	// checksum mismatch on read, or a slotted-page structure whose header or
+	// slot directory is inconsistent. It is permanent (retrying the read
+	// returns the same bytes), unlike transient I/O errors.
+	ErrCorruptPage = errors.New("pagefile: corrupt page")
 )
 
 // Stats accumulates I/O counters. All methods are safe for concurrent use.
@@ -95,9 +100,16 @@ type Store interface {
 	NumPages(f FileID) (uint32, error)
 	// FileName returns the name the file was created with.
 	FileName(f FileID) (string, error)
+	// Sync durably flushes file f. For stores without stable media it is a
+	// no-op; for FileStore it is an fsync barrier: every previously written
+	// page of f is on disk when it returns.
+	Sync(f FileID) error
+	// SyncAll durably flushes every file in the store.
+	SyncAll() error
 	// Stats returns the store's I/O counters.
 	Stats() *Stats
-	// Close releases all resources.
+	// Close releases all resources. Closing an already closed store is a
+	// no-op returning nil.
 	Close() error
 }
 
@@ -187,6 +199,9 @@ func (m *MemStore) WritePage(pid PageID, buf *Page) error {
 func (m *MemStore) NumPages(f FileID) (uint32, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
 	if f == 0 || int(f) > len(m.files) {
 		return 0, ErrNoSuchFile
 	}
@@ -197,19 +212,49 @@ func (m *MemStore) NumPages(f FileID) (uint32, error) {
 func (m *MemStore) FileName(f FileID) (string, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.closed {
+		return "", ErrClosed
+	}
 	if f == 0 || int(f) > len(m.names) {
 		return "", ErrNoSuchFile
 	}
 	return m.names[f-1], nil
 }
 
+// Sync implements Store. Memory is the stable medium, so it only validates
+// the arguments.
+func (m *MemStore) Sync(f FileID) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if f == 0 || int(f) > len(m.files) {
+		return ErrNoSuchFile
+	}
+	return nil
+}
+
+// SyncAll implements Store (no-op for memory).
+func (m *MemStore) SyncAll() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
 // Stats implements Store.
 func (m *MemStore) Stats() *Stats { return &m.stats }
 
-// Close implements Store.
+// Close implements Store. Closing twice is a no-op.
 func (m *MemStore) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
 	m.closed = true
 	m.files = nil
 	return nil

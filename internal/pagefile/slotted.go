@@ -35,6 +35,12 @@ const (
 	offNumSlots  = 4
 	offDataStart = 6
 	offNextPage  = 8
+
+	// maxSlotCount is the largest slot count a well-formed page can hold:
+	// the whole user area filled with empty slot entries. Reads of the slot
+	// count clamp to it so a corrupted header can never drive slot-directory
+	// indexing past the end of the page.
+	maxSlotCount = (PageSize - slotBase) / slotSize
 )
 
 // ErrPageFull is returned when a record does not fit in the page.
@@ -68,8 +74,16 @@ func (s Slotted) IsFormatted() bool {
 	return binary.LittleEndian.Uint16(s.P[offMagic:]) == pageMagic
 }
 
-// NumSlots returns the number of slot entries (live and dead).
-func (s Slotted) NumSlots() uint16 { return binary.LittleEndian.Uint16(s.P[offNumSlots:]) }
+// NumSlots returns the number of slot entries (live and dead). The stored
+// count is clamped to maxSlotCount so that iteration over a corrupted header
+// stays inside the page; Validate reports the corruption itself.
+func (s Slotted) NumSlots() uint16 {
+	n := binary.LittleEndian.Uint16(s.P[offNumSlots:])
+	if n > maxSlotCount {
+		return maxSlotCount
+	}
+	return n
+}
 
 func (s Slotted) setNumSlots(n uint16) { binary.LittleEndian.PutUint16(s.P[offNumSlots:], n) }
 
@@ -80,10 +94,12 @@ func (s Slotted) setDataStart(v int) {
 }
 
 // dataStartInt returns dataStart as an int, mapping the stored 0 (which means
-// "PageSize", since 4096 does not fit in a u16) back to PageSize.
+// "PageSize", since 4096 does not fit in a u16) back to PageSize. Values past
+// the end of the page (only possible on a corrupted image) clamp to PageSize
+// so offset arithmetic stays in bounds.
 func (s Slotted) dataStartInt() int {
 	v := int(s.dataStart())
-	if v == 0 {
+	if v == 0 || v > PageSize {
 		return PageSize
 	}
 	return v
@@ -132,7 +148,10 @@ func (s Slotted) Read(i uint16) ([]byte, error) {
 	if off == deadOffset {
 		return nil, fmt.Errorf("%w: slot %d is dead", ErrNoSuchSlot, i)
 	}
-	return s.P[off : off+length], nil
+	if int(off) < slotBase || int(off)+int(length) > PageSize {
+		return nil, fmt.Errorf("%w: slot %d spans [%d,%d)", ErrCorruptPage, i, off, int(off)+int(length))
+	}
+	return s.P[off : int(off)+int(length)], nil
 }
 
 // contiguousFree returns the bytes available between the slot directory and
@@ -241,6 +260,9 @@ func (s Slotted) Update(i uint16, rec []byte) error {
 		return fmt.Errorf("%w: update slot %d", ErrNoSuchSlot, i)
 	}
 	off, length := s.slot(i)
+	if int(off) < slotBase || int(off)+int(length) > PageSize {
+		return fmt.Errorf("%w: slot %d spans [%d,%d)", ErrCorruptPage, i, off, int(off)+int(length))
+	}
 	if len(rec) <= int(length) {
 		// Shrink or same-size: overwrite in place. The leftover bytes become
 		// dead space reclaimed by compaction.
@@ -293,23 +315,74 @@ func (s Slotted) Compact() {
 		data []byte
 	}
 	n := s.NumSlots()
+	slotEnd := slotBase + int(n)*slotSize
 	recs := make([]rec, 0, n)
 	for i := uint16(0); i < n; i++ {
 		off, length := s.slot(i)
 		if off == deadOffset {
 			continue
 		}
+		if int(off) < slotBase || int(off)+int(length) > PageSize {
+			// Corrupted extent: the bytes are unrecoverable, so the slot is
+			// dropped rather than copying out of bounds. Validate reports the
+			// damage to callers that care.
+			s.setSlot(i, deadOffset, 0)
+			continue
+		}
 		data := make([]byte, length)
-		copy(data, s.P[off:off+length])
+		copy(data, s.P[int(off):int(off)+int(length)])
 		recs = append(recs, rec{slot: i, data: data})
 	}
 	start := PageSize
 	for _, r := range recs {
+		if start-len(r.data) < slotEnd {
+			// Only reachable when corrupted lengths oversubscribe the page:
+			// drop the record instead of overwriting the slot directory.
+			s.setSlot(r.slot, deadOffset, 0)
+			continue
+		}
 		start -= len(r.data)
 		copy(s.P[start:], r.data)
 		s.setSlot(r.slot, uint16(start), uint16(len(r.data)))
 	}
 	s.setDataStart(start)
+}
+
+// Validate checks the page's structural invariants — magic, slot count,
+// data-start bounds, and every live slot's record extent — and returns an
+// ErrCorruptPage-wrapped error describing the first violation. Accessors are
+// individually hardened against corrupted images (they clamp or error rather
+// than panic); Validate is the explicit check for callers that want to reject
+// a damaged page up front.
+func (s Slotted) Validate() error {
+	if !s.IsFormatted() {
+		return fmt.Errorf("%w: bad magic %04x", ErrCorruptPage,
+			binary.LittleEndian.Uint16(s.P[offMagic:]))
+	}
+	rawSlots := binary.LittleEndian.Uint16(s.P[offNumSlots:])
+	if rawSlots > maxSlotCount {
+		return fmt.Errorf("%w: slot count %d exceeds max %d", ErrCorruptPage, rawSlots, maxSlotCount)
+	}
+	ds := s.dataStart()
+	dsInt := int(ds)
+	if dsInt == 0 {
+		dsInt = PageSize
+	}
+	slotEnd := slotBase + int(rawSlots)*slotSize
+	if dsInt > PageSize || dsInt < slotEnd {
+		return fmt.Errorf("%w: data start %d outside [%d,%d]", ErrCorruptPage, dsInt, slotEnd, PageSize)
+	}
+	for i := uint16(0); i < rawSlots; i++ {
+		off, length := s.slot(i)
+		if off == deadOffset {
+			continue
+		}
+		if int(off) < dsInt || int(off)+int(length) > PageSize {
+			return fmt.Errorf("%w: slot %d spans [%d,%d) outside record area [%d,%d)",
+				ErrCorruptPage, i, off, int(off)+int(length), dsInt, PageSize)
+		}
+	}
+	return nil
 }
 
 // LiveCount returns the number of live records on the page.
