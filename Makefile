@@ -1,8 +1,19 @@
 GO ?= go
 
-.PHONY: all build vet test race soak fuzz check
+.PHONY: all help build vet test race bench soak fuzz check
 
 all: check
+
+help:
+	@echo "Targets:"
+	@echo "  build  - compile all packages"
+	@echo "  vet    - go vet"
+	@echo "  test   - full test suite"
+	@echo "  race   - race-detector pass (includes the buffer/heap/engine concurrency tests)"
+	@echo "  bench  - scan-throughput matrix (shards x workers) -> BENCH_scan.json"
+	@echo "  soak   - exhaustive fault-injection soak"
+	@echo "  fuzz   - slotted-page parsing fuzzer"
+	@echo "  check  - build + vet + test + race"
 
 build:
 	$(GO) build ./...
@@ -13,8 +24,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# The short-mode sweep covers every package; the second pass runs the
+# sharded-pool / parallel-scan / concurrent-reader tests un-shortened.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/buffer ./internal/heap ./internal/engine
+
+# Scan throughput across pool shard counts and scan worker counts, on a
+# memory-backed store with simulated device latency. Writes BENCH_scan.json
+# (shards, workers, ns_per_op, pages_per_sec per configuration).
+bench:
+	$(GO) run ./cmd/scanbench -out BENCH_scan.json
 
 # Exhaustive fault soak: one injected fault at every I/O index of the
 # calibration run (the untagged test samples every 7th index).

@@ -23,13 +23,19 @@ func main() {
 	dir := flag.String("dir", "", "store page files under this directory (default: in-memory)")
 	pool := flag.Int("pool", 1024, "buffer pool size in pages")
 	showIO := flag.Bool("io", false, "print page I/O after each statement")
+	workers := flag.Int("workers", 1, "goroutines for non-indexed scan predicate evaluation (1 = sequential)")
+	shards := flag.Int("shards", 1, "buffer pool lock shards")
+	readahead := flag.Int("readahead", 0, "scan readahead in pages (0 = off)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] script.extra ... (or - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
 		os.Exit(2)
 	}
 
-	db, err := fieldrepl.Open(fieldrepl.Config{Dir: *dir, PoolPages: *pool})
+	db, err := fieldrepl.Open(fieldrepl.Config{
+		Dir: *dir, PoolPages: *pool,
+		ScanWorkers: *workers, PoolShards: *shards, Readahead: *readahead,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -8,12 +8,22 @@
 // cost model's "optimal join" assumption — each page needed by a query is
 // read once — is realized by giving a query a pool at least as large as its
 // working set and calling Reset between queries (cold cache per query).
+//
+// The pool is lock-striped: frames are partitioned into shards, each with
+// its own mutex, page table, and clock hand, and a page is owned by the
+// shard its PageID hashes to. Concurrent readers on different shards never
+// contend, while hit/miss/eviction/flush counters are atomic so the paper's
+// "pages per query" accounting stays exact under concurrency. New builds a
+// single-shard pool, which behaves exactly like the pre-sharding pool (one
+// clock over all frames) — the configuration the figure reproductions use.
 package buffer
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/exodb/fieldrepl/internal/pagefile"
 )
@@ -27,20 +37,31 @@ var (
 	ErrNotPinned = errors.New("buffer: unpin of unpinned page")
 )
 
-// Pool is a buffer pool. Methods are safe for concurrent use, though the
-// engine serializes operations; concurrency safety guards against misuse.
+// Pool is a buffer pool. All methods are safe for concurrent use.
 type Pool struct {
-	store pagefile.Store
+	store  pagefile.Store
+	shards []shard
+	size   int
 
+	// readahead is the scan prefetch depth in pages; 0 (the default)
+	// disables prefetching, keeping per-query miss counts byte-identical to
+	// the unprefetched execution the cost model describes.
+	readahead atomic.Int32
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	flushes    atomic.Int64
+	prefetched atomic.Int64
+}
+
+// shard is one lock stripe: a slice of frames, the page table mapping
+// resident PageIDs to frame indexes, and a clock hand, all under one mutex.
+type shard struct {
 	mu     sync.Mutex
 	frames []frame
 	table  map[pagefile.PageID]int
 	hand   int
-
-	hits      int64
-	misses    int64
-	evictions int64
-	flushes   int64
 }
 
 type frame struct {
@@ -52,52 +73,105 @@ type frame struct {
 	ref   bool // clock reference bit
 }
 
-// New returns a pool of nframes frames over store. nframes must be >= 1.
+// New returns a single-shard pool of nframes frames over store — the exact
+// replacement behavior of the historical global pool, used wherever the
+// paper's figures are reproduced.
 func New(store pagefile.Store, nframes int) *Pool {
+	return NewSharded(store, nframes, 1)
+}
+
+// NewSharded returns a pool of nframes frames striped over nshards lock
+// shards. nframes must be >= 1; nshards is clamped to [1, nframes]. Frames
+// are distributed as evenly as possible, so each shard's clock sweeps about
+// nframes/nshards frames.
+func NewSharded(store pagefile.Store, nframes, nshards int) *Pool {
 	if nframes < 1 {
 		panic("buffer: pool needs at least one frame")
 	}
-	return &Pool{
-		store:  store,
-		frames: make([]frame, nframes),
-		table:  make(map[pagefile.PageID]int, nframes),
+	if nshards < 1 {
+		nshards = 1
 	}
+	if nshards > nframes {
+		nshards = nframes
+	}
+	p := &Pool{store: store, shards: make([]shard, nshards), size: nframes}
+	base, extra := nframes/nshards, nframes%nshards
+	for i := range p.shards {
+		n := base
+		if i < extra {
+			n++
+		}
+		p.shards[i] = shard{
+			frames: make([]frame, n),
+			table:  make(map[pagefile.PageID]int, n),
+		}
+	}
+	return p
 }
 
 // Store returns the underlying page store.
 func (p *Pool) Store() pagefile.Store { return p.store }
 
-// Size returns the number of frames.
-func (p *Pool) Size() int { return len(p.frames) }
+// Size returns the total number of frames across all shards.
+func (p *Pool) Size() int { return p.size }
+
+// Shards returns the number of lock shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// SetReadahead sets the scan prefetch depth in pages; 0 disables it. Heap
+// full scans prefetch this many pages ahead of the cursor in one batched
+// store read. Off by default: figure reproduction depends on the pool's
+// per-query miss counts, which prefetching redistributes (misses become
+// prefetches) even though total store reads are unchanged.
+func (p *Pool) SetReadahead(k int) {
+	if k < 0 {
+		k = 0
+	}
+	p.readahead.Store(int32(k))
+}
+
+// Readahead returns the configured scan prefetch depth.
+func (p *Pool) Readahead() int { return int(p.readahead.Load()) }
+
+// shardOf maps a page to its owning shard.
+func (p *Pool) shardOf(pid pagefile.PageID) *shard {
+	if len(p.shards) == 1 {
+		return &p.shards[0]
+	}
+	h := uint64(pid.File)<<32 | uint64(pid.Page)
+	h *= 0x9e3779b97f4a7c15 // Fibonacci hashing: spreads sequential pages
+	h ^= h >> 32
+	return &p.shards[h%uint64(len(p.shards))]
+}
 
 // Handle is a pinned page. The caller must call Unpin exactly once when done,
 // and MarkDirty before Unpin if the page was modified.
 type Handle struct {
-	pool *Pool
-	idx  int
-	pid  pagefile.PageID
+	sh  *shard
+	idx int
+	pid pagefile.PageID
 }
 
 // PageID returns the identity of the pinned page.
 func (h *Handle) PageID() pagefile.PageID { return h.pid }
 
 // Page returns the page bytes. Valid only while pinned.
-func (h *Handle) Page() *pagefile.Page { return &h.pool.frames[h.idx].page }
+func (h *Handle) Page() *pagefile.Page { return &h.sh.frames[h.idx].page }
 
 // MarkDirty records that the page was modified and must be written back
 // before eviction.
 func (h *Handle) MarkDirty() {
-	h.pool.mu.Lock()
-	h.pool.frames[h.idx].dirty = true
-	h.pool.mu.Unlock()
+	h.sh.mu.Lock()
+	h.sh.frames[h.idx].dirty = true
+	h.sh.mu.Unlock()
 }
 
 // Unpin releases the pin. Unpinning a page that is not pinned (a caller bug)
 // returns ErrNotPinned and leaves the pool unchanged.
 func (h *Handle) Unpin() error {
-	h.pool.mu.Lock()
-	defer h.pool.mu.Unlock()
-	f := &h.pool.frames[h.idx]
+	h.sh.mu.Lock()
+	defer h.sh.mu.Unlock()
+	f := &h.sh.frames[h.idx]
 	if f.pins <= 0 {
 		return fmt.Errorf("%w: %s", ErrNotPinned, h.pid)
 	}
@@ -107,23 +181,39 @@ func (h *Handle) Unpin() error {
 
 // Get pins page pid, reading it from the store on a miss.
 func (p *Pool) Get(pid pagefile.PageID) (*Handle, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if idx, ok := p.table[pid]; ok {
-		f := &p.frames[idx]
-		f.pins++
-		f.ref = true
-		p.hits++
-		return &Handle{pool: p, idx: idx, pid: pid}, nil
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	if idx, ok := sh.table[pid]; ok {
+		h := sh.pinLocked(idx, pid)
+		p.hits.Add(1)
+		sh.mu.Unlock()
+		return h, nil
 	}
-	p.misses++
-	idx, err := p.victimLocked()
+	idx, err := sh.victim(p)
+	if errors.Is(err, ErrPoolExhausted) {
+		// Bounded retry: concurrent pins are transient. Yield once so other
+		// goroutines can Unpin (or bring the page in themselves), then sweep
+		// the clock one more time before giving up.
+		sh.mu.Unlock()
+		runtime.Gosched()
+		sh.mu.Lock()
+		if i2, ok := sh.table[pid]; ok {
+			h := sh.pinLocked(i2, pid)
+			p.hits.Add(1)
+			sh.mu.Unlock()
+			return h, nil
+		}
+		idx, err = sh.victim(p)
+	}
 	if err != nil {
-		return nil, err
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("buffer: pinning %s: %w", pid, err)
 	}
-	f := &p.frames[idx]
+	p.misses.Add(1)
+	f := &sh.frames[idx]
 	if err := p.store.ReadPage(pid, &f.page); err != nil {
 		f.valid = false
+		sh.mu.Unlock()
 		return nil, err
 	}
 	f.pid = pid
@@ -131,8 +221,17 @@ func (p *Pool) Get(pid pagefile.PageID) (*Handle, error) {
 	f.dirty = false
 	f.pins = 1
 	f.ref = true
-	p.table[pid] = idx
-	return &Handle{pool: p, idx: idx, pid: pid}, nil
+	sh.table[pid] = idx
+	sh.mu.Unlock()
+	return &Handle{sh: sh, idx: idx, pid: pid}, nil
+}
+
+// pinLocked pins the resident frame idx. Caller holds sh.mu.
+func (sh *shard) pinLocked(idx int, pid pagefile.PageID) *Handle {
+	f := &sh.frames[idx]
+	f.pins++
+	f.ref = true
+	return &Handle{sh: sh, idx: idx, pid: pid}
 }
 
 // NewPage allocates a fresh page in file fid, pins it, and returns the
@@ -144,38 +243,46 @@ func (p *Pool) NewPage(fid pagefile.FileID) (*Handle, pagefile.PageID, error) {
 		return nil, pagefile.PageID{}, err
 	}
 	pid := pagefile.PageID{File: fid, Page: pageNo}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	idx, err := p.victimLocked()
-	if err != nil {
-		return nil, pagefile.PageID{}, err
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	idx, err := sh.victim(p)
+	if errors.Is(err, ErrPoolExhausted) {
+		sh.mu.Unlock()
+		runtime.Gosched()
+		sh.mu.Lock()
+		idx, err = sh.victim(p)
 	}
-	f := &p.frames[idx]
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, pagefile.PageID{}, fmt.Errorf("buffer: framing new page %s: %w", pid, err)
+	}
+	f := &sh.frames[idx]
 	f.page = pagefile.Page{}
 	f.pid = pid
 	f.valid = true
 	f.dirty = true
 	f.pins = 1
 	f.ref = true
-	p.table[pid] = idx
-	return &Handle{pool: p, idx: idx, pid: pid}, pid, nil
+	sh.table[pid] = idx
+	sh.mu.Unlock()
+	return &Handle{sh: sh, idx: idx, pid: pid}, pid, nil
 }
 
-// victimLocked finds a free or evictable frame using the clock algorithm,
-// writing back the victim if dirty. Caller holds p.mu.
-func (p *Pool) victimLocked() (int, error) {
-	n := len(p.frames)
+// victim finds a free or evictable frame using the shard's clock, writing
+// back the victim if dirty. Caller holds sh.mu.
+func (sh *shard) victim(p *Pool) (int, error) {
+	n := len(sh.frames)
 	// Prefer an invalid (never used) frame.
-	for i := range p.frames {
-		if !p.frames[i].valid {
+	for i := range sh.frames {
+		if !sh.frames[i].valid {
 			return i, nil
 		}
 	}
 	// Clock sweep: up to 2n steps gives every unpinned frame a second chance.
 	for step := 0; step < 2*n; step++ {
-		idx := p.hand
-		p.hand = (p.hand + 1) % n
-		f := &p.frames[idx]
+		idx := sh.hand
+		sh.hand = (sh.hand + 1) % n
+		f := &sh.frames[idx]
 		if f.pins > 0 {
 			continue
 		}
@@ -183,15 +290,15 @@ func (p *Pool) victimLocked() (int, error) {
 			f.ref = false
 			continue
 		}
-		if err := p.evictLocked(idx); err != nil {
+		if err := sh.evict(p, idx); err != nil {
 			return 0, err
 		}
 		return idx, nil
 	}
 	// Last resort: any unpinned frame regardless of reference bit.
-	for idx := range p.frames {
-		if p.frames[idx].pins == 0 {
-			if err := p.evictLocked(idx); err != nil {
+	for idx := range sh.frames {
+		if sh.frames[idx].pins == 0 {
+			if err := sh.evict(p, idx); err != nil {
 				return 0, err
 			}
 			return idx, nil
@@ -200,8 +307,9 @@ func (p *Pool) victimLocked() (int, error) {
 	return 0, ErrPoolExhausted
 }
 
-func (p *Pool) evictLocked(idx int) error {
-	f := &p.frames[idx]
+// evict writes back frame idx if dirty and unmaps it. Caller holds sh.mu.
+func (sh *shard) evict(p *Pool, idx int) error {
+	f := &sh.frames[idx]
 	if f.dirty {
 		if err := p.store.WritePage(f.pid, &f.page); err != nil {
 			// The frame stays valid, dirty, and mapped: the page contents are
@@ -209,31 +317,46 @@ func (p *Pool) evictLocked(idx int) error {
 			// write once the store recovers.
 			return fmt.Errorf("buffer: evicting %s: %w", f.pid, err)
 		}
-		p.flushes++
+		p.flushes.Add(1)
 		f.dirty = false
 	}
-	delete(p.table, f.pid)
+	delete(sh.table, f.pid)
 	f.valid = false
-	p.evictions++
+	p.evictions.Add(1)
 	return nil
+}
+
+// lockAll acquires every shard mutex in index order (a cross-shard barrier)
+// and returns the matching unlock.
+func (p *Pool) lockAll() (unlock func()) {
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+	}
+	return func() {
+		for i := range p.shards {
+			p.shards[i].mu.Unlock()
+		}
+	}
 }
 
 // FlushAll writes back every dirty page, leaving them resident. A failed
 // write leaves that frame dirty for retry; the remaining frames are still
 // attempted and all failures are joined into the returned error.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	defer p.lockAll()()
 	var errs []error
-	for i := range p.frames {
-		f := &p.frames[i]
-		if f.valid && f.dirty {
-			if err := p.store.WritePage(f.pid, &f.page); err != nil {
-				errs = append(errs, fmt.Errorf("buffer: flushing %s: %w", f.pid, err))
-				continue
+	for s := range p.shards {
+		sh := &p.shards[s]
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if f.valid && f.dirty {
+				if err := p.store.WritePage(f.pid, &f.page); err != nil {
+					errs = append(errs, fmt.Errorf("buffer: flushing %s: %w", f.pid, err))
+					continue
+				}
+				p.flushes.Add(1)
+				f.dirty = false
 			}
-			p.flushes++
-			f.dirty = false
 		}
 	}
 	return errors.Join(errs...)
@@ -244,32 +367,122 @@ func (p *Pool) FlushAll() error {
 // experiment harness calls Reset between queries so each query starts with a
 // cold cache, matching the cost model.
 func (p *Pool) Reset() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		if p.frames[i].valid && p.frames[i].pins > 0 {
-			return fmt.Errorf("%w: %s", ErrStillPinned, p.frames[i].pid)
+	defer p.lockAll()()
+	for s := range p.shards {
+		sh := &p.shards[s]
+		for i := range sh.frames {
+			if sh.frames[i].valid && sh.frames[i].pins > 0 {
+				return fmt.Errorf("%w: %s", ErrStillPinned, sh.frames[i].pid)
+			}
 		}
 	}
-	for i := range p.frames {
-		f := &p.frames[i]
-		if !f.valid {
+	for s := range p.shards {
+		sh := &p.shards[s]
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if !f.valid {
+				continue
+			}
+			if f.dirty {
+				if err := p.store.WritePage(f.pid, &f.page); err != nil {
+					// Leave this frame (and any not yet visited) resident and
+					// dirty; the caller can retry Reset after the store recovers.
+					return fmt.Errorf("buffer: resetting %s: %w", f.pid, err)
+				}
+				p.flushes.Add(1)
+			}
+			delete(sh.table, f.pid)
+			f.valid = false
+			f.dirty = false
+		}
+		sh.hand = 0
+	}
+	return nil
+}
+
+// Prefetch loads up to n pages of file fid starting at page start into
+// frames without pinning them, so an imminent Get hits instead of missing.
+// Already-resident pages are skipped; the remaining runs of absent pages are
+// fetched with batched store reads (one vectored I/O per run on FileStore).
+// It is best-effort: a store error or a shard with every frame pinned simply
+// ends the batch — the scan's own Get will surface any real problem. The
+// number of pages actually loaded is returned.
+//
+// Prefetch must not run concurrently with writers of the same pages (the
+// batched read bypasses the frame table between read and install); the
+// engine guarantees this by running scans under its reader lock.
+func (p *Pool) Prefetch(fid pagefile.FileID, start uint32, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	npages, err := p.store.NumPages(fid)
+	if err != nil || start >= npages {
+		return 0
+	}
+	if uint32(n) > npages-start {
+		n = int(npages - start)
+	}
+	loaded := 0
+	page := start
+	end := start + uint32(n)
+	for page < end {
+		for page < end && p.resident(pagefile.PageID{File: fid, Page: page}) {
+			page++
+		}
+		runStart := page
+		for page < end && !p.resident(pagefile.PageID{File: fid, Page: page}) {
+			page++
+		}
+		if page == runStart {
 			continue
 		}
-		if f.dirty {
-			if err := p.store.WritePage(f.pid, &f.page); err != nil {
-				// Leave this frame (and any not yet visited) resident and
-				// dirty; the caller can retry Reset after the store recovers.
-				return fmt.Errorf("buffer: resetting %s: %w", f.pid, err)
-			}
-			p.flushes++
+		bufs := make([]pagefile.Page, page-runStart)
+		if err := p.store.ReadPages(fid, runStart, bufs); err != nil {
+			return loaded
 		}
-		delete(p.table, f.pid)
-		f.valid = false
-		f.dirty = false
+		for i := range bufs {
+			pid := pagefile.PageID{File: fid, Page: runStart + uint32(i)}
+			if p.install(pid, &bufs[i]) {
+				loaded++
+			}
+		}
 	}
-	p.hand = 0
-	return nil
+	return loaded
+}
+
+// resident reports whether pid is currently framed.
+func (p *Pool) resident(pid pagefile.PageID) bool {
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	_, ok := sh.table[pid]
+	sh.mu.Unlock()
+	return ok
+}
+
+// install maps a prefetched page image into a frame with zero pins. A page
+// that became resident since the batched read was issued is skipped (the
+// resident copy may be newer).
+func (p *Pool) install(pid pagefile.PageID, page *pagefile.Page) bool {
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.table[pid]; ok {
+		return false
+	}
+	idx, err := sh.victim(p)
+	if err != nil {
+		return false
+	}
+	f := &sh.frames[idx]
+	f.page = *page
+	f.pid = pid
+	f.valid = true
+	f.dirty = false
+	f.pins = 0
+	f.ref = true
+	sh.table[pid] = idx
+	p.prefetched.Add(1)
+	return true
 }
 
 // PoolStats is a snapshot of pool counters.
@@ -278,18 +491,28 @@ type PoolStats struct {
 	Misses    int64
 	Evictions int64
 	Flushes   int64
+	// Prefetched counts pages brought in by Prefetch rather than by a miss.
+	// With readahead off it is always zero, and Misses equals the store
+	// reads issued through the pool — the paper-figure invariant.
+	Prefetched int64
 }
 
 // Stats returns a snapshot of the pool's counters.
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Flushes: p.flushes}
+	return PoolStats{
+		Hits:       p.hits.Load(),
+		Misses:     p.misses.Load(),
+		Evictions:  p.evictions.Load(),
+		Flushes:    p.flushes.Load(),
+		Prefetched: p.prefetched.Load(),
+	}
 }
 
 // ResetStats zeroes the pool counters (not the store's).
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.hits, p.misses, p.evictions, p.flushes = 0, 0, 0, 0
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.evictions.Store(0)
+	p.flushes.Store(0)
+	p.prefetched.Store(0)
 }

@@ -15,6 +15,8 @@ import (
 
 // DefineType registers a type (EXTRA "define type").
 func (db *DB) DefineType(name string, fields []schema.Field) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	_, err := db.cat.DefineType(name, fields)
 	return err
 }
@@ -22,6 +24,8 @@ func (db *DB) DefineType(name string, fields []schema.Field) error {
 // CreateSet creates a named top-level set stored as its own disk file
 // (EXTRA "create").
 func (db *DB) CreateSet(name, typeName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	f, err := heap.Create(db.pool, name)
 	if err != nil {
 		return err
@@ -37,6 +41,8 @@ func (db *DB) CreateSet(name, typeName string) error {
 // ("Emp1.dept.name", "Emp1.dept.org.name", "Emp1.dept.all") and builds its
 // replicated state over existing data.
 func (db *DB) Replicate(path string, strategy catalog.Strategy, opts ...catalog.PathOption) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	spec, err := catalog.ParsePathSpec(path)
 	if err != nil {
 		return err
@@ -61,6 +67,8 @@ func (db *DB) Replicate(path string, strategy catalog.Strategy, opts ...catalog.
 // clustered records whether the set's file is physically ordered by this key
 // (a workload property; the executor uses it for plan metadata only).
 func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	typ, err := db.cat.SetType(set)
 	if err != nil {
 		return err
@@ -156,6 +164,8 @@ func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
 // registrations are torn down, and the catalog entry is dropped. Fails if an
 // index is built on the path's replicated values; drop the index first.
 func (db *DB) Unreplicate(path string, strategy catalog.Strategy) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	spec, err := catalog.ParsePathSpec(path)
 	if err != nil {
 		return err
@@ -184,6 +194,8 @@ func (db *DB) Unreplicate(path string, strategy catalog.Strategy) error {
 // DropIndex removes an index definition and stops maintaining it. The
 // index's pages are orphaned (page stores do not delete files).
 func (db *DB) DropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.cat.RemoveIndex(name); err != nil {
 		return err
 	}

@@ -20,6 +20,12 @@ import (
 // hidden fields, inverted-path structures, S′ registration, and indexes are
 // maintained.
 func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insert(set, vals)
+}
+
+func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
 	s, ok := db.cat.SetByName(set)
 	if !ok {
 		return pagefile.OID{}, fmt.Errorf("%w: %s", ErrNoSuchSet, set)
@@ -90,6 +96,8 @@ func (db *DB) undoInsert(s *catalog.Set, oid pagefile.OID, obj *schema.Object, i
 
 // Get reads an object.
 func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	typ, err := db.cat.SetType(set)
 	if err != nil {
 		return nil, err
@@ -100,6 +108,12 @@ func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 // Update applies field changes to the object at oid, propagating through
 // every replication structure and index.
 func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.update(set, oid, vals)
+}
+
+func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
 	s, ok := db.cat.SetByName(set)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchSet, set)
@@ -146,6 +160,8 @@ func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value)
 // Delete removes an object. Objects still referenced through a replication
 // path are refused (core.ErrStillReferenced).
 func (db *DB) Delete(set string, oid pagefile.OID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	s, ok := db.cat.SetByName(set)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchSet, set)
@@ -186,6 +202,8 @@ func (db *DB) Delete(set string, oid pagefile.OID) error {
 
 // Count returns the number of objects in a set.
 func (db *DB) Count(set string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	f, err := db.SetFile(set)
 	if err != nil {
 		return 0, err

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"github.com/exodb/fieldrepl/internal/btree"
 	"github.com/exodb/fieldrepl/internal/buffer"
@@ -40,15 +41,37 @@ type Config struct {
 	// failure paths. When Dir is also set, the catalog snapshot is still
 	// read/written under Dir while page I/O goes through the injected store.
 	Store pagefile.Store
+	// PoolShards is the number of lock shards the buffer pool is striped
+	// over (default 1, the historical single-clock pool the figure
+	// reproductions assume). Concurrent readers scale with shards.
+	PoolShards int
+	// Readahead is the scan prefetch depth in pages; 0 (the default)
+	// disables it, keeping per-query buffer miss counts byte-identical to
+	// the paper's unprefetched execution.
+	Readahead int
+	// ScanWorkers is the number of goroutines non-indexed Query/UpdateWhere
+	// predicate evaluation fans out to (default 1, which preserves the
+	// sequential scan's deterministic result order).
+	ScanWorkers int
 }
 
-// DB is a database instance.
+// DB is a database instance. It is safe for concurrent use: read-only
+// operations (Query without output emission, Get, Count, Inverse, the stats
+// accessors) run concurrently under a shared reader lock, while mutations
+// (DML, DDL, Repair, cache control) are serialized behind the writer lock,
+// so concurrent readers never interleave with a writer.
 type DB struct {
-	store pagefile.Store
-	pool  *buffer.Pool
-	cat   *catalog.Catalog
-	mgr   *core.Manager
-	dir   string
+	store   pagefile.Store
+	pool    *buffer.Pool
+	cat     *catalog.Catalog
+	mgr     *core.Manager
+	dir     string
+	workers int
+
+	// mu is the engine's reader/writer boundary. Exported entry points
+	// acquire it; the internal helpers they call (including the core.Storage
+	// implementation the replication manager re-enters through) never do.
+	mu sync.RWMutex
 
 	files   map[pagefile.FileID]*heap.File
 	trees   map[string]*btree.Tree
@@ -114,13 +137,24 @@ func Open(cfg Config) (*DB, error) {
 	if cat == nil {
 		cat = catalog.New()
 	}
+	shards := cfg.PoolShards
+	if shards < 1 {
+		shards = 1
+	}
+	workers := cfg.ScanWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	pool := buffer.NewSharded(store, cfg.PoolPages, shards)
+	pool.SetReadahead(cfg.Readahead)
 	db := &DB{
-		store: store,
-		pool:  buffer.New(store, cfg.PoolPages),
-		cat:   cat,
-		dir:   cfg.Dir,
-		files: map[pagefile.FileID]*heap.File{},
-		trees: map[string]*btree.Tree{},
+		store:   store,
+		pool:    pool,
+		cat:     cat,
+		dir:     cfg.Dir,
+		workers: workers,
+		files:   map[pagefile.FileID]*heap.File{},
+		trees:   map[string]*btree.Tree{},
 	}
 	inlineMax := cfg.InlineMax
 	if inlineMax == 0 {
@@ -192,6 +226,8 @@ func (db *DB) rehydrate() error {
 // Close flushes and releases the database, persisting the catalog snapshot
 // for file-backed databases so they can be reopened.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -218,6 +254,13 @@ func (db *DB) writeCatalog() error {
 // back, the underlying store is fsynced, and (for file-backed databases) the
 // catalog snapshot is rewritten. After Sync returns, a crash loses nothing.
 func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.sync()
+}
+
+// sync is Sync without the lock, for callers already holding it.
+func (db *DB) sync() error {
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -227,15 +270,15 @@ func (db *DB) Sync() error {
 	return db.writeCatalog()
 }
 
-// syncIfDurable runs Sync for file-backed databases. DDL operations call it
+// syncIfDurable runs sync for file-backed databases. DDL operations call it
 // so that schema changes and their bulk builds survive a crash without an
 // orderly Close; in-memory databases skip it to keep the experiments' page
-// I/O counts undisturbed.
+// I/O counts undisturbed. Callers hold db.mu.
 func (db *DB) syncIfDurable() error {
 	if db.dir == "" {
 		return nil
 	}
-	return db.Sync()
+	return db.sync()
 }
 
 // taint marks a set's derived replication state suspect after a
@@ -252,12 +295,18 @@ func (db *DB) taint(set string, cause error) {
 // TaintedSets reports the sets whose derived replication state may be stale
 // after a mid-operation failure, with the recorded causes. A successful
 // Repair clears them.
-func (db *DB) TaintedSets() map[string]string { return db.cat.TaintedSets() }
+func (db *DB) TaintedSets() map[string]string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cat.TaintedSets()
+}
 
 // Repair rebuilds all derived replication state from the primary objects
 // (see core.Repair) and, when the post-repair verification comes back clean,
 // clears the taint markers and makes the repaired state durable.
 func (db *DB) Repair() (*core.RepairReport, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	rep, err := db.mgr.Repair()
 	if err != nil {
 		return rep, err
@@ -398,13 +447,19 @@ func (db *DB) ResetIO() { db.store.Stats().Reset() }
 // ColdCache flushes and empties the buffer pool, so the next query starts
 // cold — the measurement discipline that realizes the cost model's
 // assumptions (each query reads each needed page exactly once).
-func (db *DB) ColdCache() error { return db.pool.Reset() }
+func (db *DB) ColdCache() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pool.Reset()
+}
 
 // PoolStats exposes buffer pool counters.
 func (db *DB) PoolStats() buffer.PoolStats { return db.pool.Stats() }
 
 // NumPages returns the page count of a set's backing file.
 func (db *DB) NumPages(set string) (uint32, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	f, err := db.SetFile(set)
 	if err != nil {
 		return 0, err
@@ -413,16 +468,26 @@ func (db *DB) NumPages(set string) (uint32, error) {
 }
 
 // FlushAll writes back all dirty buffered pages.
-func (db *DB) FlushAll() error { return db.pool.FlushAll() }
+func (db *DB) FlushAll() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pool.FlushAll()
+}
 
 // VerifyReplication runs the full replication invariant checker.
-func (db *DB) VerifyReplication() []error { return db.mgr.Verify() }
+func (db *DB) VerifyReplication() []error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.mgr.Verify()
+}
 
 // ErrNoSuchSet is returned for operations on unknown sets.
 var ErrNoSuchSet = errors.New("engine: no such set")
 
 // SetStats reports the physical statistics of a set's heap file.
 func (db *DB) SetStats(set string) (heap.Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	f, err := db.SetFile(set)
 	if err != nil {
 		return heap.Stats{}, err

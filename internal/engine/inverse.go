@@ -15,6 +15,8 @@ import (
 // comes from the target's link structure — no scan; otherwise the source set
 // is scanned. via reports which ("inverted-path" or "scan").
 func (db *DB) Inverse(source, refExpr string, target pagefile.OID) (oids []pagefile.OID, via string, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	refs := strings.Split(refExpr, ".")
 	if len(refs) == 0 || refs[0] == "" {
 		return nil, "", fmt.Errorf("engine: empty reference expression")
@@ -92,10 +94,18 @@ func (db *DB) chainReaches(typ *schema.Type, obj *schema.Object, refs []string, 
 }
 
 // FlushReplication drains all pending deferred propagations.
-func (db *DB) FlushReplication() error { return db.mgr.FlushAllPending() }
+func (db *DB) FlushReplication() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.mgr.FlushAllPending()
+}
 
 // PendingPropagations reports the number of queued deferred propagations.
-func (db *DB) PendingPropagations() int { return db.mgr.PendingPropagations() }
+func (db *DB) PendingPropagations() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.mgr.PendingPropagations()
+}
 
 // ReplStorage reports the auxiliary storage one replication path consumes:
 // pages of link-object files and of the S′ file (shared figures repeat for
@@ -110,6 +120,8 @@ type ReplStorage struct {
 
 // ReplicationStorage reports per-path auxiliary storage.
 func (db *DB) ReplicationStorage() ([]ReplStorage, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []ReplStorage
 	for _, p := range db.cat.Paths() {
 		rs := ReplStorage{Path: p.Spec.String(), Strategy: p.Strategy.String()}

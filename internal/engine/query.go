@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"github.com/exodb/fieldrepl/internal/btree"
 	"github.com/exodb/fieldrepl/internal/catalog"
@@ -83,8 +85,30 @@ type Result struct {
 	OutputPages uint32
 }
 
-// Query executes a retrieve.
+// Query executes a retrieve. Pure reads run under the engine's shared
+// reader lock, concurrently with other readers; a query that must mutate —
+// emitting an output file or draining deferred propagation — upgrades to
+// the writer lock first.
+//
+// With ScanWorkers > 1 a non-indexed query evaluates predicates and
+// projections in parallel across page ranges; the result rows then arrive
+// in no particular order (the sequential default preserves physical order).
 func (db *DB) Query(q Query) (*Result, error) {
+	db.mu.RLock()
+	if q.EmitOutput || db.hasDeferredFor(q) {
+		// Deferred propagation can only be enqueued under the writer lock,
+		// so the re-check inside query (flushDeferredFor) is authoritative
+		// once we hold it.
+		db.mu.RUnlock()
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	} else {
+		defer db.mu.RUnlock()
+	}
+	return db.query(q)
+}
+
+func (db *DB) query(q Query) (*Result, error) {
 	typ, err := db.cat.SetType(q.Set)
 	if err != nil {
 		return nil, err
@@ -104,33 +128,34 @@ func (db *DB) Query(q Query) (*Result, error) {
 		db.files[out.ID()] = out
 	}
 
-	process := func(oid pagefile.OID, obj *schema.Object) error {
+	// eval applies the predicates and builds the projected row; it touches
+	// only read paths (pool, catalog, replicated state) and is safe to call
+	// from parallel scan workers. emit accumulates a matching row and is
+	// serialized by the caller.
+	eval := func(oid pagefile.OID, obj *schema.Object) (Row, bool, error) {
 		if q.Where != nil {
 			okRow, err := db.evalPred(q.Set, obj, q.Where)
-			if err != nil {
-				return err
-			}
-			if !okRow {
-				return nil
+			if err != nil || !okRow {
+				return Row{}, false, err
 			}
 		}
 		for i := range q.Filters {
 			okRow, err := db.evalPred(q.Set, obj, &q.Filters[i])
-			if err != nil {
-				return err
-			}
-			if !okRow {
-				return nil
+			if err != nil || !okRow {
+				return Row{}, false, err
 			}
 		}
 		row := Row{OID: oid, Values: make([]schema.Value, len(q.Project))}
 		for i, expr := range q.Project {
 			v, err := db.resolveExpr(q.Set, obj, expr)
 			if err != nil {
-				return err
+				return Row{}, false, err
 			}
 			row.Values[i] = v
 		}
+		return row, true, nil
+	}
+	emit := func(row Row) error {
 		res.Rows = append(res.Rows, row)
 		if out != nil {
 			if _, err := out.Insert(encodeRow(row)); err != nil {
@@ -138,6 +163,13 @@ func (db *DB) Query(q Query) (*Result, error) {
 			}
 		}
 		return nil
+	}
+	process := func(oid pagefile.OID, obj *schema.Object) error {
+		row, ok, err := eval(oid, obj)
+		if err != nil || !ok {
+			return err
+		}
+		return emit(row)
 	}
 
 	ran, err := db.tryIndexedAccess(q, typ, res, process)
@@ -149,14 +181,7 @@ func (db *DB) Query(q Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		err = file.Scan(func(oid pagefile.OID, payload []byte) error {
-			obj, err := schema.Decode(typ, payload)
-			if err != nil {
-				return err
-			}
-			return process(oid, obj)
-		})
-		if err != nil {
+		if err := db.scanProcess(file, typ, eval, emit); err != nil {
 			return nil, err
 		}
 	}
@@ -169,17 +194,58 @@ func (db *DB) Query(q Query) (*Result, error) {
 	return res, nil
 }
 
-// flushDeferredFor drains deferred propagation for every replication path
-// the query's expressions resolve through ("not propagated until needed",
-// paper §8): the first read after a burst of terminal updates pays one
-// propagation per distinct updated terminal.
-func (db *DB) flushDeferredFor(q Query) error {
+// scanProcess drives eval over every record of file — fanned out to
+// ScanWorkers goroutines when configured — and feeds matches to emit, which
+// is always called serially (under a mutex in the parallel case, so result
+// accumulation and output-file inserts stay single-writer).
+func (db *DB) scanProcess(file *heap.File, typ *schema.Type, eval func(pagefile.OID, *schema.Object) (Row, bool, error), emit func(Row) error) error {
+	if db.workers > 1 {
+		var mu sync.Mutex
+		return file.ScanParallel(db.workers, func(oid pagefile.OID, payload []byte) error {
+			obj, err := schema.Decode(typ, payload)
+			if err != nil {
+				return err
+			}
+			row, ok, err := eval(oid, obj)
+			if err != nil || !ok {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			return emit(row)
+		})
+	}
+	return file.Scan(func(oid pagefile.OID, payload []byte) error {
+		obj, err := schema.Decode(typ, payload)
+		if err != nil {
+			return err
+		}
+		row, ok, err := eval(oid, obj)
+		if err != nil || !ok {
+			return err
+		}
+		return emit(row)
+	})
+}
+
+// deferredPathsFor returns the deferred replication paths with pending
+// propagations that the query's expressions resolve through.
+func (db *DB) deferredPathsFor(q Query) []*catalog.Path {
 	exprs := append([]string(nil), q.Project...)
 	if q.Where != nil {
 		exprs = append(exprs, q.Where.Expr)
 	}
 	for _, f := range q.Filters {
 		exprs = append(exprs, f.Expr)
+	}
+	var paths []*catalog.Path
+	add := func(p *catalog.Path) {
+		for _, q := range paths {
+			if q == p {
+				return
+			}
+		}
+		paths = append(paths, p)
 	}
 	for _, expr := range exprs {
 		refs, field := splitExpr(expr)
@@ -188,19 +254,32 @@ func (db *DB) flushDeferredFor(q Query) error {
 		}
 		spec := catalog.PathSpec{Source: q.Set, Refs: refs, Field: field}
 		if p, ok := db.cat.FindPath(spec, catalog.InPlace); ok && p.Deferred && db.mgr.HasPending(p) {
-			if err := db.mgr.FlushPath(p); err != nil {
-				return err
-			}
+			add(p)
 		}
 		// A deferred ref-replicating prefix (§3.3.3) may also serve this
-		// expression; flush those too.
+		// expression; those count too.
 		for k := len(refs); k >= 2; k-- {
 			prefixSpec := catalog.PathSpec{Source: q.Set, Refs: refs[:k-1], Field: refs[k-1]}
 			if p, ok := db.cat.FindPath(prefixSpec, catalog.InPlace); ok && p.Deferred && db.mgr.HasPending(p) {
-				if err := db.mgr.FlushPath(p); err != nil {
-					return err
-				}
+				add(p)
 			}
+		}
+	}
+	return paths
+}
+
+// hasDeferredFor reports whether the query would have to drain deferred
+// propagation (and therefore needs the writer lock).
+func (db *DB) hasDeferredFor(q Query) bool { return len(db.deferredPathsFor(q)) > 0 }
+
+// flushDeferredFor drains deferred propagation for every replication path
+// the query's expressions resolve through ("not propagated until needed",
+// paper §8): the first read after a burst of terminal updates pays one
+// propagation per distinct updated terminal.
+func (db *DB) flushDeferredFor(q Query) error {
+	for _, p := range db.deferredPathsFor(q) {
+		if err := db.mgr.FlushPath(p); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -478,8 +557,13 @@ func encodeRow(r Row) []byte {
 }
 
 // UpdateWhere applies vals to every object of set matching where, returning
-// the number updated — the cost model's update query.
+// the number updated — the cost model's update query. The collection phase
+// fans predicate evaluation out to ScanWorkers goroutines when configured
+// (the matches are sorted back to physical order); the mutations themselves
+// always run serially behind the writer lock.
 func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	typ, err := db.cat.SetType(set)
 	if err != nil {
 		return 0, err
@@ -510,18 +594,26 @@ func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) 
 		if err != nil {
 			return 0, err
 		}
-		if err := file.Scan(func(oid pagefile.OID, payload []byte) error {
-			obj, err := schema.Decode(typ, payload)
-			if err != nil {
-				return err
-			}
-			return collect(oid, obj)
-		}); err != nil {
+		eval := func(oid pagefile.OID, obj *schema.Object) (Row, bool, error) {
+			ok, err := db.evalPred(set, obj, &where)
+			return Row{OID: oid}, ok, err
+		}
+		emit := func(row Row) error {
+			matches = append(matches, row.OID)
+			return nil
+		}
+		if err := db.scanProcess(file, typ, eval, emit); err != nil {
 			return 0, err
+		}
+		if db.workers > 1 {
+			// Parallel collection delivers matches in arbitrary order; sort
+			// back to physical order so the update pass (and any forwarding
+			// it causes) is deterministic regardless of worker count.
+			sort.Slice(matches, func(i, j int) bool { return matches[i].Less(matches[j]) })
 		}
 	}
 	for _, oid := range matches {
-		if err := db.Update(set, oid, vals); err != nil {
+		if err := db.update(set, oid, vals); err != nil {
 			return 0, err
 		}
 	}

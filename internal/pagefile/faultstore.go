@@ -197,6 +197,19 @@ func (s *FaultStore) ReadPage(pid PageID, buf *Page) error {
 	return s.inner.ReadPage(pid, buf)
 }
 
+// ReadPages implements Store as a per-page loop through ReadPage, so every
+// page of a batched read steps the fault counter individually and a fault
+// plan aimed at read N fires at the same page whether or not the scan above
+// batches its reads.
+func (s *FaultStore) ReadPages(f FileID, start uint32, bufs []Page) error {
+	for i := range bufs {
+		if err := s.ReadPage(PageID{File: f, Page: start + uint32(i)}, &bufs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WritePage implements Store. A torn fault persists a half-written image
 // (new head, old tail) through the raw-write path before erroring, so the
 // page is really damaged on the underlying medium.

@@ -94,6 +94,12 @@ type Store interface {
 	Allocate(f FileID) (uint32, error)
 	// ReadPage reads page pid into buf.
 	ReadPage(pid PageID, buf *Page) error
+	// ReadPages reads the len(bufs) consecutive pages of file f starting at
+	// page start into bufs, counting one read per page (so batched and
+	// page-at-a-time scans charge identical I/O). FileStore issues a single
+	// vectored ReadAt for the whole run; stores without a batched substrate
+	// fall back to a per-page loop.
+	ReadPages(f FileID, start uint32, bufs []Page) error
 	// WritePage writes buf to page pid.
 	WritePage(pid PageID, buf *Page) error
 	// NumPages reports the number of pages currently in the file.
@@ -173,6 +179,30 @@ func (m *MemStore) ReadPage(pid PageID, buf *Page) error {
 	}
 	*buf = *pages[pid.Page]
 	m.stats.reads.Add(1)
+	return nil
+}
+
+// ReadPages implements Store (per-page copy loop; memory needs no batching).
+func (m *MemStore) ReadPages(f FileID, start uint32, bufs []Page) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if f == 0 || int(f) > len(m.files) {
+		return ErrNoSuchFile
+	}
+	pages := m.files[f-1]
+	if int(start)+len(bufs) > len(pages) {
+		return fmt.Errorf("%w: %v..%v", ErrNoSuchPage, PageID{File: f, Page: start}, PageID{File: f, Page: start + uint32(len(bufs)) - 1})
+	}
+	for i := range bufs {
+		bufs[i] = *pages[int(start)+i]
+		m.stats.reads.Add(1)
+	}
 	return nil
 }
 

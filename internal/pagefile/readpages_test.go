@@ -1,0 +1,121 @@
+package pagefile
+
+import (
+	"errors"
+	"testing"
+)
+
+// fillStore creates a file of n pages whose first bytes identify the page
+// number, returning the file id.
+func fillStore(t *testing.T, s Store, n int) FileID {
+	t.Helper()
+	fid, err := s.CreateFile("rp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		pageNo, err := s.Allocate(fid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p Page
+		p[0] = byte(pageNo)
+		p[1] = byte(pageNo >> 8)
+		if err := s.WritePage(PageID{File: fid, Page: pageNo}, &p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fid
+}
+
+// testReadPages exercises ReadPages on any Store: contents must match
+// page-at-a-time reads, the read counter must charge one read per page, and
+// out-of-range batches must fail with ErrNoSuchPage.
+func testReadPages(t *testing.T, s Store) {
+	t.Helper()
+	const n = 16
+	fid := fillStore(t, s, n)
+	s.Stats().Reset()
+
+	bufs := make([]Page, 5)
+	if err := s.ReadPages(fid, 3, bufs); err != nil {
+		t.Fatalf("ReadPages: %v", err)
+	}
+	for i := range bufs {
+		want := 3 + i
+		got := int(bufs[i][0]) | int(bufs[i][1])<<8
+		if got != want {
+			t.Errorf("batched page %d: marker %d, want %d", i, got, want)
+		}
+		var single Page
+		if err := s.ReadPage(PageID{File: fid, Page: uint32(want)}, &single); err != nil {
+			t.Fatal(err)
+		}
+		if single != bufs[i] {
+			t.Errorf("batched page %d differs from ReadPage", want)
+		}
+	}
+	// 5 batched + 5 single reads, each charged per page.
+	if got := s.Stats().Reads(); got != 10 {
+		t.Errorf("reads = %d, want 10 (one per page, batched or not)", got)
+	}
+
+	if err := s.ReadPages(fid, n-2, make([]Page, 4)); !errors.Is(err, ErrNoSuchPage) {
+		t.Errorf("out-of-range batch: err = %v, want ErrNoSuchPage", err)
+	}
+	if err := s.ReadPages(fid+99, 0, make([]Page, 1)); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("bad file: err = %v, want ErrNoSuchFile", err)
+	}
+	if err := s.ReadPages(fid, 0, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+func TestReadPagesMemStore(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	testReadPages(t, s)
+}
+
+func TestReadPagesFileStore(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	testReadPages(t, s)
+}
+
+func TestReadPagesFaultStore(t *testing.T) {
+	inner := NewMemStore()
+	defer inner.Close()
+	s := NewFaultStore(inner)
+	testReadPages(t, s)
+}
+
+// TestReadPagesFaultIndexing checks that a batched read steps the fault
+// counter once per page, so a fault plan aimed at read N fires at the same
+// page whether the scan batches or not.
+func TestReadPagesFaultIndexing(t *testing.T) {
+	inner := NewMemStore()
+	defer inner.Close()
+	s := NewFaultStore(inner)
+	fid := fillStore(t, s, 8)
+	base := s.Ops()
+
+	// Fault on the 3rd read of the batch (pages 0,1 succeed, page 2 fails).
+	s.AddFault(Fault{Index: base + 2, Op: OpRead})
+	bufs := make([]Page, 6)
+	err := s.ReadPages(fid, 0, bufs)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := int(bufs[i][0]); got != i {
+			t.Errorf("page %d read before fault: marker %d", i, got)
+		}
+	}
+	if got := s.Ops() - base; got != 3 {
+		t.Errorf("batch stepped %d ops before failing, want 3 (one per page)", got)
+	}
+}
