@@ -18,8 +18,13 @@ help:
 build:
 	$(GO) build ./...
 
+# vet also enforces gofmt: any unformatted file is listed and fails the build.
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/exodb/fieldrepl"
 )
@@ -26,9 +27,12 @@ func main() {
 	workers := flag.Int("workers", 1, "goroutines for non-indexed scan predicate evaluation (1 = sequential)")
 	shards := flag.Int("shards", 1, "buffer pool lock shards")
 	readahead := flag.Int("readahead", 0, "scan readahead in pages (0 = off)")
+	explain := flag.Bool("explain", false, "print each statement's per-operation I/O trace")
+	metrics := flag.Bool("metrics", false, "print the observability snapshot as JSON after all scripts")
+	slowMS := flag.Int("slowms", 0, "log operations slower than this many milliseconds to stderr (0 = off)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
 		os.Exit(2)
 	}
 
@@ -40,6 +44,13 @@ func main() {
 		fatal(err)
 	}
 	defer db.Close()
+	if *slowMS > 0 {
+		db.SetSlowQueryLog(time.Duration(*slowMS)*time.Millisecond, func(r fieldrepl.TraceRecord) {
+			fmt.Fprintf(os.Stderr, "-- slow: #%d %s set=%s plan=%s wall=%v io=%d pages\n",
+				r.ID, r.Kind, r.Set, r.Plan, r.Wall, r.StoreReads+r.StoreWrites)
+		})
+	}
+	var lastTraceID uint64
 
 	for _, arg := range flag.Args() {
 		var src []byte
@@ -66,6 +77,23 @@ func main() {
 		if *showIO {
 			fmt.Printf("-- I/O: %v\n", db.IO().Sub(before))
 		}
+		if *explain {
+			for _, r := range db.RecentTraces() {
+				if r.ID <= lastTraceID {
+					continue
+				}
+				lastTraceID = r.ID
+				fmt.Printf("-- trace #%d %s set=%s plan=%s wall=%v reads=%d writes=%d hits=%d misses=%d prefetched=%d\n",
+					r.ID, r.Kind, r.Set, r.Plan, r.Wall, r.StoreReads, r.StoreWrites, r.Hits, r.Misses, r.Prefetched)
+			}
+		}
+	}
+	if *metrics {
+		js, err := db.MetricsJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(js))
 	}
 }
 

@@ -30,7 +30,7 @@ func (t *Tree) seek(e entry) (*Iterator, error) {
 	}
 	pageNo := m.root
 	for level := m.height; level > 1; level-- {
-		h, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: pageNo})
+		h, err := t.page(pageNo)
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +61,7 @@ func (t *Tree) seek(e entry) (*Iterator, error) {
 }
 
 func (it *Iterator) loadLeaf(pageNo uint32) error {
-	h, err := it.t.pool.Get(pagefile.PageID{File: it.t.fid, Page: pageNo})
+	h, err := it.t.page(pageNo)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/exodb/fieldrepl/internal/buffer"
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 )
 
@@ -17,13 +18,33 @@ var (
 
 // Tree is a disk-resident B+tree. It needs a buffer pool with at least
 // MinPoolFrames frames (one pinned page per level plus rebalancing room).
+// WithTrace returns lightweight views charging page I/O to an obs.Trace;
+// all other fields are immutable after Create/Open, so views are safe.
 type Tree struct {
 	pool *buffer.Pool
 	fid  pagefile.FileID
 	name string
+	tr   *obs.Trace
 
 	leafCap int
 	intCap  int
+}
+
+// WithTrace returns a view of the tree whose page I/O is charged to tr in
+// addition to the global counters. tr may be nil (untraced view, often t
+// itself).
+func (t *Tree) WithTrace(tr *obs.Trace) *Tree {
+	if t == nil || t.tr == tr {
+		return t
+	}
+	v := *t
+	v.tr = tr
+	return &v
+}
+
+// page pins one of the tree's pages, charging the tree's trace.
+func (t *Tree) page(pageNo uint32) (*buffer.Handle, error) {
+	return t.pool.GetT(pagefile.PageID{File: t.fid, Page: pageNo}, t.tr)
 }
 
 // MinPoolFrames is the minimum buffer pool size a Tree requires.
@@ -127,7 +148,7 @@ type meta struct {
 }
 
 func (t *Tree) loadMeta() (meta, error) {
-	mh, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: 0})
+	mh, err := t.page(0)
 	if err != nil {
 		return meta{}, err
 	}
@@ -142,7 +163,7 @@ func (t *Tree) loadMeta() (meta, error) {
 }
 
 func (t *Tree) storeMeta(m meta) error {
-	mh, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: 0})
+	mh, err := t.page(0)
 	if err != nil {
 		return err
 	}
@@ -160,7 +181,7 @@ func (t *Tree) storeMeta(m meta) error {
 func (t *Tree) allocNode(m *meta, leaf bool) (*buffer.Handle, uint32, error) {
 	if m.freeHead != noPage {
 		pageNo := m.freeHead
-		h, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: pageNo})
+		h, err := t.page(pageNo)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -174,7 +195,7 @@ func (t *Tree) allocNode(m *meta, leaf bool) (*buffer.Handle, uint32, error) {
 		h.MarkDirty()
 		return h, pageNo, nil
 	}
-	h, pid, err := t.pool.NewPage(t.fid)
+	h, pid, err := t.pool.NewPageT(t.fid, t.tr)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -185,7 +206,7 @@ func (t *Tree) allocNode(m *meta, leaf bool) (*buffer.Handle, uint32, error) {
 
 // freeNode pushes pageNo onto the free chain.
 func (t *Tree) freeNode(m *meta, pageNo uint32) error {
-	h, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: pageNo})
+	h, err := t.page(pageNo)
 	if err != nil {
 		return err
 	}
@@ -226,7 +247,7 @@ func (t *Tree) Insert(key Key, oid pagefile.OID) error {
 }
 
 func (t *Tree) insert(m *meta, pageNo uint32, level int, e entry) (split bool, sep entry, newPage uint32, err error) {
-	h, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: pageNo})
+	h, err := t.page(pageNo)
 	if err != nil {
 		return false, entry{}, 0, err
 	}
@@ -316,7 +337,7 @@ func (t *Tree) Delete(key Key, oid pagefile.OID) error {
 	}
 	// Shrink the root if it is an internal node with no separators.
 	for m.height > 1 {
-		h, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: m.root})
+		h, err := t.page(m.root)
 		if err != nil {
 			return err
 		}
@@ -347,7 +368,7 @@ func (t *Tree) minInt() int  { return t.intCap / 2 }
 // delete removes e from the subtree at pageNo. It reports whether the node
 // underflowed (fell below its minimum fill).
 func (t *Tree) delete(m *meta, pageNo uint32, level int, e entry) (bool, error) {
-	h, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: pageNo})
+	h, err := t.page(pageNo)
 	if err != nil {
 		return false, err
 	}
@@ -383,7 +404,7 @@ func (t *Tree) delete(m *meta, pageNo uint32, level int, e entry) (bool, error) 
 // childLevel is the child's level (1 = leaf).
 func (t *Tree) rebalance(m *meta, parent node, ph *buffer.Handle, pos, childLevel int) error {
 	childPage := parent.childAt(pos)
-	ch, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: childPage})
+	ch, err := t.page(childPage)
 	if err != nil {
 		return err
 	}
@@ -394,7 +415,7 @@ func (t *Tree) rebalance(m *meta, parent node, ph *buffer.Handle, pos, childLeve
 	}
 
 	pin := func(page uint32) (*buffer.Handle, node, error) {
-		sh, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: page})
+		sh, err := t.page(page)
 		if err != nil {
 			return nil, node{}, err
 		}

@@ -41,7 +41,7 @@ func (t *Tree) Validate() error {
 			if v.leaves[i] != page {
 				return fmt.Errorf("btree: sibling chain order mismatch at %d: %d != %d", i, page, v.leaves[i])
 			}
-			h, err := t.pool.Get(pagefile.PageID{File: t.fid, Page: page})
+			h, err := t.page(page)
 			if err != nil {
 				return err
 			}
@@ -71,7 +71,7 @@ type validator struct {
 }
 
 func (v *validator) walk(pageNo uint32, level int, lo, hi entry, isRoot bool) error {
-	h, err := v.t.pool.Get(pagefile.PageID{File: v.t.fid, Page: pageNo})
+	h, err := v.t.page(pageNo)
 	if err != nil {
 		return err
 	}

@@ -12,10 +12,13 @@
 // The pool is lock-striped: frames are partitioned into shards, each with
 // its own mutex, page table, and clock hand, and a page is owned by the
 // shard its PageID hashes to. Concurrent readers on different shards never
-// contend, while hit/miss/eviction/flush counters are atomic so the paper's
-// "pages per query" accounting stays exact under concurrency. New builds a
-// single-shard pool, which behaves exactly like the pre-sharding pool (one
-// clock over all frames) — the configuration the figure reproductions use.
+// contend. Counters are updated only while holding the owning shard's mutex,
+// so Stats/ResetStats under the all-shard barrier see a coherent snapshot,
+// and the paper's "pages per query" accounting under concurrency comes from
+// per-operation traces (the *T method variants, internal/obs), not from
+// global-counter deltas. New builds a single-shard pool, which behaves
+// exactly like the pre-sharding pool (one clock over all frames) — the
+// configuration the figure reproductions use.
 package buffer
 
 import (
@@ -25,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 )
 
@@ -180,16 +184,23 @@ func (h *Handle) Unpin() error {
 }
 
 // Get pins page pid, reading it from the store on a miss.
-func (p *Pool) Get(pid pagefile.PageID) (*Handle, error) {
+func (p *Pool) Get(pid pagefile.PageID) (*Handle, error) { return p.GetT(pid, nil) }
+
+// GetT is Get with per-operation attribution: the hit or miss — and, on a
+// miss, the store read and any dirty eviction the replacement forced — is
+// charged to tr as well as the pool's global counters. A nil tr is the
+// untraced Get.
+func (p *Pool) GetT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
 	sh := p.shardOf(pid)
 	sh.mu.Lock()
 	if idx, ok := sh.table[pid]; ok {
 		h := sh.pinLocked(idx, pid)
 		p.hits.Add(1)
+		tr.Hit(1)
 		sh.mu.Unlock()
 		return h, nil
 	}
-	idx, err := sh.victim(p)
+	idx, err := sh.victim(p, tr)
 	if errors.Is(err, ErrPoolExhausted) {
 		// Bounded retry: concurrent pins are transient. Yield once so other
 		// goroutines can Unpin (or bring the page in themselves), then sweep
@@ -200,22 +211,25 @@ func (p *Pool) Get(pid pagefile.PageID) (*Handle, error) {
 		if i2, ok := sh.table[pid]; ok {
 			h := sh.pinLocked(i2, pid)
 			p.hits.Add(1)
+			tr.Hit(1)
 			sh.mu.Unlock()
 			return h, nil
 		}
-		idx, err = sh.victim(p)
+		idx, err = sh.victim(p, tr)
 	}
 	if err != nil {
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("buffer: pinning %s: %w", pid, err)
 	}
 	p.misses.Add(1)
+	tr.Miss(1)
 	f := &sh.frames[idx]
 	if err := p.store.ReadPage(pid, &f.page); err != nil {
 		f.valid = false
 		sh.mu.Unlock()
 		return nil, err
 	}
+	tr.StoreRead(1)
 	f.pid = pid
 	f.valid = true
 	f.dirty = false
@@ -238,19 +252,26 @@ func (sh *shard) pinLocked(idx int, pid pagefile.PageID) *Handle {
 // handle along with the new page's id. The page contents are zeroed and the
 // frame is marked dirty so it will be written back.
 func (p *Pool) NewPage(fid pagefile.FileID) (*Handle, pagefile.PageID, error) {
+	return p.NewPageT(fid, nil)
+}
+
+// NewPageT is NewPage with per-operation attribution: the allocation (and
+// any dirty eviction the new frame forced) is charged to tr.
+func (p *Pool) NewPageT(fid pagefile.FileID, tr *obs.Trace) (*Handle, pagefile.PageID, error) {
 	pageNo, err := p.store.Allocate(fid)
 	if err != nil {
 		return nil, pagefile.PageID{}, err
 	}
+	tr.StoreAlloc(1)
 	pid := pagefile.PageID{File: fid, Page: pageNo}
 	sh := p.shardOf(pid)
 	sh.mu.Lock()
-	idx, err := sh.victim(p)
+	idx, err := sh.victim(p, tr)
 	if errors.Is(err, ErrPoolExhausted) {
 		sh.mu.Unlock()
 		runtime.Gosched()
 		sh.mu.Lock()
-		idx, err = sh.victim(p)
+		idx, err = sh.victim(p, tr)
 	}
 	if err != nil {
 		sh.mu.Unlock()
@@ -269,8 +290,10 @@ func (p *Pool) NewPage(fid pagefile.FileID) (*Handle, pagefile.PageID, error) {
 }
 
 // victim finds a free or evictable frame using the shard's clock, writing
-// back the victim if dirty. Caller holds sh.mu.
-func (sh *shard) victim(p *Pool) (int, error) {
+// back the victim if dirty. A dirty eviction is charged to tr: the write was
+// performed on behalf of the operation that needed the frame. Caller holds
+// sh.mu.
+func (sh *shard) victim(p *Pool, tr *obs.Trace) (int, error) {
 	n := len(sh.frames)
 	// Prefer an invalid (never used) frame.
 	for i := range sh.frames {
@@ -290,7 +313,7 @@ func (sh *shard) victim(p *Pool) (int, error) {
 			f.ref = false
 			continue
 		}
-		if err := sh.evict(p, idx); err != nil {
+		if err := sh.evict(p, idx, tr); err != nil {
 			return 0, err
 		}
 		return idx, nil
@@ -298,7 +321,7 @@ func (sh *shard) victim(p *Pool) (int, error) {
 	// Last resort: any unpinned frame regardless of reference bit.
 	for idx := range sh.frames {
 		if sh.frames[idx].pins == 0 {
-			if err := sh.evict(p, idx); err != nil {
+			if err := sh.evict(p, idx, tr); err != nil {
 				return 0, err
 			}
 			return idx, nil
@@ -308,7 +331,7 @@ func (sh *shard) victim(p *Pool) (int, error) {
 }
 
 // evict writes back frame idx if dirty and unmaps it. Caller holds sh.mu.
-func (sh *shard) evict(p *Pool, idx int) error {
+func (sh *shard) evict(p *Pool, idx int, tr *obs.Trace) error {
 	f := &sh.frames[idx]
 	if f.dirty {
 		if err := p.store.WritePage(f.pid, &f.page); err != nil {
@@ -318,6 +341,8 @@ func (sh *shard) evict(p *Pool, idx int) error {
 			return fmt.Errorf("buffer: evicting %s: %w", f.pid, err)
 		}
 		p.flushes.Add(1)
+		tr.Flush(1)
+		tr.StoreWrite(1)
 		f.dirty = false
 	}
 	delete(sh.table, f.pid)
@@ -342,7 +367,11 @@ func (p *Pool) lockAll() (unlock func()) {
 // FlushAll writes back every dirty page, leaving them resident. A failed
 // write leaves that frame dirty for retry; the remaining frames are still
 // attempted and all failures are joined into the returned error.
-func (p *Pool) FlushAll() error {
+func (p *Pool) FlushAll() error { return p.FlushAllT(nil) }
+
+// FlushAllT is FlushAll with per-operation attribution: every write-back is
+// charged to tr.
+func (p *Pool) FlushAllT(tr *obs.Trace) error {
 	defer p.lockAll()()
 	var errs []error
 	for s := range p.shards {
@@ -355,6 +384,8 @@ func (p *Pool) FlushAll() error {
 					continue
 				}
 				p.flushes.Add(1)
+				tr.Flush(1)
+				tr.StoreWrite(1)
 				f.dirty = false
 			}
 		}
@@ -412,6 +443,14 @@ func (p *Pool) Reset() error {
 // batched read bypasses the frame table between read and install); the
 // engine guarantees this by running scans under its reader lock.
 func (p *Pool) Prefetch(fid pagefile.FileID, start uint32, n int) int {
+	return p.PrefetchT(fid, start, n, nil)
+}
+
+// PrefetchT is Prefetch with per-operation attribution: the batched store
+// reads and installed pages are charged to tr (the scan that requested the
+// readahead). Attribution is best-effort under store errors: pages a failed
+// batch read before the error are counted globally but not on tr.
+func (p *Pool) PrefetchT(fid pagefile.FileID, start uint32, n int, tr *obs.Trace) int {
 	if n <= 0 {
 		return 0
 	}
@@ -440,9 +479,10 @@ func (p *Pool) Prefetch(fid pagefile.FileID, start uint32, n int) int {
 		if err := p.store.ReadPages(fid, runStart, bufs); err != nil {
 			return loaded
 		}
+		tr.StoreRead(int64(len(bufs)))
 		for i := range bufs {
 			pid := pagefile.PageID{File: fid, Page: runStart + uint32(i)}
-			if p.install(pid, &bufs[i]) {
+			if p.install(pid, &bufs[i], tr) {
 				loaded++
 			}
 		}
@@ -462,14 +502,14 @@ func (p *Pool) resident(pid pagefile.PageID) bool {
 // install maps a prefetched page image into a frame with zero pins. A page
 // that became resident since the batched read was issued is skipped (the
 // resident copy may be newer).
-func (p *Pool) install(pid pagefile.PageID, page *pagefile.Page) bool {
+func (p *Pool) install(pid pagefile.PageID, page *pagefile.Page, tr *obs.Trace) bool {
 	sh := p.shardOf(pid)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.table[pid]; ok {
 		return false
 	}
-	idx, err := sh.victim(p)
+	idx, err := sh.victim(p, tr)
 	if err != nil {
 		return false
 	}
@@ -482,23 +522,30 @@ func (p *Pool) install(pid pagefile.PageID, page *pagefile.Page) bool {
 	f.ref = true
 	sh.table[pid] = idx
 	p.prefetched.Add(1)
+	tr.Prefetch(1)
 	return true
 }
 
 // PoolStats is a snapshot of pool counters.
 type PoolStats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Flushes   int64
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Flushes   int64 `json:"flushes"`
 	// Prefetched counts pages brought in by Prefetch rather than by a miss.
 	// With readahead off it is always zero, and Misses equals the store
 	// reads issued through the pool — the paper-figure invariant.
-	Prefetched int64
+	Prefetched int64 `json:"prefetched"`
 }
 
-// Stats returns a snapshot of the pool's counters.
+// Stats returns a coherent snapshot of the pool's counters. Every counter
+// update happens while holding the owning shard's mutex, so taking the
+// snapshot under the all-shard barrier makes it a linearization point: the
+// returned values are exactly the pool's state at one instant, never a mix
+// of before/after states of an in-flight Get (the incoherence that made
+// hits+misses disagree with the accesses actually completed).
 func (p *Pool) Stats() PoolStats {
+	defer p.lockAll()()
 	return PoolStats{
 		Hits:       p.hits.Load(),
 		Misses:     p.misses.Load(),
@@ -508,8 +555,11 @@ func (p *Pool) Stats() PoolStats {
 	}
 }
 
-// ResetStats zeroes the pool counters (not the store's).
+// ResetStats zeroes the pool counters (not the store's), under the same
+// all-shard barrier as Stats so a reset never lands in the middle of an
+// in-flight access's counter updates.
 func (p *Pool) ResetStats() {
+	defer p.lockAll()()
 	p.hits.Store(0)
 	p.misses.Store(0)
 	p.evictions.Store(0)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
@@ -57,7 +58,9 @@ func (m *Manager) BuildPath(p *catalog.Path) error {
 // For paths with deferred propagation the caller must drain pending updates
 // (FlushPath) before decoding src; the engine's executor does this once per
 // query for every deferred path the query resolves through.
-func (m *Manager) ReadReplicated(p *catalog.Path, src *schema.Object, fieldIdx uint8) (schema.Value, error) {
+//
+// The S′ fetch a separate path performs is charged to tr (nil = untraced).
+func (m *Manager) ReadReplicated(p *catalog.Path, src *schema.Object, fieldIdx uint8, tr *obs.Trace) (schema.Value, error) {
 	if p.Strategy == catalog.InPlace {
 		v, ok := src.GetHidden(p.ID, fieldIdx)
 		if !ok {
@@ -81,7 +84,7 @@ func (m *Manager) ReadReplicated(p *catalog.Path, src *schema.Object, fieldIdx u
 		}
 		return schema.Value{}, nil
 	}
-	sobj, err := m.ReadSPrime(g, ref.R)
+	sobj, err := m.ReadSPrime(g, ref.R, tr)
 	if err != nil {
 		return schema.Value{}, err
 	}

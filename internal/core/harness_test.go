@@ -249,7 +249,7 @@ func (db *testDB) replicated(p *catalog.Path, set string, oid pagefile.OID, fiel
 	if !found {
 		db.t.Fatalf("path %s does not replicate %q", p.Spec, fieldName)
 	}
-	v, err := db.mgr.ReadReplicated(p, src, idx)
+	v, err := db.mgr.ReadReplicated(p, src, idx, nil)
 	if err != nil {
 		db.t.Fatal(err)
 	}

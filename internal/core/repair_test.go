@@ -167,7 +167,7 @@ func TestRepairSeparateGroup(t *testing.T) {
 	if se == nil {
 		t.Fatal("fixture: d1 has no S′ entry")
 	}
-	sobj, err := fx.db.mgr.ReadSPrime(g, se.SOID)
+	sobj, err := fx.db.mgr.ReadSPrime(g, se.SOID, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

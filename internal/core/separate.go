@@ -6,6 +6,7 @@ import (
 
 	"github.com/exodb/fieldrepl/internal/catalog"
 	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
@@ -42,13 +43,14 @@ func newSPrimeObject(g *catalog.Group, terminal *schema.Object) (*schema.Object,
 	return o, nil
 }
 
-// ReadSPrime loads and decodes the S′ object at soid for group g.
-func (m *Manager) ReadSPrime(g *catalog.Group, soid pagefile.OID) (*schema.Object, error) {
+// ReadSPrime loads and decodes the S′ object at soid for group g, charging
+// the page reads to tr (nil = untraced).
+func (m *Manager) ReadSPrime(g *catalog.Group, soid pagefile.OID, tr *obs.Trace) (*schema.Object, error) {
 	file, err := m.st.GroupFile(g)
 	if err != nil {
 		return nil, err
 	}
-	data, err := file.Read(soid)
+	data, err := file.WithTrace(tr).Read(soid)
 	if err != nil {
 		return nil, err
 	}

@@ -98,7 +98,7 @@ func (m *Manager) verifyPath(p *catalog.Path) []error {
 					if !ok || ref.R != se.SOID {
 						fail("source %v S′ ref %v does not match terminal's %v", oid, ref, se.SOID)
 					}
-					sobj, err := m.ReadSPrime(g, se.SOID)
+					sobj, err := m.ReadSPrime(g, se.SOID, nil)
 					if err != nil {
 						fail("reading S′ %v: %v", se.SOID, err)
 					} else {

@@ -1,0 +1,40 @@
+package costmodel
+
+import "math"
+
+// QueryKind distinguishes the two query classes the model prices.
+type QueryKind int
+
+// The model's query classes.
+const (
+	ReadQuery QueryKind = iota
+	UpdateQuery
+)
+
+func (k QueryKind) String() string {
+	if k == UpdateQuery {
+		return "update"
+	}
+	return "read"
+}
+
+// QueryShape identifies a query in the model's terms: its class, the
+// replication strategy its path expression resolves through, and the index
+// clustering regime. It is the bridge between a live query (engine.Explain
+// derives a shape from the catalog) and a Section-6 cost equation.
+type QueryShape struct {
+	Kind     QueryKind
+	Strategy Strategy
+	Setting  Setting
+}
+
+// PredictPages returns the model's predicted page I/O for a query of the
+// given shape, rounded up to whole pages as the paper rounds its published
+// values. This is the prediction engine.ExplainQuery places next to the
+// query's observed per-trace I/O.
+func (p Params) PredictPages(sh QueryShape) float64 {
+	if sh.Kind == UpdateQuery {
+		return math.Ceil(p.UpdateCost(sh.Strategy, sh.Setting))
+	}
+	return math.Ceil(p.ReadCost(sh.Strategy, sh.Setting))
+}

@@ -1,0 +1,42 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictPagesMatchesCostEquations(t *testing.T) {
+	p := Default()
+	for _, st := range []Strategy{NoReplication, InPlace, Separate} {
+		for _, set := range []Setting{Unclustered, Clustered} {
+			if got, want := p.PredictPages(QueryShape{Kind: ReadQuery, Strategy: st, Setting: set}),
+				math.Ceil(p.ReadCost(st, set)); got != want {
+				t.Errorf("read %v/%v: PredictPages = %v, want %v", st, set, got, want)
+			}
+			if got, want := p.PredictPages(QueryShape{Kind: UpdateQuery, Strategy: st, Setting: set}),
+				math.Ceil(p.UpdateCost(st, set)); got != want {
+				t.Errorf("update %v/%v: PredictPages = %v, want %v", st, set, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictPagesWholeAndPositive(t *testing.T) {
+	p := Default()
+	for _, kind := range []QueryKind{ReadQuery, UpdateQuery} {
+		for _, st := range []Strategy{NoReplication, InPlace, Separate} {
+			for _, set := range []Setting{Unclustered, Clustered} {
+				got := p.PredictPages(QueryShape{Kind: kind, Strategy: st, Setting: set})
+				if got <= 0 || got != math.Trunc(got) {
+					t.Errorf("%v %v/%v: PredictPages = %v, want positive integer", kind, st, set, got)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryKindString(t *testing.T) {
+	if ReadQuery.String() != "read" || UpdateQuery.String() != "update" {
+		t.Fatalf("QueryKind strings = %q/%q", ReadQuery, UpdateQuery)
+	}
+}

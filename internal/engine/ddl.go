@@ -144,7 +144,7 @@ func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
 					rf = pf
 				}
 			}
-			v, err = db.mgr.ReadReplicated(path, obj, rf.Idx)
+			v, err = db.mgr.ReadReplicated(path, obj, rf.Idx, nil)
 			if err != nil {
 				return err
 			}
@@ -224,8 +224,8 @@ func (db *DB) HiddenChanged(source pagefile.OID, p *catalog.Path, f catalog.Repl
 	if !ok {
 		return
 	}
-	tree := db.trees[ix.Name]
-	if tree == nil {
+	tree, ok := db.treeFor(ix.Name)
+	if !ok {
 		return
 	}
 	// Tolerate a missing old entry (first installation) and an existing new
@@ -246,8 +246,8 @@ func (db *DB) maintainBaseIndexes(set string, oid pagefile.OID, old, new *schema
 		if ix.IsPathIndex() {
 			continue
 		}
-		tree := db.trees[ix.Name]
-		if tree == nil {
+		tree, ok := db.treeFor(ix.Name)
+		if !ok {
 			continue
 		}
 		var oldV, newV schema.Value
@@ -286,7 +286,7 @@ func (db *DB) removePathIndexZeroEntries(set string, oid pagefile.OID) {
 		if !ix.IsPathIndex() {
 			continue
 		}
-		if tree := db.trees[ix.Name]; tree != nil {
+		if tree, ok := db.treeFor(ix.Name); ok {
 			_ = tree.Delete(keyFor(schema.Zero(ix.KeyKind)), oid)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/exodb/fieldrepl/internal/catalog"
 	"github.com/exodb/fieldrepl/internal/core"
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
@@ -20,9 +21,14 @@ import (
 // hidden fields, inverted-path structures, S′ registration, and indexes are
 // maintained.
 func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
+	tr := db.obs.Start(obs.KindDML, set, "insert")
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.insert(set, vals)
+	db.writerTrace = tr
+	oid, err := db.insert(set, vals)
+	db.writerTrace = nil
+	db.mu.Unlock()
+	db.obs.Finish(tr)
+	return oid, err
 }
 
 func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
@@ -108,9 +114,14 @@ func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 // Update applies field changes to the object at oid, propagating through
 // every replication structure and index.
 func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
+	tr := db.obs.Start(obs.KindDML, set, "update")
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.update(set, oid, vals)
+	db.writerTrace = tr
+	err := db.update(set, oid, vals)
+	db.writerTrace = nil
+	db.mu.Unlock()
+	db.obs.Finish(tr)
+	return err
 }
 
 func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
@@ -160,8 +171,17 @@ func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value)
 // Delete removes an object. Objects still referenced through a replication
 // path are refused (core.ErrStillReferenced).
 func (db *DB) Delete(set string, oid pagefile.OID) error {
+	tr := db.obs.Start(obs.KindDML, set, "delete")
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.writerTrace = tr
+	err := db.delete(set, oid)
+	db.writerTrace = nil
+	db.mu.Unlock()
+	db.obs.Finish(tr)
+	return err
+}
+
+func (db *DB) delete(set string, oid pagefile.OID) error {
 	s, ok := db.cat.SetByName(set)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchSet, set)

@@ -17,6 +17,7 @@ import (
 	"github.com/exodb/fieldrepl/internal/catalog"
 	"github.com/exodb/fieldrepl/internal/core"
 	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
@@ -76,6 +77,17 @@ type DB struct {
 	files   map[pagefile.FileID]*heap.File
 	trees   map[string]*btree.Tree
 	nextOut int
+
+	// obs issues per-operation I/O traces (see internal/obs).
+	obs *obs.Registry
+	// writerTrace is the trace of the write operation currently holding the
+	// exclusive lock, or nil. It is set and cleared only under db.mu.Lock, and
+	// read by internal helpers (heapFor, treeFor, ReadObject) that run under
+	// either lock mode — readers can only ever observe nil, because a writer
+	// excludes them, so every helper invoked during a DML/DDL operation binds
+	// that operation's trace without threading a parameter through
+	// core.Storage.
+	writerTrace *obs.Trace
 
 	// idxErr records an index-maintenance failure raised inside a listener
 	// callback (which cannot return an error); the next DML call surfaces it.
@@ -155,6 +167,7 @@ func Open(cfg Config) (*DB, error) {
 		workers: workers,
 		files:   map[pagefile.FileID]*heap.File{},
 		trees:   map[string]*btree.Tree{},
+		obs:     obs.NewRegistry(pagefile.PageSize),
 	}
 	inlineMax := cfg.InlineMax
 	if inlineMax == 0 {
@@ -335,19 +348,39 @@ func (db *DB) Manager() *core.Manager { return db.mgr }
 
 // --- core.Storage implementation ---
 
+// heapFor returns the heap file for fid, bound to the current writer's trace
+// (no-op when no traced writer is running).
 func (db *DB) heapFor(fid pagefile.FileID) (*heap.File, error) {
 	f, ok := db.files[fid]
 	if !ok {
 		return nil, fmt.Errorf("engine: no heap file %d", fid)
 	}
-	return f, nil
+	return f.WithTrace(db.writerTrace), nil
+}
+
+// treeFor returns the named index tree bound to the current writer's trace.
+func (db *DB) treeFor(name string) (*btree.Tree, bool) {
+	t, ok := db.trees[name]
+	if !ok {
+		return nil, false
+	}
+	return t.WithTrace(db.writerTrace), true
 }
 
 // ReadObject implements core.Storage.
 func (db *DB) ReadObject(oid pagefile.OID, typ *schema.Type) (*schema.Object, error) {
+	return db.readObjectT(oid, typ, nil)
+}
+
+// readObjectT reads and decodes an object, charging page I/O to tr (in
+// addition to the writer's trace when one is active).
+func (db *DB) readObjectT(oid pagefile.OID, typ *schema.Type, tr *obs.Trace) (*schema.Object, error) {
 	f, err := db.heapFor(oid.File)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		f = f.WithTrace(tr)
 	}
 	data, err := f.Read(oid)
 	if err != nil {
@@ -377,7 +410,7 @@ func (db *DB) LinkFile(l *catalog.Link) (*heap.File, error) {
 	l.FileID = f.ID()
 	l.HasFile = true
 	db.files[f.ID()] = f
-	return f, nil
+	return f.WithTrace(db.writerTrace), nil
 }
 
 // GroupFile implements core.Storage.
@@ -392,7 +425,7 @@ func (db *DB) GroupFile(g *catalog.Group) (*heap.File, error) {
 	g.FileID = f.ID()
 	g.HasFile = true
 	db.files[f.ID()] = f
-	return f, nil
+	return f.WithTrace(db.writerTrace), nil
 }
 
 // RecreateGroupFile implements core.Storage.
@@ -404,7 +437,7 @@ func (db *DB) RecreateGroupFile(g *catalog.Group) (*heap.File, error) {
 	g.FileID = f.ID()
 	g.HasFile = true
 	db.files[f.ID()] = f
-	return f, nil
+	return f.WithTrace(db.writerTrace), nil
 }
 
 // SetFile implements core.Storage.
@@ -420,9 +453,9 @@ func (db *DB) SetFile(name string) (*heap.File, error) {
 
 // IOStats is a snapshot of page-level I/O counters.
 type IOStats struct {
-	Reads  int64
-	Writes int64
-	Allocs int64
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Allocs int64 `json:"allocs"`
 }
 
 // Total returns reads + writes.
@@ -437,12 +470,19 @@ func (s IOStats) Sub(t IOStats) IOStats {
 // buffer misses and write-backs are counted, exactly the page transfers the
 // cost model charges.
 func (db *DB) IO() IOStats {
-	st := db.store.Stats()
-	return IOStats{Reads: st.Reads(), Writes: st.Writes(), Allocs: st.Allocs()}
+	st := db.store.Stats().Snapshot()
+	return IOStats{Reads: st.Reads, Writes: st.Writes, Allocs: st.Allocs}
 }
 
-// ResetIO zeroes the I/O counters.
-func (db *DB) ResetIO() { db.store.Stats().Reset() }
+// ResetIO zeroes the I/O counters. It takes the writer lock so a reset can
+// never land in the middle of a query and turn its delta negative; per-query
+// measurement that must coexist with concurrency should use QueryTraced
+// records instead of reset deltas.
+func (db *DB) ResetIO() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.store.Stats().Reset()
+}
 
 // ColdCache flushes and empties the buffer pool, so the next query starts
 // cold — the measurement discipline that realizes the cost model's

@@ -9,6 +9,7 @@ import (
 	"github.com/exodb/fieldrepl/internal/btree"
 	"github.com/exodb/fieldrepl/internal/catalog"
 	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
@@ -94,6 +95,34 @@ type Result struct {
 // projections in parallel across page ranges; the result rows then arrive
 // in no particular order (the sequential default preserves physical order).
 func (db *DB) Query(q Query) (*Result, error) {
+	res, _, err := db.QueryTraced(q)
+	return res, err
+}
+
+// QueryTraced executes a retrieve like Query and additionally returns the
+// query's completed obs.Record: its own page I/O (buffer hits/misses, store
+// reads/writes, prefetches) attributed exactly to this query regardless of
+// what ran concurrently, plus plan kind and wall time. This — not the
+// Reset/IO-delta pattern, which counts every concurrent operation's pages —
+// is the way to measure per-query I/O.
+func (db *DB) QueryTraced(q Query) (*Result, obs.Record, error) {
+	tr := db.obs.Start(obs.KindQuery, q.Set, queryDetail(q))
+	res, err := db.runQuery(q, tr)
+	rec := db.obs.Finish(tr)
+	return res, rec, err
+}
+
+// queryDetail summarizes the qualifying predicate for trace records.
+func queryDetail(q Query) string {
+	if q.Where == nil {
+		return ""
+	}
+	return q.Where.Expr
+}
+
+// runQuery acquires the right lock mode for q and executes it, charging I/O
+// to tr.
+func (db *DB) runQuery(q Query, tr *obs.Trace) (*Result, error) {
 	db.mu.RLock()
 	if q.EmitOutput || db.hasDeferredFor(q) {
 		// Deferred propagation can only be enqueued under the writer lock,
@@ -101,14 +130,20 @@ func (db *DB) Query(q Query) (*Result, error) {
 		// once we hold it.
 		db.mu.RUnlock()
 		db.mu.Lock()
-		defer db.mu.Unlock()
+		// Bind the writer trace so deferred-propagation drains and output
+		// inserts performed through core.Storage are charged to this query.
+		db.writerTrace = tr
+		defer func() {
+			db.writerTrace = nil
+			db.mu.Unlock()
+		}()
 	} else {
 		defer db.mu.RUnlock()
 	}
-	return db.query(q)
+	return db.query(q, tr)
 }
 
-func (db *DB) query(q Query) (*Result, error) {
+func (db *DB) query(q Query, tr *obs.Trace) (*Result, error) {
 	typ, err := db.cat.SetType(q.Set)
 	if err != nil {
 		return nil, err
@@ -126,6 +161,7 @@ func (db *DB) query(q Query) (*Result, error) {
 			return nil, err
 		}
 		db.files[out.ID()] = out
+		out = out.WithTrace(tr)
 	}
 
 	// eval applies the predicates and builds the projected row; it touches
@@ -134,20 +170,20 @@ func (db *DB) query(q Query) (*Result, error) {
 	// serialized by the caller.
 	eval := func(oid pagefile.OID, obj *schema.Object) (Row, bool, error) {
 		if q.Where != nil {
-			okRow, err := db.evalPred(q.Set, obj, q.Where)
+			okRow, err := db.evalPred(q.Set, obj, q.Where, tr)
 			if err != nil || !okRow {
 				return Row{}, false, err
 			}
 		}
 		for i := range q.Filters {
-			okRow, err := db.evalPred(q.Set, obj, &q.Filters[i])
+			okRow, err := db.evalPred(q.Set, obj, &q.Filters[i], tr)
 			if err != nil || !okRow {
 				return Row{}, false, err
 			}
 		}
 		row := Row{OID: oid, Values: make([]schema.Value, len(q.Project))}
 		for i, expr := range q.Project {
-			v, err := db.resolveExpr(q.Set, obj, expr)
+			v, err := db.resolveExpr(q.Set, obj, expr, tr)
 			if err != nil {
 				return Row{}, false, err
 			}
@@ -172,7 +208,7 @@ func (db *DB) query(q Query) (*Result, error) {
 		return emit(row)
 	}
 
-	ran, err := db.tryIndexedAccess(q, typ, res, process)
+	ran, err := db.tryIndexedAccess(q, typ, res, process, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +217,7 @@ func (db *DB) query(q Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := db.scanProcess(file, typ, eval, emit); err != nil {
+		if err := db.scanProcess(file.WithTrace(tr), typ, eval, emit, tr); err != nil {
 			return nil, err
 		}
 	}
@@ -197,9 +233,12 @@ func (db *DB) query(q Query) (*Result, error) {
 // scanProcess drives eval over every record of file — fanned out to
 // ScanWorkers goroutines when configured — and feeds matches to emit, which
 // is always called serially (under a mutex in the parallel case, so result
-// accumulation and output-file inserts stay single-writer).
-func (db *DB) scanProcess(file *heap.File, typ *schema.Type, eval func(pagefile.OID, *schema.Object) (Row, bool, error), emit func(Row) error) error {
+// accumulation and output-file inserts stay single-writer). Parallel scan
+// workers share file's trace (the counters are atomic), so the whole scan's
+// page I/O merges into the owning operation's trace.
+func (db *DB) scanProcess(file *heap.File, typ *schema.Type, eval func(pagefile.OID, *schema.Object) (Row, bool, error), emit func(Row) error, tr *obs.Trace) error {
 	if db.workers > 1 {
+		tr.SetPlan("scan-parallel")
 		var mu sync.Mutex
 		return file.ScanParallel(db.workers, func(oid pagefile.OID, payload []byte) error {
 			obj, err := schema.Decode(typ, payload)
@@ -215,6 +254,7 @@ func (db *DB) scanProcess(file *heap.File, typ *schema.Type, eval func(pagefile.
 			return emit(row)
 		})
 	}
+	tr.SetPlan("scan")
 	return file.Scan(func(oid pagefile.OID, payload []byte) error {
 		obj, err := schema.Decode(typ, payload)
 		if err != nil {
@@ -287,7 +327,7 @@ func (db *DB) flushDeferredFor(q Query) error {
 
 // tryIndexedAccess drives process over index-qualified candidates. It
 // reports false when no usable index exists.
-func (db *DB) tryIndexedAccess(q Query, typ *schema.Type, res *Result, process func(pagefile.OID, *schema.Object) error) (bool, error) {
+func (db *DB) tryIndexedAccess(q Query, typ *schema.Type, res *Result, process func(pagefile.OID, *schema.Object) error, tr *obs.Trace) (bool, error) {
 	if q.Where == nil || q.ForceScan {
 		return false, nil
 	}
@@ -307,10 +347,11 @@ func (db *DB) tryIndexedAccess(q Query, typ *schema.Type, res *Result, process f
 		return false, nil
 	}
 	res.UsedIndex = ix.Name
+	tr.SetPlan("index:" + ix.Name)
 	lo, hi := keyRange(q.Where)
 	var cbErr error
-	err := tree.Range(lo, hi, func(_ btree.Key, oid pagefile.OID) bool {
-		obj, rerr := db.ReadObject(oid, typ)
+	err := tree.WithTrace(tr).Range(lo, hi, func(_ btree.Key, oid pagefile.OID) bool {
+		obj, rerr := db.readObjectT(oid, typ, tr)
 		if rerr != nil {
 			cbErr = rerr
 			return false
@@ -353,9 +394,10 @@ func splitExpr(expr string) (refs []string, field string) {
 }
 
 // evalPred evaluates a predicate against an object, resolving path
-// expressions through replicated data when possible.
-func (db *DB) evalPred(set string, obj *schema.Object, p *Pred) (bool, error) {
-	v, err := db.resolveExpr(set, obj, p.Expr)
+// expressions through replicated data when possible and charging any reads
+// to tr.
+func (db *DB) evalPred(set string, obj *schema.Object, p *Pred, tr *obs.Trace) (bool, error) {
+	v, err := db.resolveExpr(set, obj, p.Expr, tr)
 	if err != nil {
 		return false, err
 	}
@@ -424,7 +466,7 @@ func compareValues(a, b schema.Value) (int, error) {
 //  3. a replicated reference attribute covering a prefix (§3.3.3 path
 //     collapsing), continuing with a shortened functional join,
 //  4. a full functional join.
-func (db *DB) resolveExpr(set string, obj *schema.Object, expr string) (schema.Value, error) {
+func (db *DB) resolveExpr(set string, obj *schema.Object, expr string, tr *obs.Trace) (schema.Value, error) {
 	refs, field := splitExpr(expr)
 	if len(refs) == 0 {
 		v, ok := obj.Get(field)
@@ -436,10 +478,10 @@ func (db *DB) resolveExpr(set string, obj *schema.Object, expr string) (schema.V
 	// 1-2. Exact replicated path.
 	spec := catalog.PathSpec{Source: set, Refs: refs, Field: field}
 	if p, ok := db.cat.FindPath(spec, catalog.InPlace); ok {
-		return db.readReplicatedByName(p, obj, field)
+		return db.readReplicatedByName(p, obj, field, tr)
 	}
 	if p, ok := db.cat.FindPath(spec, catalog.Separate); ok {
-		return db.readReplicatedByName(p, obj, field)
+		return db.readReplicatedByName(p, obj, field, tr)
 	}
 	// 3. Longest replicated reference prefix (collapsing).
 	for k := len(refs) - 1; k >= 1; k-- {
@@ -448,7 +490,7 @@ func (db *DB) resolveExpr(set string, obj *schema.Object, expr string) (schema.V
 		if !ok {
 			continue
 		}
-		hidden, err := db.readReplicatedByName(p, obj, refs[k])
+		hidden, err := db.readReplicatedByName(p, obj, refs[k], tr)
 		if err != nil {
 			return schema.Value{}, err
 		}
@@ -461,31 +503,31 @@ func (db *DB) resolveExpr(set string, obj *schema.Object, expr string) (schema.V
 		if !ok {
 			return schema.Value{}, fmt.Errorf("engine: unknown type %s", termField.RefType)
 		}
-		return db.walkFunctional(startType, hidden.R, refs[k+1:], field)
+		return db.walkFunctional(startType, hidden.R, refs[k+1:], field, tr)
 	}
 	// 4. Full functional join.
 	typ, err := db.cat.SetType(set)
 	if err != nil {
 		return schema.Value{}, err
 	}
-	return db.walkObjectPath(typ, obj, refs, field)
+	return db.walkObjectPath(typ, obj, refs, field, tr)
 }
 
 // walkFunctional follows refs starting from an OID of type startType.
-func (db *DB) walkFunctional(startType *schema.Type, start pagefile.OID, refs []string, field string) (schema.Value, error) {
+func (db *DB) walkFunctional(startType *schema.Type, start pagefile.OID, refs []string, field string, tr *obs.Trace) (schema.Value, error) {
 	if start.IsNil() {
 		return schema.Value{}, nil
 	}
-	obj, err := db.ReadObject(start, startType)
+	obj, err := db.readObjectT(start, startType, tr)
 	if err != nil {
 		return schema.Value{}, err
 	}
-	return db.walkObjectPath(startType, obj, refs, field)
+	return db.walkObjectPath(startType, obj, refs, field, tr)
 }
 
 // walkObjectPath performs the functional joins of a path expression,
 // reading one object per level.
-func (db *DB) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string, field string) (schema.Value, error) {
+func (db *DB) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string, field string, tr *obs.Trace) (schema.Value, error) {
 	cur := obj
 	curType := typ
 	for _, r := range refs {
@@ -503,7 +545,7 @@ func (db *DB) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string
 		if !ok {
 			return schema.Value{}, fmt.Errorf("engine: unknown type %s", f.RefType)
 		}
-		next, err := db.ReadObject(v.R, nextType)
+		next, err := db.readObjectT(v.R, nextType, tr)
 		if err != nil {
 			return schema.Value{}, err
 		}
@@ -517,14 +559,14 @@ func (db *DB) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string
 }
 
 // readReplicatedByName resolves a replicated field by name on path p.
-func (db *DB) readReplicatedByName(p *catalog.Path, obj *schema.Object, field string) (schema.Value, error) {
+func (db *DB) readReplicatedByName(p *catalog.Path, obj *schema.Object, field string, tr *obs.Trace) (schema.Value, error) {
 	fields := p.Fields
 	if p.Strategy == catalog.Separate {
 		fields = p.Group.Fields
 	}
 	for _, f := range fields {
 		if f.Name == field {
-			return db.mgr.ReadReplicated(p, obj, f.Idx)
+			return db.mgr.ReadReplicated(p, obj, f.Idx, tr)
 		}
 	}
 	return schema.Value{}, fmt.Errorf("engine: path %s does not replicate %q", p.Spec, field)
@@ -562,8 +604,25 @@ func encodeRow(r Row) []byte {
 // (the matches are sorted back to physical order); the mutations themselves
 // always run serially behind the writer lock.
 func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) (int, error) {
+	n, _, err := db.UpdateWhereTraced(set, where, vals)
+	return n, err
+}
+
+// UpdateWhereTraced is UpdateWhere returning the operation's completed
+// obs.Record: collection reads, object updates, and all replication
+// propagation the updates triggered, attributed to this one operation.
+func (db *DB) UpdateWhereTraced(set string, where Pred, vals map[string]schema.Value) (int, obs.Record, error) {
+	tr := db.obs.Start(obs.KindUpdate, set, where.Expr)
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.writerTrace = tr
+	n, err := db.updateWhere(set, where, vals, tr)
+	db.writerTrace = nil
+	db.mu.Unlock()
+	rec := db.obs.Finish(tr)
+	return n, rec, err
+}
+
+func (db *DB) updateWhere(set string, where Pred, vals map[string]schema.Value, tr *obs.Trace) (int, error) {
 	typ, err := db.cat.SetType(set)
 	if err != nil {
 		return 0, err
@@ -575,7 +634,7 @@ func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) 
 	// first keeps the scan stable under heap mutation.
 	var matches []pagefile.OID
 	collect := func(oid pagefile.OID, obj *schema.Object) error {
-		ok, err := db.evalPred(set, obj, &where)
+		ok, err := db.evalPred(set, obj, &where, tr)
 		if err != nil {
 			return err
 		}
@@ -585,7 +644,7 @@ func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) 
 		return nil
 	}
 	q := Query{Set: set, Where: &where}
-	ran, err := db.tryIndexedAccess(q, typ, &Result{}, collect)
+	ran, err := db.tryIndexedAccess(q, typ, &Result{}, collect, tr)
 	if err != nil {
 		return 0, err
 	}
@@ -595,14 +654,14 @@ func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) 
 			return 0, err
 		}
 		eval := func(oid pagefile.OID, obj *schema.Object) (Row, bool, error) {
-			ok, err := db.evalPred(set, obj, &where)
+			ok, err := db.evalPred(set, obj, &where, tr)
 			return Row{OID: oid}, ok, err
 		}
 		emit := func(row Row) error {
 			matches = append(matches, row.OID)
 			return nil
 		}
-		if err := db.scanProcess(file, typ, eval, emit); err != nil {
+		if err := db.scanProcess(file, typ, eval, emit, tr); err != nil {
 			return 0, err
 		}
 		if db.workers > 1 {

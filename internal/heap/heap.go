@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"github.com/exodb/fieldrepl/internal/buffer"
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 )
 
@@ -52,14 +53,24 @@ func slotReadErr(oid pagefile.OID, err error) error {
 	return fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
 }
 
-// File is a heap file.
+// File is a heap file. WithTrace returns lightweight views of the same file
+// that charge their page I/O to an obs.Trace; all views share one append
+// cursor, so inserts through any view stay coherent.
 type File struct {
 	pool *buffer.Pool
 	id   pagefile.FileID
 	name string
+	app  *appendCursor
+	tr   *obs.Trace
+}
 
-	appendPage uint32
-	hasPages   bool
+// appendCursor tracks the page inserts are currently appended to. It is
+// shared (by pointer) across all WithTrace views of a file. It is advisory:
+// the engine serializes writers, and a stale cursor only costs an extra
+// page probe, never corrupts data.
+type appendCursor struct {
+	page uint32
+	has  bool
 }
 
 // Create makes a new, empty heap file named name in the pool's store.
@@ -68,7 +79,7 @@ func Create(pool *buffer.Pool, name string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{pool: pool, id: id, name: name}, nil
+	return &File{pool: pool, id: id, name: name, app: &appendCursor{}}, nil
 }
 
 // Open wraps an existing file id as a heap file. The file must have been
@@ -82,12 +93,25 @@ func Open(pool *buffer.Pool, id pagefile.FileID) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &File{pool: pool, id: id, name: name}
+	f := &File{pool: pool, id: id, name: name, app: &appendCursor{}}
 	if n > 0 {
-		f.hasPages = true
-		f.appendPage = n - 1
+		f.app.has = true
+		f.app.page = n - 1
 	}
 	return f, nil
+}
+
+// WithTrace returns a view of the file whose page I/O (buffer gets, new
+// pages, prefetches) is charged to tr in addition to the global counters.
+// The view shares the underlying file's pool and append cursor; tr may be
+// nil, which returns an untraced view (often f itself).
+func (f *File) WithTrace(tr *obs.Trace) *File {
+	if f == nil || f.tr == tr {
+		return f
+	}
+	v := *f
+	v.tr = tr
+	return &v
 }
 
 // ID returns the file's id in the store.
@@ -152,7 +176,7 @@ func (f *File) InsertNear(payload []byte, hint uint32) (pagefile.OID, error) {
 		return pagefile.OID{}, fmt.Errorf("heap: payload of %d bytes exceeds max %d", len(payload), MaxPayload)
 	}
 	rec := encodeHome(payload)
-	if f.hasPages && hint <= f.appendPage {
+	if f.app.has && hint <= f.app.page {
 		if oid, ok, err := f.tryInsertOn(hint, rec); err != nil {
 			return pagefile.OID{}, err
 		} else if ok {
@@ -166,8 +190,8 @@ func (f *File) insertRecord(rec []byte, retryNewPage bool) (pagefile.OID, error)
 	if len(rec) > pagefile.MaxRecordSize {
 		return pagefile.OID{}, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(rec))
 	}
-	if f.hasPages {
-		if oid, ok, err := f.tryInsertOn(f.appendPage, rec); err != nil {
+	if f.app.has {
+		if oid, ok, err := f.tryInsertOn(f.app.page, rec); err != nil {
 			return pagefile.OID{}, err
 		} else if ok {
 			return oid, nil
@@ -176,7 +200,7 @@ func (f *File) insertRecord(rec []byte, retryNewPage bool) (pagefile.OID, error)
 	if !retryNewPage {
 		return pagefile.OID{}, pagefile.ErrPageFull
 	}
-	h, pid, err := f.pool.NewPage(f.id)
+	h, pid, err := f.pool.NewPageT(f.id, f.tr)
 	if err != nil {
 		return pagefile.OID{}, err
 	}
@@ -187,13 +211,13 @@ func (f *File) insertRecord(rec []byte, retryNewPage bool) (pagefile.OID, error)
 		return pagefile.OID{}, err
 	}
 	h.MarkDirty()
-	f.appendPage = pid.Page
-	f.hasPages = true
+	f.app.page = pid.Page
+	f.app.has = true
 	return pagefile.OID{File: f.id, Page: pid.Page, Slot: slot}, nil
 }
 
 func (f *File) tryInsertOn(page uint32, rec []byte) (pagefile.OID, bool, error) {
-	h, err := f.pool.Get(pagefile.PageID{File: f.id, Page: page})
+	h, err := f.pool.GetT(pagefile.PageID{File: f.id, Page: page}, f.tr)
 	if err != nil {
 		return pagefile.OID{}, false, err
 	}
@@ -257,7 +281,7 @@ func (f *File) rawRead(oid pagefile.OID) ([]byte, error) {
 	if oid.File != f.id {
 		return nil, fmt.Errorf("heap: OID %v is not in file %d", oid, f.id)
 	}
-	h, err := f.pool.Get(oid.PageID())
+	h, err := f.pool.GetT(oid.PageID(), f.tr)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +306,7 @@ func (f *File) Update(oid pagefile.OID, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("heap: payload of %d bytes exceeds max %d", len(payload), MaxPayload)
 	}
-	h, err := f.pool.Get(oid.PageID())
+	h, err := f.pool.GetT(oid.PageID(), f.tr)
 	if err != nil {
 		return err
 	}
@@ -313,7 +337,7 @@ func (f *File) Update(oid pagefile.OID, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		h2, err := f.pool.Get(oid.PageID())
+		h2, err := f.pool.GetT(oid.PageID(), f.tr)
 		if err != nil {
 			return err
 		}
@@ -343,7 +367,7 @@ func (f *File) Update(oid pagefile.OID, payload []byte) error {
 // updateMoved updates a record whose body lives at target, repointing the
 // stub at home if the body must move again.
 func (f *File) updateMoved(home, target pagefile.OID, payload []byte) error {
-	h, err := f.pool.Get(target.PageID())
+	h, err := f.pool.GetT(target.PageID(), f.tr)
 	if err != nil {
 		return err
 	}
@@ -367,7 +391,7 @@ func (f *File) updateMoved(home, target pagefile.OID, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	hh, err := f.pool.Get(home.PageID())
+	hh, err := f.pool.GetT(home.PageID(), f.tr)
 	if err != nil {
 		return err
 	}
@@ -385,7 +409,7 @@ func (f *File) updateMoved(home, target pagefile.OID, payload []byte) error {
 func (f *File) insertBody(rec []byte, nearPage uint32) (pagefile.OID, error) {
 	// Try the page after the home page first so forwarded bodies stay close,
 	// then fall back to the append page / a fresh page.
-	if f.hasPages && nearPage+1 <= f.appendPage {
+	if f.app.has && nearPage+1 <= f.app.page {
 		if oid, ok, err := f.tryInsertOn(nearPage+1, rec); err != nil {
 			return pagefile.OID{}, err
 		} else if ok {
@@ -397,7 +421,7 @@ func (f *File) insertBody(rec []byte, nearPage uint32) (pagefile.OID, error) {
 
 // Delete removes the record at oid, including a moved body if forwarded.
 func (f *File) Delete(oid pagefile.OID) error {
-	h, err := f.pool.Get(oid.PageID())
+	h, err := f.pool.GetT(oid.PageID(), f.tr)
 	if err != nil {
 		return err
 	}
@@ -431,7 +455,7 @@ func (f *File) Delete(oid pagefile.OID) error {
 	h.MarkDirty()
 	h.Unpin()
 	if kind == kindStub {
-		ht, err := f.pool.Get(target.PageID())
+		ht, err := f.pool.GetT(target.PageID(), f.tr)
 		if err != nil {
 			return err
 		}
@@ -461,7 +485,7 @@ func (f *File) Scan(fn func(oid pagefile.OID, payload []byte) error) error {
 	ra := uint32(f.pool.Readahead())
 	for page := uint32(0); page < n; page++ {
 		if ra > 0 && page%ra == 0 {
-			f.pool.Prefetch(f.id, page, int(ra))
+			f.pool.PrefetchT(f.id, page, int(ra), f.tr)
 		}
 		if err := f.scanPage(page, fn); err != nil {
 			return err
@@ -514,7 +538,7 @@ func (f *File) ScanParallel(workers int, fn func(oid pagefile.OID, payload []byt
 					end = n
 				}
 				if ra > 0 {
-					f.pool.Prefetch(f.id, start, int(end-start))
+					f.pool.PrefetchT(f.id, start, int(end-start), f.tr)
 				}
 				for page := start; page < end; page++ {
 					if stop.Load() {
@@ -542,7 +566,7 @@ func (f *File) ScanParallel(workers int, fn func(oid pagefile.OID, payload []byt
 // the pin, the pin is dropped, and then fn runs (so fn may itself use the
 // pool), with forwarded records resolved through their stubs.
 func (f *File) scanPage(page uint32, fn func(oid pagefile.OID, payload []byte) error) error {
-	h, err := f.pool.Get(pagefile.PageID{File: f.id, Page: page})
+	h, err := f.pool.GetT(pagefile.PageID{File: f.id, Page: page}, f.tr)
 	if err != nil {
 		return err
 	}

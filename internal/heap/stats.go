@@ -31,7 +31,7 @@ func (f *File) Stats() (Stats, error) {
 	}
 	st.Pages = n
 	for page := uint32(0); page < n; page++ {
-		h, err := f.pool.Get(pagefile.PageID{File: f.id, Page: page})
+		h, err := f.pool.GetT(pagefile.PageID{File: f.id, Page: page}, f.tr)
 		if err != nil {
 			return st, err
 		}

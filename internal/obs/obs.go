@@ -1,0 +1,330 @@
+// Package obs is the observability layer: per-operation I/O traces that fix
+// the attribution problem global counters have under concurrency.
+//
+// The store's pagefile.Stats and the buffer pool's counters are process
+// totals. When two queries overlap, the Reset/read-delta pattern charges each
+// query with the other's pages, so "pages per query" — the quantity the
+// paper's Section 6 cost model predicts — becomes unmeasurable. A Trace is a
+// handle-carried accumulator: the engine creates one per query/DML operation,
+// binds it to the heap files and B+trees the operation touches, and the
+// buffer pool charges every hit, miss, prefetch, and write-back to the trace
+// alongside the global counters. Parallel scan workers share the owning
+// operation's trace (the counters are atomic), so a trace is exact under any
+// interleaving: its counters depend only on the operation's own page
+// accesses, never on what ran concurrently.
+//
+// The counter hierarchy is: per-trace counters (this package) at the bottom,
+// pool counters (buffer.PoolStats) and store counters (pagefile.Stats) as
+// process totals above. Every traced charge is also a global charge, so over
+// a window with no untraced activity, Σ(per-trace) == global delta.
+//
+// All Trace methods are safe on a nil receiver (they do nothing), so the
+// storage layers take a *Trace unconditionally and untraced callers pass nil
+// at zero cost.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace kinds used by the engine.
+const (
+	KindQuery  = "query"
+	KindUpdate = "update-where"
+	KindDML    = "dml"
+	KindFlush  = "flush"
+)
+
+// Counters is one trace's I/O counter set. Store* count page transfers to or
+// from the page store (the cost model's I/O); Hits/Misses/Prefetched/Flushes
+// count buffer pool events. Hits+Misses is the operation's logical page
+// accesses — deterministic for a given plan regardless of cache warmth,
+// which is what makes per-trace counts comparable across runs.
+type Counters struct {
+	StoreReads  int64 `json:"store_reads"`
+	StoreWrites int64 `json:"store_writes"`
+	StoreAllocs int64 `json:"store_allocs"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Prefetched  int64 `json:"prefetched"`
+	Flushes     int64 `json:"flushes"`
+}
+
+// PageAccesses returns hits + misses: the number of buffer pool page
+// requests the operation made.
+func (c Counters) PageAccesses() int64 { return c.Hits + c.Misses }
+
+// IO returns store reads + writes, the page transfers the cost model counts.
+func (c Counters) IO() int64 { return c.StoreReads + c.StoreWrites }
+
+// Add returns c + d.
+func (c Counters) Add(d Counters) Counters {
+	return Counters{
+		StoreReads:  c.StoreReads + d.StoreReads,
+		StoreWrites: c.StoreWrites + d.StoreWrites,
+		StoreAllocs: c.StoreAllocs + d.StoreAllocs,
+		Hits:        c.Hits + d.Hits,
+		Misses:      c.Misses + d.Misses,
+		Prefetched:  c.Prefetched + d.Prefetched,
+		Flushes:     c.Flushes + d.Flushes,
+	}
+}
+
+// Trace accumulates the I/O of one operation. It is created by a Registry,
+// carried by handle through the storage layers, and closed with
+// Registry.Finish. All methods are safe for concurrent use and on a nil
+// receiver.
+type Trace struct {
+	id     uint64
+	kind   string
+	set    string
+	detail string
+	start  time.Time
+	plan   atomic.Pointer[string]
+
+	storeReads  atomic.Int64
+	storeWrites atomic.Int64
+	storeAllocs atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	prefetched  atomic.Int64
+	flushes     atomic.Int64
+}
+
+// ID returns the trace's registry-unique id (0 for a nil trace).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// StoreRead charges n page reads from the store.
+func (t *Trace) StoreRead(n int64) {
+	if t != nil {
+		t.storeReads.Add(n)
+	}
+}
+
+// StoreWrite charges n page writes to the store.
+func (t *Trace) StoreWrite(n int64) {
+	if t != nil {
+		t.storeWrites.Add(n)
+	}
+}
+
+// StoreAlloc charges n page allocations.
+func (t *Trace) StoreAlloc(n int64) {
+	if t != nil {
+		t.storeAllocs.Add(n)
+	}
+}
+
+// Hit charges n buffer pool hits.
+func (t *Trace) Hit(n int64) {
+	if t != nil {
+		t.hits.Add(n)
+	}
+}
+
+// Miss charges n buffer pool misses.
+func (t *Trace) Miss(n int64) {
+	if t != nil {
+		t.misses.Add(n)
+	}
+}
+
+// Prefetch charges n pages brought in by readahead on the trace's behalf.
+func (t *Trace) Prefetch(n int64) {
+	if t != nil {
+		t.prefetched.Add(n)
+	}
+}
+
+// Flush charges n dirty-page write-backs performed by (or on behalf of) the
+// traced operation — evictions its accesses forced, or an explicit flush.
+func (t *Trace) Flush(n int64) {
+	if t != nil {
+		t.flushes.Add(n)
+	}
+}
+
+// SetPlan records the executor's plan choice ("scan", "scan-parallel",
+// "index:<name>"). The last call wins.
+func (t *Trace) SetPlan(plan string) {
+	if t != nil {
+		t.plan.Store(&plan)
+	}
+}
+
+// Counters returns a snapshot of the trace's counters.
+func (t *Trace) Counters() Counters {
+	if t == nil {
+		return Counters{}
+	}
+	return Counters{
+		StoreReads:  t.storeReads.Load(),
+		StoreWrites: t.storeWrites.Load(),
+		StoreAllocs: t.storeAllocs.Load(),
+		Hits:        t.hits.Load(),
+		Misses:      t.misses.Load(),
+		Prefetched:  t.prefetched.Load(),
+		Flushes:     t.flushes.Load(),
+	}
+}
+
+// Record is a completed trace: identity, timing, and final counters. It is
+// the unit the metrics snapshot, the slow-query log, and extradb -explain
+// report.
+type Record struct {
+	ID     uint64    `json:"id"`
+	Kind   string    `json:"kind"`
+	Set    string    `json:"set,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+	Plan   string    `json:"plan,omitempty"`
+	Start  time.Time `json:"start"`
+	// Wall is the operation's wall-clock duration (JSON: nanoseconds).
+	Wall time.Duration `json:"wall_ns"`
+	Counters
+	// Bytes is the store traffic in bytes: (reads + writes) * page size.
+	Bytes int64 `json:"bytes"`
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("#%d %s set=%s plan=%s wall=%v reads=%d writes=%d hits=%d misses=%d prefetched=%d",
+		r.ID, r.Kind, r.Set, r.Plan, r.Wall, r.StoreReads, r.StoreWrites, r.Hits, r.Misses, r.Prefetched)
+}
+
+// Metrics is the registry's aggregate snapshot.
+type Metrics struct {
+	Active    int      `json:"active"`
+	Completed int64    `json:"completed"`
+	Slow      int64    `json:"slow"`
+	Totals    Counters `json:"totals"`
+}
+
+// Registry issues traces, tracks the active set, keeps a bounded ring of
+// recently completed records, and aggregates totals over all completed
+// traces. All methods are safe for concurrent use.
+type Registry struct {
+	pageSize int64
+	nextID   atomic.Uint64
+
+	mu        sync.Mutex
+	active    map[uint64]*Trace
+	recent    []Record
+	recentCap int
+	completed int64
+	slowCount int64
+	totals    Counters
+
+	slowAt   time.Duration
+	slowSink func(Record)
+}
+
+// DefaultRecentCap bounds the recently-completed ring.
+const DefaultRecentCap = 64
+
+// NewRegistry returns a registry. pageSize converts page counts to bytes in
+// completed records.
+func NewRegistry(pageSize int) *Registry {
+	return &Registry{
+		pageSize:  int64(pageSize),
+		active:    map[uint64]*Trace{},
+		recentCap: DefaultRecentCap,
+	}
+}
+
+// Start opens a trace and registers it as active.
+func (r *Registry) Start(kind, set, detail string) *Trace {
+	t := &Trace{
+		id:     r.nextID.Add(1),
+		kind:   kind,
+		set:    set,
+		detail: detail,
+		start:  time.Now(),
+	}
+	r.mu.Lock()
+	r.active[t.id] = t
+	r.mu.Unlock()
+	return t
+}
+
+// Finish closes a trace: it is removed from the active set, its record is
+// appended to the recent ring and folded into the aggregate totals, and —
+// when a slow-query sink is configured and the trace's wall time reaches the
+// threshold — the sink is invoked (outside the registry lock). Finishing a
+// nil trace returns a zero Record.
+func (r *Registry) Finish(t *Trace) Record {
+	if t == nil {
+		return Record{}
+	}
+	c := t.Counters()
+	rec := Record{
+		ID:       t.id,
+		Kind:     t.kind,
+		Set:      t.set,
+		Detail:   t.detail,
+		Start:    t.start,
+		Wall:     time.Since(t.start),
+		Counters: c,
+		Bytes:    c.IO() * r.pageSize,
+	}
+	if p := t.plan.Load(); p != nil {
+		rec.Plan = *p
+	}
+	r.mu.Lock()
+	delete(r.active, t.id)
+	r.completed++
+	r.totals = r.totals.Add(c)
+	if len(r.recent) < r.recentCap {
+		r.recent = append(r.recent, rec)
+	} else {
+		copy(r.recent, r.recent[1:])
+		r.recent[len(r.recent)-1] = rec
+	}
+	sink := r.slowSink
+	slow := r.slowAt > 0 && sink != nil && rec.Wall >= r.slowAt
+	if slow {
+		r.slowCount++
+	}
+	r.mu.Unlock()
+	if slow {
+		sink(rec)
+	}
+	return rec
+}
+
+// SetSlowQuery configures slow-operation logging: every trace finishing with
+// wall time >= threshold is passed to sink. A zero threshold or nil sink
+// disables it.
+func (r *Registry) SetSlowQuery(threshold time.Duration, sink func(Record)) {
+	r.mu.Lock()
+	r.slowAt = threshold
+	r.slowSink = sink
+	r.mu.Unlock()
+}
+
+// Recent returns the most recently completed records, oldest first.
+func (r *Registry) Recent() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, len(r.recent))
+	copy(out, r.recent)
+	return out
+}
+
+// Metrics returns the aggregate snapshot.
+func (r *Registry) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Metrics{
+		Active:    len(r.active),
+		Completed: r.completed,
+		Slow:      r.slowCount,
+		Totals:    r.totals,
+	}
+}

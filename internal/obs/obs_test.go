@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.StoreRead(1)
+	tr.StoreWrite(1)
+	tr.StoreAlloc(1)
+	tr.Hit(1)
+	tr.Miss(1)
+	tr.Prefetch(1)
+	tr.Flush(1)
+	tr.SetPlan("scan")
+	if id := tr.ID(); id != 0 {
+		t.Fatalf("nil trace ID = %d, want 0", id)
+	}
+	if c := tr.Counters(); c != (Counters{}) {
+		t.Fatalf("nil trace Counters = %+v, want zero", c)
+	}
+	r := NewRegistry(4096)
+	if rec := r.Finish(nil); rec != (Record{}) {
+		t.Fatalf("Finish(nil) = %+v, want zero Record", rec)
+	}
+}
+
+func TestTraceCounters(t *testing.T) {
+	r := NewRegistry(4096)
+	tr := r.Start(KindQuery, "Emp1", "salary > 100000")
+	tr.Hit(3)
+	tr.Miss(2)
+	tr.StoreRead(2)
+	tr.StoreWrite(1)
+	tr.Flush(1)
+	tr.SetPlan("index:bysal")
+	rec := r.Finish(tr)
+
+	if rec.Kind != KindQuery || rec.Set != "Emp1" || rec.Detail != "salary > 100000" {
+		t.Fatalf("record identity = %q/%q/%q", rec.Kind, rec.Set, rec.Detail)
+	}
+	if rec.Plan != "index:bysal" {
+		t.Fatalf("Plan = %q", rec.Plan)
+	}
+	if rec.Hits != 3 || rec.Misses != 2 || rec.StoreReads != 2 || rec.StoreWrites != 1 {
+		t.Fatalf("counters = %+v", rec.Counters)
+	}
+	if got := rec.PageAccesses(); got != 5 {
+		t.Fatalf("PageAccesses = %d, want 5", got)
+	}
+	if got := rec.IO(); got != 3 {
+		t.Fatalf("IO = %d, want 3", got)
+	}
+	if rec.Bytes != 3*4096 {
+		t.Fatalf("Bytes = %d, want %d", rec.Bytes, 3*4096)
+	}
+}
+
+func TestTraceConcurrentCharges(t *testing.T) {
+	r := NewRegistry(4096)
+	tr := r.Start(KindQuery, "R", "")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Hit(1)
+				tr.Miss(1)
+				tr.StoreRead(1)
+			}
+		}()
+	}
+	wg.Wait()
+	rec := r.Finish(tr)
+	want := int64(workers * per)
+	if rec.Hits != want || rec.Misses != want || rec.StoreReads != want {
+		t.Fatalf("counters = %+v, want %d each", rec.Counters, want)
+	}
+}
+
+func TestRegistryIDsUniqueAndActiveSet(t *testing.T) {
+	r := NewRegistry(4096)
+	a := r.Start(KindQuery, "R", "")
+	b := r.Start(KindDML, "S", "insert")
+	if a.ID() == b.ID() || a.ID() == 0 {
+		t.Fatalf("ids not unique: %d %d", a.ID(), b.ID())
+	}
+	if m := r.Metrics(); m.Active != 2 || m.Completed != 0 {
+		t.Fatalf("Metrics = %+v", m)
+	}
+	r.Finish(a)
+	r.Finish(b)
+	if m := r.Metrics(); m.Active != 0 || m.Completed != 2 {
+		t.Fatalf("Metrics after finish = %+v", m)
+	}
+}
+
+func TestRegistryTotalsAggregate(t *testing.T) {
+	r := NewRegistry(4096)
+	var want Counters
+	for i := 0; i < 5; i++ {
+		tr := r.Start(KindQuery, "R", "")
+		tr.Hit(int64(i))
+		tr.StoreRead(int64(2 * i))
+		want.Hits += int64(i)
+		want.StoreReads += int64(2 * i)
+		r.Finish(tr)
+	}
+	if m := r.Metrics(); m.Totals != want {
+		t.Fatalf("Totals = %+v, want %+v", m.Totals, want)
+	}
+}
+
+func TestRecentRingBounded(t *testing.T) {
+	r := NewRegistry(4096)
+	n := DefaultRecentCap + 10
+	for i := 0; i < n; i++ {
+		r.Finish(r.Start(KindQuery, "R", fmt.Sprintf("q%d", i)))
+	}
+	recent := r.Recent()
+	if len(recent) != DefaultRecentCap {
+		t.Fatalf("len(Recent) = %d, want %d", len(recent), DefaultRecentCap)
+	}
+	// Oldest first; the ring holds the last DefaultRecentCap completions.
+	if recent[0].Detail != fmt.Sprintf("q%d", n-DefaultRecentCap) {
+		t.Fatalf("ring head = %q", recent[0].Detail)
+	}
+	if recent[len(recent)-1].Detail != fmt.Sprintf("q%d", n-1) {
+		t.Fatalf("ring tail = %q", recent[len(recent)-1].Detail)
+	}
+}
+
+func TestSlowQuerySink(t *testing.T) {
+	r := NewRegistry(4096)
+	var mu sync.Mutex
+	var slow []Record
+	r.SetSlowQuery(time.Nanosecond, func(rec Record) {
+		mu.Lock()
+		slow = append(slow, rec)
+		mu.Unlock()
+	})
+	tr := r.Start(KindQuery, "R", "")
+	time.Sleep(time.Millisecond)
+	r.Finish(tr)
+	mu.Lock()
+	got := len(slow)
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("slow sink invoked %d times, want 1", got)
+	}
+	if m := r.Metrics(); m.Slow != 1 {
+		t.Fatalf("Metrics.Slow = %d, want 1", m.Slow)
+	}
+
+	// Disabled: no further records.
+	r.SetSlowQuery(0, nil)
+	r.Finish(r.Start(KindQuery, "R", ""))
+	mu.Lock()
+	got = len(slow)
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("slow sink invoked %d times after disable, want 1", got)
+	}
+}

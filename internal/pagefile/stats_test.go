@@ -1,0 +1,114 @@
+package pagefile
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsSnapshotQuiescentExact checks the exactness guarantee for quiet
+// windows: with no in-flight operations, Snapshot returns exactly the
+// operations performed.
+func TestStatsSnapshotQuiescentExact(t *testing.T) {
+	store := NewMemStore()
+	defer store.Close()
+	fid, err := store.CreateFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg Page
+	for i := 0; i < 3; i++ {
+		if _, err := store.Allocate(fid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 3; i++ {
+		if err := store.WritePage(PageID{File: fid, Page: i}, &pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 3; i++ {
+		if err := store.ReadPage(PageID{File: fid, Page: i}, &pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := store.Stats().Snapshot()
+	want := StatsSnapshot{Reads: 3, Writes: 3, Allocs: 3}
+	if snap != want {
+		t.Fatalf("Snapshot = %+v, want %+v", snap, want)
+	}
+	if snap.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", snap.Total())
+	}
+	if store.Stats().Total() != 6 {
+		t.Fatalf("Stats.Total = %d, want 6", store.Stats().Total())
+	}
+}
+
+// TestStatsSnapshotBracketedUnderConcurrency pins the documented tolerance:
+// while readers are in flight, every counter a snapshot reports is monotone
+// non-decreasing across successive snapshots and never exceeds the operations
+// actually issued; after the traffic quiesces the counters are exact.
+func TestStatsSnapshotBracketedUnderConcurrency(t *testing.T) {
+	store := NewMemStore()
+	defer store.Close()
+	fid, err := store.CreateFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const npages = 8
+	for i := 0; i < npages; i++ {
+		if _, err := store.Allocate(fid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.Stats().Reset()
+
+	const workers, per = 8, 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		var last StatsSnapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := store.Stats().Snapshot()
+			if snap.Reads < last.Reads || snap.Writes < last.Writes || snap.Allocs < last.Allocs {
+				t.Errorf("snapshot regressed: %+v after %+v", snap, last)
+				return
+			}
+			if snap.Reads > workers*per {
+				t.Errorf("snapshot invented reads: %+v", snap)
+				return
+			}
+			last = snap
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var pg Page
+			for i := 0; i < per; i++ {
+				pid := PageID{File: fid, Page: uint32((w + i) % npages)}
+				if err := store.ReadPage(pid, &pg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	samplerWG.Wait()
+
+	snap := store.Stats().Snapshot()
+	if snap.Reads != workers*per || snap.Writes != 0 {
+		t.Fatalf("quiescent snapshot = %+v, want Reads=%d Writes=0", snap, workers*per)
+	}
+}

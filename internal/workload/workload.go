@@ -23,6 +23,7 @@ import (
 
 	"github.com/exodb/fieldrepl/internal/catalog"
 	"github.com/exodb/fieldrepl/internal/engine"
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
@@ -269,8 +270,10 @@ func (b *Built) ReadQuery(fr float64) (engine.IOStats, error) {
 	if err := b.DB.ColdCache(); err != nil {
 		return engine.IOStats{}, err
 	}
-	before := b.DB.IO()
-	_, err := b.DB.Query(engine.Query{
+	// Per-query traces, not a global-counter delta: the query's record plus
+	// the trailing flush's record is exactly the I/O this query caused, and
+	// stays exact even if something else runs against the DB concurrently.
+	_, rec, err := b.DB.QueryTraced(engine.Query{
 		Set:     "R",
 		Project: []string{"field_r", "sref.repfield"},
 		Where: &engine.Pred{
@@ -283,10 +286,22 @@ func (b *Built) ReadQuery(fr float64) (engine.IOStats, error) {
 	if err != nil {
 		return engine.IOStats{}, err
 	}
-	if err := b.DB.FlushAll(); err != nil {
+	frec, err := b.DB.FlushAllTraced()
+	if err != nil {
 		return engine.IOStats{}, err
 	}
-	return b.DB.IO().Sub(before), nil
+	return traceIO(rec, frec), nil
+}
+
+// traceIO sums trace records into the IOStats shape the figures consume.
+func traceIO(recs ...obs.Record) engine.IOStats {
+	var st engine.IOStats
+	for _, r := range recs {
+		st.Reads += r.StoreReads
+		st.Writes += r.StoreWrites
+		st.Allocs += r.StoreAllocs
+	}
+	return st
 }
 
 // UpdateQuery runs one cost-model update query — an index-assisted range
@@ -304,8 +319,7 @@ func (b *Built) UpdateQuery(fs float64) (engine.IOStats, error) {
 	if err := b.DB.ColdCache(); err != nil {
 		return engine.IOStats{}, err
 	}
-	before := b.DB.IO()
-	_, err := b.DB.UpdateWhere("S",
+	_, rec, err := b.DB.UpdateWhereTraced("S",
 		engine.Pred{
 			Expr: "field_s", Op: engine.OpBetween,
 			Value:  schema.IntValue(int64(lo)),
@@ -317,10 +331,11 @@ func (b *Built) UpdateQuery(fs float64) (engine.IOStats, error) {
 	if err != nil {
 		return engine.IOStats{}, err
 	}
-	if err := b.DB.FlushAll(); err != nil {
+	frec, err := b.DB.FlushAllTraced()
+	if err != nil {
 		return engine.IOStats{}, err
 	}
-	return b.DB.IO().Sub(before), nil
+	return traceIO(rec, frec), nil
 }
 
 // MixResult aggregates a query-mix run.

@@ -1,0 +1,86 @@
+package fieldrepl
+
+import (
+	"encoding/json"
+	"time"
+
+	"github.com/exodb/fieldrepl/internal/obs"
+)
+
+// TraceRecord is one completed operation's I/O trace: identity, timing, and
+// the page counters the operation itself accumulated. Unlike the global IO()
+// counters, a trace is exact under concurrency — it counts only the pages the
+// traced operation touched, never a concurrent query's.
+type TraceRecord struct {
+	// ID is the process-unique trace id, in completion order-ish (ids are
+	// issued at start, so overlapping operations may complete out of order).
+	ID uint64 `json:"id"`
+	// Kind is the operation class: "query", "update-where", "dml", "flush".
+	Kind string `json:"kind"`
+	// Set is the target set, Detail the predicate expression or DML verb.
+	Set    string `json:"set,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Plan is the executor's access-path choice: "scan", "scan-parallel", or
+	// "index:<name>".
+	Plan  string        `json:"plan,omitempty"`
+	Start time.Time     `json:"start"`
+	Wall  time.Duration `json:"wall_ns"`
+	// Store transfers (the disk I/O a disk-resident system would perform) and
+	// buffer pool events charged to this operation.
+	StoreReads  int64 `json:"store_reads"`
+	StoreWrites int64 `json:"store_writes"`
+	StoreAllocs int64 `json:"store_allocs"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Prefetched  int64 `json:"prefetched"`
+	Flushes     int64 `json:"flushes"`
+	// Bytes is the store traffic in bytes: (reads + writes) * page size.
+	Bytes int64 `json:"bytes"`
+}
+
+// PageAccesses returns hits + misses — the operation's logical page requests,
+// deterministic for a given plan regardless of cache warmth.
+func (r TraceRecord) PageAccesses() int64 { return r.Hits + r.Misses }
+
+func toTraceRecord(r obs.Record) TraceRecord {
+	return TraceRecord{
+		ID: r.ID, Kind: r.Kind, Set: r.Set, Detail: r.Detail, Plan: r.Plan,
+		Start: r.Start, Wall: r.Wall,
+		StoreReads: r.StoreReads, StoreWrites: r.StoreWrites, StoreAllocs: r.StoreAllocs,
+		Hits: r.Hits, Misses: r.Misses, Prefetched: r.Prefetched, Flushes: r.Flushes,
+		Bytes: r.Bytes,
+	}
+}
+
+// RecentTraces returns the most recently completed operation traces, oldest
+// first (the engine keeps a bounded ring).
+func (db *DB) RecentTraces() []TraceRecord {
+	defer db.rlock()()
+	recs := db.e.RecentTraces()
+	out := make([]TraceRecord, len(recs))
+	for i, r := range recs {
+		out[i] = toTraceRecord(r)
+	}
+	return out
+}
+
+// MetricsJSON returns the pull-based observability snapshot as expvar-style
+// JSON: process-total I/O and buffer pool counters, trace aggregates, and the
+// recent trace ring. This is what `extradb -metrics` prints.
+func (db *DB) MetricsJSON() ([]byte, error) {
+	defer db.rlock()()
+	return json.MarshalIndent(db.e.Metrics(), "", "  ")
+}
+
+// SetSlowQueryLog enables slow-operation logging: every traced operation
+// whose wall time reaches threshold is passed to sink after it completes. A
+// zero threshold or nil sink disables logging. The sink is called outside all
+// database locks and must be safe for concurrent use.
+func (db *DB) SetSlowQueryLog(threshold time.Duration, sink func(TraceRecord)) {
+	defer db.rlock()()
+	if sink == nil {
+		db.e.SetSlowQueryLog(threshold, nil)
+		return
+	}
+	db.e.SetSlowQueryLog(threshold, func(r obs.Record) { sink(toTraceRecord(r)) })
+}
