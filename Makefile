@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet test race bench soak fuzz check
+.PHONY: all help build vet test race bench walbench soak fuzz check ci
 
 all: check
 
@@ -11,9 +11,11 @@ help:
 	@echo "  test   - full test suite"
 	@echo "  race   - race-detector pass (includes the buffer/heap/engine concurrency tests)"
 	@echo "  bench  - scan-throughput matrix (shards x workers) -> BENCH_scan.json"
+	@echo "  walbench - commit throughput / group-commit fsync batching -> BENCH_commit.json"
 	@echo "  soak   - exhaustive fault-injection soak"
 	@echo "  fuzz   - slotted-page parsing fuzzer"
 	@echo "  check  - build + vet + test + race"
+	@echo "  ci     - the full gate: build + vet(+gofmt) + test + race"
 
 build:
 	$(GO) build ./...
@@ -41,6 +43,12 @@ race:
 bench:
 	$(GO) run ./cmd/scanbench -out BENCH_scan.json
 
+# Commit throughput and group-commit effectiveness: commits/s and
+# fsyncs/commit at 1, 4, and 16 concurrent writers, plus a WAL-disabled
+# single-writer baseline. Writes BENCH_commit.json.
+walbench:
+	$(GO) run ./cmd/walbench -out BENCH_commit.json
+
 # Exhaustive fault soak: one injected fault at every I/O index of the
 # calibration run (the untagged test samples every 7th index).
 soak:
@@ -50,3 +58,6 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSlottedParsing -fuzztime 30s ./internal/pagefile/
 
 check: build vet test race
+
+# CI entry point: everything a pull request must pass.
+ci: check

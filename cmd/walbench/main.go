@@ -1,0 +1,191 @@
+// Command walbench measures commit throughput and group-commit fsync
+// batching, writing the results as JSON for tracking alongside the paper
+// figures.
+//
+//	walbench -out BENCH_commit.json
+//
+// The workload is concurrent one-shot inserts (each an implicit durable
+// transaction) into a file-backed database. Configurations: a WAL-disabled
+// single writer that calls Sync after every insert — the pre-WAL way to make
+// a write durable — as the latency baseline, then WAL commits at 1, 4, and
+// 16 concurrent writers. The quantities of interest are commits/s and
+// fsyncs/commit: group commit is working when the latter falls well below 1
+// as writers are added (acceptance: < 0.5 at 16 writers, with single-writer
+// WAL commit latency within 2x of the pre-WAL baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fieldrepl "github.com/exodb/fieldrepl"
+)
+
+type result struct {
+	Mode            string  `json:"mode"` // "sync-per-op" or "wal"
+	Writers         int     `json:"writers"`
+	Seconds         float64 `json:"seconds"`
+	Commits         int64   `json:"commits"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	NsPerCommit     int64   `json:"ns_per_commit"`
+	Fsyncs          int64   `json:"fsyncs,omitempty"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_commit.json", "write results to this file (- for stdout)")
+	dur := flag.Duration("dur", time.Second, "measure duration per configuration")
+	interval := flag.Duration("interval", 2*time.Millisecond, "group-commit interval for multi-writer configurations")
+	flag.Parse()
+
+	var results []result
+
+	// Pre-WAL durability baseline: one writer, Sync (flush + per-file fsync)
+	// after every insert.
+	base, err := run("sync-per-op", 1, 0, true, *dur)
+	if err != nil {
+		fatal(err)
+	}
+	report(base)
+	results = append(results, base)
+
+	// WAL commits. The single writer runs with no commit interval (the
+	// group-commit sleep only pays off with concurrent committers); the
+	// multi-writer configurations use it to widen each fsync's batch.
+	for _, w := range []int{1, 4, 16} {
+		iv := *interval
+		if w == 1 {
+			iv = 0
+		}
+		r, err := run("wal", w, iv, false, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		report(r)
+		results = append(results, r)
+	}
+
+	// Acceptance summary.
+	walSingle, wal16 := results[1], results[3]
+	ratio := float64(walSingle.NsPerCommit) / float64(base.NsPerCommit)
+	fmt.Fprintf(os.Stderr, "walbench: single-writer WAL commit latency = %.2fx the sync-per-op baseline (acceptance: <= 2x)\n", ratio)
+	fmt.Fprintf(os.Stderr, "walbench: fsyncs/commit at 16 writers = %.3f (acceptance: < 0.5)\n", wal16.FsyncsPerCommit)
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "walbench: wrote %s\n", *out)
+}
+
+// run opens a fresh database and drives writers concurrent insert loops for
+// roughly dur, returning the measured configuration.
+func run(mode string, writers int, interval time.Duration, syncPerOp bool, dur time.Duration) (result, error) {
+	dir, err := os.MkdirTemp("", "walbench-*")
+	if err != nil {
+		return result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := fieldrepl.Open(fieldrepl.Config{
+		Dir:            dir,
+		PoolPages:      4096,
+		CommitInterval: interval,
+		WALDisabled:    syncPerOp,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer db.Close()
+
+	if err := setup(db); err != nil {
+		return result{}, err
+	}
+	base, _ := db.WALStats()
+
+	var (
+		commits  atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				_, err := db.Insert("Emp", fieldrepl.V{
+					"name":   fieldrepl.S(fmt.Sprintf("w%d-%d", w, i)),
+					"salary": fieldrepl.I(int64(i)),
+				})
+				if err == nil && syncPerOp {
+					err = db.Sync()
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return result{}, err
+	}
+
+	n := commits.Load()
+	if n == 0 {
+		return result{}, fmt.Errorf("%s writers=%d: no commits completed", mode, writers)
+	}
+	r := result{
+		Mode:          mode,
+		Writers:       writers,
+		Seconds:       elapsed.Seconds(),
+		Commits:       n,
+		CommitsPerSec: float64(n) / elapsed.Seconds(),
+		// Per-writer latency: each writer completed n/writers commits in
+		// elapsed wall time.
+		NsPerCommit: elapsed.Nanoseconds() * int64(writers) / n,
+	}
+	if st, ok := db.WALStats(); ok {
+		r.Fsyncs = st.Fsyncs - base.Fsyncs
+		r.FsyncsPerCommit = float64(r.Fsyncs) / float64(st.Commits-base.Commits)
+	}
+	return r, nil
+}
+
+func setup(db *fieldrepl.DB) error {
+	if err := db.DefineType("EMP", []fieldrepl.Field{
+		{Name: "name", Kind: fieldrepl.String},
+		{Name: "salary", Kind: fieldrepl.Int},
+	}); err != nil {
+		return err
+	}
+	return db.CreateSet("Emp", "EMP")
+}
+
+func report(r result) {
+	fmt.Fprintf(os.Stderr, "walbench: %-11s writers=%-2d  %8.0f commits/s  %10d ns/commit  %.3f fsyncs/commit\n",
+		r.Mode, r.Writers, r.CommitsPerSec, r.NsPerCommit, r.FsyncsPerCommit)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "walbench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+package fieldrepl
+
+import (
+	"github.com/exodb/fieldrepl/internal/core"
+	"github.com/exodb/fieldrepl/internal/engine"
+	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// Exported error sentinels. Every layer wraps these with %w, so callers
+// classify failures with errors.Is regardless of how much context the error
+// chain has accumulated:
+//
+//	if errors.Is(err, fieldrepl.ErrTxnDone) { ... }
+//
+// See docs/errors.md for the full failure-mode contract (clean refusals,
+// compensated failures, loud inconsistencies, and the repair lifecycle).
+var (
+	// ErrNoSuchSet: an operation named a set that does not exist.
+	ErrNoSuchSet = engine.ErrNoSuchSet
+	// ErrTxnDone: a statement on a transaction that already committed,
+	// rolled back, or aborted.
+	ErrTxnDone = engine.ErrTxnDone
+	// ErrTypeMismatch: a value's kind does not match the field it is
+	// assigned to.
+	ErrTypeMismatch = schema.ErrTypeMismatch
+	// ErrCorruptPage: a page read back from disk failed its checksum — the
+	// medium's data is damaged (torn write, bit rot, external modification).
+	ErrCorruptPage = pagefile.ErrCorruptPage
+	// ErrNotFound: no record at that OID (deleted, or never existed).
+	ErrNotFound = heap.ErrNotFound
+	// ErrStillReferenced: a delete was refused because replication paths
+	// still reach the object. Raised before any mutation.
+	ErrStillReferenced = core.ErrStillReferenced
+	// ErrPathInUse: Unreplicate refused because an index is built on the
+	// path; drop the index first.
+	ErrPathInUse = core.ErrPathInUse
+)

@@ -1,8 +1,10 @@
 package fieldrepl
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/exodb/fieldrepl/internal/catalog"
 	"github.com/exodb/fieldrepl/internal/engine"
@@ -34,12 +36,29 @@ type Config struct {
 	// many goroutines (default 1, which preserves the sequential scan's
 	// deterministic result order).
 	ScanWorkers int
+	// WALPath relocates the write-ahead log (default Dir/wal.log). File-backed
+	// databases log every transaction — explicit Begin/Commit and the implicit
+	// single-statement transactions one-shot DML runs as — before its pages
+	// can reach the data files, and replay committed-but-unapplied work when
+	// reopened after a crash.
+	WALPath string
+	// CommitInterval is the optional group-commit batching window: each
+	// committer waits this long before forcing the log, giving concurrent
+	// commits time to share one fsync. Zero (the default) forces immediately;
+	// concurrent committers still batch via the leader/follower fsync.
+	CommitInterval time.Duration
+	// WALDisabled turns the write-ahead log off for a file-backed database,
+	// restoring the pre-WAL durability mode (explicit Sync, compensate-or-
+	// taint failure handling). Used for baseline measurements.
+	WALDisabled bool
 }
 
 // DB is a database handle. It is safe for concurrent use: read-only
-// operations (Get, Query, Count, the stats accessors) run concurrently
-// under a shared reader lock, while mutations are serialized — the engine
-// is single-writer with parallel readers.
+// operations (Get, Query, Count, the stats accessors) run concurrently, and
+// mutations are serialized by the engine's writer lock — single-writer with
+// parallel readers. Concurrent writers overlap only in the group-commit
+// durability wait, which is what lets them share fsyncs. The handle's own
+// exclusive lock guards DDL, script execution, and lifecycle (Close).
 type DB struct {
 	mu     sync.RWMutex
 	e      *engine.DB
@@ -64,6 +83,7 @@ func Open(cfg Config) (*DB, error) {
 	e, err := engine.Open(engine.Config{
 		PoolPages: cfg.PoolPages, Dir: cfg.Dir, InlineMax: cfg.InlineMax,
 		PoolShards: cfg.PoolShards, Readahead: cfg.Readahead, ScanWorkers: cfg.ScanWorkers,
+		WALPath: cfg.WALPath, CommitInterval: cfg.CommitInterval, WALDisabled: cfg.WALDisabled,
 	})
 	if err != nil {
 		return nil, err
@@ -154,8 +174,15 @@ func toEngineValues(vals V) map[string]schema.Value {
 
 // Insert stores a new object and returns its OID. Unassigned fields hold
 // zero values.
+//
+// DML wrappers take the shared lock, not the exclusive one: the engine
+// serializes writers on its own lock and releases it before the group-commit
+// durability wait, so concurrent public writers must be allowed to overlap
+// there — an exclusive public lock would hold each commit's fsync wait alone
+// and defeat group commit. The exclusive public lock is reserved for
+// DDL/lifecycle operations.
 func (db *DB) Insert(set string, vals V) (OID, error) {
-	defer db.lock()()
+	defer db.rlock()()
 	oid, err := db.e.Insert(set, toEngineValues(vals))
 	return OID{inner: oid}, err
 }
@@ -177,14 +204,14 @@ func (db *DB) Get(set string, oid OID) (Record, error) {
 // Update assigns fields of the object at oid, propagating every replication
 // structure and index.
 func (db *DB) Update(set string, oid OID, vals V) error {
-	defer db.lock()()
+	defer db.rlock()()
 	return db.e.Update(set, oid.inner, toEngineValues(vals))
 }
 
 // Delete removes the object at oid. Deleting an object still referenced
 // through a replication path fails.
 func (db *DB) Delete(set string, oid OID) error {
-	defer db.lock()()
+	defer db.rlock()()
 	return db.e.Delete(set, oid.inner)
 }
 
@@ -215,15 +242,11 @@ func toEnginePred(p *Pred) (*engine.Pred, error) {
 	return out, nil
 }
 
-// Query executes a retrieve. Path expressions in projections and predicates
-// use replicated data when a matching replication path exists and fall back
-// to functional joins otherwise, so the same query works — at different I/O
-// costs — with and without replication.
-func (db *DB) Query(q Query) (*Result, error) {
-	defer db.rlock()()
+// toEngineQuery converts a public query to the engine's representation.
+func toEngineQuery(q Query) (engine.Query, error) {
 	ep, err := toEnginePred(q.Where)
 	if err != nil {
-		return nil, err
+		return engine.Query{}, err
 	}
 	eq := engine.Query{
 		Set: q.Set, Project: q.Project, Where: ep,
@@ -232,14 +255,15 @@ func (db *DB) Query(q Query) (*Result, error) {
 	for i := range q.Filters {
 		fp, err := toEnginePred(&q.Filters[i])
 		if err != nil {
-			return nil, err
+			return engine.Query{}, err
 		}
 		eq.Filters = append(eq.Filters, *fp)
 	}
-	res, err := db.e.Query(eq)
-	if err != nil {
-		return nil, err
-	}
+	return eq, nil
+}
+
+// fromEngineResult converts an engine result to the public representation.
+func fromEngineResult(res *engine.Result) *Result {
 	out := &Result{UsedIndex: res.UsedIndex, OutputPages: int(res.OutputPages)}
 	for _, r := range res.Rows {
 		row := Row{OID: OID{inner: r.OID}, Values: make([]Value, len(r.Values))}
@@ -248,18 +272,51 @@ func (db *DB) Query(q Query) (*Result, error) {
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out, nil
+	return out
+}
+
+// Query executes a retrieve. Path expressions in projections and predicates
+// use replicated data when a matching replication path exists and fall back
+// to functional joins otherwise, so the same query works — at different I/O
+// costs — with and without replication.
+func (db *DB) Query(q Query) (*Result, error) {
+	return db.QueryCtx(nil, q)
+}
+
+// QueryCtx is Query under a context: cancellation is checked per record
+// during scans and index ranges (including parallel scan workers), so a
+// cancelled query stops fetching pages promptly and returns ctx.Err(). A nil
+// ctx behaves like Query.
+func (db *DB) QueryCtx(ctx context.Context, q Query) (*Result, error) {
+	defer db.rlock()()
+	eq, err := toEngineQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.e.QueryCtx(ctx, eq)
+	if err != nil {
+		return nil, err
+	}
+	return fromEngineResult(res), nil
 }
 
 // UpdateWhere applies vals to every object matching where, returning the
 // number updated.
 func (db *DB) UpdateWhere(set string, where Pred, vals V) (int, error) {
-	defer db.lock()()
+	return db.UpdateWhereCtx(nil, set, where, vals)
+}
+
+// UpdateWhereCtx is UpdateWhere under a context: cancellation is checked per
+// record during collection and per object during the update pass. With a WAL
+// a cancelled operation rolls back entirely; without one it stops between
+// whole-object updates.
+func (db *DB) UpdateWhereCtx(ctx context.Context, set string, where Pred, vals V) (int, error) {
+	defer db.rlock()()
 	ep, err := toEnginePred(&where)
 	if err != nil {
 		return 0, err
 	}
-	return db.e.UpdateWhere(set, *ep, toEngineValues(vals))
+	return db.e.UpdateWhereCtx(ctx, set, *ep, toEngineValues(vals))
 }
 
 // Output is the result of executing one surface-language statement.
@@ -313,6 +370,12 @@ func (db *DB) IO() IOStats {
 }
 
 // ResetIO zeroes the I/O counters.
+//
+// Deprecated: the reset/delta pattern misattributes I/O as soon as anything
+// runs concurrently — a reset can land inside another operation's window and
+// both operations' pages land in one delta. Use the per-operation trace API
+// instead (RecentTraces, SetSlowQueryLog, MetricsJSON), which attributes
+// page I/O exactly regardless of concurrency.
 func (db *DB) ResetIO() { defer db.lock()(); db.e.ResetIO() }
 
 // ColdCache flushes and empties the buffer pool so the next operation starts

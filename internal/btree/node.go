@@ -14,16 +14,19 @@ import (
 //	  0  magic    u32
 //	  4  root     u32
 //	  8  height   u32  (1 = root is a leaf)
-//	 12  count    u64  (number of entries)
-//	 20  leafCap  u32
-//	 24  intCap   u32
-//	 28  freeHead u32  (head of free-page chain, ^0 if none)
+//	 12  (store checksum, u32)
+//	 16  (page LSN, u64)
+//	 24  count    u64  (number of entries)
+//	 32  leafCap  u32
+//	 36  intCap   u32
+//	 40  freeHead u32  (head of free-page chain, ^0 if none)
 //
 //	node page:
 //	  0  magic  u16
 //	  2  flags  u8   (bit0: leaf)
 //	  4  nkeys  u16
 //	  8  next   u32  (leaf: right sibling; free page: next free; ^0 none)
+//	 12  (store checksum, u32), 16 (page LSN, u64)
 //	 24  entries / child0+entries
 //
 // Leaf entry: key(16) + oid(10)            = 26 bytes
@@ -45,13 +48,14 @@ const (
 	nodeMagic = 0xB7EE
 
 	// Bytes 12..16 are reserved in every page layout (meta, node, and the
-	// slotted pages of other files) for the store-level page checksum.
+	// slotted pages of other files) for the store-level page checksum, and
+	// bytes 16..24 for the WAL page LSN.
 	metaRoot     = 4
 	metaHeight   = 8
-	metaCount    = 16
-	metaLeafCap  = 24
-	metaIntCap   = 28
-	metaFreeHead = 32
+	metaCount    = 24
+	metaLeafCap  = 32
+	metaIntCap   = 36
+	metaFreeHead = 40
 
 	nodeFlags   = 2
 	nodeNKeys   = 4

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -39,6 +40,9 @@ var (
 	// ErrNotPinned is returned by Unpin when the page is not pinned — a
 	// double-unpin bug in the caller. The pool state is unchanged.
 	ErrNotPinned = errors.New("buffer: unpin of unpinned page")
+	// ErrCaptureActive is returned by operations that cannot run while a
+	// transaction capture is open (Reset, nested BeginCapture).
+	ErrCaptureActive = errors.New("buffer: capture already active")
 )
 
 // Pool is a buffer pool. All methods are safe for concurrent use.
@@ -57,6 +61,35 @@ type Pool struct {
 	evictions  atomic.Int64
 	flushes    atomic.Int64
 	prefetched atomic.Int64
+
+	// barrier, when set, is called with a page's id before any dirty frame
+	// is written back to the store (eviction, FlushAll, Reset). The WAL
+	// installs its durability barrier here: the log must be fsync'd through
+	// the page's last logged record before the data file may change. A
+	// barrier error aborts that write-back and leaves the frame dirty.
+	barrier func(pagefile.PageID) error
+
+	// Transaction capture. While active (one writer at a time; the engine's
+	// exclusive lock encloses the capture window), every pin taken by GetT
+	// copies the frame's pin-time image, and the first MarkDirty per page
+	// registers that image — the page's state at transaction begin — in the
+	// capture map. Registered frames are pinned in spirit: the clock refuses
+	// to evict them and FlushAll skips them (no-steal), so RollbackCapture
+	// can restore every registered page by copying its pre-image back into
+	// the still-resident frame. capActive is the fast path: when false (no
+	// transaction open) pins take no copies and the clock takes no map
+	// lookups.
+	capActive atomic.Bool
+	capMu     sync.Mutex
+	capture   map[pagefile.PageID]*capEntry
+}
+
+// capEntry is one registered page: its image and dirty bit as of transaction
+// begin, and whether the page was freshly allocated inside the transaction.
+type capEntry struct {
+	pre       pagefile.Page
+	prevDirty bool
+	isNew     bool
 }
 
 // shard is one lock stripe: a slice of frames, the page table mapping
@@ -151,9 +184,16 @@ func (p *Pool) shardOf(pid pagefile.PageID) *shard {
 // Handle is a pinned page. The caller must call Unpin exactly once when done,
 // and MarkDirty before Unpin if the page was modified.
 type Handle struct {
+	p   *Pool
 	sh  *shard
 	idx int
 	pid pagefile.PageID
+	// pre is the pin-time copy of the page taken while a transaction capture
+	// was active (nil otherwise); preDirty is the frame's dirty bit at the
+	// same instant. MarkDirty registers the pair as the page's rollback
+	// image.
+	pre      *pagefile.Page
+	preDirty bool
 }
 
 // PageID returns the identity of the pinned page.
@@ -163,11 +203,16 @@ func (h *Handle) PageID() pagefile.PageID { return h.pid }
 func (h *Handle) Page() *pagefile.Page { return &h.sh.frames[h.idx].page }
 
 // MarkDirty records that the page was modified and must be written back
-// before eviction.
+// before eviction. If the pin was taken inside a transaction capture, the
+// pin-time image becomes the page's rollback image (first registration per
+// page wins, so the image is always the state at transaction begin).
 func (h *Handle) MarkDirty() {
 	h.sh.mu.Lock()
 	h.sh.frames[h.idx].dirty = true
 	h.sh.mu.Unlock()
+	if h.pre != nil {
+		h.p.registerCapture(h.pid, h.pre, h.preDirty, false)
+	}
 }
 
 // Unpin releases the pin. Unpinning a page that is not pinned (a caller bug)
@@ -194,7 +239,7 @@ func (p *Pool) GetT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
 	sh := p.shardOf(pid)
 	sh.mu.Lock()
 	if idx, ok := sh.table[pid]; ok {
-		h := sh.pinLocked(idx, pid)
+		h := p.pinLocked(sh, idx, pid)
 		p.hits.Add(1)
 		tr.Hit(1)
 		sh.mu.Unlock()
@@ -209,7 +254,7 @@ func (p *Pool) GetT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
 		runtime.Gosched()
 		sh.mu.Lock()
 		if i2, ok := sh.table[pid]; ok {
-			h := sh.pinLocked(i2, pid)
+			h := p.pinLocked(sh, i2, pid)
 			p.hits.Add(1)
 			tr.Hit(1)
 			sh.mu.Unlock()
@@ -236,16 +281,29 @@ func (p *Pool) GetT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
 	f.pins = 1
 	f.ref = true
 	sh.table[pid] = idx
+	h := &Handle{p: p, sh: sh, idx: idx, pid: pid}
+	if p.capActive.Load() {
+		h.pre = new(pagefile.Page)
+		*h.pre = f.page
+		h.preDirty = false
+	}
 	sh.mu.Unlock()
-	return &Handle{sh: sh, idx: idx, pid: pid}, nil
+	return h, nil
 }
 
-// pinLocked pins the resident frame idx. Caller holds sh.mu.
-func (sh *shard) pinLocked(idx int, pid pagefile.PageID) *Handle {
+// pinLocked pins the resident frame idx, taking the pin-time capture copy if
+// a transaction is open. Caller holds sh.mu.
+func (p *Pool) pinLocked(sh *shard, idx int, pid pagefile.PageID) *Handle {
 	f := &sh.frames[idx]
 	f.pins++
 	f.ref = true
-	return &Handle{sh: sh, idx: idx, pid: pid}
+	h := &Handle{p: p, sh: sh, idx: idx, pid: pid}
+	if p.capActive.Load() {
+		h.pre = new(pagefile.Page)
+		*h.pre = f.page
+		h.preDirty = f.dirty
+	}
+	return h
 }
 
 // NewPage allocates a fresh page in file fid, pins it, and returns the
@@ -286,7 +344,16 @@ func (p *Pool) NewPageT(fid pagefile.FileID, tr *obs.Trace) (*Handle, pagefile.P
 	f.ref = true
 	sh.table[pid] = idx
 	sh.mu.Unlock()
-	return &Handle{sh: sh, idx: idx, pid: pid}, pid, nil
+	h := &Handle{p: p, sh: sh, idx: idx, pid: pid}
+	if p.capActive.Load() {
+		// A page allocated inside a transaction is registered right away:
+		// its rollback image is all zeroes, exactly what Allocate left in
+		// the store, so a rolled-back allocation is just an empty page.
+		h.pre = new(pagefile.Page)
+		h.preDirty = false
+		p.registerCapture(pid, h.pre, false, true)
+	}
+	return h, pid, nil
 }
 
 // victim finds a free or evictable frame using the shard's clock, writing
@@ -302,11 +369,14 @@ func (sh *shard) victim(p *Pool, tr *obs.Trace) (int, error) {
 		}
 	}
 	// Clock sweep: up to 2n steps gives every unpinned frame a second chance.
+	// Frames registered in an open transaction capture are treated like
+	// pinned frames (no-steal): their on-disk page must not change until the
+	// transaction's fate is decided, and rollback needs the frame resident.
 	for step := 0; step < 2*n; step++ {
 		idx := sh.hand
 		sh.hand = (sh.hand + 1) % n
 		f := &sh.frames[idx]
-		if f.pins > 0 {
+		if f.pins > 0 || p.capturedDirty(f.pid) {
 			continue
 		}
 		if f.ref {
@@ -320,7 +390,7 @@ func (sh *shard) victim(p *Pool, tr *obs.Trace) (int, error) {
 	}
 	// Last resort: any unpinned frame regardless of reference bit.
 	for idx := range sh.frames {
-		if sh.frames[idx].pins == 0 {
+		if sh.frames[idx].pins == 0 && !p.capturedDirty(sh.frames[idx].pid) {
 			if err := sh.evict(p, idx, tr); err != nil {
 				return 0, err
 			}
@@ -334,6 +404,9 @@ func (sh *shard) victim(p *Pool, tr *obs.Trace) (int, error) {
 func (sh *shard) evict(p *Pool, idx int, tr *obs.Trace) error {
 	f := &sh.frames[idx]
 	if f.dirty {
+		if err := p.writeBarrier(f.pid); err != nil {
+			return fmt.Errorf("buffer: evicting %s: %w", f.pid, err)
+		}
 		if err := p.store.WritePage(f.pid, &f.page); err != nil {
 			// The frame stays valid, dirty, and mapped: the page contents are
 			// intact in memory and a later eviction or FlushAll can retry the
@@ -378,7 +451,11 @@ func (p *Pool) FlushAllT(tr *obs.Trace) error {
 		sh := &p.shards[s]
 		for i := range sh.frames {
 			f := &sh.frames[i]
-			if f.valid && f.dirty {
+			if f.valid && f.dirty && !p.capturedDirty(f.pid) {
+				if err := p.writeBarrier(f.pid); err != nil {
+					errs = append(errs, fmt.Errorf("buffer: flushing %s: %w", f.pid, err))
+					continue
+				}
 				if err := p.store.WritePage(f.pid, &f.page); err != nil {
 					errs = append(errs, fmt.Errorf("buffer: flushing %s: %w", f.pid, err))
 					continue
@@ -398,6 +475,9 @@ func (p *Pool) FlushAllT(tr *obs.Trace) error {
 // experiment harness calls Reset between queries so each query starts with a
 // cold cache, matching the cost model.
 func (p *Pool) Reset() error {
+	if p.capActive.Load() {
+		return ErrCaptureActive
+	}
 	defer p.lockAll()()
 	for s := range p.shards {
 		sh := &p.shards[s]
@@ -415,6 +495,9 @@ func (p *Pool) Reset() error {
 				continue
 			}
 			if f.dirty {
+				if err := p.writeBarrier(f.pid); err != nil {
+					return fmt.Errorf("buffer: resetting %s: %w", f.pid, err)
+				}
 				if err := p.store.WritePage(f.pid, &f.page); err != nil {
 					// Leave this frame (and any not yet visited) resident and
 					// dirty; the caller can retry Reset after the store recovers.
@@ -565,4 +648,149 @@ func (p *Pool) ResetStats() {
 	p.evictions.Store(0)
 	p.flushes.Store(0)
 	p.prefetched.Store(0)
+}
+
+// SetWriteBarrier installs b as the pool's write barrier: it is called with
+// the page id before every dirty write-back (eviction, FlushAll, Reset), and
+// an error from it aborts that write-back, leaving the frame dirty for
+// retry. The WAL uses it to enforce log-before-data ordering. Set once at
+// startup, before the pool is shared.
+func (p *Pool) SetWriteBarrier(b func(pagefile.PageID) error) { p.barrier = b }
+
+func (p *Pool) writeBarrier(pid pagefile.PageID) error {
+	if p.barrier == nil {
+		return nil
+	}
+	return p.barrier(pid)
+}
+
+// --- transaction capture ---
+
+// BeginCapture opens a transaction capture window. The caller must hold an
+// exclusive writer lock over all pool mutators for the whole window (the
+// engine's write lock); the pool only enforces that windows do not nest.
+func (p *Pool) BeginCapture() error {
+	p.capMu.Lock()
+	defer p.capMu.Unlock()
+	if p.capActive.Load() {
+		return ErrCaptureActive
+	}
+	p.capture = make(map[pagefile.PageID]*capEntry)
+	p.capActive.Store(true)
+	return nil
+}
+
+// capturedDirty reports whether pid is registered in an open capture — such
+// frames must neither be evicted nor flushed until the capture closes.
+func (p *Pool) capturedDirty(pid pagefile.PageID) bool {
+	if !p.capActive.Load() {
+		return false
+	}
+	p.capMu.Lock()
+	_, ok := p.capture[pid]
+	p.capMu.Unlock()
+	return ok
+}
+
+// registerCapture records pid's rollback image. The first registration per
+// page wins: pre is the pin-time image, so the surviving entry is the page's
+// state when the transaction first dirtied it.
+func (p *Pool) registerCapture(pid pagefile.PageID, pre *pagefile.Page, prevDirty, isNew bool) {
+	p.capMu.Lock()
+	defer p.capMu.Unlock()
+	if !p.capActive.Load() {
+		return
+	}
+	if _, ok := p.capture[pid]; ok {
+		return
+	}
+	p.capture[pid] = &capEntry{pre: *pre, prevDirty: prevDirty, isNew: isNew}
+}
+
+// CaptureDirty returns the ids of every page registered in the open capture
+// — the transaction's dirty working set — sorted by (file, page) so commit
+// records are deterministic.
+func (p *Pool) CaptureDirty() []pagefile.PageID {
+	p.capMu.Lock()
+	pids := make([]pagefile.PageID, 0, len(p.capture))
+	for pid := range p.capture {
+		pids = append(pids, pid)
+	}
+	p.capMu.Unlock()
+	sort.Slice(pids, func(i, j int) bool {
+		if pids[i].File != pids[j].File {
+			return pids[i].File < pids[j].File
+		}
+		return pids[i].Page < pids[j].Page
+	})
+	return pids
+}
+
+// SnapshotPage copies the current (post-modification) image of a resident
+// page. Registered pages are always resident (no-steal), so commit can rely
+// on this for every id CaptureDirty returned.
+func (p *Pool) SnapshotPage(pid pagefile.PageID) (pagefile.Page, bool) {
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx, ok := sh.table[pid]
+	if !ok || !sh.frames[idx].valid {
+		return pagefile.Page{}, false
+	}
+	return sh.frames[idx].page, true
+}
+
+// StampLSN writes the WAL record LSN into a resident page's header so the
+// image eventually written back to the store matches the logged one. The
+// frame's dirty bit is unchanged.
+func (p *Pool) StampLSN(pid pagefile.PageID, lsn uint64) {
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if idx, ok := sh.table[pid]; ok && sh.frames[idx].valid {
+		pagefile.SetPageLSN(&sh.frames[idx].page, lsn)
+	}
+}
+
+// EndCapture closes the capture window, keeping every modification: the
+// transaction committed. Frames stay dirty and become evictable/flushable
+// again (subject to the write barrier).
+func (p *Pool) EndCapture() {
+	p.capMu.Lock()
+	p.capture = nil
+	p.capActive.Store(false)
+	p.capMu.Unlock()
+}
+
+// RollbackCapture closes the capture window by restoring every registered
+// page to its transaction-begin image and dirty bit. Because registered
+// frames cannot be evicted, restoration is purely in-memory; the store never
+// saw the aborted modifications.
+func (p *Pool) RollbackCapture() error {
+	p.capMu.Lock()
+	entries := make(map[pagefile.PageID]*capEntry, len(p.capture))
+	for pid, e := range p.capture {
+		entries[pid] = e
+	}
+	p.capture = nil
+	p.capActive.Store(false)
+	p.capMu.Unlock()
+
+	var errs []error
+	for pid, e := range entries {
+		sh := p.shardOf(pid)
+		sh.mu.Lock()
+		idx, ok := sh.table[pid]
+		if !ok || !sh.frames[idx].valid {
+			// Should be impossible: registration makes the frame unevictable.
+			sh.mu.Unlock()
+			errs = append(errs, fmt.Errorf("buffer: rollback: %s not resident", pid))
+			continue
+		}
+		f := &sh.frames[idx]
+		f.page = e.pre
+		f.dirty = e.prevDirty
+		sh.mu.Unlock()
+	}
+	return errors.Join(errs...)
 }

@@ -111,18 +111,17 @@ func TestCrashDuringFlushNeverHalfApplied(t *testing.T) {
 	}
 }
 
-// TestCrashTornWriteDetected crashes mid-flush with a torn page write — the
-// half-new half-old image a kernel leaves when power fails mid-sector-train.
-// The torn page must surface as ErrCorruptPage when next read, never decode
-// as valid data.
-func TestCrashTornWriteDetected(t *testing.T) {
-	dir := t.TempDir()
+// tornCrash dirties pages, tears the first flush write, and crashes; it
+// returns with the store closed, ready for reopening. walDisabled selects
+// the durability mode for the initial database.
+func tornCrash(t *testing.T, dir string, walDisabled bool) {
+	t.Helper()
 	inner, err := pagefile.NewFileStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fs := pagefile.NewFaultStore(inner)
-	db, err := Open(Config{Dir: dir, Store: fs, PoolPages: 64})
+	db, err := Open(Config{Dir: dir, Store: fs, PoolPages: 64, WALDisabled: walDisabled})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,12 +145,57 @@ func TestCrashTornWriteDetected(t *testing.T) {
 	if err := inner.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
 
-	// The torn page is real damage on disk. Opening and scanning everything
-	// must surface ErrCorruptPage — from Open's rehydration or from the scan
-	// that first touches the page — and never silently decode the torn image.
-	sawCorrupt := func(err error) bool { return errors.Is(err, pagefile.ErrCorruptPage) }
+// TestCrashTornWriteRepaired crashes mid-flush with a torn page write — the
+// half-new half-old image a kernel leaves when power fails mid-sector-train.
+// Every insert committed to the WAL before the crash, so recovery replay
+// must detect the torn image via its checksum, rewrite the logged one, and
+// reopen with all data intact — no taint, no Repair.
+func TestCrashTornWriteRepaired(t *testing.T) {
+	dir := t.TempDir()
+	tornCrash(t, dir, false)
+
 	db2, err := Open(Config{Dir: dir, PoolPages: 64})
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v (WAL replay should repair it)", err)
+	}
+	defer db2.Close()
+	if tainted := db2.TaintedSets(); len(tainted) > 0 {
+		t.Fatalf("sets tainted after WAL recovery: %v", tainted)
+	}
+	if errs := db2.VerifyReplication(); len(errs) > 0 {
+		t.Fatalf("replication inconsistent after WAL recovery: %v", errs)
+	}
+	torn := 0
+	res, err := db2.Query(Query{Set: "Emp2", Project: []string{"name"}})
+	if err != nil {
+		t.Fatalf("scan after WAL recovery: %v", err)
+	}
+	for _, r := range res.Rows {
+		if r.Values[0].S == "torn" {
+			torn++
+		}
+	}
+	if torn != 6 {
+		t.Fatalf("recovered %d of 6 committed inserts", torn)
+	}
+	for _, set := range []string{"Org", "Dept", "Emp1"} {
+		if _, err := db2.Query(Query{Set: set, Project: []string{"name"}}); err != nil {
+			t.Fatalf("scan of %s after WAL recovery: %v", set, err)
+		}
+	}
+}
+
+// TestCrashTornWriteDetectedNoWAL is the same crash without a WAL: there is
+// nothing to replay from, so the torn page must surface as ErrCorruptPage
+// when next read — never silently decode as valid data.
+func TestCrashTornWriteDetectedNoWAL(t *testing.T) {
+	dir := t.TempDir()
+	tornCrash(t, dir, true)
+
+	sawCorrupt := func(err error) bool { return errors.Is(err, pagefile.ErrCorruptPage) }
+	db2, err := Open(Config{Dir: dir, PoolPages: 64, WALDisabled: true})
 	if err != nil {
 		if !sawCorrupt(err) {
 			t.Fatalf("reopen failed with %v, want ErrCorruptPage", err)

@@ -11,7 +11,11 @@ import (
 	"github.com/exodb/fieldrepl/internal/schema"
 )
 
-// DML operations are atomic-or-loud: when replication or index maintenance
+// DML operations are atomic. With a WAL each one-shot call runs as an
+// implicit transaction: its modifications are captured in the buffer pool,
+// logged and group-committed on success, and rolled back physically on
+// failure — no half-applied state, no taint. Without a WAL (in-memory
+// databases) they are atomic-or-loud: when replication or index maintenance
 // fails midway, the operation either compensates (unwinding what it already
 // did, so the failure is clean) or — when the compensation itself fails —
 // taints the set in the catalog so the inconsistency is never silent.
@@ -19,16 +23,26 @@ import (
 
 // Insert stores a new object in a set and returns its OID. Replicated
 // hidden fields, inverted-path structures, S′ registration, and indexes are
-// maintained.
+// maintained. The insert is durable when Insert returns.
 func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
 	tr := db.obs.Start(obs.KindDML, set, "insert")
 	db.mu.Lock()
 	db.writerTrace = tr
-	oid, err := db.insert(set, vals)
+	var oid pagefile.OID
+	lsn, err := db.oneShot(tr, func() (ierr error) {
+		oid, ierr = db.insert(set, vals)
+		return ierr
+	})
 	db.writerTrace = nil
 	db.mu.Unlock()
+	if err == nil && lsn > 0 {
+		err = db.wal.WaitDurable(lsn)
+	}
 	db.obs.Finish(tr)
-	return oid, err
+	if err != nil {
+		return pagefile.OID{}, err
+	}
+	return oid, nil
 }
 
 func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
@@ -55,15 +69,21 @@ func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 		return pagefile.OID{}, err
 	}
 	if err := db.mgr.OnInsert(s, oid, obj); err != nil {
-		db.undoInsert(s, oid, obj, false, err)
+		if db.txn == nil {
+			db.undoInsert(s, oid, obj, false, err)
+		}
 		return pagefile.OID{}, err
 	}
 	if err := db.maintainBaseIndexes(set, oid, nil, obj); err != nil {
-		db.undoInsert(s, oid, obj, true, err)
+		if db.txn == nil {
+			db.undoInsert(s, oid, obj, true, err)
+		}
 		return pagefile.OID{}, err
 	}
 	if err := db.takeIdxErr(); err != nil {
-		db.undoInsert(s, oid, obj, true, err)
+		if db.txn == nil {
+			db.undoInsert(s, oid, obj, true, err)
+		}
 		return pagefile.OID{}, err
 	}
 	return oid, nil
@@ -72,7 +92,8 @@ func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 // undoInsert unwinds a failed Insert: the partially registered replication
 // state is unregistered and the record deleted, so the failed operation
 // leaves no trace. indexed says whether base-index maintenance already ran.
-// If the unwind itself fails, the set is tainted.
+// If the unwind itself fails, the set is tainted. Only the legacy (no-WAL)
+// path calls it; a transaction rolls back physically instead.
 func (db *DB) undoInsert(s *catalog.Set, oid pagefile.OID, obj *schema.Object, indexed bool, cause error) {
 	if err := db.mgr.OnDelete(s, oid, obj); err != nil && !errors.Is(err, core.ErrStillReferenced) {
 		db.taint(s.Name, cause)
@@ -112,14 +133,20 @@ func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 }
 
 // Update applies field changes to the object at oid, propagating through
-// every replication structure and index.
+// every replication structure and index. The update is durable when Update
+// returns.
 func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
 	tr := db.obs.Start(obs.KindDML, set, "update")
 	db.mu.Lock()
 	db.writerTrace = tr
-	err := db.update(set, oid, vals)
+	lsn, err := db.oneShot(tr, func() error {
+		return db.update(set, oid, vals)
+	})
 	db.writerTrace = nil
 	db.mu.Unlock()
+	if err == nil && lsn > 0 {
+		err = db.wal.WaitDurable(lsn)
+	}
 	db.obs.Finish(tr)
 	return err
 }
@@ -147,12 +174,15 @@ func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value)
 		return err
 	}
 	if err := db.mgr.OnUpdate(s, oid, old, next); err != nil {
-		// Propagation stopped partway: restore the pre-update object so the
-		// primary data reads as if the update never happened, and taint the
-		// set — the derived structures may reflect either state and only a
-		// Repair pass re-derives them reliably.
-		if werr := db.WriteObject(oid, old); werr != nil {
-			err = errors.Join(err, werr)
+		// Propagation stopped partway. In a transaction the whole capture
+		// rolls back; on the legacy path, restore the pre-update object so
+		// the primary data reads as if the update never happened, and taint
+		// the set — the derived structures may reflect either state and only
+		// a Repair pass re-derives them reliably.
+		if db.txn == nil {
+			if werr := db.WriteObject(oid, old); werr != nil {
+				err = errors.Join(err, werr)
+			}
 		}
 		db.taint(set, err)
 		return err
@@ -169,14 +199,20 @@ func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value)
 }
 
 // Delete removes an object. Objects still referenced through a replication
-// path are refused (core.ErrStillReferenced).
+// path are refused (core.ErrStillReferenced). The delete is durable when
+// Delete returns.
 func (db *DB) Delete(set string, oid pagefile.OID) error {
 	tr := db.obs.Start(obs.KindDML, set, "delete")
 	db.mu.Lock()
 	db.writerTrace = tr
-	err := db.delete(set, oid)
+	lsn, err := db.oneShot(tr, func() error {
+		return db.delete(set, oid)
+	})
 	db.writerTrace = nil
 	db.mu.Unlock()
+	if err == nil && lsn > 0 {
+		err = db.wal.WaitDurable(lsn)
+	}
 	db.obs.Finish(tr)
 	return err
 }

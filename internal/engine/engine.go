@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"github.com/exodb/fieldrepl/internal/btree"
 	"github.com/exodb/fieldrepl/internal/buffer"
@@ -20,6 +21,7 @@ import (
 	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/schema"
+	"github.com/exodb/fieldrepl/internal/wal"
 )
 
 // Config configures a database instance.
@@ -54,6 +56,23 @@ type Config struct {
 	// predicate evaluation fans out to (default 1, which preserves the
 	// sequential scan's deterministic result order).
 	ScanWorkers int
+	// WALPath relocates the write-ahead log (default Dir/wal.log). The WAL
+	// is enabled for every file-backed database (Dir != ""): transactions
+	// append page after-images and a commit record, the commit is fsync'd
+	// (group commit batches concurrent committers into one fsync), and
+	// recovery replay at Open re-applies committed transactions a crash cut
+	// short. In-memory databases (Dir == "") run without a WAL, keeping the
+	// experiments' legacy compensate-or-taint DML semantics.
+	WALPath string
+	// CommitInterval is the optional group-commit batching window: each
+	// committer waits this long before forcing the log, giving concurrent
+	// commits time to pile onto one fsync. Zero (the default) means commits
+	// force the log immediately (batching still happens under concurrency
+	// via the leader/follower fsync).
+	CommitInterval time.Duration
+	// WALDisabled turns the WAL off for a file-backed database, restoring
+	// the pre-WAL durability mode (used for baseline measurements).
+	WALDisabled bool
 }
 
 // DB is a database instance. It is safe for concurrent use: read-only
@@ -92,6 +111,16 @@ type DB struct {
 	// idxErr records an index-maintenance failure raised inside a listener
 	// callback (which cannot return an error); the next DML call surfaces it.
 	idxErr error
+
+	// wal is the write-ahead log, nil for in-memory or WALDisabled
+	// databases.
+	wal *wal.Manager
+	// txn is the transaction currently holding the writer lock (explicit
+	// Begin or an implicit one-shot), or nil. Set and read only under
+	// db.mu.Lock; internal helpers use it to register undo actions and to
+	// suppress the legacy compensate-or-taint paths (a transaction rolls
+	// back physically instead).
+	txn *Txn
 }
 
 // takeIdxErr returns and clears a deferred index-maintenance error.
@@ -146,6 +175,51 @@ func Open(cfg Config) (*DB, error) {
 		}
 		store = fs
 	}
+	// WAL recovery runs against the bare store, before the pool exists:
+	// committed transactions a crash cut short are re-applied, and the last
+	// committed catalog snapshot (always at least as new as catalog.json)
+	// replaces the one read above.
+	var walMgr *wal.Manager
+	if cfg.Dir != "" && !cfg.WALDisabled {
+		walPath := cfg.WALPath
+		if walPath == "" {
+			walPath = filepath.Join(cfg.Dir, "wal.log")
+		}
+		wm, rep, err := wal.Open(walPath, store, cfg.CommitInterval)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		if rep.Catalog != nil {
+			c, err := catalog.Restore(rep.Catalog)
+			if err != nil {
+				wm.Close()
+				store.Close()
+				return nil, fmt.Errorf("engine: restoring logged catalog: %w", err)
+			}
+			cat = c
+			reopen = true
+			if err := os.WriteFile(filepath.Join(cfg.Dir, catalogFileName), rep.Catalog, 0o644); err != nil {
+				wm.Close()
+				store.Close()
+				return nil, err
+			}
+		}
+		if rep.PagesApplied > 0 || rep.FilesCreated > 0 {
+			if err := store.SyncAll(); err != nil {
+				wm.Close()
+				store.Close()
+				return nil, err
+			}
+		}
+		// The replayed state is durable; start from an empty log.
+		if err := wm.Checkpoint(); err != nil {
+			wm.Close()
+			store.Close()
+			return nil, err
+		}
+		walMgr = wm
+	}
 	if cat == nil {
 		cat = catalog.New()
 	}
@@ -159,6 +233,11 @@ func Open(cfg Config) (*DB, error) {
 	}
 	pool := buffer.NewSharded(store, cfg.PoolPages, shards)
 	pool.SetReadahead(cfg.Readahead)
+	if walMgr != nil {
+		// Log-before-data: a dirty page may only be written back once the
+		// log covering it is durable.
+		pool.SetWriteBarrier(walMgr.EnsureDurablePage)
+	}
 	db := &DB{
 		store:   store,
 		pool:    pool,
@@ -168,6 +247,7 @@ func Open(cfg Config) (*DB, error) {
 		files:   map[pagefile.FileID]*heap.File{},
 		trees:   map[string]*btree.Tree{},
 		obs:     obs.NewRegistry(pagefile.PageSize),
+		wal:     walMgr,
 	}
 	inlineMax := cfg.InlineMax
 	if inlineMax == 0 {
@@ -178,6 +258,9 @@ func Open(cfg Config) (*DB, error) {
 	db.mgr = core.New(db.cat, db, core.WithInlineMax(inlineMax), core.WithListener(db))
 	if reopen {
 		if err := db.rehydrate(); err != nil {
+			if walMgr != nil {
+				walMgr.Close()
+			}
 			store.Close()
 			return nil, err
 		}
@@ -237,21 +320,38 @@ func (db *DB) rehydrate() error {
 }
 
 // Close flushes and releases the database, persisting the catalog snapshot
-// for file-backed databases so they can be reopened.
+// for file-backed databases so they can be reopened. With a WAL, everything
+// is made durable and the log is truncated, so reopening replays nothing.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
+	if db.wal != nil {
+		if err := db.store.SyncAll(); err != nil {
+			return err
+		}
+	}
 	if err := db.writeCatalog(); err != nil {
 		return err
+	}
+	if db.wal != nil {
+		if err := db.wal.Checkpoint(); err != nil {
+			return err
+		}
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
 	}
 	return db.store.Close()
 }
 
 // writeCatalog persists the catalog snapshot of a file-backed database; it is
-// a no-op for in-memory databases.
+// a no-op for in-memory databases. With a WAL, the snapshot is first logged
+// and forced: the log's last committed catalog is then always at least as
+// new as catalog.json, so recovery can rewrite catalog.json from the log
+// without ever regressing it.
 func (db *DB) writeCatalog() error {
 	if db.dir == "" {
 		return nil
@@ -259,6 +359,15 @@ func (db *DB) writeCatalog() error {
 	data, err := db.cat.Snapshot()
 	if err != nil {
 		return err
+	}
+	if db.wal != nil {
+		lsn, _, err := db.wal.AppendCommit(nil, nil, data)
+		if err != nil {
+			return err
+		}
+		if err := db.wal.WaitDurable(lsn); err != nil {
+			return err
+		}
 	}
 	return os.WriteFile(filepath.Join(db.dir, catalogFileName), data, 0o644)
 }
@@ -272,7 +381,9 @@ func (db *DB) Sync() error {
 	return db.sync()
 }
 
-// sync is Sync without the lock, for callers already holding it.
+// sync is Sync without the lock, for callers already holding it. With a WAL
+// it is also the checkpoint: once the data files and catalog are durable the
+// log no longer needs to cover them and is truncated.
 func (db *DB) sync() error {
 	if err := db.pool.FlushAll(); err != nil {
 		return err
@@ -280,7 +391,13 @@ func (db *DB) sync() error {
 	if err := db.store.SyncAll(); err != nil {
 		return err
 	}
-	return db.writeCatalog()
+	if err := db.writeCatalog(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		return db.wal.Checkpoint()
+	}
+	return nil
 }
 
 // syncIfDurable runs sync for file-backed databases. DDL operations call it
@@ -299,6 +416,11 @@ func (db *DB) syncIfDurable() error {
 // databases so even a crash right after the failure leaves the need for
 // repair on record. The cause is recorded with the first taint.
 func (db *DB) taint(set string, cause error) {
+	if db.txn != nil {
+		// Transactional statements never taint: the whole transaction rolls
+		// back physically, so there is no half-applied state to flag.
+		return
+	}
 	db.cat.MarkTainted(set, cause.Error())
 	// Best-effort: the store may be the very thing that is failing. The
 	// in-memory marker still gates this session; Close persists it later.
@@ -410,6 +532,13 @@ func (db *DB) LinkFile(l *catalog.Link) (*heap.File, error) {
 	l.FileID = f.ID()
 	l.HasFile = true
 	db.files[f.ID()] = f
+	if t := db.txn; t != nil {
+		t.fileCreated(f.ID(), fmt.Sprintf("__link_%d", l.ID), func() {
+			l.HasFile = false
+			l.FileID = 0
+			delete(db.files, f.ID())
+		})
+	}
 	return f.WithTrace(db.writerTrace), nil
 }
 
@@ -425,11 +554,19 @@ func (db *DB) GroupFile(g *catalog.Group) (*heap.File, error) {
 	g.FileID = f.ID()
 	g.HasFile = true
 	db.files[f.ID()] = f
+	if t := db.txn; t != nil {
+		t.fileCreated(f.ID(), fmt.Sprintf("__sprime_%d", g.ID), func() {
+			g.HasFile = false
+			g.FileID = 0
+			delete(db.files, f.ID())
+		})
+	}
 	return f.WithTrace(db.writerTrace), nil
 }
 
 // RecreateGroupFile implements core.Storage.
 func (db *DB) RecreateGroupFile(g *catalog.Group) (*heap.File, error) {
+	prevID, prevHas := g.FileID, g.HasFile
 	f, err := heap.Create(db.pool, fmt.Sprintf("__sprime_%d_r", g.ID))
 	if err != nil {
 		return nil, err
@@ -437,6 +574,12 @@ func (db *DB) RecreateGroupFile(g *catalog.Group) (*heap.File, error) {
 	g.FileID = f.ID()
 	g.HasFile = true
 	db.files[f.ID()] = f
+	if t := db.txn; t != nil {
+		t.fileCreated(f.ID(), fmt.Sprintf("__sprime_%d_r", g.ID), func() {
+			g.FileID, g.HasFile = prevID, prevHas
+			delete(db.files, f.ID())
+		})
+	}
 	return f.WithTrace(db.writerTrace), nil
 }
 
@@ -444,7 +587,7 @@ func (db *DB) RecreateGroupFile(g *catalog.Group) (*heap.File, error) {
 func (db *DB) SetFile(name string) (*heap.File, error) {
 	s, ok := db.cat.SetByName(name)
 	if !ok {
-		return nil, fmt.Errorf("engine: no set %s", name)
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchSet, name)
 	}
 	return db.heapFor(s.FileID)
 }
@@ -495,6 +638,16 @@ func (db *DB) ColdCache() error {
 
 // PoolStats exposes buffer pool counters.
 func (db *DB) PoolStats() buffer.PoolStats { return db.pool.Stats() }
+
+// WALStats reports cumulative write-ahead-log counters (records, commits,
+// fsyncs, bytes, checkpoints). ok is false when the database runs without a
+// WAL.
+func (db *DB) WALStats() (wal.Stats, bool) {
+	if db.wal == nil {
+		return wal.Stats{}, false
+	}
+	return db.wal.Stats(), true
+}
 
 // NumPages returns the page count of a set's backing file.
 func (db *DB) NumPages(set string) (uint32, error) {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -99,6 +100,17 @@ func (db *DB) Query(q Query) (*Result, error) {
 	return res, err
 }
 
+// QueryCtx is Query under a context: cancellation is checked per record
+// during scans and index ranges (including parallel scan workers), so a
+// cancelled query stops fetching pages promptly. A nil ctx behaves like
+// Query.
+func (db *DB) QueryCtx(ctx context.Context, q Query) (*Result, error) {
+	tr := db.obs.Start(obs.KindQuery, q.Set, queryDetail(q))
+	res, err := db.runQuery(ctx, q, tr)
+	db.obs.Finish(tr)
+	return res, err
+}
+
 // QueryTraced executes a retrieve like Query and additionally returns the
 // query's completed obs.Record: its own page I/O (buffer hits/misses, store
 // reads/writes, prefetches) attributed exactly to this query regardless of
@@ -107,7 +119,7 @@ func (db *DB) Query(q Query) (*Result, error) {
 // is the way to measure per-query I/O.
 func (db *DB) QueryTraced(q Query) (*Result, obs.Record, error) {
 	tr := db.obs.Start(obs.KindQuery, q.Set, queryDetail(q))
-	res, err := db.runQuery(q, tr)
+	res, err := db.runQuery(nil, q, tr)
 	rec := db.obs.Finish(tr)
 	return res, rec, err
 }
@@ -122,7 +134,7 @@ func queryDetail(q Query) string {
 
 // runQuery acquires the right lock mode for q and executes it, charging I/O
 // to tr.
-func (db *DB) runQuery(q Query, tr *obs.Trace) (*Result, error) {
+func (db *DB) runQuery(ctx context.Context, q Query, tr *obs.Trace) (*Result, error) {
 	db.mu.RLock()
 	if q.EmitOutput || db.hasDeferredFor(q) {
 		// Deferred propagation can only be enqueued under the writer lock,
@@ -133,17 +145,29 @@ func (db *DB) runQuery(q Query, tr *obs.Trace) (*Result, error) {
 		// Bind the writer trace so deferred-propagation drains and output
 		// inserts performed through core.Storage are charged to this query.
 		db.writerTrace = tr
-		defer func() {
-			db.writerTrace = nil
-			db.mu.Unlock()
-		}()
-	} else {
-		defer db.mu.RUnlock()
+		var res *Result
+		// The mutating branch runs as an implicit transaction: a deferred
+		// drain that fails partway rolls back instead of leaving derived
+		// state half-propagated.
+		lsn, err := db.oneShot(tr, func() (qerr error) {
+			res, qerr = db.query(ctx, q, tr)
+			return qerr
+		})
+		db.writerTrace = nil
+		db.mu.Unlock()
+		if err == nil && lsn > 0 {
+			err = db.wal.WaitDurable(lsn)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
-	return db.query(q, tr)
+	defer db.mu.RUnlock()
+	return db.query(ctx, q, tr)
 }
 
-func (db *DB) query(q Query, tr *obs.Trace) (*Result, error) {
+func (db *DB) query(ctx context.Context, q Query, tr *obs.Trace) (*Result, error) {
 	typ, err := db.cat.SetType(q.Set)
 	if err != nil {
 		return nil, err
@@ -161,6 +185,13 @@ func (db *DB) query(q Query, tr *obs.Trace) (*Result, error) {
 			return nil, err
 		}
 		db.files[out.ID()] = out
+		if t := db.txn; t != nil {
+			// Output files are session scratch: not logged at commit, and the
+			// in-memory registration is unwound at rollback (the on-disk file,
+			// if any, is an orphan a reopen ignores).
+			fid := out.ID()
+			t.scratchFile(fid, func() { delete(db.files, fid) })
+		}
 		out = out.WithTrace(tr)
 	}
 
@@ -169,6 +200,11 @@ func (db *DB) query(q Query, tr *obs.Trace) (*Result, error) {
 	// from parallel scan workers. emit accumulates a matching row and is
 	// serialized by the caller.
 	eval := func(oid pagefile.OID, obj *schema.Object) (Row, bool, error) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return Row{}, false, err
+			}
+		}
 		if q.Where != nil {
 			okRow, err := db.evalPred(q.Set, obj, q.Where, tr)
 			if err != nil || !okRow {
@@ -604,7 +640,16 @@ func encodeRow(r Row) []byte {
 // (the matches are sorted back to physical order); the mutations themselves
 // always run serially behind the writer lock.
 func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) (int, error) {
-	n, _, err := db.UpdateWhereTraced(set, where, vals)
+	n, _, err := db.updateWhereTraced(nil, set, where, vals)
+	return n, err
+}
+
+// UpdateWhereCtx is UpdateWhere under a context: cancellation is checked
+// per record during collection and per object during the update pass. A
+// cancelled operation rolls back (with a WAL) or stops between whole-object
+// updates (without one).
+func (db *DB) UpdateWhereCtx(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, error) {
+	n, _, err := db.updateWhereTraced(ctx, set, where, vals)
 	return n, err
 }
 
@@ -612,17 +657,31 @@ func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) 
 // obs.Record: collection reads, object updates, and all replication
 // propagation the updates triggered, attributed to this one operation.
 func (db *DB) UpdateWhereTraced(set string, where Pred, vals map[string]schema.Value) (int, obs.Record, error) {
+	return db.updateWhereTraced(nil, set, where, vals)
+}
+
+func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, obs.Record, error) {
 	tr := db.obs.Start(obs.KindUpdate, set, where.Expr)
 	db.mu.Lock()
 	db.writerTrace = tr
-	n, err := db.updateWhere(set, where, vals, tr)
+	var n int
+	lsn, err := db.oneShot(tr, func() (uerr error) {
+		n, uerr = db.updateWhere(ctx, set, where, vals, tr)
+		return uerr
+	})
 	db.writerTrace = nil
 	db.mu.Unlock()
+	if err == nil && lsn > 0 {
+		err = db.wal.WaitDurable(lsn)
+	}
 	rec := db.obs.Finish(tr)
-	return n, rec, err
+	if err != nil {
+		return 0, rec, err
+	}
+	return n, rec, nil
 }
 
-func (db *DB) updateWhere(set string, where Pred, vals map[string]schema.Value, tr *obs.Trace) (int, error) {
+func (db *DB) updateWhere(ctx context.Context, set string, where Pred, vals map[string]schema.Value, tr *obs.Trace) (int, error) {
 	typ, err := db.cat.SetType(set)
 	if err != nil {
 		return 0, err
@@ -634,6 +693,11 @@ func (db *DB) updateWhere(set string, where Pred, vals map[string]schema.Value, 
 	// first keeps the scan stable under heap mutation.
 	var matches []pagefile.OID
 	collect := func(oid pagefile.OID, obj *schema.Object) error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ok, err := db.evalPred(set, obj, &where, tr)
 		if err != nil {
 			return err
@@ -654,6 +718,11 @@ func (db *DB) updateWhere(set string, where Pred, vals map[string]schema.Value, 
 			return 0, err
 		}
 		eval := func(oid pagefile.OID, obj *schema.Object) (Row, bool, error) {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return Row{}, false, err
+				}
+			}
 			ok, err := db.evalPred(set, obj, &where, tr)
 			return Row{OID: oid}, ok, err
 		}
@@ -672,6 +741,11 @@ func (db *DB) updateWhere(set string, where Pred, vals map[string]schema.Value, 
 		}
 	}
 	for _, oid := range matches {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		if err := db.update(set, oid, vals); err != nil {
 			return 0, err
 		}

@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/exodb/fieldrepl/internal/obs"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+	"github.com/exodb/fieldrepl/internal/wal"
+)
+
+// ErrTxnDone is returned by statements on a transaction that has already
+// committed, rolled back, or aborted.
+var ErrTxnDone = errors.New("engine: transaction has already been committed or rolled back")
+
+// Txn is a multi-statement transaction. It is created by DB.Begin, which
+// takes the engine's writer lock; the transaction holds that lock until
+// Commit or Rollback, so its statements see and produce a state no other
+// operation can interleave with. All modifications — the statements' own
+// writes and every replication propagation and index update they trigger —
+// are captured in the buffer pool (no-steal: nothing reaches the data files
+// while the transaction runs) and either committed atomically through the
+// WAL or discarded in-memory by Rollback.
+//
+// A failed mutating statement aborts the whole transaction: the engine's
+// internals may have propagated partway, so the only consistent outcome is a
+// full rollback. The statement's error is returned and every later call
+// returns ErrTxnDone. Read-only statements (Get, Count, a pure Query) fail
+// without aborting. A transaction must be used from a single goroutine, and
+// the goroutine must not call the DB's one-shot operations while the
+// transaction is open (they would deadlock behind its writer lock).
+type Txn struct {
+	db   *DB
+	ctx  context.Context
+	tr   *obs.Trace
+	done bool
+
+	// undo unwinds catalog/in-memory registrations (file-creation links,
+	// scratch registrations) on rollback, in reverse order. Page state needs
+	// no undo entries: the pool capture restores it wholesale.
+	undo []func()
+	// newFiles are page files created inside the transaction, logged with the
+	// commit so recovery can recreate them.
+	newFiles []wal.FileCreate
+	// scratch marks query output files: session-local, excluded from the
+	// commit record.
+	scratch  map[pagefile.FileID]bool
+	catDirty bool
+}
+
+// Begin starts a transaction. ctx, when non-nil, is checked at every
+// statement and during scans: cancellation aborts the transaction. Begin
+// blocks until the engine's writer lock is available; the lock is held until
+// Commit or Rollback.
+func (db *DB) Begin(ctx context.Context) (*Txn, error) {
+	tr := db.obs.Start(obs.KindTxn, "", "txn")
+	db.mu.Lock()
+	if err := db.pool.BeginCapture(); err != nil {
+		db.mu.Unlock()
+		db.obs.Finish(tr)
+		return nil, err
+	}
+	t := &Txn{db: db, ctx: ctx, tr: tr}
+	db.txn = t
+	db.writerTrace = tr
+	return t, nil
+}
+
+// check gates every statement: a finished transaction returns ErrTxnDone,
+// and a cancelled context aborts the transaction.
+func (t *Txn) check() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			t.abort()
+			return err
+		}
+	}
+	return nil
+}
+
+// abort rolls the transaction back after a failed mutating statement and
+// releases the lock.
+func (t *Txn) abort() {
+	t.db.rollbackTxnLocked(t)
+	t.finish()
+}
+
+// finish clears the engine's transaction binding, releases the writer lock,
+// and closes the trace. Callers have already committed or rolled back.
+func (t *Txn) finish() {
+	db := t.db
+	t.done = true
+	db.txn = nil
+	db.writerTrace = nil
+	db.mu.Unlock()
+	db.obs.Finish(t.tr)
+}
+
+// Insert stores a new object in a set (see DB.Insert). On error the
+// transaction is rolled back.
+func (t *Txn) Insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
+	if err := t.check(); err != nil {
+		return pagefile.OID{}, err
+	}
+	oid, err := t.db.insert(set, vals)
+	if err != nil {
+		t.abort()
+		return pagefile.OID{}, err
+	}
+	return oid, nil
+}
+
+// Update applies field changes to the object at oid (see DB.Update). On
+// error the transaction is rolled back.
+func (t *Txn) Update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.db.update(set, oid, vals); err != nil {
+		t.abort()
+		return err
+	}
+	return nil
+}
+
+// Delete removes an object (see DB.Delete). A clean refusal
+// (core.ErrStillReferenced) aborts like any other statement error: the
+// caller cannot tell refusals and partial failures apart without inspecting
+// errors, and a aborted-on-refusal transaction is always consistent.
+func (t *Txn) Delete(set string, oid pagefile.OID) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.db.delete(set, oid); err != nil {
+		t.abort()
+		return err
+	}
+	return nil
+}
+
+// Get reads an object. Errors do not abort the transaction.
+func (t *Txn) Get(set string, oid pagefile.OID) (*schema.Object, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	typ, err := t.db.cat.SetType(set)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.ReadObject(oid, typ)
+}
+
+// Count returns the number of objects in a set. Errors do not abort the
+// transaction.
+func (t *Txn) Count(set string) (int, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	f, err := t.db.SetFile(set)
+	if err != nil {
+		return 0, err
+	}
+	return f.Count()
+}
+
+// Query executes a retrieve inside the transaction, seeing its uncommitted
+// writes. A query that only reads fails without aborting; one that mutates —
+// emitting an output file or draining deferred propagation — aborts the
+// transaction on error, because the mutation may have applied partway.
+func (t *Txn) Query(q Query) (*Result, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	mutates := q.EmitOutput || t.db.hasDeferredFor(q)
+	res, err := t.db.query(t.ctx, q, t.tr)
+	if err != nil && mutates {
+		t.abort()
+	}
+	return res, err
+}
+
+// UpdateWhere applies vals to every object of set matching where (see
+// DB.UpdateWhere). On error the transaction is rolled back.
+func (t *Txn) UpdateWhere(set string, where Pred, vals map[string]schema.Value) (int, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	n, err := t.db.updateWhere(t.ctx, set, where, vals, t.tr)
+	if err != nil {
+		t.abort()
+		return 0, err
+	}
+	return n, nil
+}
+
+// Commit makes the transaction's effects atomic and durable: every dirty
+// page is logged with a commit record, the log is forced (group commit
+// batches concurrent committers into one fsync), and only then do the pages
+// become eligible for write-back. On a database without a WAL (in-memory or
+// WALDisabled), Commit just keeps the modifications. If the log append
+// fails, the transaction is rolled back and the append error returned.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	db := t.db
+	lsn, err := db.commitTxnLocked(t)
+	t.finish()
+	if err != nil {
+		return err
+	}
+	// The durability wait happens after the writer lock is released, so
+	// concurrent committers can append and pile onto one fsync.
+	if lsn > 0 {
+		return db.wal.WaitDurable(lsn)
+	}
+	return nil
+}
+
+// Rollback discards every modification the transaction made: captured pages
+// are restored in-memory to their transaction-begin images and catalog
+// registrations are unwound. Nothing the transaction did was ever written to
+// the data files (no-steal), so rollback involves no I/O.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	err := t.db.rollbackTxnLocked(t)
+	t.finish()
+	return err
+}
+
+// fileCreated registers a page file created inside the transaction: logged
+// at commit (so recovery recreates it), unwound by undo at rollback. The
+// catalog changed with it.
+func (t *Txn) fileCreated(fid pagefile.FileID, name string, undo func()) {
+	t.newFiles = append(t.newFiles, wal.FileCreate{FID: fid, Name: name})
+	t.undo = append(t.undo, undo)
+	t.catDirty = true
+}
+
+// scratchFile registers a session-local query output file: its pages are
+// excluded from the commit record, and undo removes the in-memory
+// registration at rollback.
+func (t *Txn) scratchFile(fid pagefile.FileID, undo func()) {
+	if t.scratch == nil {
+		t.scratch = map[pagefile.FileID]bool{}
+	}
+	t.scratch[fid] = true
+	t.undo = append(t.undo, undo)
+}
+
+// commitTxnLocked logs and closes a transaction's capture. It returns the
+// commit LSN for WaitDurable — 0 when nothing needed logging (a read-only
+// transaction, or no WAL at all). On append failure the transaction is
+// rolled back, so the caller never sees half-applied state. Called under
+// db.mu.Lock with the capture open.
+func (db *DB) commitTxnLocked(t *Txn) (uint64, error) {
+	if db.wal == nil {
+		// No durability layer: the capture held the modifications in the
+		// pool; keeping them is the whole commit.
+		db.pool.EndCapture()
+		return 0, nil
+	}
+	var images []wal.PageImage
+	for _, pid := range db.pool.CaptureDirty() {
+		if t.scratch[pid.File] {
+			continue
+		}
+		data, ok := db.pool.SnapshotPage(pid)
+		if !ok {
+			// Unreachable: no-steal keeps captured frames resident.
+			err := fmt.Errorf("engine: commit: page %v not resident", pid)
+			return 0, errors.Join(err, db.rollbackTxnLocked(t))
+		}
+		images = append(images, wal.PageImage{PID: pid, Data: data})
+	}
+	var catData []byte
+	if t.catDirty {
+		var err error
+		catData, err = db.cat.Snapshot()
+		if err != nil {
+			return 0, errors.Join(err, db.rollbackTxnLocked(t))
+		}
+	}
+	if len(t.newFiles) == 0 && len(images) == 0 && catData == nil {
+		db.pool.EndCapture()
+		return 0, nil
+	}
+	lsn, nbytes, err := db.wal.AppendCommit(t.newFiles, images, catData)
+	if err != nil {
+		return 0, errors.Join(err, db.rollbackTxnLocked(t))
+	}
+	// Stamp each frame with its record's LSN so the image eventually written
+	// back matches the logged one, and so the write barrier and recovery's
+	// LSN comparison see the right version.
+	for i := range images {
+		db.pool.StampLSN(images[i].PID, images[i].LSN)
+	}
+	db.pool.EndCapture()
+	nrec := int64(len(t.newFiles)+len(images)) + 1
+	if catData != nil {
+		nrec++
+	}
+	t.tr.WAL(nrec, int64(nbytes))
+	return lsn, nil
+}
+
+// rollbackTxnLocked restores every captured page and unwinds the
+// transaction's catalog registrations. Called under db.mu.Lock.
+func (db *DB) rollbackTxnLocked(t *Txn) error {
+	err := db.pool.RollbackCapture()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	t.undo = nil
+	return err
+}
+
+// oneShot wraps a single write operation in an implicit transaction when the
+// WAL is on: fn's modifications commit atomically, and a failed fn rolls
+// back physically instead of compensating or tainting. It returns the commit
+// LSN the caller must WaitDurable on after releasing the writer lock (0 when
+// nothing was logged). Without a WAL, fn runs bare with the legacy
+// compensate-or-taint semantics. Called under db.mu.Lock with no transaction
+// open.
+func (db *DB) oneShot(tr *obs.Trace, fn func() error) (uint64, error) {
+	if db.wal == nil {
+		return 0, fn()
+	}
+	if err := db.pool.BeginCapture(); err != nil {
+		return 0, err
+	}
+	t := &Txn{db: db, tr: tr}
+	db.txn = t
+	err := fn()
+	db.txn = nil
+	t.done = true
+	if err != nil {
+		if rerr := db.rollbackTxnLocked(t); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
+		return 0, err
+	}
+	return db.commitTxnLocked(t)
+}

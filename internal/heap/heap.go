@@ -223,6 +223,12 @@ func (f *File) tryInsertOn(page uint32, rec []byte) (pagefile.OID, bool, error) 
 	}
 	defer h.Unpin()
 	sp := pagefile.AsSlotted(h.Page())
+	if !sp.IsFormatted() {
+		// An unformatted page: either a rolled-back in-transaction allocation
+		// or a crash-orphaned Allocate, both all-zero. Treat it as full —
+		// inserting through the raw layout would corrupt it.
+		return pagefile.OID{}, false, nil
+	}
 	if !sp.CanFit(len(rec)) {
 		return pagefile.OID{}, false, nil
 	}

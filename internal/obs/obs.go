@@ -36,6 +36,7 @@ const (
 	KindUpdate = "update-where"
 	KindDML    = "dml"
 	KindFlush  = "flush"
+	KindTxn    = "txn"
 )
 
 // Counters is one trace's I/O counter set. Store* count page transfers to or
@@ -51,6 +52,11 @@ type Counters struct {
 	Misses      int64 `json:"misses"`
 	Prefetched  int64 `json:"prefetched"`
 	Flushes     int64 `json:"flushes"`
+	// WALRecords/WALBytes count write-ahead-log records (page images, commit
+	// markers, catalog snapshots) and log bytes the operation appended; zero
+	// for reads and for databases running without a WAL.
+	WALRecords int64 `json:"wal_records,omitempty"`
+	WALBytes   int64 `json:"wal_bytes,omitempty"`
 }
 
 // PageAccesses returns hits + misses: the number of buffer pool page
@@ -70,6 +76,8 @@ func (c Counters) Add(d Counters) Counters {
 		Misses:      c.Misses + d.Misses,
 		Prefetched:  c.Prefetched + d.Prefetched,
 		Flushes:     c.Flushes + d.Flushes,
+		WALRecords:  c.WALRecords + d.WALRecords,
+		WALBytes:    c.WALBytes + d.WALBytes,
 	}
 }
 
@@ -92,6 +100,8 @@ type Trace struct {
 	misses      atomic.Int64
 	prefetched  atomic.Int64
 	flushes     atomic.Int64
+	walRecords  atomic.Int64
+	walBytes    atomic.Int64
 }
 
 // ID returns the trace's registry-unique id (0 for a nil trace).
@@ -152,6 +162,14 @@ func (t *Trace) Flush(n int64) {
 	}
 }
 
+// WAL charges n log records and b log bytes appended on the trace's behalf.
+func (t *Trace) WAL(n, b int64) {
+	if t != nil {
+		t.walRecords.Add(n)
+		t.walBytes.Add(b)
+	}
+}
+
 // SetPlan records the executor's plan choice ("scan", "scan-parallel",
 // "index:<name>"). The last call wins.
 func (t *Trace) SetPlan(plan string) {
@@ -173,6 +191,8 @@ func (t *Trace) Counters() Counters {
 		Misses:      t.misses.Load(),
 		Prefetched:  t.prefetched.Load(),
 		Flushes:     t.flushes.Load(),
+		WALRecords:  t.walRecords.Load(),
+		WALBytes:    t.walBytes.Load(),
 	}
 }
 

@@ -44,6 +44,10 @@ func (k Kind) String() string {
 	}
 }
 
+// ErrTypeMismatch is returned when a value's kind does not match the
+// declared kind of the field it is assigned to.
+var ErrTypeMismatch = errors.New("schema: value kind does not match field kind")
+
 // Field describes one attribute of a type.
 type Field struct {
 	Name    string
@@ -247,7 +251,7 @@ func (o *Object) Set(name string, v Value) error {
 		return fmt.Errorf("schema: type %s has no field %q", o.Type.Name, name)
 	}
 	if o.Type.Fields[i].Kind != v.Kind {
-		return fmt.Errorf("schema: field %s.%s is %s, not %s", o.Type.Name, name, o.Type.Fields[i].Kind, v.Kind)
+		return fmt.Errorf("%w: field %s.%s is %s, not %s", ErrTypeMismatch, o.Type.Name, name, o.Type.Fields[i].Kind, v.Kind)
 	}
 	o.Values[i] = v
 	return nil

@@ -1,0 +1,544 @@
+// Package wal implements a page-oriented redo write-ahead log.
+//
+// The log is a single append-only file. A 16-byte header (magic, version,
+// base LSN) is followed by a sequence of records framed as
+//
+//	u32 bodyLen | u32 crc32(body) | body
+//	body = u8 type | u64 lsn | payload
+//
+// Record types:
+//
+//	page:       fid u32 | page u32 | full 4096-byte image (LSN pre-stamped)
+//	commit:     no payload; makes every record since the previous commit real
+//	catalog:    opaque catalog snapshot (JSON) to restore at recovery
+//	fileCreate: fid u32 | name; replay recreates files a committed
+//	            transaction created that are missing after a crash
+//
+// The log is redo-only: transactions append full after-images of every page
+// they dirtied plus a commit record, and fsync the log before the commit is
+// acknowledged. Dirty pages may only reach the data files after the log
+// records covering them are durable (the buffer pool asks EnsureDurablePage
+// before any write-back). Recovery scans the log, stops at the first torn or
+// corrupt record (an unacknowledged tail), and re-applies every committed
+// page image whose LSN is newer than the on-disk page. Checkpoint truncates
+// the log after the data files themselves are durable, carrying the LSN
+// sequence forward in the header so LSNs stay monotone for the life of the
+// database.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+const (
+	walMagic   = 0x57A1F17E
+	walVersion = 1
+	headerSize = 16 // magic u32 | version u32 | baseLSN u64
+
+	recPage       = 1
+	recCommit     = 2
+	recCatalog    = 3
+	recFileCreate = 4
+
+	// maxBodyLen bounds a record body during the recovery scan; anything
+	// larger is treated as a torn tail rather than risking a huge allocation
+	// from corrupt length bytes.
+	maxBodyLen = pagefile.PageSize + 1<<16
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// FileCreate records a page file created inside a transaction.
+type FileCreate struct {
+	FID  pagefile.FileID
+	Name string
+}
+
+// PageImage is one dirty page's after-image headed for the log. Append
+// assigns LSN and stamps it into Data before computing the record CRC, so
+// the logged image and the caller's copy agree.
+type PageImage struct {
+	PID  pagefile.PageID
+	Data pagefile.Page
+	LSN  uint64
+}
+
+// Stats is a point-in-time snapshot of log activity.
+type Stats struct {
+	Records     int64 `json:"records"`
+	Commits     int64 `json:"commits"`
+	Fsyncs      int64 `json:"fsyncs"`
+	Bytes       int64 `json:"bytes"`
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+// RecoveryReport summarizes what Open's replay did.
+type RecoveryReport struct {
+	Commits      int    // committed transactions replayed
+	PagesApplied int    // page images written to the store
+	PagesSkipped int    // page images the store already had (disk LSN >= record LSN)
+	FilesCreated int    // missing page files recreated
+	TornTail     bool   // the scan stopped at a torn or corrupt record
+	Catalog      []byte // last committed catalog snapshot, nil if none logged
+}
+
+// Manager is the append side of the log. All methods are safe for concurrent
+// use. The fsync path is split from the append path so that concurrent
+// committers batch: one leader fsyncs while followers wait, and a follower
+// whose LSN the leader covered returns without its own fsync.
+type Manager struct {
+	path string
+
+	mu       sync.Mutex // guards f (writes), off, nextLSN, appended, pageLSN, closed, broken
+	f        *os.File
+	off      int64 // append position: end of the valid record prefix
+	nextLSN  uint64
+	appended uint64 // highest LSN handed to the OS
+	pageLSN  map[pagefile.PageID]uint64
+	closed   bool
+	broken   bool // a failed append left bytes we could not truncate away
+
+	syncMu   sync.Mutex    // serializes fsyncs; the group-commit leader lock
+	durable  atomic.Uint64 // highest LSN known fsync'd
+	interval time.Duration // optional batching window before claiming leadership
+
+	records     atomic.Int64
+	commits     atomic.Int64
+	fsyncs      atomic.Int64
+	bytes       atomic.Int64
+	checkpoints atomic.Int64
+}
+
+// Open opens (creating if absent) the log at path, replays any committed
+// records into store, and returns the manager ready for appends. Replay does
+// not truncate the log: the caller must make the replayed state durable
+// (store sync + catalog rewrite) and then call Checkpoint, so a crash during
+// recovery just replays again. interval is the optional group-commit
+// batching window (see WaitDurable).
+func Open(path string, store pagefile.Store, interval time.Duration) (*Manager, *RecoveryReport, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	m := &Manager{
+		path:     path,
+		f:        f,
+		pageLSN:  make(map[pagefile.PageID]uint64),
+		interval: interval,
+	}
+	rep := &RecoveryReport{}
+
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	if st.Size() < headerSize {
+		// Fresh (or torn-before-header) log: write a clean header.
+		if err := m.writeHeader(1); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		m.nextLSN = 1
+		m.appended = 0
+		m.off = headerSize
+		m.durable.Store(0)
+		return m, rep, nil
+	}
+
+	base, err := m.readHeader()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	last, end, err := m.replay(store, base, rep)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	m.nextLSN = last + 1
+	m.appended = last
+	m.durable.Store(last)
+	// Appends resume at the end of the valid prefix; a torn tail is
+	// overwritten by the next append.
+	m.off = end
+	return m, rep, nil
+}
+
+func (m *Manager) writeHeader(base uint64) error {
+	var h [headerSize]byte
+	binary.LittleEndian.PutUint32(h[0:], walMagic)
+	binary.LittleEndian.PutUint32(h[4:], walVersion)
+	binary.LittleEndian.PutUint64(h[8:], base)
+	if err := m.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := m.f.WriteAt(h[:], 0); err != nil {
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync header: %w", err)
+	}
+	m.fsyncs.Add(1)
+	return nil
+}
+
+func (m *Manager) readHeader() (uint64, error) {
+	var h [headerSize]byte
+	if _, err := m.f.ReadAt(h[:], 0); err != nil {
+		return 0, fmt.Errorf("wal: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != walMagic {
+		return 0, fmt.Errorf("wal: %s is not a log file", m.path)
+	}
+	if v := binary.LittleEndian.Uint32(h[4:]); v != walVersion {
+		return 0, fmt.Errorf("wal: unsupported version %d", v)
+	}
+	return binary.LittleEndian.Uint64(h[8:]), nil
+}
+
+// replay scans the log from the header, applying records commit-by-commit,
+// and returns the LSN of the last valid record (or base-1 if none) and the
+// file offset just past it.
+func (m *Manager) replay(store pagefile.Store, base uint64, rep *RecoveryReport) (uint64, int64, error) {
+	lastLSN := base - 1
+	off := int64(headerSize)
+
+	// Pending records of the transaction currently being scanned; applied
+	// only when its commit record is reached, discarded at a torn tail.
+	var pendFiles []FileCreate
+	var pendPages []PageImage
+	var pendCatalog []byte
+
+	var frame [8]byte
+	for {
+		if _, err := m.f.ReadAt(frame[:], off); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			return 0, 0, fmt.Errorf("wal: replay read: %w", err)
+		}
+		bodyLen := binary.LittleEndian.Uint32(frame[0:])
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		if bodyLen < 9 || bodyLen > maxBodyLen {
+			rep.TornTail = true
+			break
+		}
+		body := make([]byte, bodyLen)
+		if _, err := m.f.ReadAt(body, off+8); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				rep.TornTail = true
+				break
+			}
+			return 0, 0, fmt.Errorf("wal: replay read: %w", err)
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			rep.TornTail = true
+			break
+		}
+		typ := body[0]
+		lsn := binary.LittleEndian.Uint64(body[1:])
+		payload := body[9:]
+
+		switch typ {
+		case recFileCreate:
+			if len(payload) < 4 {
+				rep.TornTail = true
+				goto done
+			}
+			pendFiles = append(pendFiles, FileCreate{
+				FID:  pagefile.FileID(binary.LittleEndian.Uint32(payload)),
+				Name: string(payload[4:]),
+			})
+		case recPage:
+			if len(payload) != 8+pagefile.PageSize {
+				rep.TornTail = true
+				goto done
+			}
+			img := PageImage{
+				PID: pagefile.PageID{
+					File: pagefile.FileID(binary.LittleEndian.Uint32(payload)),
+					Page: binary.LittleEndian.Uint32(payload[4:]),
+				},
+				LSN: lsn,
+			}
+			copy(img.Data[:], payload[8:])
+			pendPages = append(pendPages, img)
+		case recCatalog:
+			pendCatalog = append([]byte(nil), payload...)
+		case recCommit:
+			if err := m.applyCommitted(store, pendFiles, pendPages, rep); err != nil {
+				return 0, 0, err
+			}
+			if pendCatalog != nil {
+				rep.Catalog = pendCatalog
+			}
+			pendFiles, pendPages, pendCatalog = nil, nil, nil
+			rep.Commits++
+		default:
+			rep.TornTail = true
+			goto done
+		}
+		lastLSN = lsn
+		off += 8 + int64(bodyLen)
+	}
+done:
+	// Anything pending without a commit record is an unacknowledged tail.
+	return lastLSN, off, nil
+}
+
+// applyCommitted redoes one committed transaction: recreate missing files,
+// then write each page image unless the store already has a same-or-newer
+// version (strictly-less comparison: a disk page with an equal LSN is left
+// alone, and pages written outside the log carry LSN 0 and are only
+// overwritten when unreadable).
+func (m *Manager) applyCommitted(store pagefile.Store, files []FileCreate, pages []PageImage, rep *RecoveryReport) error {
+	for _, fc := range files {
+		if _, err := store.FileName(fc.FID); err == nil {
+			continue // file survived the crash
+		}
+		got, err := store.CreateFile(fc.Name)
+		if err != nil {
+			return fmt.Errorf("wal: replay create file %q: %w", fc.Name, err)
+		}
+		if got != fc.FID {
+			return fmt.Errorf("wal: replay created file %q as %d, log says %d", fc.Name, got, fc.FID)
+		}
+		rep.FilesCreated++
+	}
+	var cur pagefile.Page
+	for i := range pages {
+		img := &pages[i]
+		// Grow the file until the logged page exists. Allocate appends
+		// zeroed pages, so intermediate pages a crash orphaned scan as
+		// empty.
+		for {
+			n, err := store.NumPages(img.PID.File)
+			if err != nil {
+				return fmt.Errorf("wal: replay file %d: %w", img.PID.File, err)
+			}
+			if img.PID.Page < n {
+				break
+			}
+			if _, err := store.Allocate(img.PID.File); err != nil {
+				return fmt.Errorf("wal: replay allocate: %w", err)
+			}
+		}
+		apply := false
+		switch err := store.ReadPage(img.PID, &cur); {
+		case err == nil:
+			apply = pagefile.PageLSN(&cur) < img.LSN
+		case errors.Is(err, pagefile.ErrCorruptPage):
+			apply = true // torn or bit-flipped on disk; the log has the good image
+		default:
+			return fmt.Errorf("wal: replay read page %v: %w", img.PID, err)
+		}
+		if !apply {
+			rep.PagesSkipped++
+			continue
+		}
+		if err := store.WritePage(img.PID, &img.Data); err != nil {
+			return fmt.Errorf("wal: replay write page %v: %w", img.PID, err)
+		}
+		rep.PagesApplied++
+	}
+	m.records.Add(int64(len(files) + len(pages)))
+	return nil
+}
+
+// AppendCommit appends one transaction — file creations, page after-images,
+// an optional catalog snapshot, and the commit record — as a single write.
+// It assigns LSNs, stamping each page image's LSN into Data (and into the
+// returned slice) before the CRC is computed, and returns the commit
+// record's LSN for WaitDurable, along with the number of log bytes
+// appended. The commit is not durable until WaitDurable returns.
+func (m *Manager) AppendCommit(files []FileCreate, pages []PageImage, catalog []byte) (uint64, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, 0, ErrClosed
+	}
+	if m.broken {
+		return 0, 0, errors.New("wal: log poisoned by an earlier failed append")
+	}
+	var buf []byte
+	for _, fc := range files {
+		payload := make([]byte, 4+len(fc.Name))
+		binary.LittleEndian.PutUint32(payload, uint32(fc.FID))
+		copy(payload[4:], fc.Name)
+		buf = m.frameRecord(buf, recFileCreate, payload)
+	}
+	for i := range pages {
+		img := &pages[i]
+		// The LSN is part of the logged image: stamp before framing so the
+		// record CRC covers it and replay comparisons see it.
+		img.LSN = m.nextLSN
+		pagefile.SetPageLSN(&img.Data, img.LSN)
+		payload := make([]byte, 8+pagefile.PageSize)
+		binary.LittleEndian.PutUint32(payload, uint32(img.PID.File))
+		binary.LittleEndian.PutUint32(payload[4:], img.PID.Page)
+		copy(payload[8:], img.Data[:])
+		buf = m.frameRecord(buf, recPage, payload)
+	}
+	if catalog != nil {
+		buf = m.frameRecord(buf, recCatalog, catalog)
+	}
+	buf = m.frameRecord(buf, recCommit, nil)
+	commitLSN := m.nextLSN - 1
+
+	if _, err := m.f.WriteAt(buf, m.off); err != nil {
+		// A partial append is garbage mid-log: later commits appended after
+		// it would be unreachable at replay (the scan stops at the first bad
+		// record). Truncate the partial bytes away; if even that fails, the
+		// log can no longer accept commits.
+		if terr := m.f.Truncate(m.off); terr != nil {
+			m.broken = true
+		}
+		// The consumed LSNs are simply skipped; the sequence stays monotone.
+		return 0, 0, fmt.Errorf("wal: append: %w", err)
+	}
+	m.off += int64(len(buf))
+	for i := range pages {
+		m.pageLSN[pages[i].PID] = pages[i].LSN
+	}
+	m.appended = commitLSN
+	m.records.Add(int64(len(files)+len(pages)) + 1)
+	if catalog != nil {
+		m.records.Add(1)
+	}
+	m.commits.Add(1)
+	m.bytes.Add(int64(len(buf)))
+	return commitLSN, len(buf), nil
+}
+
+// frameRecord appends one framed record to buf, consuming the next LSN.
+func (m *Manager) frameRecord(buf []byte, typ byte, payload []byte) []byte {
+	body := make([]byte, 9+len(payload))
+	body[0] = typ
+	binary.LittleEndian.PutUint64(body[1:], m.nextLSN)
+	copy(body[9:], payload)
+	m.nextLSN++
+
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+	buf = append(buf, frame[:]...)
+	return append(buf, body...)
+}
+
+// WaitDurable blocks until every record up to and including lsn is fsync'd.
+// This is the group-commit rendezvous: if a configured CommitInterval is
+// set, the caller first sleeps that window so concurrent commits pile up;
+// then the first waiter through the sync lock fsyncs on behalf of everyone
+// appended so far, and the rest find their LSN already durable and return
+// without an fsync of their own.
+func (m *Manager) WaitDurable(lsn uint64) error {
+	if m.durable.Load() >= lsn {
+		return nil
+	}
+	if m.interval > 0 {
+		time.Sleep(m.interval)
+	}
+	return m.syncTo(lsn)
+}
+
+func (m *Manager) syncTo(lsn uint64) error {
+	if m.durable.Load() >= lsn {
+		return nil
+	}
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+	if m.durable.Load() >= lsn {
+		return nil // a leader's fsync covered us while we waited
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	target := m.appended
+	f := m.f
+	m.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	m.fsyncs.Add(1)
+	m.durable.Store(target)
+	return nil
+}
+
+// EnsureDurablePage is the buffer pool's write barrier: it must be called
+// before a dirty page is written back to the store, and fsyncs the log
+// through the page's last logged record. Pages never logged (DDL writes,
+// scratch files, pre-WAL state) need no barrier and return immediately.
+func (m *Manager) EnsureDurablePage(pid pagefile.PageID) error {
+	m.mu.Lock()
+	lsn, ok := m.pageLSN[pid]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return m.syncTo(lsn)
+}
+
+// Checkpoint truncates the log, carrying the LSN sequence forward in the
+// header. The caller must have flushed and fsync'd the data files (and
+// persisted the catalog) first: after Checkpoint the log no longer covers
+// them.
+func (m *Manager) Checkpoint() error {
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if err := m.writeHeader(m.nextLSN); err != nil {
+		return err
+	}
+	m.off = headerSize
+	m.pageLSN = make(map[pagefile.PageID]uint64)
+	m.appended = m.nextLSN - 1
+	m.durable.Store(m.appended)
+	m.checkpoints.Add(1)
+	return nil
+}
+
+// Stats returns a snapshot of log activity counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Records:     m.records.Load(),
+		Commits:     m.commits.Load(),
+		Fsyncs:      m.fsyncs.Load(),
+		Bytes:       m.bytes.Load(),
+		Checkpoints: m.checkpoints.Load(),
+	}
+}
+
+// Close fsyncs and closes the log file. Further appends fail with ErrClosed.
+func (m *Manager) Close() error {
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	err := m.f.Sync()
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

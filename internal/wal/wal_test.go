@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+func openT(t *testing.T, path string, store pagefile.Store, interval time.Duration) (*Manager, *RecoveryReport) {
+	t.Helper()
+	m, rep, err := Open(path, store, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rep
+}
+
+// fill returns a page image with a recognizable pattern.
+func fill(b byte) pagefile.Page {
+	var p pagefile.Page
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+	fid, err := store.CreateFile("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Allocate(fid); err != nil {
+		t.Fatal(err)
+	}
+	pid := pagefile.PageID{File: fid, Page: 0}
+
+	m, rep := openT(t, path, store, 0)
+	if rep.Commits != 0 {
+		t.Fatalf("fresh log replayed %d commits", rep.Commits)
+	}
+	img := fill(0xAB)
+	lsn, n, err := m.AppendCommit(nil, []PageImage{{PID: pid, Data: img}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("AppendCommit reported %d bytes", n)
+	}
+	if err := m.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the page never reached the store; the manager is simply dropped.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, rep2 := openT(t, path, store, 0)
+	defer m2.Close()
+	if rep2.Commits != 1 || rep2.PagesApplied != 1 {
+		t.Fatalf("replay: commits=%d applied=%d, want 1/1", rep2.Commits, rep2.PagesApplied)
+	}
+	var got pagefile.Page
+	if err := store.ReadPage(pid, &got); err != nil {
+		t.Fatal(err)
+	}
+	// The logged image carries the record's LSN; everything else must match.
+	want := img
+	pagefile.SetPageLSN(&want, pagefile.PageLSN(&got))
+	if got != want {
+		t.Fatal("replayed page does not match the logged image")
+	}
+	if pagefile.PageLSN(&got) == 0 {
+		t.Fatal("replayed page carries no LSN")
+	}
+}
+
+func TestReplaySkipsNewerDiskPage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+	fid, _ := store.CreateFile("data")
+	store.Allocate(fid)
+	pid := pagefile.PageID{File: fid, Page: 0}
+
+	m, _ := openT(t, path, store, 0)
+	if _, _, err := m.AppendCommit(nil, []PageImage{{PID: pid, Data: fill(1)}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	// The disk page carries an LSN ahead of the log record (a later flush of
+	// newer, checkpointed state). Replay must not regress it.
+	newer := fill(9)
+	pagefile.SetPageLSN(&newer, 1<<40)
+	if err := store.WritePage(pid, &newer); err != nil {
+		t.Fatal(err)
+	}
+	m2, rep := openT(t, path, store, 0)
+	defer m2.Close()
+	if rep.PagesApplied != 0 || rep.PagesSkipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 0/1", rep.PagesApplied, rep.PagesSkipped)
+	}
+	var got pagefile.Page
+	store.ReadPage(pid, &got)
+	if got != newer {
+		t.Fatal("replay overwrote a newer disk page")
+	}
+}
+
+func TestReplayRecreatesFileAndPages(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+	fid, _ := store.CreateFile("data")
+
+	m, _ := openT(t, path, store, 0)
+	img := fill(0x5C)
+	// Pages 0..2 of a file created inside the transaction; the store never
+	// saw the create (crash before any write-back).
+	files := []FileCreate{{FID: fid + 1, Name: "created-in-txn"}}
+	pages := []PageImage{
+		{PID: pagefile.PageID{File: fid + 1, Page: 0}, Data: img},
+		{PID: pagefile.PageID{File: fid + 1, Page: 2}, Data: img},
+	}
+	if _, _, err := m.AppendCommit(files, pages, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, rep := openT(t, path, store, 0)
+	defer m2.Close()
+	if rep.FilesCreated != 1 || rep.PagesApplied != 2 {
+		t.Fatalf("filesCreated=%d applied=%d, want 1/2", rep.FilesCreated, rep.PagesApplied)
+	}
+	n, err := store.NumPages(fid + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("recreated file has %d pages, want 3 (grown to cover page 2)", n)
+	}
+}
+
+func TestReplayIgnoresTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+	fid, _ := store.CreateFile("data")
+	store.Allocate(fid)
+	store.Allocate(fid)
+	p0 := pagefile.PageID{File: fid, Page: 0}
+	p1 := pagefile.PageID{File: fid, Page: 1}
+
+	m, _ := openT(t, path, store, 0)
+	if _, _, err := m.AppendCommit(nil, []PageImage{{PID: p0, Data: fill(1)}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AppendCommit(nil, []PageImage{{PID: p1, Data: fill(2)}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	// Tear the second transaction: chop bytes off the end of the file, as a
+	// crash mid-append would.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-100); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, rep := openT(t, path, store, 0)
+	if rep.Commits != 1 || rep.PagesApplied != 1 {
+		t.Fatalf("commits=%d applied=%d, want 1/1 (second txn torn)", rep.Commits, rep.PagesApplied)
+	}
+	if !rep.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	var got pagefile.Page
+	store.ReadPage(p1, &got)
+	if got == fill(2) {
+		t.Fatal("torn (uncommitted) transaction was applied")
+	}
+	// The torn tail is dead bytes: new appends overwrite it and must be
+	// recoverable in turn.
+	if _, _, err := m2.AppendCommit(nil, []PageImage{{PID: p1, Data: fill(3)}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	m3, rep3 := openT(t, path, store, 0)
+	defer m3.Close()
+	if rep3.TornTail {
+		t.Fatal("tail still torn after overwrite")
+	}
+	store.ReadPage(p1, &got)
+	want := fill(3)
+	pagefile.SetPageLSN(&want, pagefile.PageLSN(&got))
+	if got != want {
+		t.Fatal("append after torn tail did not replay")
+	}
+}
+
+func TestCatalogRecordRecovered(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+
+	m, _ := openT(t, path, store, 0)
+	if _, _, err := m.AppendCommit(nil, nil, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AppendCommit(nil, nil, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, rep := openT(t, path, store, 0)
+	defer m2.Close()
+	if string(rep.Catalog) != `{"v":2}` {
+		t.Fatalf("recovered catalog %q, want the last committed one", rep.Catalog)
+	}
+}
+
+func TestCheckpointTruncatesAndKeepsLSNsMonotone(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+	fid, _ := store.CreateFile("data")
+	store.Allocate(fid)
+	pid := pagefile.PageID{File: fid, Page: 0}
+
+	m, _ := openT(t, path, store, 0)
+	lsn1, _, err := m.AppendCommit(nil, []PageImage{{PID: pid, Data: fill(1)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	if st.Size() != headerSize {
+		t.Fatalf("log is %d bytes after checkpoint, want bare header (%d)", st.Size(), headerSize)
+	}
+	lsn2, _, err := m.AppendCommit(nil, []PageImage{{PID: pid, Data: fill(2)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn2 <= lsn1 {
+		t.Fatalf("LSN regressed across checkpoint: %d then %d", lsn1, lsn2)
+	}
+	m.Close()
+
+	// Only the post-checkpoint transaction replays.
+	m2, rep := openT(t, path, store, 0)
+	defer m2.Close()
+	if rep.Commits != 1 {
+		t.Fatalf("replayed %d commits, want 1 (checkpoint truncated the first)", rep.Commits)
+	}
+}
+
+func TestReplayAfterCheckpointedReopen(t *testing.T) {
+	// A clean open-checkpoint-close cycle leaves nothing to replay.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+
+	m, _ := openT(t, path, store, 0)
+	if _, _, err := m.AppendCommit(nil, nil, []byte("cat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m2, rep := openT(t, path, store, 0)
+	defer m2.Close()
+	if rep.Commits != 0 || rep.Catalog != nil {
+		t.Fatalf("clean reopen replayed commits=%d catalog=%q", rep.Commits, rep.Catalog)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+	fid, _ := store.CreateFile("data")
+	pid := func(i int) pagefile.PageID {
+		store.Allocate(fid)
+		return pagefile.PageID{File: fid, Page: uint32(i)}
+	}
+
+	m, _ := openT(t, path, store, 2*time.Millisecond)
+	defer m.Close()
+	base := m.Stats().Fsyncs
+
+	const K = 32
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		p := pid(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, _, err := m.AppendCommit(nil, []PageImage{{PID: p, Data: fill(byte(i))}}, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := m.WaitDurable(lsn); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := m.Stats()
+	fsyncs := st.Fsyncs - base
+	if fsyncs < 1 {
+		t.Fatal("no fsync at all")
+	}
+	if fsyncs >= K {
+		t.Fatalf("%d fsyncs for %d concurrent commits: group commit is not batching", fsyncs, K)
+	}
+	if st.Commits < K {
+		t.Fatalf("stats report %d commits, want >= %d", st.Commits, K)
+	}
+}
+
+func TestEnsureDurablePage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+	fid, _ := store.CreateFile("data")
+	store.Allocate(fid)
+	pid := pagefile.PageID{File: fid, Page: 0}
+
+	m, _ := openT(t, path, store, 0)
+	defer m.Close()
+	// Unlogged pages need no durability wait.
+	if err := m.EnsureDurablePage(pagefile.PageID{File: fid, Page: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AppendCommit(nil, []PageImage{{PID: pid, Data: fill(1)}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats().Fsyncs
+	if err := m.EnsureDurablePage(pid); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Fsyncs == before {
+		t.Fatal("EnsureDurablePage of a logged, unsynced page did not force the log")
+	}
+	// Second call: already durable, no extra fsync.
+	before = m.Stats().Fsyncs
+	if err := m.EnsureDurablePage(pid); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Fsyncs != before {
+		t.Fatal("EnsureDurablePage fsynced an already-durable page")
+	}
+}

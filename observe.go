@@ -34,6 +34,10 @@ type TraceRecord struct {
 	Misses      int64 `json:"misses"`
 	Prefetched  int64 `json:"prefetched"`
 	Flushes     int64 `json:"flushes"`
+	// WALRecords/WALBytes count write-ahead-log records and bytes the
+	// operation appended; zero for reads and for databases without a WAL.
+	WALRecords int64 `json:"wal_records,omitempty"`
+	WALBytes   int64 `json:"wal_bytes,omitempty"`
 	// Bytes is the store traffic in bytes: (reads + writes) * page size.
 	Bytes int64 `json:"bytes"`
 }
@@ -48,6 +52,7 @@ func toTraceRecord(r obs.Record) TraceRecord {
 		Start: r.Start, Wall: r.Wall,
 		StoreReads: r.StoreReads, StoreWrites: r.StoreWrites, StoreAllocs: r.StoreAllocs,
 		Hits: r.Hits, Misses: r.Misses, Prefetched: r.Prefetched, Flushes: r.Flushes,
+		WALRecords: r.WALRecords, WALBytes: r.WALBytes,
 		Bytes: r.Bytes,
 	}
 }
@@ -70,6 +75,31 @@ func (db *DB) RecentTraces() []TraceRecord {
 func (db *DB) MetricsJSON() ([]byte, error) {
 	defer db.rlock()()
 	return json.MarshalIndent(db.e.Metrics(), "", "  ")
+}
+
+// WALStats is a snapshot of write-ahead-log activity. Fsyncs much smaller
+// than Commits is group commit working: concurrent committers shared forces
+// of the log.
+type WALStats struct {
+	Records     int64 `json:"records"`
+	Commits     int64 `json:"commits"`
+	Fsyncs      int64 `json:"fsyncs"`
+	Bytes       int64 `json:"bytes"`
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+// WALStats reports cumulative write-ahead-log counters. ok is false when
+// the database runs without a WAL (in-memory, or WALDisabled).
+func (db *DB) WALStats() (WALStats, bool) {
+	defer db.rlock()()
+	st, ok := db.e.WALStats()
+	if !ok {
+		return WALStats{}, false
+	}
+	return WALStats{
+		Records: st.Records, Commits: st.Commits, Fsyncs: st.Fsyncs,
+		Bytes: st.Bytes, Checkpoints: st.Checkpoints,
+	}, true
 }
 
 // SetSlowQueryLog enables slow-operation logging: every traced operation

@@ -1,0 +1,162 @@
+package fieldrepl
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// openCompanyDir is openCompany on a file-backed (WAL-enabled) database.
+func openCompanyDir(t *testing.T) (*DB, map[string]OID, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.DefineType("ORG", []Field{
+		{Name: "name", Kind: String}, {Name: "budget", Kind: Int},
+	}))
+	must(db.DefineType("DEPT", []Field{
+		{Name: "name", Kind: String}, {Name: "budget", Kind: Int},
+		{Name: "org", Kind: Ref, RefType: "ORG"},
+	}))
+	must(db.DefineType("EMP", []Field{
+		{Name: "name", Kind: String}, {Name: "age", Kind: Int},
+		{Name: "salary", Kind: Int}, {Name: "dept", Kind: Ref, RefType: "DEPT"},
+	}))
+	must(db.CreateSet("Org", "ORG"))
+	must(db.CreateSet("Dept", "DEPT"))
+	must(db.CreateSet("Emp1", "EMP"))
+	oids := map[string]OID{}
+	ins := func(key, set string, vals V) {
+		t.Helper()
+		oid, err := db.Insert(set, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[key] = oid
+	}
+	ins("acme", "Org", V{"name": S("Acme"), "budget": I(1000)})
+	ins("research", "Dept", V{"name": S("Research"), "budget": I(100), "org": R(oids["acme"])})
+	ins("alice", "Emp1", V{"name": S("Alice"), "age": I(30), "salary": I(120000), "dept": R(oids["research"])})
+	return db, oids, dir
+}
+
+func TestPublicTxnRoundTrip(t *testing.T) {
+	db, oids, _ := openCompanyDir(t)
+	if err := db.Replicate("Emp1.dept.name", InPlace); err != nil {
+		t.Fatal(err)
+	}
+
+	txn, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := txn.Insert("Emp1", V{"name": S("Bob"), "age": I(40), "salary": I(90000), "dept": R(oids["research"])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Update("Dept", oids["research"], V{"name": S("R&D")}); err != nil {
+		t.Fatal(err)
+	}
+	// The transaction sees its own writes, propagation included.
+	res, err := txn.Query(Query{Set: "Emp1", Project: []string{"name", "dept.name"},
+		Where: &Pred{Expr: "dept.name", Op: EQ, Value: S("R&D")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("txn query rows = %d, want 2", len(res.Rows))
+	}
+	if n, err := txn.Count("Emp1"); err != nil || n != 2 {
+		t.Fatalf("txn count = %d (err %v), want 2", n, err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit: %v, want ErrTxnDone", err)
+	}
+	rec, err := db.Get("Emp1", bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fields["name"].Str() != "Bob" {
+		t.Fatalf("committed insert reads %v", rec.Fields)
+	}
+
+	// Rollback path.
+	txn2, err := db.Begin(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Delete("Emp1", bob); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("Emp1", bob); err != nil {
+		t.Fatalf("rolled-back delete removed the object: %v", err)
+	}
+	if errs := db.VerifyReplication(); len(errs) > 0 {
+		t.Fatal(errs)
+	}
+}
+
+func TestPublicErrorSentinels(t *testing.T) {
+	db, oids, _ := openCompanyDir(t)
+	if _, err := db.Count("Nope"); !errors.Is(err, ErrNoSuchSet) {
+		t.Fatalf("missing set: %v, want ErrNoSuchSet", err)
+	}
+	if _, err := db.Insert("Emp1", V{"name": I(7)}); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("kind mismatch: %v, want ErrTypeMismatch", err)
+	}
+	if err := db.Replicate("Emp1.dept.name", InPlace); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("Dept", oids["research"]); !errors.Is(err, ErrStillReferenced) {
+		t.Fatalf("referenced delete: %v, want ErrStillReferenced", err)
+	}
+	txn, err := db.Begin(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Count("Emp1"); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("finished txn: %v, want ErrTxnDone", err)
+	}
+}
+
+func TestPublicQueryCtxCancellation(t *testing.T) {
+	db, _, _ := openCompanyDir(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryCtx(ctx, Query{Set: "Emp1", Project: []string{"name"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled QueryCtx: %v, want context.Canceled", err)
+	}
+	if _, err := db.UpdateWhereCtx(ctx, "Emp1", Pred{Expr: "age", Op: GT, Value: I(0)}, V{"salary": I(1)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled UpdateWhereCtx: %v, want context.Canceled", err)
+	}
+	// The cancelled UpdateWhere must not have half-applied.
+	res, err := db.Query(Query{Set: "Emp1", Project: []string{"salary"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Get(0).Int() == 1 {
+			t.Fatal("cancelled UpdateWhere partially applied")
+		}
+	}
+}
