@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet test race bench walbench soak fuzz check ci
+.PHONY: all help build vet test race bench walbench obsbench soak fuzz check ci
 
 all: check
 
@@ -12,6 +12,7 @@ help:
 	@echo "  race   - race-detector pass (includes the buffer/heap/engine concurrency tests)"
 	@echo "  bench  - scan-throughput matrix (shards x workers) -> BENCH_scan.json"
 	@echo "  walbench - commit throughput / group-commit fsync batching -> BENCH_commit.json"
+	@echo "  obsbench - histogram quantile accuracy + tracing overhead gate -> BENCH_latency.json"
 	@echo "  soak   - exhaustive fault-injection soak"
 	@echo "  fuzz   - slotted-page parsing fuzzer"
 	@echo "  check  - build + vet + test + race"
@@ -35,7 +36,7 @@ test:
 # sharded-pool / parallel-scan / concurrent-reader tests un-shortened.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/buffer ./internal/heap ./internal/engine
+	$(GO) test -race ./internal/buffer ./internal/heap ./internal/engine ./internal/obs .
 
 # Scan throughput across pool shard counts and scan worker counts, on a
 # memory-backed store with simulated device latency. Writes BENCH_scan.json
@@ -48,6 +49,13 @@ bench:
 # single-writer baseline. Writes BENCH_commit.json.
 walbench:
 	$(GO) run ./cmd/walbench -out BENCH_commit.json
+
+# Telemetry self-check: latency-histogram quantile error across 1µs-10s must
+# stay within ~1%, and the full recording path (trace + histograms + ring)
+# must cost <= 5% of a warm in-memory scan. Writes BENCH_latency.json and
+# exits non-zero on regression.
+obsbench:
+	$(GO) run ./cmd/obsbench -out BENCH_latency.json
 
 # Exhaustive fault soak: one injected fault at every I/O index of the
 # calibration run (the untagged test samples every 7th index).

@@ -5,9 +5,12 @@
 //	extradb script.extra [more.extra ...]    # run script files in order
 //	extradb -                                 # read a script from stdin
 //	extradb -dir ./data script.extra          # persist (and reopen) under ./data
+//	extradb -listen :8080 script.extra        # keep serving /metrics after the scripts
 //
 // Retrieve statements print aligned tables; other statements print one-line
-// summaries.
+// summaries. With -listen, the process stays up after the scripts finish,
+// serving Prometheus metrics, /debug/vars, /debug/traces, and /debug/pprof
+// on the given address until interrupted.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/exodb/fieldrepl"
@@ -30,9 +34,10 @@ func main() {
 	explain := flag.Bool("explain", false, "print each statement's per-operation I/O trace")
 	metrics := flag.Bool("metrics", false, "print the observability snapshot as JSON after all scripts")
 	slowMS := flag.Int("slowms", 0, "log operations slower than this many milliseconds to stderr (0 = off)")
+	listen := flag.String("listen", "", "serve /metrics, /debug/vars, /debug/traces, /debug/pprof on this address and stay up after the scripts")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
+	if flag.NArg() == 0 && *listen == "" {
+		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-listen ADDR] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
 		os.Exit(2)
 	}
 
@@ -50,7 +55,20 @@ func main() {
 				r.ID, r.Kind, r.Set, r.Plan, r.Wall, r.StoreReads+r.StoreWrites)
 		})
 	}
-	var lastTraceID uint64
+	if *listen != "" {
+		srv, err := db.ServeMetrics(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "-- telemetry: http://%s/metrics\n", srv.Addr())
+	}
+	// seen tracks trace ids already printed by -explain. The recent ring is in
+	// completion order, not id order (ids are issued at operation start), so a
+	// "last printed id" watermark would drop any trace that finished after a
+	// later-started one; comparing against the previous round's id set prints
+	// each trace exactly once. Bounded by the ring capacity.
+	seen := map[uint64]bool{}
 
 	for _, arg := range flag.Args() {
 		var src []byte
@@ -78,14 +96,16 @@ func main() {
 			fmt.Printf("-- I/O: %v\n", db.IO().Sub(before))
 		}
 		if *explain {
+			next := map[uint64]bool{}
 			for _, r := range db.RecentTraces() {
-				if r.ID <= lastTraceID {
+				next[r.ID] = true
+				if seen[r.ID] {
 					continue
 				}
-				lastTraceID = r.ID
 				fmt.Printf("-- trace #%d %s set=%s plan=%s wall=%v reads=%d writes=%d hits=%d misses=%d prefetched=%d\n",
 					r.ID, r.Kind, r.Set, r.Plan, r.Wall, r.StoreReads, r.StoreWrites, r.Hits, r.Misses, r.Prefetched)
 			}
+			seen = next
 		}
 	}
 	if *metrics {
@@ -94,6 +114,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(string(js))
+	}
+	if *listen != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
@@ -61,6 +62,14 @@ type Pool struct {
 	evictions  atomic.Int64
 	flushes    atomic.Int64
 	prefetched atomic.Int64
+
+	// I/O stall telemetry: wall time spent blocked on the store. readStall
+	// times the synchronous read a miss (or a prefetch batch) performs;
+	// writeStall times dirty write-backs including the WAL write barrier that
+	// precedes them — so "slow query" decomposes into cache behavior (miss
+	// counts) and device behavior (stall distributions).
+	readStall  *obs.Histogram
+	writeStall *obs.Histogram
 
 	// barrier, when set, is called with a page's id before any dirty frame
 	// is written back to the store (eviction, FlushAll, Reset). The WAL
@@ -131,7 +140,13 @@ func NewSharded(store pagefile.Store, nframes, nshards int) *Pool {
 	if nshards > nframes {
 		nshards = nframes
 	}
-	p := &Pool{store: store, shards: make([]shard, nshards), size: nframes}
+	p := &Pool{
+		store:      store,
+		shards:     make([]shard, nshards),
+		size:       nframes,
+		readStall:  obs.NewHistogram(),
+		writeStall: obs.NewHistogram(),
+	}
 	base, extra := nframes/nshards, nframes%nshards
 	for i := range p.shards {
 		n := base
@@ -269,11 +284,15 @@ func (p *Pool) GetT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
 	p.misses.Add(1)
 	tr.Miss(1)
 	f := &sh.frames[idx]
+	readStart := time.Now()
 	if err := p.store.ReadPage(pid, &f.page); err != nil {
 		f.valid = false
 		sh.mu.Unlock()
 		return nil, err
 	}
+	stall := time.Since(readStart)
+	p.readStall.Observe(stall)
+	tr.ReadStall(stall)
 	tr.StoreRead(1)
 	f.pid = pid
 	f.valid = true
@@ -404,6 +423,7 @@ func (sh *shard) victim(p *Pool, tr *obs.Trace) (int, error) {
 func (sh *shard) evict(p *Pool, idx int, tr *obs.Trace) error {
 	f := &sh.frames[idx]
 	if f.dirty {
+		writeStart := time.Now()
 		if err := p.writeBarrier(f.pid); err != nil {
 			return fmt.Errorf("buffer: evicting %s: %w", f.pid, err)
 		}
@@ -413,6 +433,9 @@ func (sh *shard) evict(p *Pool, idx int, tr *obs.Trace) error {
 			// write once the store recovers.
 			return fmt.Errorf("buffer: evicting %s: %w", f.pid, err)
 		}
+		stall := time.Since(writeStart)
+		p.writeStall.Observe(stall)
+		tr.WriteStall(stall)
 		p.flushes.Add(1)
 		tr.Flush(1)
 		tr.StoreWrite(1)
@@ -452,6 +475,7 @@ func (p *Pool) FlushAllT(tr *obs.Trace) error {
 		for i := range sh.frames {
 			f := &sh.frames[i]
 			if f.valid && f.dirty && !p.capturedDirty(f.pid) {
+				writeStart := time.Now()
 				if err := p.writeBarrier(f.pid); err != nil {
 					errs = append(errs, fmt.Errorf("buffer: flushing %s: %w", f.pid, err))
 					continue
@@ -460,6 +484,9 @@ func (p *Pool) FlushAllT(tr *obs.Trace) error {
 					errs = append(errs, fmt.Errorf("buffer: flushing %s: %w", f.pid, err))
 					continue
 				}
+				stall := time.Since(writeStart)
+				p.writeStall.Observe(stall)
+				tr.WriteStall(stall)
 				p.flushes.Add(1)
 				tr.Flush(1)
 				tr.StoreWrite(1)
@@ -495,6 +522,7 @@ func (p *Pool) Reset() error {
 				continue
 			}
 			if f.dirty {
+				writeStart := time.Now()
 				if err := p.writeBarrier(f.pid); err != nil {
 					return fmt.Errorf("buffer: resetting %s: %w", f.pid, err)
 				}
@@ -503,6 +531,7 @@ func (p *Pool) Reset() error {
 					// dirty; the caller can retry Reset after the store recovers.
 					return fmt.Errorf("buffer: resetting %s: %w", f.pid, err)
 				}
+				p.writeStall.Observe(time.Since(writeStart))
 				p.flushes.Add(1)
 			}
 			delete(sh.table, f.pid)
@@ -559,9 +588,13 @@ func (p *Pool) PrefetchT(fid pagefile.FileID, start uint32, n int, tr *obs.Trace
 			continue
 		}
 		bufs := make([]pagefile.Page, page-runStart)
+		readStart := time.Now()
 		if err := p.store.ReadPages(fid, runStart, bufs); err != nil {
 			return loaded
 		}
+		stall := time.Since(readStart)
+		p.readStall.Observe(stall)
+		tr.ReadStall(stall)
 		tr.StoreRead(int64(len(bufs)))
 		for i := range bufs {
 			pid := pagefile.PageID{File: fid, Page: runStart + uint32(i)}
@@ -636,6 +669,14 @@ func (p *Pool) Stats() PoolStats {
 		Flushes:    p.flushes.Load(),
 		Prefetched: p.prefetched.Load(),
 	}
+}
+
+// StallHists snapshots the pool's I/O stall histograms: time blocked on
+// store reads (misses and prefetch batches) and on dirty write-backs
+// (including the WAL write barrier). ResetStats does not clear them — they
+// are lifetime distributions, like the registry's latency histograms.
+func (p *Pool) StallHists() (read, write obs.HistSnapshot) {
+	return p.readStall.Snapshot(), p.writeStall.Snapshot()
 }
 
 // ResetStats zeroes the pool counters (not the store's), under the same

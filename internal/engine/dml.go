@@ -26,7 +26,7 @@ import (
 // maintained. The insert is durable when Insert returns.
 func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
 	tr := db.obs.Start(obs.KindDML, set, "insert")
-	db.mu.Lock()
+	db.lockWriter(tr)
 	db.writerTrace = tr
 	var oid pagefile.OID
 	lsn, err := db.oneShot(tr, func() (ierr error) {
@@ -35,8 +35,8 @@ func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 	})
 	db.writerTrace = nil
 	db.mu.Unlock()
-	if err == nil && lsn > 0 {
-		err = db.wal.WaitDurable(lsn)
+	if err == nil {
+		err = db.waitDurable(lsn, tr)
 	}
 	db.obs.Finish(tr)
 	if err != nil {
@@ -137,15 +137,15 @@ func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 // returns.
 func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
 	tr := db.obs.Start(obs.KindDML, set, "update")
-	db.mu.Lock()
+	db.lockWriter(tr)
 	db.writerTrace = tr
 	lsn, err := db.oneShot(tr, func() error {
 		return db.update(set, oid, vals)
 	})
 	db.writerTrace = nil
 	db.mu.Unlock()
-	if err == nil && lsn > 0 {
-		err = db.wal.WaitDurable(lsn)
+	if err == nil {
+		err = db.waitDurable(lsn, tr)
 	}
 	db.obs.Finish(tr)
 	return err
@@ -203,15 +203,15 @@ func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value)
 // Delete returns.
 func (db *DB) Delete(set string, oid pagefile.OID) error {
 	tr := db.obs.Start(obs.KindDML, set, "delete")
-	db.mu.Lock()
+	db.lockWriter(tr)
 	db.writerTrace = tr
 	lsn, err := db.oneShot(tr, func() error {
 		return db.delete(set, oid)
 	})
 	db.writerTrace = nil
 	db.mu.Unlock()
-	if err == nil && lsn > 0 {
-		err = db.wal.WaitDurable(lsn)
+	if err == nil {
+		err = db.waitDurable(lsn, tr)
 	}
 	db.obs.Finish(tr)
 	return err

@@ -99,6 +99,11 @@ type DB struct {
 
 	// obs issues per-operation I/O traces (see internal/obs).
 	obs *obs.Registry
+	// lockWait is the writer-lock contention histogram: how long each write
+	// operation blocked acquiring db.mu exclusively. Together with the WAL's
+	// fsync-wait and the pool's stall histograms it decomposes a slow commit
+	// into lock wait vs log wait vs device time.
+	lockWait *obs.Histogram
 	// writerTrace is the trace of the write operation currently holding the
 	// exclusive lock, or nil. It is set and cleared only under db.mu.Lock, and
 	// read by internal helpers (heapFor, treeFor, ReadObject) that run under
@@ -239,15 +244,16 @@ func Open(cfg Config) (*DB, error) {
 		pool.SetWriteBarrier(walMgr.EnsureDurablePage)
 	}
 	db := &DB{
-		store:   store,
-		pool:    pool,
-		cat:     cat,
-		dir:     cfg.Dir,
-		workers: workers,
-		files:   map[pagefile.FileID]*heap.File{},
-		trees:   map[string]*btree.Tree{},
-		obs:     obs.NewRegistry(pagefile.PageSize),
-		wal:     walMgr,
+		store:    store,
+		pool:     pool,
+		cat:      cat,
+		dir:      cfg.Dir,
+		workers:  workers,
+		files:    map[pagefile.FileID]*heap.File{},
+		trees:    map[string]*btree.Tree{},
+		obs:      obs.NewRegistry(pagefile.PageSize),
+		lockWait: obs.NewHistogram(),
+		wal:      walMgr,
 	}
 	inlineMax := cfg.InlineMax
 	if inlineMax == 0 {
@@ -590,6 +596,32 @@ func (db *DB) SetFile(name string) (*heap.File, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchSet, name)
 	}
 	return db.heapFor(s.FileID)
+}
+
+// lockWriter acquires the engine's exclusive writer lock, recording how long
+// acquisition blocked in the lock-wait histogram and charging it to tr (nil
+// tr records only the histogram). Write entry points use it so writer-lock
+// contention is visible per operation and in aggregate.
+func (db *DB) lockWriter(tr *obs.Trace) {
+	start := time.Now()
+	db.mu.Lock()
+	wait := time.Since(start)
+	db.lockWait.Observe(wait)
+	tr.LockWait(wait)
+}
+
+// waitDurable blocks in the WAL group-commit rendezvous until lsn is fsync'd,
+// charging the wait to tr as log wait. lsn 0 (nothing logged) is a no-op.
+// Callers must have released the writer lock so committers overlap in the
+// wait and batch onto one fsync.
+func (db *DB) waitDurable(lsn uint64, tr *obs.Trace) error {
+	if lsn == 0 || db.wal == nil {
+		return nil
+	}
+	start := time.Now()
+	err := db.wal.WaitDurable(lsn)
+	tr.LogWait(time.Since(start))
+	return err
 }
 
 // --- I/O accounting and cache control ---

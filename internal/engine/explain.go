@@ -8,6 +8,7 @@ import (
 	"github.com/exodb/fieldrepl/internal/costmodel"
 	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/schema"
+	"github.com/exodb/fieldrepl/internal/wal"
 )
 
 // Explain pairs a query's observed per-trace I/O with the Section-6 cost
@@ -30,6 +31,15 @@ type Explain struct {
 	HasPrediction  bool    `json:"has_prediction"`
 	// DeltaPct is 100*(observed-predicted)/predicted when a prediction exists.
 	DeltaPct float64 `json:"delta_pct,omitempty"`
+	// Observed wall-time breakdown (nanoseconds), next to the page-count
+	// prediction: total wall clock, then where it went — writer-lock wait,
+	// WAL durability wait, store read stalls, dirty write-back stalls. The
+	// remainder is compute (predicate evaluation, decoding, in-buffer work).
+	WallNs       int64 `json:"wall_ns"`
+	LockWaitNs   int64 `json:"lock_wait_ns,omitempty"`
+	LogWaitNs    int64 `json:"log_wait_ns,omitempty"`
+	ReadStallNs  int64 `json:"read_stall_ns,omitempty"`
+	WriteStallNs int64 `json:"write_stall_ns,omitempty"`
 }
 
 // ExplainQuery executes q like Query and returns, alongside the result, the
@@ -76,6 +86,11 @@ func (db *DB) explain(rec obs.Record, kind costmodel.QueryKind, st costmodel.Str
 		ObservedPages: rec.IO(),
 		Strategy:      st.String(),
 		Setting:       setting.String(),
+		WallNs:        int64(rec.Wall),
+		LockWaitNs:    rec.LockWaitNs,
+		LogWaitNs:     rec.LogWaitNs,
+		ReadStallNs:   rec.ReadStallNs,
+		WriteStallNs:  rec.WriteStallNs,
 	}
 	if params != nil {
 		ex.PredictedPages = params.PredictPages(costmodel.QueryShape{Kind: kind, Strategy: st, Setting: setting})
@@ -164,24 +179,59 @@ func (db *DB) indexSettingLocked(set, usedIndex string, where *Pred) costmodel.S
 }
 
 // Metrics is the pull-based observability snapshot: process-total I/O and
-// pool counters, trace aggregates, and the recently completed trace records.
+// pool counters, WAL activity, trace aggregates, latency and contention
+// digests, and the recently completed trace records.
 type Metrics struct {
-	IO     IOStats          `json:"io"`
-	Pool   buffer.PoolStats `json:"pool"`
-	Traces obs.Metrics      `json:"traces"`
-	Recent []obs.Record     `json:"recent"`
+	IO   IOStats          `json:"io"`
+	Pool buffer.PoolStats `json:"pool"`
+	// WAL is nil — rendered as an explicit JSON null — when the database runs
+	// without a write-ahead log (in-memory, or WALDisabled), so consumers can
+	// tell "no WAL" from "WAL with zero activity".
+	WAL    *wal.Stats  `json:"wal"`
+	Traces obs.Metrics `json:"traces"`
+	// Latency digests the wall-time histograms: per operation kind under the
+	// kind name ("query"), per (kind, set) under "kind|set" ("query|Emp1").
+	Latency map[string]obs.HistSummary `json:"latency"`
+	// Contention digests the wait/stall histograms: "lock_wait" (writer-lock
+	// acquisition), "wal_fsync_wait" (group-commit durability rendezvous;
+	// present only with a WAL), "pool_read_stall" and "pool_write_stall"
+	// (buffer-pool store I/O).
+	Contention map[string]obs.HistSummary `json:"contention"`
+	Recent     []obs.Record               `json:"recent"`
 }
 
-// Metrics returns the observability snapshot.
+// Metrics returns the observability snapshot. It takes no engine lock: every
+// source is an internally consistent concurrent snapshot, so Metrics is safe
+// to call from anywhere — including a slow-query sink — without deadlock.
 func (db *DB) Metrics() Metrics {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return Metrics{
-		IO:     db.IO(),
-		Pool:   db.pool.Stats(),
-		Traces: db.obs.Metrics(),
-		Recent: db.obs.Recent(),
+	m := Metrics{
+		IO:         db.IO(),
+		Pool:       db.pool.Stats(),
+		Traces:     db.obs.Metrics(),
+		Latency:    db.obs.LatencySummaries(),
+		Contention: db.contentionSummaries(),
+		Recent:     db.obs.Recent(),
 	}
+	if db.wal != nil {
+		st := db.wal.Stats()
+		m.WAL = &st
+	}
+	return m
+}
+
+// contentionSummaries digests the engine's contention histograms for the
+// Metrics snapshot and /debug/vars.
+func (db *DB) contentionSummaries() map[string]obs.HistSummary {
+	read, write := db.pool.StallHists()
+	out := map[string]obs.HistSummary{
+		"lock_wait":        db.lockWait.Snapshot().Summary(),
+		"pool_read_stall":  read.Summary(),
+		"pool_write_stall": write.Summary(),
+	}
+	if db.wal != nil {
+		out["wal_fsync_wait"] = db.wal.FsyncWaitHist().Summary()
+	}
+	return out
 }
 
 // RecentTraces returns the most recently completed trace records, oldest
@@ -204,7 +254,7 @@ func (db *DB) SetSlowQueryLog(threshold time.Duration, sink func(obs.Record)) {
 // counter delta.
 func (db *DB) FlushAllTraced() (obs.Record, error) {
 	tr := db.obs.Start(obs.KindFlush, "", "")
-	db.mu.Lock()
+	db.lockWriter(tr)
 	err := db.pool.FlushAllT(tr)
 	db.mu.Unlock()
 	rec := db.obs.Finish(tr)

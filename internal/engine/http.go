@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/exodb/fieldrepl/internal/obs"
+)
+
+// MetricsHandler returns the engine's observability HTTP handler, stdlib
+// only, mounted on a private mux (nothing touches http.DefaultServeMux):
+//
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/debug/vars     the Metrics snapshot as JSON (expvar-style)
+//	/debug/traces   the recent-trace ring as NDJSON, completion order
+//	/debug/pprof/   the standard runtime profiles (CPU, heap, goroutine, ...)
+//
+// Every endpoint reads lock-free snapshots, so scraping never contends with
+// queries. Series names and labels are documented in docs/observability.md.
+func (db *DB) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", db.handleProm)
+	mux.HandleFunc("/debug/vars", db.handleVars)
+	mux.HandleFunc("/debug/traces", db.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (db *DB) handleProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	io := db.IO()
+	obs.PromCounter(w, "fieldrepl_store_reads_total", "Pages read from the page store.", io.Reads)
+	obs.PromCounter(w, "fieldrepl_store_writes_total", "Pages written to the page store.", io.Writes)
+	obs.PromCounter(w, "fieldrepl_store_allocs_total", "Pages allocated in the page store.", io.Allocs)
+
+	pool := db.pool.Stats()
+	obs.PromCounter(w, "fieldrepl_pool_hits_total", "Buffer pool hits.", pool.Hits)
+	obs.PromCounter(w, "fieldrepl_pool_misses_total", "Buffer pool misses.", pool.Misses)
+	obs.PromCounter(w, "fieldrepl_pool_evictions_total", "Buffer pool frame evictions.", pool.Evictions)
+	obs.PromCounter(w, "fieldrepl_pool_flushes_total", "Dirty pages written back by the pool.", pool.Flushes)
+	obs.PromCounter(w, "fieldrepl_pool_prefetched_total", "Pages brought in by scan readahead.", pool.Prefetched)
+
+	tm := db.obs.Metrics()
+	obs.PromGauge(w, "fieldrepl_ops_active", "Traced operations currently running.", float64(tm.Active))
+	obs.PromCounter(w, "fieldrepl_ops_completed_total", "Traced operations completed.", tm.Completed)
+	obs.PromCounter(w, "fieldrepl_ops_slow_total", "Operations at or over the slow-query threshold.", tm.Slow)
+
+	// Per-kind operation latency; the finer per-(kind, set) breakdown is a
+	// separate metric name so neither double-counts the other.
+	obs.PromHeader(w, "fieldrepl_op_latency_seconds", "histogram", "Operation wall time by kind.")
+	byKind := db.obs.LatencyByKind()
+	for _, kind := range obs.SortedKeys(byKind) {
+		obs.PromHistogram(w, "fieldrepl_op_latency_seconds", byKind[kind], "kind", kind)
+	}
+	if kindSet := db.obs.LatencyByKindSet(); len(kindSet) > 0 {
+		obs.PromHeader(w, "fieldrepl_op_set_latency_seconds", "histogram", "Operation wall time by kind and set.")
+		for _, ks := range kindSet {
+			obs.PromHistogram(w, "fieldrepl_op_set_latency_seconds", ks.Snap, "kind", ks.Kind, "set", ks.Set)
+		}
+	}
+
+	obs.PromHeader(w, "fieldrepl_lock_wait_seconds", "histogram", "Writer-lock acquisition wait per write operation.")
+	obs.PromHistogram(w, "fieldrepl_lock_wait_seconds", db.lockWait.Snapshot())
+	read, write := db.pool.StallHists()
+	obs.PromHeader(w, "fieldrepl_pool_read_stall_seconds", "histogram", "Time stalled on store page reads (misses and prefetch batches).")
+	obs.PromHistogram(w, "fieldrepl_pool_read_stall_seconds", read)
+	obs.PromHeader(w, "fieldrepl_pool_write_stall_seconds", "histogram", "Time stalled on dirty write-backs, including the WAL write barrier.")
+	obs.PromHistogram(w, "fieldrepl_pool_write_stall_seconds", write)
+
+	if db.wal != nil {
+		st := db.wal.Stats()
+		obs.PromCounter(w, "fieldrepl_wal_records_total", "WAL records appended.", st.Records)
+		obs.PromCounter(w, "fieldrepl_wal_commits_total", "WAL commit records appended.", st.Commits)
+		obs.PromCounter(w, "fieldrepl_wal_fsyncs_total", "WAL fsyncs performed.", st.Fsyncs)
+		obs.PromCounter(w, "fieldrepl_wal_bytes_total", "WAL bytes appended.", st.Bytes)
+		obs.PromCounter(w, "fieldrepl_wal_checkpoints_total", "WAL checkpoints (log truncations).", st.Checkpoints)
+		obs.PromCounter(w, "fieldrepl_wal_sync_waits_total", "Commits that waited for durability.", st.SyncWaits)
+		obs.PromCounter(w, "fieldrepl_wal_shared_syncs_total", "Durability waits satisfied by another committer's fsync.", st.SharedSyncs)
+		obs.PromGauge(w, "fieldrepl_wal_sync_queue", "Committers currently inside the durability wait.", float64(st.SyncQueue))
+		obs.PromHeader(w, "fieldrepl_wal_fsync_wait_seconds", "histogram", "Time committers spent in the group-commit durability rendezvous.")
+		obs.PromHistogram(w, "fieldrepl_wal_fsync_wait_seconds", db.wal.FsyncWaitHist())
+	}
+}
+
+func (db *DB) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(db.Metrics())
+}
+
+// handleTraces streams the recent-trace ring as NDJSON, one Record per line,
+// in completion order (oldest completion first — ids are issued at Start, so
+// overlapping operations appear with non-monotonic ids; see obs.Recent).
+func (db *DB) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, rec := range db.obs.Recent() {
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+	}
+}

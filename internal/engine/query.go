@@ -141,7 +141,7 @@ func (db *DB) runQuery(ctx context.Context, q Query, tr *obs.Trace) (*Result, er
 		// so the re-check inside query (flushDeferredFor) is authoritative
 		// once we hold it.
 		db.mu.RUnlock()
-		db.mu.Lock()
+		db.lockWriter(tr)
 		// Bind the writer trace so deferred-propagation drains and output
 		// inserts performed through core.Storage are charged to this query.
 		db.writerTrace = tr
@@ -155,8 +155,8 @@ func (db *DB) runQuery(ctx context.Context, q Query, tr *obs.Trace) (*Result, er
 		})
 		db.writerTrace = nil
 		db.mu.Unlock()
-		if err == nil && lsn > 0 {
-			err = db.wal.WaitDurable(lsn)
+		if err == nil {
+			err = db.waitDurable(lsn, tr)
 		}
 		if err != nil {
 			return nil, err
@@ -662,7 +662,7 @@ func (db *DB) UpdateWhereTraced(set string, where Pred, vals map[string]schema.V
 
 func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, obs.Record, error) {
 	tr := db.obs.Start(obs.KindUpdate, set, where.Expr)
-	db.mu.Lock()
+	db.lockWriter(tr)
 	db.writerTrace = tr
 	var n int
 	lsn, err := db.oneShot(tr, func() (uerr error) {
@@ -671,8 +671,8 @@ func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, val
 	})
 	db.writerTrace = nil
 	db.mu.Unlock()
-	if err == nil && lsn > 0 {
-		err = db.wal.WaitDurable(lsn)
+	if err == nil {
+		err = db.waitDurable(lsn, tr)
 	}
 	rec := db.obs.Finish(tr)
 	if err != nil {

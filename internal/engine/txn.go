@@ -56,7 +56,7 @@ type Txn struct {
 // Commit or Rollback.
 func (db *DB) Begin(ctx context.Context) (*Txn, error) {
 	tr := db.obs.Start(obs.KindTxn, "", "txn")
-	db.mu.Lock()
+	db.lockWriter(tr)
 	if err := db.pool.BeginCapture(); err != nil {
 		db.mu.Unlock()
 		db.obs.Finish(tr)
@@ -90,15 +90,22 @@ func (t *Txn) abort() {
 	t.finish()
 }
 
-// finish clears the engine's transaction binding, releases the writer lock,
-// and closes the trace. Callers have already committed or rolled back.
-func (t *Txn) finish() {
+// unbind clears the engine's transaction binding and releases the writer
+// lock. Callers have already committed or rolled back.
+func (t *Txn) unbind() {
 	db := t.db
 	t.done = true
 	db.txn = nil
 	db.writerTrace = nil
 	db.mu.Unlock()
-	db.obs.Finish(t.tr)
+}
+
+// finish unbinds and closes the trace. Commit unbinds first and finishes the
+// trace only after the durability wait, so the transaction's record includes
+// its log wait.
+func (t *Txn) finish() {
+	t.unbind()
+	t.db.obs.Finish(t.tr)
 }
 
 // Insert stores a new object in a set (see DB.Insert). On error the
@@ -210,16 +217,14 @@ func (t *Txn) Commit() error {
 	}
 	db := t.db
 	lsn, err := db.commitTxnLocked(t)
-	t.finish()
-	if err != nil {
-		return err
-	}
+	t.unbind()
 	// The durability wait happens after the writer lock is released, so
 	// concurrent committers can append and pile onto one fsync.
-	if lsn > 0 {
-		return db.wal.WaitDurable(lsn)
+	if err == nil {
+		err = db.waitDurable(lsn, t.tr)
 	}
-	return nil
+	db.obs.Finish(t.tr)
+	return err
 }
 
 // Rollback discards every modification the transaction made: captured pages

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear (HDR-style) latency histogram.
+//
+// Bucketing: durations are recorded in nanoseconds. Values below histSub
+// (128 ns) get one bucket each (exact). Above that, each power-of-two octave
+// is split into histSub linear sub-buckets, so a bucket's width is at most
+// 1/histSub of the values it holds — quantiles read from bucket upper edges
+// are within 1/128 ≈ 0.8% of the recorded value everywhere in the histogram's
+// range, comfortably inside the ≤1% target over 1µs–10s. Values above the
+// top octave (~4.9 h) clamp into the last bucket.
+//
+// Recording is lock-free and allocation-free: one atomic add on the bucket,
+// atomic adds on count/sum, and a CAS loop for the max. Snapshots copy the
+// bucket array under no lock; they are racy only in the benign sense that a
+// concurrent Observe may or may not be included.
+const (
+	histSubBits = 7
+	histSub     = 1 << histSubBits // linear sub-buckets per octave
+	histMaxExp  = 44               // top octave: [2^43, 2^44) ns ≈ 2.4–4.9 h
+	histBuckets = (histMaxExp - histSubBits + 1) * histSub
+)
+
+// histIndex maps a nanosecond value to its bucket.
+func histIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	u := uint64(ns)
+	if u >= 1<<histMaxExp {
+		return histBuckets - 1
+	}
+	if u < histSub {
+		return int(u)
+	}
+	shift := uint(bits.Len64(u) - 1 - histSubBits)
+	sub := u >> shift // in [histSub, 2*histSub)
+	return int(shift+1)<<histSubBits + int(sub-histSub)
+}
+
+// histUpper returns the inclusive upper edge (ns) of bucket i — the value
+// quantile reads report, which bounds the relative error at 1/histSub.
+func histUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	shift := uint(i>>histSubBits) - 1
+	sub := uint64(i&(histSub-1)) + histSub
+	return int64((sub+1)<<shift - 1)
+}
+
+// Histogram is a fixed-range log-linear latency histogram. All methods are
+// safe for concurrent use; Observe is lock-free and allocation-free. The
+// zero value is not usable — construct with NewHistogram (the bucket array
+// is ~38 KiB, so histograms are shared per series, never per operation).
+type Histogram struct {
+	count  atomic.Int64
+	sum    atomic.Int64 // ns
+	max    atomic.Int64 // ns
+	counts [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram. A nil histogram
+// snapshots as empty.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.counts = make([]int64, histBuckets)
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram: total count, sum and max
+// in nanoseconds, and the bucket array for quantile and cumulative reads.
+type HistSnapshot struct {
+	Count int64
+	Sum   int64 // ns
+	Max   int64 // ns
+
+	counts []int64
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as a duration, reading the
+// upper edge of the bucket holding the q·Count-th observation (≤ ~0.8%
+// above the recorded value), clamped to the observed max. An empty snapshot
+// returns 0.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.counts) == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for i, c := range s.counts {
+		seen += c
+		if seen >= rank {
+			v := histUpper(i)
+			if v > s.Max {
+				v = s.Max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Mean returns the arithmetic mean duration (exact: Sum/Count).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// CumulativeLE returns how many observations fell in buckets whose upper
+// edge is <= d — the Prometheus histogram_bucket semantics, accurate to one
+// bucket width.
+func (s HistSnapshot) CumulativeLE(d time.Duration) int64 {
+	var n int64
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		if histUpper(i) <= int64(d) {
+			n += c
+		}
+	}
+	return n
+}
+
+// HistSummary is the JSON-friendly digest of a histogram used by /debug/vars
+// and Metrics snapshots. All durations are nanoseconds.
+type HistSummary struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// Summary digests the snapshot into count/mean/p50/p95/p99/max.
+func (s HistSnapshot) Summary() HistSummary {
+	return HistSummary{
+		Count:  s.Count,
+		MeanNs: int64(s.Mean()),
+		P50Ns:  int64(s.Quantile(0.50)),
+		P95Ns:  int64(s.Quantile(0.95)),
+		P99Ns:  int64(s.Quantile(0.99)),
+		MaxNs:  s.Max,
+	}
+}

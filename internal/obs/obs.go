@@ -25,6 +25,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,6 +103,16 @@ type Trace struct {
 	flushes     atomic.Int64
 	walRecords  atomic.Int64
 	walBytes    atomic.Int64
+
+	// Wall-time decomposition: time the operation spent waiting for the
+	// engine writer lock, for the WAL durability rendezvous (fsync wait),
+	// and stalled on store page reads / dirty write-backs. Charged by the
+	// engine, the WAL call sites, and the buffer pool alongside the matching
+	// global contention histograms.
+	lockWaitNs   atomic.Int64
+	logWaitNs    atomic.Int64
+	readStallNs  atomic.Int64
+	writeStallNs atomic.Int64
 }
 
 // ID returns the trace's registry-unique id (0 for a nil trace).
@@ -170,6 +181,37 @@ func (t *Trace) WAL(n, b int64) {
 	}
 }
 
+// LockWait charges time spent waiting to acquire the engine writer lock.
+func (t *Trace) LockWait(d time.Duration) {
+	if t != nil && d > 0 {
+		t.lockWaitNs.Add(int64(d))
+	}
+}
+
+// LogWait charges time spent in the WAL durability wait (group-commit
+// rendezvous: interval sleep + leader/follower fsync wait).
+func (t *Trace) LogWait(d time.Duration) {
+	if t != nil && d > 0 {
+		t.logWaitNs.Add(int64(d))
+	}
+}
+
+// ReadStall charges time stalled on store page reads (buffer misses,
+// readahead batches) performed on the trace's behalf.
+func (t *Trace) ReadStall(d time.Duration) {
+	if t != nil && d > 0 {
+		t.readStallNs.Add(int64(d))
+	}
+}
+
+// WriteStall charges time stalled on dirty-page write-backs (evictions the
+// operation forced, explicit flushes) performed on the trace's behalf.
+func (t *Trace) WriteStall(d time.Duration) {
+	if t != nil && d > 0 {
+		t.writeStallNs.Add(int64(d))
+	}
+}
+
 // SetPlan records the executor's plan choice ("scan", "scan-parallel",
 // "index:<name>"). The last call wins.
 func (t *Trace) SetPlan(plan string) {
@@ -211,6 +253,14 @@ type Record struct {
 	Counters
 	// Bytes is the store traffic in bytes: (reads + writes) * page size.
 	Bytes int64 `json:"bytes"`
+	// Wall-time decomposition (nanoseconds): writer-lock wait, WAL
+	// durability wait, store read stalls, and dirty write-back stalls. The
+	// remainder of Wall is compute (predicate evaluation, decoding,
+	// in-buffer work). Zero fields are elided from JSON.
+	LockWaitNs   int64 `json:"lock_wait_ns,omitempty"`
+	LogWaitNs    int64 `json:"log_wait_ns,omitempty"`
+	ReadStallNs  int64 `json:"read_stall_ns,omitempty"`
+	WriteStallNs int64 `json:"write_stall_ns,omitempty"`
 }
 
 func (r Record) String() string {
@@ -227,8 +277,9 @@ type Metrics struct {
 }
 
 // Registry issues traces, tracks the active set, keeps a bounded ring of
-// recently completed records, and aggregates totals over all completed
-// traces. All methods are safe for concurrent use.
+// recently completed records, aggregates totals over all completed traces,
+// and maintains latency histograms per operation kind and per (kind, set).
+// All methods are safe for concurrent use.
 type Registry struct {
 	pageSize int64
 	nextID   atomic.Uint64
@@ -243,6 +294,23 @@ type Registry struct {
 
 	slowAt   time.Duration
 	slowSink func(Record)
+
+	// latKind maps kind -> *Histogram; latKindSet maps kind+"\x00"+set ->
+	// *setHist. Histograms are created on first finish of a key and then
+	// updated lock-free; Finish's lookup is a sync.Map Load on the steady
+	// path.
+	latKind    sync.Map
+	latKindSet sync.Map
+
+	// now is the registry's clock, replaceable by tests to pin wall times
+	// (e.g. the Wall == threshold slow-query boundary).
+	now func() time.Time
+}
+
+// setHist is one (kind, set) latency series.
+type setHist struct {
+	kind, set string
+	h         *Histogram
 }
 
 // DefaultRecentCap bounds the recently-completed ring.
@@ -255,6 +323,7 @@ func NewRegistry(pageSize int) *Registry {
 		pageSize:  int64(pageSize),
 		active:    map[uint64]*Trace{},
 		recentCap: DefaultRecentCap,
+		now:       time.Now,
 	}
 }
 
@@ -265,7 +334,7 @@ func (r *Registry) Start(kind, set, detail string) *Trace {
 		kind:   kind,
 		set:    set,
 		detail: detail,
-		start:  time.Now(),
+		start:  r.now(),
 	}
 	r.mu.Lock()
 	r.active[t.id] = t
@@ -274,28 +343,34 @@ func (r *Registry) Start(kind, set, detail string) *Trace {
 }
 
 // Finish closes a trace: it is removed from the active set, its record is
-// appended to the recent ring and folded into the aggregate totals, and —
+// appended to the recent ring and folded into the aggregate totals, its wall
+// time is observed on the kind and (kind, set) latency histograms, and —
 // when a slow-query sink is configured and the trace's wall time reaches the
-// threshold — the sink is invoked (outside the registry lock). Finishing a
-// nil trace returns a zero Record.
+// threshold (Wall >= threshold, boundary inclusive) — the sink is invoked
+// (outside the registry lock). Finishing a nil trace returns a zero Record.
 func (r *Registry) Finish(t *Trace) Record {
 	if t == nil {
 		return Record{}
 	}
 	c := t.Counters()
 	rec := Record{
-		ID:       t.id,
-		Kind:     t.kind,
-		Set:      t.set,
-		Detail:   t.detail,
-		Start:    t.start,
-		Wall:     time.Since(t.start),
-		Counters: c,
-		Bytes:    c.IO() * r.pageSize,
+		ID:           t.id,
+		Kind:         t.kind,
+		Set:          t.set,
+		Detail:       t.detail,
+		Start:        t.start,
+		Wall:         r.now().Sub(t.start),
+		Counters:     c,
+		Bytes:        c.IO() * r.pageSize,
+		LockWaitNs:   t.lockWaitNs.Load(),
+		LogWaitNs:    t.logWaitNs.Load(),
+		ReadStallNs:  t.readStallNs.Load(),
+		WriteStallNs: t.writeStallNs.Load(),
 	}
 	if p := t.plan.Load(); p != nil {
 		rec.Plan = *p
 	}
+	r.observeLatency(rec.Kind, rec.Set, rec.Wall)
 	r.mu.Lock()
 	delete(r.active, t.id)
 	r.completed++
@@ -328,7 +403,79 @@ func (r *Registry) SetSlowQuery(threshold time.Duration, sink func(Record)) {
 	r.mu.Unlock()
 }
 
-// Recent returns the most recently completed records, oldest first.
+// observeLatency records one finished operation's wall time on the kind
+// histogram and, for set-bound operations, the (kind, set) histogram.
+// Steady-state cost is two sync.Map loads and two lock-free Observes; the
+// histograms themselves are allocated once per distinct key.
+func (r *Registry) observeLatency(kind, set string, wall time.Duration) {
+	h, ok := r.latKind.Load(kind)
+	if !ok {
+		h, _ = r.latKind.LoadOrStore(kind, NewHistogram())
+	}
+	h.(*Histogram).Observe(wall)
+	if set == "" {
+		return
+	}
+	key := kind + "\x00" + set
+	sh, ok := r.latKindSet.Load(key)
+	if !ok {
+		sh, _ = r.latKindSet.LoadOrStore(key, &setHist{kind: kind, set: set, h: NewHistogram()})
+	}
+	sh.(*setHist).h.Observe(wall)
+}
+
+// LatencyByKind returns a snapshot of the per-kind latency histograms.
+func (r *Registry) LatencyByKind() map[string]HistSnapshot {
+	out := map[string]HistSnapshot{}
+	r.latKind.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}
+
+// KindSetLatency is one (kind, set) latency series snapshot.
+type KindSetLatency struct {
+	Kind, Set string
+	Snap      HistSnapshot
+}
+
+// LatencyByKindSet returns snapshots of the per-(kind, set) latency
+// histograms, sorted by kind then set for deterministic exposition.
+func (r *Registry) LatencyByKindSet() []KindSetLatency {
+	var out []KindSetLatency
+	r.latKindSet.Range(func(_, v any) bool {
+		sh := v.(*setHist)
+		out = append(out, KindSetLatency{Kind: sh.kind, Set: sh.set, Snap: sh.h.Snapshot()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Set < out[j].Set
+	})
+	return out
+}
+
+// LatencySummaries digests every latency histogram — kinds under their own
+// name, (kind, set) series under "kind|set" — for JSON snapshots.
+func (r *Registry) LatencySummaries() map[string]HistSummary {
+	out := map[string]HistSummary{}
+	for k, s := range r.LatencyByKind() {
+		out[k] = s.Summary()
+	}
+	for _, ks := range r.LatencyByKindSet() {
+		out[ks.Kind+"|"+ks.Set] = ks.Snap.Summary()
+	}
+	return out
+}
+
+// Recent returns the most recently completed records in completion order,
+// oldest completion first. Because ids are issued at Start, overlapping
+// operations may appear with non-monotonic ids; the ring order — append at
+// Finish under the registry lock — is the stable, documented order that
+// /debug/traces and extradb -explain rely on.
 func (r *Registry) Recent() []Record {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (version 0.0.4), stdlib only. The engine's
+// /metrics handler assembles its page from these helpers; series names and
+// label sets are documented in docs/observability.md.
+
+// promBounds is the `le` ladder histogram series are rendered on: a 1-2.5-5
+// decade ladder from 1µs to 10s plus +Inf. The underlying log-linear buckets
+// are far finer (≤0.8% width); rendering collapses them onto this ladder so
+// a scrape stays small while quantile queries against the ladder stay within
+// one ladder step.
+var promBounds = func() []time.Duration {
+	var out []time.Duration
+	for decade := time.Microsecond; decade <= 10*time.Second; decade *= 10 {
+		for _, m := range []int64{10, 25, 50} {
+			b := decade * time.Duration(m) / 10
+			if b > 10*time.Second {
+				break
+			}
+			out = append(out, b)
+		}
+	}
+	return out
+}()
+
+// promEscape escapes a label value.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promLabels renders a label set ({k="v",...}) from alternating key/value
+// pairs; empty-valued labels are dropped.
+func promLabels(kv ...string) string {
+	var parts []string
+	for i := 0; i+1 < len(kv); i += 2 {
+		if kv[i+1] == "" {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, kv[i], promEscape(kv[i+1])))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// PromHeader writes the # HELP / # TYPE preamble for a metric. typ is
+// "counter", "gauge", or "histogram".
+func PromHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// PromValue writes one sample line: name{labels} value. Labels are
+// alternating key/value pairs.
+func PromValue(w io.Writer, name string, value float64, kv ...string) {
+	fmt.Fprintf(w, "%s%s %v\n", name, promLabels(kv...), value)
+}
+
+// PromCounter writes the full preamble + single sample of a counter.
+func PromCounter(w io.Writer, name, help string, value int64, kv ...string) {
+	PromHeader(w, name, "counter", help)
+	PromValue(w, name, float64(value), kv...)
+}
+
+// PromGauge writes the full preamble + single sample of a gauge.
+func PromGauge(w io.Writer, name, help string, value float64, kv ...string) {
+	PromHeader(w, name, "gauge", help)
+	PromValue(w, name, value, kv...)
+}
+
+// PromHistogram writes one labeled histogram series (the _bucket ladder,
+// _sum in seconds, and _count) from a snapshot. The caller writes the
+// header once via PromHeader(name, "histogram", ...) and may then emit
+// several label sets under the same name.
+func PromHistogram(w io.Writer, name string, s HistSnapshot, kv ...string) {
+	var cum int64
+	for _, le := range promBounds {
+		cum = s.CumulativeLE(le)
+		lkv := append(append([]string(nil), kv...), "le", fmt.Sprintf("%g", le.Seconds()))
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(lkv...), cum)
+	}
+	lkv := append(append([]string(nil), kv...), "le", "+Inf")
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(lkv...), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, promLabels(kv...), float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(kv...), s.Count)
+}
+
+// SortedKeys returns m's keys sorted, for deterministic exposition order.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 )
 
@@ -74,13 +75,23 @@ type PageImage struct {
 	LSN  uint64
 }
 
-// Stats is a point-in-time snapshot of log activity.
+// Stats is a point-in-time snapshot of log activity. Fsyncs much smaller
+// than Commits is group commit working; SyncWaits/SharedSyncs decompose it:
+// a shared sync is a durability wait satisfied by another committer's fsync
+// (the follower half of leader/follower batching).
 type Stats struct {
 	Records     int64 `json:"records"`
 	Commits     int64 `json:"commits"`
 	Fsyncs      int64 `json:"fsyncs"`
 	Bytes       int64 `json:"bytes"`
 	Checkpoints int64 `json:"checkpoints"`
+	// SyncWaits counts WaitDurable calls that found their LSN not yet
+	// durable and actually waited; SharedSyncs counts the subset resolved by
+	// another caller's fsync. SyncQueue is the instantaneous number of
+	// committers inside the durability wait (the group-commit queue depth).
+	SyncWaits   int64 `json:"sync_waits"`
+	SharedSyncs int64 `json:"shared_syncs"`
+	SyncQueue   int64 `json:"sync_queue"`
 }
 
 // RecoveryReport summarizes what Open's replay did.
@@ -118,6 +129,14 @@ type Manager struct {
 	fsyncs      atomic.Int64
 	bytes       atomic.Int64
 	checkpoints atomic.Int64
+
+	// Group-commit contention telemetry: how long committers spend in the
+	// durability rendezvous, how many actually wait, how many are satisfied
+	// by a leader's fsync, and how many are queued right now.
+	fsyncWait   *obs.Histogram
+	syncWaits   atomic.Int64
+	sharedSyncs atomic.Int64
+	syncQueue   atomic.Int64
 }
 
 // Open opens (creating if absent) the log at path, replays any committed
@@ -132,10 +151,11 @@ func Open(path string, store pagefile.Store, interval time.Duration) (*Manager, 
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
 	m := &Manager{
-		path:     path,
-		f:        f,
-		pageLSN:  make(map[pagefile.PageID]uint64),
-		interval: interval,
+		path:      path,
+		f:         f,
+		pageLSN:   make(map[pagefile.PageID]uint64),
+		interval:  interval,
+		fsyncWait: obs.NewHistogram(),
 	}
 	rep := &RecoveryReport{}
 
@@ -447,35 +467,48 @@ func (m *Manager) WaitDurable(lsn uint64) error {
 	if m.durable.Load() >= lsn {
 		return nil
 	}
+	// The wait is real: time it (the fsync-wait histogram is the "where did
+	// my commit's wall time go" decomposition) and track the queue depth.
+	m.syncWaits.Add(1)
+	m.syncQueue.Add(1)
+	start := time.Now()
 	if m.interval > 0 {
 		time.Sleep(m.interval)
 	}
-	return m.syncTo(lsn)
+	shared, err := m.syncTo(lsn)
+	m.fsyncWait.Observe(time.Since(start))
+	m.syncQueue.Add(-1)
+	if shared {
+		m.sharedSyncs.Add(1)
+	}
+	return err
 }
 
-func (m *Manager) syncTo(lsn uint64) error {
+// syncTo makes the log durable through lsn. shared reports that the caller
+// did not fsync itself — another committer's fsync already covered lsn.
+func (m *Manager) syncTo(lsn uint64) (shared bool, err error) {
 	if m.durable.Load() >= lsn {
-		return nil
+		return true, nil
 	}
 	m.syncMu.Lock()
 	defer m.syncMu.Unlock()
 	if m.durable.Load() >= lsn {
-		return nil // a leader's fsync covered us while we waited
+		return true, nil // a leader's fsync covered us while we waited
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return ErrClosed
+		return false, ErrClosed
 	}
 	target := m.appended
 	f := m.f
 	m.mu.Unlock()
 	if err := f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		return false, fmt.Errorf("wal: fsync: %w", err)
 	}
 	m.fsyncs.Add(1)
 	m.durable.Store(target)
-	return nil
+	return false, nil
 }
 
 // EnsureDurablePage is the buffer pool's write barrier: it must be called
@@ -489,7 +522,8 @@ func (m *Manager) EnsureDurablePage(pid pagefile.PageID) error {
 	if !ok {
 		return nil
 	}
-	return m.syncTo(lsn)
+	_, err := m.syncTo(lsn)
+	return err
 }
 
 // Checkpoint truncates the log, carrying the LSN sequence forward in the
@@ -523,7 +557,17 @@ func (m *Manager) Stats() Stats {
 		Fsyncs:      m.fsyncs.Load(),
 		Bytes:       m.bytes.Load(),
 		Checkpoints: m.checkpoints.Load(),
+		SyncWaits:   m.syncWaits.Load(),
+		SharedSyncs: m.sharedSyncs.Load(),
+		SyncQueue:   m.syncQueue.Load(),
 	}
+}
+
+// FsyncWaitHist snapshots the durability-wait histogram: the wall time each
+// WaitDurable caller spent between asking for durability and getting it
+// (batching window + queueing behind the leader + the fsync itself).
+func (m *Manager) FsyncWaitHist() obs.HistSnapshot {
+	return m.fsyncWait.Snapshot()
 }
 
 // Close fsyncs and closes the log file. Further appends fail with ErrClosed.

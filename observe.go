@@ -2,6 +2,8 @@ package fieldrepl
 
 import (
 	"encoding/json"
+	"net"
+	"net/http"
 	"time"
 
 	"github.com/exodb/fieldrepl/internal/obs"
@@ -40,6 +42,14 @@ type TraceRecord struct {
 	WALBytes   int64 `json:"wal_bytes,omitempty"`
 	// Bytes is the store traffic in bytes: (reads + writes) * page size.
 	Bytes int64 `json:"bytes"`
+	// Wall-time decomposition (nanoseconds): time blocked acquiring the
+	// engine writer lock, waiting in the WAL group-commit durability
+	// rendezvous, stalled on store page reads, and stalled on dirty
+	// write-backs. The remainder of Wall is compute.
+	LockWaitNs   int64 `json:"lock_wait_ns,omitempty"`
+	LogWaitNs    int64 `json:"log_wait_ns,omitempty"`
+	ReadStallNs  int64 `json:"read_stall_ns,omitempty"`
+	WriteStallNs int64 `json:"write_stall_ns,omitempty"`
 }
 
 // PageAccesses returns hits + misses — the operation's logical page requests,
@@ -53,14 +63,24 @@ func toTraceRecord(r obs.Record) TraceRecord {
 		StoreReads: r.StoreReads, StoreWrites: r.StoreWrites, StoreAllocs: r.StoreAllocs,
 		Hits: r.Hits, Misses: r.Misses, Prefetched: r.Prefetched, Flushes: r.Flushes,
 		WALRecords: r.WALRecords, WALBytes: r.WALBytes,
-		Bytes: r.Bytes,
+		Bytes:      r.Bytes,
+		LockWaitNs: r.LockWaitNs, LogWaitNs: r.LogWaitNs,
+		ReadStallNs: r.ReadStallNs, WriteStallNs: r.WriteStallNs,
 	}
 }
 
-// RecentTraces returns the most recently completed operation traces, oldest
-// first (the engine keeps a bounded ring).
+// The observability accessors below take no handle lock: the engine pointer
+// is immutable for the handle's lifetime and every engine-side snapshot is
+// lock-free. This makes them safe to call from anywhere — in particular from
+// a slow-query sink, which runs while a DML caller is still inside a public
+// method; a recursive RLock there would deadlock the moment a writer was
+// queued between the two acquisitions.
+
+// RecentTraces returns the most recently completed operation traces in
+// completion order, oldest completion first. Trace ids are issued at start,
+// so overlapping operations may appear with non-monotonic ids; the ring's
+// completion order is the stable, documented order.
 func (db *DB) RecentTraces() []TraceRecord {
-	defer db.rlock()()
 	recs := db.e.RecentTraces()
 	out := make([]TraceRecord, len(recs))
 	for i, r := range recs {
@@ -70,10 +90,11 @@ func (db *DB) RecentTraces() []TraceRecord {
 }
 
 // MetricsJSON returns the pull-based observability snapshot as expvar-style
-// JSON: process-total I/O and buffer pool counters, trace aggregates, and the
-// recent trace ring. This is what `extradb -metrics` prints.
+// JSON: process-total I/O and buffer pool counters, WAL activity (an explicit
+// `"wal": null` when the database runs without one), trace aggregates,
+// latency and contention histogram digests, and the recent trace ring. This
+// is what `extradb -metrics` prints and what /debug/vars serves.
 func (db *DB) MetricsJSON() ([]byte, error) {
-	defer db.rlock()()
 	return json.MarshalIndent(db.e.Metrics(), "", "  ")
 }
 
@@ -86,12 +107,18 @@ type WALStats struct {
 	Fsyncs      int64 `json:"fsyncs"`
 	Bytes       int64 `json:"bytes"`
 	Checkpoints int64 `json:"checkpoints"`
+	// SyncWaits counts commits that actually waited for durability;
+	// SharedSyncs the subset satisfied by another committer's fsync (the
+	// follower half of group commit). SyncQueue is the instantaneous number
+	// of committers inside the durability wait.
+	SyncWaits   int64 `json:"sync_waits"`
+	SharedSyncs int64 `json:"shared_syncs"`
+	SyncQueue   int64 `json:"sync_queue"`
 }
 
 // WALStats reports cumulative write-ahead-log counters. ok is false when
 // the database runs without a WAL (in-memory, or WALDisabled).
 func (db *DB) WALStats() (WALStats, bool) {
-	defer db.rlock()()
 	st, ok := db.e.WALStats()
 	if !ok {
 		return WALStats{}, false
@@ -99,6 +126,7 @@ func (db *DB) WALStats() (WALStats, bool) {
 	return WALStats{
 		Records: st.Records, Commits: st.Commits, Fsyncs: st.Fsyncs,
 		Bytes: st.Bytes, Checkpoints: st.Checkpoints,
+		SyncWaits: st.SyncWaits, SharedSyncs: st.SharedSyncs, SyncQueue: st.SyncQueue,
 	}, true
 }
 
@@ -107,10 +135,51 @@ func (db *DB) WALStats() (WALStats, bool) {
 // zero threshold or nil sink disables logging. The sink is called outside all
 // database locks and must be safe for concurrent use.
 func (db *DB) SetSlowQueryLog(threshold time.Duration, sink func(TraceRecord)) {
-	defer db.rlock()()
 	if sink == nil {
 		db.e.SetSlowQueryLog(threshold, nil)
 		return
 	}
 	db.e.SetSlowQueryLog(threshold, func(r obs.Record) { sink(toTraceRecord(r)) })
+}
+
+// MetricsHandler returns the live-telemetry HTTP handler, for embedding in an
+// existing server. It serves, on a private mux (http.DefaultServeMux is never
+// touched):
+//
+//	/metrics        Prometheus text exposition: per-kind and per-(kind, set)
+//	                latency histograms, lock-wait / WAL fsync-wait / buffer
+//	                stall histograms, and all I/O, pool, and WAL counters
+//	/debug/vars     the MetricsJSON snapshot
+//	/debug/traces   the recent-trace ring as NDJSON, completion order
+//	/debug/pprof/   the standard runtime profiles
+//
+// Handlers read lock-free snapshots, so scraping never contends with queries.
+// See docs/observability.md for the full series reference.
+func (db *DB) MetricsHandler() http.Handler { return db.e.MetricsHandler() }
+
+// MetricsServer is a running telemetry HTTP server started by ServeMetrics.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the server's listen address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, closing the listener and any open scrapes.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// ServeMetrics starts a telemetry HTTP server on addr (e.g. ":8080") serving
+// MetricsHandler's endpoints and returns it; the server runs until Close. The
+// database itself is unaffected by the server's lifecycle — closing the
+// database while the server runs only makes subsequent scrapes report final
+// counter values.
+func (db *DB) ServeMetrics(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: db.MetricsHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{ln: ln, srv: srv}, nil
 }
