@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all help build vet test race bench walbench obsbench soak fuzz check ci
+.PHONY: all help build vet test race bench walbench obsbench replbench soak fuzz check ci
+
+# Per-target fuzzing time for `make fuzz` (override: make fuzz FUZZTIME=2m).
+FUZZTIME ?= 30s
 
 all: check
 
@@ -13,8 +16,9 @@ help:
 	@echo "  bench  - scan-throughput matrix (shards x workers) -> BENCH_scan.json"
 	@echo "  walbench - commit throughput / group-commit fsync batching -> BENCH_commit.json"
 	@echo "  obsbench - histogram quantile accuracy + tracing overhead gate -> BENCH_latency.json"
+	@echo "  replbench - steady-state replication lag (LSN + ms, p50/p99) -> BENCH_repl.json"
 	@echo "  soak   - exhaustive fault-injection soak"
-	@echo "  fuzz   - slotted-page parsing fuzzer"
+	@echo "  fuzz   - slotted-page and WAL-frame fuzzers (FUZZTIME=$(FUZZTIME) each)"
 	@echo "  check  - build + vet + test + race"
 	@echo "  ci     - the full gate: build + vet(+gofmt) + test + race"
 
@@ -36,7 +40,7 @@ test:
 # sharded-pool / parallel-scan / concurrent-reader tests un-shortened.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/buffer ./internal/heap ./internal/engine ./internal/obs .
+	$(GO) test -race ./internal/buffer ./internal/heap ./internal/engine ./internal/obs ./internal/repl .
 
 # Scan throughput across pool shard counts and scan worker counts, on a
 # memory-backed store with simulated device latency. Writes BENCH_scan.json
@@ -57,13 +61,20 @@ walbench:
 obsbench:
 	$(GO) run ./cmd/obsbench -out BENCH_latency.json
 
+# Steady-state replication lag: a primary ships to one local follower while
+# concurrent writers insert; records commit rate and the follower's lag as
+# LSNs behind and milliseconds to visibility (p50/p99). Writes BENCH_repl.json.
+replbench:
+	$(GO) run ./cmd/replbench -out BENCH_repl.json
+
 # Exhaustive fault soak: one injected fault at every I/O index of the
 # calibration run (the untagged test samples every 7th index).
 soak:
 	$(GO) test -tags soak -run 'TestFaultSoak|TestSoak' -v ./internal/engine/
 
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzSlottedParsing -fuzztime 30s ./internal/pagefile/
+	$(GO) test -run '^$$' -fuzz FuzzSlottedParsing -fuzztime $(FUZZTIME) ./internal/pagefile/
+	$(GO) test -run '^$$' -fuzz FuzzWALFrame -fuzztime $(FUZZTIME) ./internal/wal/
 
 check: build vet test race
 

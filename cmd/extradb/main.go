@@ -6,19 +6,25 @@
 //	extradb -                                 # read a script from stdin
 //	extradb -dir ./data script.extra          # persist (and reopen) under ./data
 //	extradb -listen :8080 script.extra        # keep serving /metrics after the scripts
+//	extradb -dir ./data -ship-listen :7071    # ship the WAL to read replicas
+//	extradb -dir ./rep -follow host:7071      # run as a read-only follower
 //
 // Retrieve statements print aligned tables; other statements print one-line
-// summaries. With -listen, the process stays up after the scripts finish,
-// serving Prometheus metrics, /debug/vars, /debug/traces, and /debug/pprof
-// on the given address until interrupted.
+// summaries. With -listen, -ship-listen, or -follow the process stays up
+// after the scripts finish — serving telemetry, shipping the log, or
+// replaying the primary's stream — until interrupted; SIGINT/SIGTERM shut the
+// telemetry server down gracefully (in-flight scrapes finish) and close the
+// database cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/exodb/fieldrepl"
@@ -35,16 +41,32 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the observability snapshot as JSON after all scripts")
 	slowMS := flag.Int("slowms", 0, "log operations slower than this many milliseconds to stderr (0 = off)")
 	listen := flag.String("listen", "", "serve /metrics, /debug/vars, /debug/traces, /debug/pprof on this address and stay up after the scripts")
+	shipListen := flag.String("ship-listen", "", "ship the WAL to follower replicas connecting on this address (requires -dir)")
+	follow := flag.String("follow", "", "open as a read-only follower replicating from this primary address (requires -dir)")
+	syncFollowers := flag.Int("sync-followers", 0, "with -ship-listen: commits wait for this many follower acks (0 = asynchronous)")
 	flag.Parse()
-	if flag.NArg() == 0 && *listen == "" {
-		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-listen ADDR] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
+	stayUp := *listen != "" || *shipListen != "" || *follow != ""
+	if flag.NArg() == 0 && !stayUp {
+		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-listen ADDR] [-ship-listen ADDR] [-follow ADDR] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
 		os.Exit(2)
 	}
 
-	db, err := fieldrepl.Open(fieldrepl.Config{
+	// The signal context is the process's lifetime: SIGINT/SIGTERM cancel it,
+	// and everything below unwinds through the deferred closes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := fieldrepl.Config{
 		Dir: *dir, PoolPages: *pool,
 		ScanWorkers: *workers, PoolShards: *shards, Readahead: *readahead,
-	})
+	}
+	var db *fieldrepl.DB
+	var err error
+	if *follow != "" {
+		db, err = fieldrepl.OpenFollower(cfg, *follow, fieldrepl.FollowerConfig{})
+	} else {
+		db, err = fieldrepl.Open(cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -55,12 +77,22 @@ func main() {
 				r.ID, r.Kind, r.Set, r.Plan, r.Wall, r.StoreReads+r.StoreWrites)
 		})
 	}
-	if *listen != "" {
-		srv, err := db.ServeMetrics(*listen)
+	if *shipListen != "" {
+		addr, err := db.ServeReplication(*shipListen, fieldrepl.ReplicationConfig{MinSyncFollowers: *syncFollowers})
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "-- replication: shipping WAL on %s\n", addr)
+	}
+	if *follow != "" {
+		fmt.Fprintf(os.Stderr, "-- replication: following %s (read-only until promoted)\n", *follow)
+	}
+	var srv *fieldrepl.MetricsServer
+	if *listen != "" {
+		srv, err = db.ServeMetrics(*listen)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Fprintf(os.Stderr, "-- telemetry: http://%s/metrics\n", srv.Addr())
 	}
 	// seen tracks trace ids already printed by -explain. The recent ring is in
@@ -115,10 +147,17 @@ func main() {
 		}
 		fmt.Println(string(js))
 	}
-	if *listen != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+	if stayUp {
+		<-ctx.Done()
+		stop() // restore default handling: a second signal kills immediately
+		fmt.Fprintln(os.Stderr, "-- shutting down")
+		if srv != nil {
+			// Graceful: stop accepting scrapes, let in-flight responses
+			// finish, bounded so shutdown can't hang on a stuck client.
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}
 	}
 }
 

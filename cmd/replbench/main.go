@@ -1,0 +1,220 @@
+// Command replbench measures steady-state replication lag between a shipping
+// primary and one streaming follower, writing the results as JSON for
+// tracking alongside the paper figures.
+//
+//	replbench -out BENCH_repl.json
+//
+// The workload is concurrent one-shot inserts on the primary while a
+// follower on the same machine streams and applies the log. Two quantities
+// describe the lag, each as p50/p99 over the measurement window:
+//
+//   - lag in LSNs: primary durable LSN minus follower applied LSN, sampled
+//     at a fixed interval (how much log the follower has yet to absorb);
+//   - lag in milliseconds: how long the follower takes to reach a durable
+//     LSN the primary just reported (commit visibility delay on the replica).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fieldrepl "github.com/exodb/fieldrepl"
+)
+
+type result struct {
+	Writers       int     `json:"writers"`
+	Seconds       float64 `json:"seconds"`
+	Commits       int64   `json:"commits"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	LagLSNP50     uint64  `json:"lag_lsn_p50"`
+	LagLSNP99     uint64  `json:"lag_lsn_p99"`
+	LagMsP50      float64 `json:"lag_ms_p50"`
+	LagMsP99      float64 `json:"lag_ms_p99"`
+	Reconnects    int64   `json:"reconnects"`
+	Snapshots     int64   `json:"snapshots"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_repl.json", "write results to this file (- for stdout)")
+	dur := flag.Duration("dur", 2*time.Second, "measure duration per configuration")
+	flag.Parse()
+
+	var results []result
+	for _, w := range []int{1, 4} {
+		r, err := run(w, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "replbench: writers=%-2d  %8.0f commits/s  lag p50/p99 = %d/%d LSN, %.2f/%.2f ms\n",
+			r.Writers, r.CommitsPerSec, r.LagLSNP50, r.LagLSNP99, r.LagMsP50, r.LagMsP99)
+		results = append(results, r)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "replbench: wrote %s\n", *out)
+}
+
+// run stands up a primary+follower pair, drives writers concurrent insert
+// loops for roughly dur, and samples the follower's lag throughout.
+func run(writers int, dur time.Duration) (result, error) {
+	pdir, err := os.MkdirTemp("", "replbench-p-*")
+	if err != nil {
+		return result{}, err
+	}
+	defer os.RemoveAll(pdir)
+	fdir, err := os.MkdirTemp("", "replbench-f-*")
+	if err != nil {
+		return result{}, err
+	}
+	defer os.RemoveAll(fdir)
+
+	p, err := fieldrepl.Open(fieldrepl.Config{Dir: pdir, PoolPages: 4096})
+	if err != nil {
+		return result{}, err
+	}
+	defer p.Close()
+	if err := p.DefineType("EMP", []fieldrepl.Field{
+		{Name: "name", Kind: fieldrepl.String},
+		{Name: "salary", Kind: fieldrepl.Int},
+	}); err != nil {
+		return result{}, err
+	}
+	if err := p.CreateSet("Emp", "EMP"); err != nil {
+		return result{}, err
+	}
+	addr, err := p.ServeReplication("127.0.0.1:0", fieldrepl.ReplicationConfig{})
+	if err != nil {
+		return result{}, err
+	}
+
+	f, err := fieldrepl.OpenFollower(fieldrepl.Config{Dir: fdir, PoolPages: 4096}, addr, fieldrepl.FollowerConfig{})
+	if err != nil {
+		return result{}, err
+	}
+	defer f.Close()
+
+	// Warm up: one insert, then wait until the follower has it. This also
+	// absorbs the initial snapshot so it never pollutes the lag samples.
+	if _, err := p.Insert("Emp", fieldrepl.V{"name": fieldrepl.S("warmup"), "salary": fieldrepl.I(0)}); err != nil {
+		return result{}, err
+	}
+	warmDeadline := time.Now().Add(10 * time.Second)
+	for {
+		ps, fs := p.ReplicationStatus().Primary, f.ReplicationStatus().Follower
+		if fs.Connected && fs.AppliedLSN >= ps.DurableLSN {
+			break
+		}
+		if time.Now().After(warmDeadline) {
+			return result{}, fmt.Errorf("follower never caught up during warmup: %+v", fs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var (
+		commits  atomic.Int64
+		firstErr atomic.Value
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if _, err := p.Insert("Emp", fieldrepl.V{
+					"name":   fieldrepl.S(fmt.Sprintf("w%d-%d", w, i)),
+					"salary": fieldrepl.I(int64(i)),
+				}); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+
+	// Sample the two lag distributions until the deadline. LSN lag is an
+	// instantaneous snapshot; ms lag times how long the follower takes to
+	// reach the primary's durable LSN of this instant.
+	var lagLSN []uint64
+	var lagMs []float64
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		ps := p.ReplicationStatus().Primary
+		fs := f.ReplicationStatus().Follower
+		if ps.DurableLSN >= fs.AppliedLSN {
+			lagLSN = append(lagLSN, ps.DurableLSN-fs.AppliedLSN)
+		}
+		t0 := time.Now()
+		for f.ReplicationStatus().Follower.AppliedLSN < ps.DurableLSN {
+			if time.Since(t0) > 5*time.Second {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		lagMs = append(lagMs, float64(time.Since(t0).Microseconds())/1e3)
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return result{}, err
+	}
+
+	fs := f.ReplicationStatus().Follower
+	n := commits.Load()
+	return result{
+		Writers:       writers,
+		Seconds:       elapsed.Seconds(),
+		Commits:       n,
+		CommitsPerSec: float64(n) / elapsed.Seconds(),
+		LagLSNP50:     quantileU64(lagLSN, 0.50),
+		LagLSNP99:     quantileU64(lagLSN, 0.99),
+		LagMsP50:      quantileF64(lagMs, 0.50),
+		LagMsP99:      quantileF64(lagMs, 0.99),
+		Reconnects:    fs.Reconnects,
+		Snapshots:     fs.Snapshots,
+	}, nil
+}
+
+func quantileU64(xs []uint64, q float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(q*float64(len(s)-1))]
+}
+
+func quantileF64(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[int(q*float64(len(s)-1))]
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "replbench: %v\n", err)
+	os.Exit(1)
+}

@@ -5,6 +5,7 @@ import (
 	"github.com/exodb/fieldrepl/internal/engine"
 	"github.com/exodb/fieldrepl/internal/heap"
 	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/repl"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
 
@@ -36,4 +37,14 @@ var (
 	// ErrPathInUse: Unreplicate refused because an index is built on the
 	// path; drop the index first.
 	ErrPathInUse = core.ErrPathInUse
+	// ErrNotPrimary: a write operation on a read-only follower replica.
+	// Followers accept writes only after Promote.
+	ErrNotPrimary = engine.ErrNotPrimary
+	// ErrNotFollower: Promote on a database that is not a follower.
+	ErrNotFollower = engine.ErrNotFollower
+	// ErrFollowerLagged: Promote refused because the follower is still
+	// connected to a live primary and behind it — promoting now would fork
+	// the replication history. Retry once caught up, or after the primary is
+	// truly gone (the session drops).
+	ErrFollowerLagged = repl.ErrFollowerLagged
 )

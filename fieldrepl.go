@@ -78,13 +78,17 @@ func (db *DB) rlock() func() {
 	return db.mu.RUnlock
 }
 
-// Open creates a database.
-func Open(cfg Config) (*DB, error) {
-	e, err := engine.Open(engine.Config{
+func (cfg Config) engineConfig() engine.Config {
+	return engine.Config{
 		PoolPages: cfg.PoolPages, Dir: cfg.Dir, InlineMax: cfg.InlineMax,
 		PoolShards: cfg.PoolShards, Readahead: cfg.Readahead, ScanWorkers: cfg.ScanWorkers,
 		WALPath: cfg.WALPath, CommitInterval: cfg.CommitInterval, WALDisabled: cfg.WALDisabled,
-	})
+	}
+}
+
+// Open creates a database.
+func Open(cfg Config) (*DB, error) {
+	e, err := engine.Open(cfg.engineConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -497,6 +497,29 @@ func (p *Pool) FlushAllT(tr *obs.Trace) error {
 	return errors.Join(errs...)
 }
 
+// Invalidate drops the resident frame for pid without writing it back: the
+// caller has just changed the page on the store directly (the replication
+// applier installing a shipped after-image), so the cached copy is stale and
+// its dirty bit, if any, must not overwrite the newer on-disk bytes. It fails
+// with ErrStillPinned if the page is pinned; absent pages are a no-op.
+func (p *Pool) Invalidate(pid pagefile.PageID) error {
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	i, ok := sh.table[pid]
+	if !ok {
+		return nil
+	}
+	f := &sh.frames[i]
+	if f.pins > 0 {
+		return fmt.Errorf("%w: %s", ErrStillPinned, pid)
+	}
+	delete(sh.table, pid)
+	f.valid = false
+	f.dirty = false
+	return nil
+}
+
 // Reset flushes all dirty pages and then drops every resident page, leaving
 // the pool cold. It fails with ErrStillPinned if any page is pinned. The
 // experiment harness calls Reset between queries so each query starts with a
@@ -758,6 +781,31 @@ func (p *Pool) CaptureDirty() []pagefile.PageID {
 		pids = append(pids, pid)
 	}
 	p.capMu.Unlock()
+	sort.Slice(pids, func(i, j int) bool {
+		if pids[i].File != pids[j].File {
+			return pids[i].File < pids[j].File
+		}
+		return pids[i].Page < pids[j].Page
+	})
+	return pids
+}
+
+// DirtyPages returns the ids of every dirty resident page, in (file, page)
+// order. The engine's replication delta logging uses it to capture what a
+// FlushAll is about to write back; callers must hold the engine's writer lock
+// so the set cannot change underneath them.
+func (p *Pool) DirtyPages() []pagefile.PageID {
+	var pids []pagefile.PageID
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for j := range sh.frames {
+			if sh.frames[j].valid && sh.frames[j].dirty {
+				pids = append(pids, sh.frames[j].pid)
+			}
+		}
+		sh.mu.Unlock()
+	}
 	sort.Slice(pids, func(i, j int) bool {
 		if pids[i].File != pids[j].File {
 			return pids[i].File < pids[j].File

@@ -15,6 +15,9 @@ import (
 
 // DefineType registers a type (EXTRA "define type").
 func (db *DB) DefineType(name string, fields []schema.Field) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	_, err := db.cat.DefineType(name, fields)
@@ -24,12 +27,16 @@ func (db *DB) DefineType(name string, fields []schema.Field) error {
 // CreateSet creates a named top-level set stored as its own disk file
 // (EXTRA "create").
 func (db *DB) CreateSet(name, typeName string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	f, err := heap.Create(db.pool, name)
 	if err != nil {
 		return err
 	}
+	db.noteFileCreated(f.ID(), name)
 	if _, err := db.cat.CreateSet(name, typeName, f.ID()); err != nil {
 		return err
 	}
@@ -41,6 +48,9 @@ func (db *DB) CreateSet(name, typeName string) error {
 // ("Emp1.dept.name", "Emp1.dept.org.name", "Emp1.dept.all") and builds its
 // replicated state over existing data.
 func (db *DB) Replicate(path string, strategy catalog.Strategy, opts ...catalog.PathOption) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	spec, err := catalog.ParsePathSpec(path)
@@ -67,6 +77,9 @@ func (db *DB) Replicate(path string, strategy catalog.Strategy, opts ...catalog.
 // clustered records whether the set's file is physically ordered by this key
 // (a workload property; the executor uses it for plan metadata only).
 func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	typ, err := db.cat.SetType(set)
@@ -114,6 +127,7 @@ func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
 	if err != nil {
 		return err
 	}
+	db.noteFileCreated(tree.FileID(), "__idx_"+name)
 	ix := &catalog.Index{
 		Name: name, Set: set, Field: field, Path: refs,
 		Clustered: clustered, KeyKind: keyKind, FileID: tree.FileID(),
@@ -164,6 +178,9 @@ func (db *DB) BuildIndex(name, set, expr string, clustered bool) error {
 // registrations are torn down, and the catalog entry is dropped. Fails if an
 // index is built on the path's replicated values; drop the index first.
 func (db *DB) Unreplicate(path string, strategy catalog.Strategy) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	spec, err := catalog.ParsePathSpec(path)
@@ -194,6 +211,9 @@ func (db *DB) Unreplicate(path string, strategy catalog.Strategy) error {
 // DropIndex removes an index definition and stops maintaining it. The
 // index's pages are orphaned (page stores do not delete files).
 func (db *DB) DropIndex(name string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.cat.RemoveIndex(name); err != nil {

@@ -25,6 +25,9 @@ import (
 // hidden fields, inverted-path structures, S′ registration, and indexes are
 // maintained. The insert is durable when Insert returns.
 func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
+	if err := db.writable(); err != nil {
+		return pagefile.OID{}, err
+	}
 	tr := db.obs.Start(obs.KindDML, set, "insert")
 	db.lockWriter(tr)
 	db.writerTrace = tr
@@ -136,6 +139,9 @@ func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 // every replication structure and index. The update is durable when Update
 // returns.
 func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	tr := db.obs.Start(obs.KindDML, set, "update")
 	db.lockWriter(tr)
 	db.writerTrace = tr
@@ -202,6 +208,9 @@ func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value)
 // path are refused (core.ErrStillReferenced). The delete is durable when
 // Delete returns.
 func (db *DB) Delete(set string, oid pagefile.OID) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	tr := db.obs.Start(obs.KindDML, set, "delete")
 	db.lockWriter(tr)
 	db.writerTrace = tr

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/exodb/fieldrepl/internal/btree"
@@ -20,6 +21,7 @@ import (
 	"github.com/exodb/fieldrepl/internal/heap"
 	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/repl"
 	"github.com/exodb/fieldrepl/internal/schema"
 	"github.com/exodb/fieldrepl/internal/wal"
 )
@@ -120,12 +122,46 @@ type DB struct {
 	// wal is the write-ahead log, nil for in-memory or WALDisabled
 	// databases.
 	wal *wal.Manager
+	// inlineMax is the resolved link-inlining threshold, kept so a follower
+	// can rebuild the replication manager around a streamed catalog.
+	inlineMax int
+
+	// Replication state. role gates write entry points (rolePrimary accepts
+	// them, roleFollower fails them with ErrNotPrimary); the only transition
+	// is follower → primary in Promote. primary/follower hold the active
+	// shipping/applying components, nil when replication is not running.
+	role     atomic.Int32
+	primary  atomic.Pointer[repl.Primary]
+	follower atomic.Pointer[repl.Follower]
 	// txn is the transaction currently holding the writer lock (explicit
 	// Begin or an implicit one-shot), or nil. Set and read only under
 	// db.mu.Lock; internal helpers use it to register undo actions and to
 	// suppress the legacy compensate-or-taint paths (a transaction rolls
 	// back physically instead).
 	txn *Txn
+
+	// pendingFiles are page files created outside any transaction (DDL: set
+	// heaps, index trees, path build files) that the log has not yet shipped.
+	// While the database is shipping its WAL, sync() logs them — together
+	// with the dirty pages it is about to flush — as a commit, so a streaming
+	// follower learns of files that local recovery gets for free from the
+	// filesystem. Cleared by each successful sync (a checkpoint either ships
+	// or truncates them). Guarded by db.mu.Lock.
+	pendingFiles []wal.FileCreate
+	// scratchFIDs marks session-local files (query outputs) that must never
+	// be logged or shipped: followers fill the ID gaps with placeholders
+	// instead. Guarded by db.mu.Lock; file IDs are never reused.
+	scratchFIDs map[pagefile.FileID]bool
+}
+
+// noteFileCreated records a file created outside any transaction so the next
+// sync() can ship its creation to followers. Inside a transaction the Txn's
+// newFiles list serves the same purpose. Called under db.mu.Lock.
+func (db *DB) noteFileCreated(fid pagefile.FileID, name string) {
+	if db.wal == nil {
+		return
+	}
+	db.pendingFiles = append(db.pendingFiles, wal.FileCreate{FID: fid, Name: name})
 }
 
 // takeIdxErr returns and clears a deferred index-maintenance error.
@@ -244,16 +280,17 @@ func Open(cfg Config) (*DB, error) {
 		pool.SetWriteBarrier(walMgr.EnsureDurablePage)
 	}
 	db := &DB{
-		store:    store,
-		pool:     pool,
-		cat:      cat,
-		dir:      cfg.Dir,
-		workers:  workers,
-		files:    map[pagefile.FileID]*heap.File{},
-		trees:    map[string]*btree.Tree{},
-		obs:      obs.NewRegistry(pagefile.PageSize),
-		lockWait: obs.NewHistogram(),
-		wal:      walMgr,
+		store:       store,
+		pool:        pool,
+		cat:         cat,
+		dir:         cfg.Dir,
+		workers:     workers,
+		files:       map[pagefile.FileID]*heap.File{},
+		trees:       map[string]*btree.Tree{},
+		obs:         obs.NewRegistry(pagefile.PageSize),
+		lockWait:    obs.NewHistogram(),
+		wal:         walMgr,
+		scratchFIDs: map[pagefile.FileID]bool{},
 	}
 	inlineMax := cfg.InlineMax
 	if inlineMax == 0 {
@@ -261,6 +298,7 @@ func Open(cfg Config) (*DB, error) {
 	} else if inlineMax < 0 {
 		inlineMax = 0
 	}
+	db.inlineMax = inlineMax
 	db.mgr = core.New(db.cat, db, core.WithInlineMax(inlineMax), core.WithListener(db))
 	if reopen {
 		if err := db.rehydrate(); err != nil {
@@ -329,6 +367,10 @@ func (db *DB) rehydrate() error {
 // for file-backed databases so they can be reopened. With a WAL, everything
 // is made durable and the log is truncated, so reopening replays nothing.
 func (db *DB) Close() error {
+	// Replication components must stop before the lock is taken: the
+	// follower applier acquires db.mu inside ApplyTxns, and the primary's
+	// snapshot callback does too.
+	db.closeRepl()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.pool.FlushAll(); err != nil {
@@ -366,7 +408,11 @@ func (db *DB) writeCatalog() error {
 	if err != nil {
 		return err
 	}
-	if db.wal != nil {
+	// A follower never appends to its own log: its LSN sequence is a copy of
+	// the primary's, and a local commit would collide with streamed records.
+	// Its catalog durability comes from the streamed RecCatalog records
+	// already in the local log.
+	if db.wal != nil && db.role.Load() != roleFollower {
 		lsn, _, err := db.wal.AppendCommit(nil, nil, data)
 		if err != nil {
 			return err
@@ -391,6 +437,9 @@ func (db *DB) Sync() error {
 // it is also the checkpoint: once the data files and catalog are durable the
 // log no longer needs to cover them and is truncated.
 func (db *DB) sync() error {
+	if err := db.logShipDelta(); err != nil {
+		return err
+	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -401,8 +450,56 @@ func (db *DB) sync() error {
 		return err
 	}
 	if db.wal != nil {
-		return db.wal.Checkpoint()
+		if err := db.wal.Checkpoint(); err != nil {
+			return err
+		}
 	}
+	// Everything pending is now either shipped (logShipDelta) or durable in
+	// the store with the log checkpointed past it.
+	db.pendingFiles = nil
+	return nil
+}
+
+// logShipDelta ships what a DDL-style sync is about to flush. Local
+// durability never needs it: FlushAll writes the pages and the filesystem
+// already holds the created files, so the checkpoint can truncate the log.
+// But while the WAL is being shipped, the catalog-only commit writeCatalog
+// appends would reach followers referencing files and pages that never
+// traveled through the log (checkpoint truncation is deferred for connected
+// followers, so no snapshot resync saves them). So: when actively shipping,
+// log a commit carrying the untransacted file creations and full images of
+// every dirty non-scratch page, before the flush. Re-logging a page a DML
+// commit already covered is redundant but harmless — apply is idempotent.
+// Called under db.mu.Lock as part of sync().
+func (db *DB) logShipDelta() error {
+	if db.wal == nil || db.primary.Load() == nil || db.role.Load() == roleFollower {
+		return nil
+	}
+	var images []wal.PageImage
+	for _, pid := range db.pool.DirtyPages() {
+		if db.scratchFIDs[pid.File] {
+			continue
+		}
+		data, ok := db.pool.SnapshotPage(pid)
+		if !ok {
+			continue // raced out of residence; impossible under the writer lock
+		}
+		images = append(images, wal.PageImage{PID: pid, Data: data})
+	}
+	files := db.pendingFiles
+	if len(files) == 0 && len(images) == 0 {
+		return nil
+	}
+	if _, _, err := db.wal.AppendCommit(files, images, nil); err != nil {
+		return err
+	}
+	// Stamp the logged LSNs into the resident frames so the images FlushAll
+	// writes back match the logged ones, and the write barrier forces the log
+	// through them first.
+	for i := range images {
+		db.pool.StampLSN(images[i].PID, images[i].LSN)
+	}
+	db.pendingFiles = nil
 	return nil
 }
 
@@ -446,6 +543,9 @@ func (db *DB) TaintedSets() map[string]string {
 // (see core.Repair) and, when the post-repair verification comes back clean,
 // clears the taint markers and makes the repaired state durable.
 func (db *DB) Repair() (*core.RepairReport, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	rep, err := db.mgr.Repair()
@@ -544,6 +644,8 @@ func (db *DB) LinkFile(l *catalog.Link) (*heap.File, error) {
 			l.FileID = 0
 			delete(db.files, f.ID())
 		})
+	} else {
+		db.noteFileCreated(f.ID(), fmt.Sprintf("__link_%d", l.ID))
 	}
 	return f.WithTrace(db.writerTrace), nil
 }
@@ -566,6 +668,8 @@ func (db *DB) GroupFile(g *catalog.Group) (*heap.File, error) {
 			g.FileID = 0
 			delete(db.files, f.ID())
 		})
+	} else {
+		db.noteFileCreated(f.ID(), fmt.Sprintf("__sprime_%d", g.ID))
 	}
 	return f.WithTrace(db.writerTrace), nil
 }
@@ -585,6 +689,8 @@ func (db *DB) RecreateGroupFile(g *catalog.Group) (*heap.File, error) {
 			g.FileID, g.HasFile = prevID, prevHas
 			delete(db.files, f.ID())
 		})
+	} else {
+		db.noteFileCreated(f.ID(), fmt.Sprintf("__sprime_%d_r", g.ID))
 	}
 	return f.WithTrace(db.writerTrace), nil
 }
@@ -621,6 +727,12 @@ func (db *DB) waitDurable(lsn uint64, tr *obs.Trace) error {
 	start := time.Now()
 	err := db.wal.WaitDurable(lsn)
 	tr.LogWait(time.Since(start))
+	if err == nil {
+		// Semi-synchronous replication: when configured, wait (bounded) for
+		// follower acks too. Called outside db.mu like the fsync wait, so
+		// commits overlap in both rendezvous.
+		db.waitReplicated(lsn)
+	}
 	return err
 }
 

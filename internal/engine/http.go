@@ -85,6 +85,34 @@ func (db *DB) handleProm(w http.ResponseWriter, _ *http.Request) {
 		obs.PromGauge(w, "fieldrepl_wal_sync_queue", "Committers currently inside the durability wait.", float64(st.SyncQueue))
 		obs.PromHeader(w, "fieldrepl_wal_fsync_wait_seconds", "histogram", "Time committers spent in the group-commit durability rendezvous.")
 		obs.PromHistogram(w, "fieldrepl_wal_fsync_wait_seconds", db.wal.FsyncWaitHist())
+		obs.PromCounter(w, "fieldrepl_wal_checkpoints_deferred_total", "Checkpoints that kept the log for a replication consumer.", st.CheckpointsDeferred)
+	}
+
+	if p := db.primary.Load(); p != nil {
+		ps := p.Status()
+		obs.PromGauge(w, "fieldrepl_repl_followers", "Followers currently connected.", float64(len(ps.Followers)))
+		obs.PromCounter(w, "fieldrepl_repl_sync_timeouts_total", "Semi-sync waits that degraded to asynchronous.", ps.SyncTimeouts)
+		obs.PromCounter(w, "fieldrepl_repl_unreplicated_total", "Semi-sync commits acked with no follower connected.", ps.Unreplicated)
+		obs.PromCounter(w, "fieldrepl_repl_resyncs_total", "Followers sent back for a full snapshot.", ps.Resyncs)
+		obs.PromCounter(w, "fieldrepl_repl_snapshots_total", "Snapshots shipped to followers.", ps.Snapshots)
+		obs.PromHeader(w, "fieldrepl_repl_follower_lag_lsn", "gauge", "Per-follower replication lag in LSNs (primary durable - follower acked).")
+		for _, fi := range ps.Followers {
+			obs.PromValue(w, "fieldrepl_repl_follower_lag_lsn", float64(fi.LagLSN), "addr", fi.Addr)
+		}
+	}
+	if f := db.follower.Load(); f != nil {
+		fs := f.Status()
+		connected := 0.0
+		if fs.Connected {
+			connected = 1
+		}
+		obs.PromGauge(w, "fieldrepl_repl_connected", "1 while the follower's replication session is established.", connected)
+		obs.PromGauge(w, "fieldrepl_repl_applied_lsn", "Last LSN durably applied by this follower.", float64(fs.AppliedLSN))
+		obs.PromGauge(w, "fieldrepl_repl_lag_lsn", "Replication lag in LSNs as of the last heartbeat.", float64(fs.LagLSN))
+		obs.PromCounter(w, "fieldrepl_repl_reconnects_total", "Replication session reconnect attempts.", fs.Reconnects)
+		obs.PromCounter(w, "fieldrepl_repl_bad_frames_total", "Record batches rejected for framing or CRC damage.", fs.BadFrames)
+		obs.PromHeader(w, "fieldrepl_repl_apply_seconds", "histogram", "Follower batch apply latency (receipt to local durability).")
+		obs.PromHistogram(w, "fieldrepl_repl_apply_seconds", f.ApplyHist())
 	}
 }
 

@@ -95,6 +95,9 @@ func (db *DB) chainReaches(typ *schema.Type, obj *schema.Object, refs []string, 
 
 // FlushReplication drains all pending deferred propagations.
 func (db *DB) FlushReplication() error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.mgr.FlushAllPending()

@@ -141,6 +141,14 @@ func (db *DB) runQuery(ctx context.Context, q Query, tr *obs.Trace) (*Result, er
 		// so the re-check inside query (flushDeferredFor) is authoritative
 		// once we hold it.
 		db.mu.RUnlock()
+		// Both mutating branches are writes: emitting an output file creates
+		// an unlogged scratch file (which would desynchronize file IDs with
+		// the primary), and draining deferred propagation mutates derived
+		// state the primary will also stream. A follower refuses rather than
+		// diverging.
+		if err := db.writable(); err != nil {
+			return nil, err
+		}
 		db.lockWriter(tr)
 		// Bind the writer trace so deferred-propagation drains and output
 		// inserts performed through core.Storage are charged to this query.
@@ -185,6 +193,7 @@ func (db *DB) query(ctx context.Context, q Query, tr *obs.Trace) (*Result, error
 			return nil, err
 		}
 		db.files[out.ID()] = out
+		db.scratchFIDs[out.ID()] = true
 		if t := db.txn; t != nil {
 			// Output files are session scratch: not logged at commit, and the
 			// in-memory registration is unwound at rollback (the on-disk file,
@@ -661,6 +670,9 @@ func (db *DB) UpdateWhereTraced(set string, where Pred, vals map[string]schema.V
 }
 
 func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, obs.Record, error) {
+	if err := db.writable(); err != nil {
+		return 0, obs.Record{}, err
+	}
 	tr := db.obs.Start(obs.KindUpdate, set, where.Expr)
 	db.lockWriter(tr)
 	db.writerTrace = tr

@@ -55,6 +55,9 @@ type Txn struct {
 // blocks until the engine's writer lock is available; the lock is held until
 // Commit or Rollback.
 func (db *DB) Begin(ctx context.Context) (*Txn, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	tr := db.obs.Start(obs.KindTxn, "", "txn")
 	db.lockWriter(tr)
 	if err := db.pool.BeginCapture(); err != nil {

@@ -1,0 +1,222 @@
+package repl
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/wal"
+)
+
+// testFollowerConfig keeps reconnects and idle drops fast so the fake-primary
+// sessions end in milliseconds instead of the production 10s idle timeout.
+func testFollowerConfig() FollowerConfig {
+	return FollowerConfig{
+		MinBackoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+		IdleTimeout: 300 * time.Millisecond,
+	}
+}
+
+// stubTarget records what the applier feeds it.
+type stubTarget struct {
+	mu    sync.Mutex
+	last  uint64
+	txns  []Txn
+	snaps int
+}
+
+func (s *stubTarget) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+func (s *stubTarget) ApplySnapshot(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snaps++
+	s.last = snap.LSN
+	return nil
+}
+
+func (s *stubTarget) ApplyTxns(txns []Txn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.txns = append(s.txns, txns...)
+	s.last = txns[len(txns)-1].LastLSN
+	return nil
+}
+
+// walFrame builds one CRC-framed WAL record the way the primary ships them.
+func walFrame(typ byte, lsn uint64, payload []byte) []byte {
+	body := make([]byte, 9+len(payload))
+	body[0] = typ
+	binary.LittleEndian.PutUint64(body[1:], lsn)
+	copy(body[9:], payload)
+	out := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(body))
+	copy(out[8:], body)
+	return out
+}
+
+// records builds a MsgRecords payload: u64 lastLSN | raw frames.
+func records(lastLSN uint64, frames ...[]byte) []byte {
+	out := putU64(lastLSN)
+	for _, f := range frames {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// fakeSession runs one primary-side connection: read the Hello, open the
+// stream at the follower's LSN, run script, then collect acks until the
+// follower drops the connection. Returns the acked LSNs.
+func fakeSession(t *testing.T, conn net.Conn, script func(resumeAt uint64)) []uint64 {
+	t.Helper()
+	defer conn.Close()
+	typ, payload, err := readMsg(conn)
+	if err != nil || typ != MsgHello {
+		t.Errorf("handshake: type %d, err %v", typ, err)
+		return nil
+	}
+	if magic := binary.LittleEndian.Uint32(payload); magic != protoMagic {
+		t.Errorf("hello magic %#x", magic)
+		return nil
+	}
+	resumeAt := binary.LittleEndian.Uint64(payload[8:])
+	if err := writeMsg(conn, MsgStreamBegin, putU64(resumeAt)); err != nil {
+		t.Errorf("stream begin: %v", err)
+		return nil
+	}
+	script(resumeAt)
+	var acks []uint64
+	for {
+		typ, payload, err := readMsg(conn)
+		if err != nil {
+			return acks // follower dropped the connection
+		}
+		if typ == MsgAck {
+			if lsn, err := u64(payload); err == nil {
+				acks = append(acks, lsn)
+			}
+		}
+	}
+}
+
+// TestFollowerRejectsBadFrameThenRecovers ships a Records batch whose frame
+// bytes are garbage (the envelope CRC is valid, the inner WAL frame is not):
+// the follower must count a bad frame, apply nothing, drop the connection,
+// and on the reconnect apply a clean batch and ack it.
+func TestFollowerRejectsBadFrameThenRecovers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	target := &stubTarget{}
+	sessions := make(chan []uint64, 2)
+	go func() {
+		// Session 1: garbage frame bytes inside a well-formed envelope.
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sessions <- fakeSession(t, conn, func(uint64) {
+			garbage := walFrame(wal.RecCommit, 1, nil)
+			garbage[10] ^= 0xFF // damage the body; envelope CRC is recomputed by writeMsg
+			_ = writeMsg(conn, MsgRecords, records(1, garbage))
+		})
+		// Session 2: a clean single-commit transaction.
+		conn, err = ln.Accept()
+		if err != nil {
+			return
+		}
+		sessions <- fakeSession(t, conn, func(uint64) {
+			_ = writeMsg(conn, MsgRecords, records(1, walFrame(wal.RecCommit, 1, nil)))
+		})
+	}()
+
+	f := StartFollower(ln.Addr().String(), target, testFollowerConfig())
+	defer f.Stop()
+
+	if acks := <-sessions; len(acks) != 0 {
+		t.Fatalf("damaged batch was acked: %v", acks)
+	}
+	acks := <-sessions
+	if len(acks) == 0 || acks[len(acks)-1] != 1 {
+		t.Fatalf("clean batch acks = %v, want final ack at LSN 1", acks)
+	}
+
+	st := f.Status()
+	if st.BadFrames != 1 {
+		t.Fatalf("BadFrames = %d, want 1", st.BadFrames)
+	}
+	if st.Reconnects < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1", st.Reconnects)
+	}
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if len(target.txns) != 1 || target.txns[0].LastLSN != 1 {
+		t.Fatalf("applied txns = %+v, want one txn at LSN 1", target.txns)
+	}
+}
+
+// TestFollowerBuffersSplitTransaction streams one transaction split across
+// two Records batches: nothing may be applied or acked until the commit
+// record arrives, and the applied txn must carry all its records.
+func TestFollowerBuffersSplitTransaction(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	target := &stubTarget{}
+	page := make([]byte, 8+pagefile.PageSize) // u32 fid | u32 page | image
+	binary.LittleEndian.PutUint32(page[0:], 3)
+	binary.LittleEndian.PutUint32(page[4:], 0)
+
+	sessions := make(chan []uint64, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sessions <- fakeSession(t, conn, func(uint64) {
+			// First batch: the page record only — an open transaction.
+			_ = writeMsg(conn, MsgRecords, records(1, walFrame(wal.RecPage, 1, page)))
+			// Heartbeat in between must re-ack 0, not the open txn.
+			_ = writeMsg(conn, MsgHeartbeat, putU64(1))
+			// Second batch: the commit closes it.
+			_ = writeMsg(conn, MsgRecords, records(2, walFrame(wal.RecCommit, 2, nil)))
+		})
+	}()
+
+	f := StartFollower(ln.Addr().String(), target, testFollowerConfig())
+	defer f.Stop()
+
+	acks := <-sessions
+	for _, a := range acks {
+		if a != 0 && a != 2 {
+			t.Fatalf("acked LSN %d; only 0 (idle re-ack) and 2 (the commit) are legal", a)
+		}
+	}
+	if len(acks) == 0 || acks[len(acks)-1] != 2 {
+		t.Fatalf("acks = %v, want final ack at the commit LSN 2", acks)
+	}
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if len(target.txns) != 1 {
+		t.Fatalf("applied %d txns, want exactly 1", len(target.txns))
+	}
+	txn := target.txns[0]
+	if txn.LastLSN != 2 || len(txn.Pages) != 1 || txn.Records != 2 {
+		t.Fatalf("txn = {last %d, pages %d, records %d}, want {2, 1, 2}", txn.LastLSN, len(txn.Pages), txn.Records)
+	}
+}

@@ -46,10 +46,13 @@ const (
 	walVersion = 1
 	headerSize = 16 // magic u32 | version u32 | baseLSN u64
 
-	recPage       = 1
-	recCommit     = 2
-	recCatalog    = 3
-	recFileCreate = 4
+	// RecPage, RecCommit, RecCatalog and RecFileCreate are the framed record
+	// types. They are exported so the replication layer, which ships raw
+	// frames to followers, can decode what it is applying.
+	RecPage       = 1
+	RecCommit     = 2
+	RecCatalog    = 3
+	RecFileCreate = 4
 
 	// maxBodyLen bounds a record body during the recovery scan; anything
 	// larger is treated as a torn tail rather than risking a huge allocation
@@ -85,6 +88,9 @@ type Stats struct {
 	Fsyncs      int64 `json:"fsyncs"`
 	Bytes       int64 `json:"bytes"`
 	Checkpoints int64 `json:"checkpoints"`
+	// CheckpointsDeferred counts checkpoints that skipped truncation because
+	// a replication consumer still needed the retained records.
+	CheckpointsDeferred int64 `json:"checkpoints_deferred"`
 	// SyncWaits counts WaitDurable calls that found their LSN not yet
 	// durable and actually waited; SharedSyncs counts the subset resolved by
 	// another caller's fsync. SyncQueue is the instantaneous number of
@@ -124,6 +130,25 @@ type Manager struct {
 	durable  atomic.Uint64 // highest LSN known fsync'd
 	interval time.Duration // optional batching window before claiming leadership
 
+	// Shipping state (guarded by mu). base is the header's base LSN; epoch
+	// increments every time the log is truncated or reset, invalidating tail
+	// cursors whose file offsets refer to the previous log generation;
+	// durableOff is the file offset covered by the last fsync — the shipping
+	// boundary, so a tail reader never ships bytes a crash could take back.
+	base       uint64
+	epoch      uint64
+	durableOff int64
+	// notify is closed and replaced whenever the durable LSN advances (or the
+	// log closes), waking tail readers blocked in WaitDurableAbove.
+	notify chan struct{}
+	// retain, when set, reports the minimum LSN a log consumer (the
+	// replication shipper) still needs; Checkpoint defers truncation while
+	// records at or after it would be lost, unless the log has grown past
+	// retainBytes (0 = no bound), at which point truncation is forced and the
+	// lagging consumer must full-resync.
+	retain      func() (uint64, bool)
+	retainBytes int64
+
 	records     atomic.Int64
 	commits     atomic.Int64
 	fsyncs      atomic.Int64
@@ -137,6 +162,8 @@ type Manager struct {
 	syncWaits   atomic.Int64
 	sharedSyncs atomic.Int64
 	syncQueue   atomic.Int64
+
+	ckptDeferred atomic.Int64
 }
 
 // Open opens (creating if absent) the log at path, replays any committed
@@ -156,6 +183,7 @@ func Open(path string, store pagefile.Store, interval time.Duration) (*Manager, 
 		pageLSN:   make(map[pagefile.PageID]uint64),
 		interval:  interval,
 		fsyncWait: obs.NewHistogram(),
+		notify:    make(chan struct{}),
 	}
 	rep := &RecoveryReport{}
 
@@ -193,6 +221,10 @@ func Open(path string, store pagefile.Store, interval time.Duration) (*Manager, 
 	// Appends resume at the end of the valid prefix; a torn tail is
 	// overwritten by the next append.
 	m.off = end
+	m.base = base
+	// Everything replayed was applied to the store; treat the valid prefix as
+	// the shipping boundary (the caller checkpoints right after recovery).
+	m.durableOff = end
 	return m, rep, nil
 }
 
@@ -211,6 +243,10 @@ func (m *Manager) writeHeader(base uint64) error {
 		return fmt.Errorf("wal: sync header: %w", err)
 	}
 	m.fsyncs.Add(1)
+	// The log restarted: offsets from the previous generation are invalid.
+	m.base = base
+	m.epoch++
+	m.durableOff = headerSize
 	return nil
 }
 
@@ -272,7 +308,7 @@ func (m *Manager) replay(store pagefile.Store, base uint64, rep *RecoveryReport)
 		payload := body[9:]
 
 		switch typ {
-		case recFileCreate:
+		case RecFileCreate:
 			if len(payload) < 4 {
 				rep.TornTail = true
 				goto done
@@ -281,7 +317,7 @@ func (m *Manager) replay(store pagefile.Store, base uint64, rep *RecoveryReport)
 				FID:  pagefile.FileID(binary.LittleEndian.Uint32(payload)),
 				Name: string(payload[4:]),
 			})
-		case recPage:
+		case RecPage:
 			if len(payload) != 8+pagefile.PageSize {
 				rep.TornTail = true
 				goto done
@@ -295,9 +331,9 @@ func (m *Manager) replay(store pagefile.Store, base uint64, rep *RecoveryReport)
 			}
 			copy(img.Data[:], payload[8:])
 			pendPages = append(pendPages, img)
-		case recCatalog:
+		case RecCatalog:
 			pendCatalog = append([]byte(nil), payload...)
-		case recCommit:
+		case RecCommit:
 			if err := m.applyCommitted(store, pendFiles, pendPages, rep); err != nil {
 				return 0, 0, err
 			}
@@ -318,12 +354,24 @@ done:
 	return lastLSN, off, nil
 }
 
-// applyCommitted redoes one committed transaction: recreate missing files,
-// then write each page image unless the store already has a same-or-newer
-// version (strictly-less comparison: a disk page with an equal LSN is left
-// alone, and pages written outside the log carry LSN 0 and are only
-// overwritten when unreadable).
+// applyCommitted redoes one committed transaction during recovery replay,
+// counting the applied records in the manager's stats.
 func (m *Manager) applyCommitted(store pagefile.Store, files []FileCreate, pages []PageImage, rep *RecoveryReport) error {
+	if err := ApplyCommitted(store, files, pages, rep); err != nil {
+		return err
+	}
+	m.records.Add(int64(len(files) + len(pages)))
+	return nil
+}
+
+// ApplyCommitted redoes one committed transaction onto store: recreate
+// missing files, then write each page image unless the store already has a
+// same-or-newer version (strictly-less comparison: a disk page with an equal
+// LSN is left alone, and pages written outside the log carry LSN 0 and are
+// only overwritten when unreadable). It is idempotent, which is what lets
+// recovery replay and follower apply share it: re-applying an already
+// applied transaction only bumps PagesSkipped.
+func ApplyCommitted(store pagefile.Store, files []FileCreate, pages []PageImage, rep *RecoveryReport) error {
 	for _, fc := range files {
 		if _, err := store.FileName(fc.FID); err == nil {
 			continue // file survived the crash
@@ -373,7 +421,6 @@ func (m *Manager) applyCommitted(store pagefile.Store, files []FileCreate, pages
 		}
 		rep.PagesApplied++
 	}
-	m.records.Add(int64(len(files) + len(pages)))
 	return nil
 }
 
@@ -397,7 +444,7 @@ func (m *Manager) AppendCommit(files []FileCreate, pages []PageImage, catalog []
 		payload := make([]byte, 4+len(fc.Name))
 		binary.LittleEndian.PutUint32(payload, uint32(fc.FID))
 		copy(payload[4:], fc.Name)
-		buf = m.frameRecord(buf, recFileCreate, payload)
+		buf = m.frameRecord(buf, RecFileCreate, payload)
 	}
 	for i := range pages {
 		img := &pages[i]
@@ -409,12 +456,12 @@ func (m *Manager) AppendCommit(files []FileCreate, pages []PageImage, catalog []
 		binary.LittleEndian.PutUint32(payload, uint32(img.PID.File))
 		binary.LittleEndian.PutUint32(payload[4:], img.PID.Page)
 		copy(payload[8:], img.Data[:])
-		buf = m.frameRecord(buf, recPage, payload)
+		buf = m.frameRecord(buf, RecPage, payload)
 	}
 	if catalog != nil {
-		buf = m.frameRecord(buf, recCatalog, catalog)
+		buf = m.frameRecord(buf, RecCatalog, catalog)
 	}
-	buf = m.frameRecord(buf, recCommit, nil)
+	buf = m.frameRecord(buf, RecCommit, nil)
 	commitLSN := m.nextLSN - 1
 
 	if _, err := m.f.WriteAt(buf, m.off); err != nil {
@@ -501,6 +548,7 @@ func (m *Manager) syncTo(lsn uint64) (shared bool, err error) {
 		return false, ErrClosed
 	}
 	target := m.appended
+	targetOff := m.off
 	f := m.f
 	m.mu.Unlock()
 	if err := f.Sync(); err != nil {
@@ -508,6 +556,16 @@ func (m *Manager) syncTo(lsn uint64) (shared bool, err error) {
 	}
 	m.fsyncs.Add(1)
 	m.durable.Store(target)
+	// Publish the new shipping boundary and wake tail readers. The offset is
+	// compared because a checkpoint between the capture above and here resets
+	// durableOff for the new log generation.
+	m.mu.Lock()
+	if targetOff > m.durableOff {
+		m.durableOff = targetOff
+	}
+	close(m.notify)
+	m.notify = make(chan struct{})
+	m.mu.Unlock()
 	return false, nil
 }
 
@@ -530,6 +588,13 @@ func (m *Manager) EnsureDurablePage(pid pagefile.PageID) error {
 // header. The caller must have flushed and fsync'd the data files (and
 // persisted the catalog) first: after Checkpoint the log no longer covers
 // them.
+//
+// When a retain hook is registered (replication shipping) and a consumer
+// still needs records this log holds, truncation is deferred: the data files
+// are durable, so the write-barrier entries are dropped, but the records stay
+// on disk for the shipper. A deferred checkpoint is not an error. Once the
+// log outgrows the configured retain bound the truncation happens anyway and
+// the lagging consumer must full-resync.
 func (m *Manager) Checkpoint() error {
 	m.syncMu.Lock()
 	defer m.syncMu.Unlock()
@@ -537,6 +602,13 @@ func (m *Manager) Checkpoint() error {
 	defer m.mu.Unlock()
 	if m.closed {
 		return ErrClosed
+	}
+	if m.retain != nil {
+		if minLSN, ok := m.retain(); ok && minLSN < m.appended && (m.retainBytes <= 0 || m.off <= m.retainBytes) {
+			m.pageLSN = make(map[pagefile.PageID]uint64)
+			m.ckptDeferred.Add(1)
+			return nil
+		}
 	}
 	if err := m.writeHeader(m.nextLSN); err != nil {
 		return err
@@ -552,14 +624,15 @@ func (m *Manager) Checkpoint() error {
 // Stats returns a snapshot of log activity counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Records:     m.records.Load(),
-		Commits:     m.commits.Load(),
-		Fsyncs:      m.fsyncs.Load(),
-		Bytes:       m.bytes.Load(),
-		Checkpoints: m.checkpoints.Load(),
-		SyncWaits:   m.syncWaits.Load(),
-		SharedSyncs: m.sharedSyncs.Load(),
-		SyncQueue:   m.syncQueue.Load(),
+		Records:             m.records.Load(),
+		Commits:             m.commits.Load(),
+		Fsyncs:              m.fsyncs.Load(),
+		Bytes:               m.bytes.Load(),
+		Checkpoints:         m.checkpoints.Load(),
+		CheckpointsDeferred: m.ckptDeferred.Load(),
+		SyncWaits:           m.syncWaits.Load(),
+		SharedSyncs:         m.sharedSyncs.Load(),
+		SyncQueue:           m.syncQueue.Load(),
 	}
 }
 
@@ -580,6 +653,9 @@ func (m *Manager) Close() error {
 		return nil
 	}
 	m.closed = true
+	// Wake tail readers so shipping loops observe the close promptly.
+	close(m.notify)
+	m.notify = make(chan struct{})
 	err := m.f.Sync()
 	if cerr := m.f.Close(); err == nil {
 		err = cerr

@@ -1,6 +1,7 @@
 package fieldrepl
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -152,10 +153,25 @@ func (db *DB) SetSlowQueryLog(threshold time.Duration, sink func(TraceRecord)) {
 //	/debug/vars     the MetricsJSON snapshot
 //	/debug/traces   the recent-trace ring as NDJSON, completion order
 //	/debug/pprof/   the standard runtime profiles
+//	/replication    the ReplicationStatus snapshot as JSON (role, per-follower
+//	                lag on a primary, connection/apply progress on a follower)
 //
 // Handlers read lock-free snapshots, so scraping never contends with queries.
 // See docs/observability.md for the full series reference.
-func (db *DB) MetricsHandler() http.Handler { return db.e.MetricsHandler() }
+func (db *DB) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", db.e.MetricsHandler())
+	mux.HandleFunc("/replication", func(w http.ResponseWriter, _ *http.Request) {
+		enc, err := json.MarshalIndent(db.ReplicationStatus(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(enc, '\n'))
+	})
+	return mux
+}
 
 // MetricsServer is a running telemetry HTTP server started by ServeMetrics.
 type MetricsServer struct {
@@ -168,6 +184,13 @@ func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
 
 // Close shuts the server down, closing the listener and any open scrapes.
 func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully shuts the server down: the listener closes immediately
+// (no new scrapes), in-flight responses finish, and idle connections are
+// closed — until ctx is cancelled, at which point remaining connections are
+// cut like Close. Use this from signal handlers so a scrape in progress is
+// not truncated mid-body.
+func (s *MetricsServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // ServeMetrics starts a telemetry HTTP server on addr (e.g. ":8080") serving
 // MetricsHandler's endpoints and returns it; the server runs until Close. The
