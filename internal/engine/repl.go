@@ -135,19 +135,22 @@ func OpenFollower(cfg Config, primaryAddr string, fcfg repl.FollowerConfig) (*DB
 // Promote refuses with repl.ErrFollowerLagged while the session to the old
 // primary is still live and the follower is behind it — promoting then would
 // fork the history (the old primary keeps committing LSNs this replica never
-// saw). Once the primary is truly gone the session drops and Promote
-// proceeds; anything the dead primary committed beyond the follower's applied
-// LSN was never acked by this follower, so semi-sync commits are never lost.
-// The old primary must never come back as a primary — wipe it and re-attach
-// it as a follower.
+// saw). The check demands fresh evidence, not the last heartbeat's possibly
+// stale accounting: while connected, Promote waits for a post-call heartbeat
+// confirming the applied LSN covers everything the primary holds durable
+// (bounded by the session's idle timeout). Once the primary is truly gone
+// the session drops and Promote proceeds; anything the dead primary
+// committed beyond the follower's applied LSN was never acked by this
+// follower, so semi-sync commits are never lost. The old primary must never
+// come back as a primary — wipe it and re-attach it as a follower.
 func (db *DB) Promote() error {
 	if db.role.Load() != roleFollower {
 		return ErrNotFollower
 	}
 	f := db.follower.Load()
 	if f != nil {
-		if st := f.Status(); st.Connected && st.LagLSN > 0 {
-			return fmt.Errorf("%w: %d records behind a live primary", repl.ErrFollowerLagged, st.LagLSN)
+		if err := f.ConfirmCaughtUp(); err != nil {
+			return err
 		}
 		f.Stop() // no ApplyTxns is in flight after Stop returns
 	}
@@ -346,14 +349,11 @@ func (t *replTarget) ApplyTxns(txns []repl.Txn) error {
 	}
 	for i := range txns {
 		txn := &txns[i]
-		// The primary creates unlogged scratch files (query outputs) that
-		// consume file IDs without ever being shipped; fill the gaps with
-		// placeholders so logged FileCreate records land on the same IDs.
-		for _, fc := range txn.Files {
-			if err := db.fillFIDGaps(fc.FID); err != nil {
-				return err
-			}
-		}
+		// ApplyCommitted fills file-ID gaps left by the primary's unlogged
+		// scratch files (query outputs) with placeholders, so logged
+		// FileCreate records land on the same IDs here and — crucially — in
+		// restart recovery, which replays the exact same records from the
+		// local log if we crash between AppendRaw and this apply.
 		var rep wal.RecoveryReport
 		if err := wal.ApplyCommitted(db.store, txn.Files, txn.Pages, &rep); err != nil {
 			return err
@@ -373,36 +373,6 @@ func (t *replTarget) ApplyTxns(txns []repl.Txn) error {
 			}
 		}
 		t.applied = txn.LastLSN
-	}
-	return nil
-}
-
-// fillFIDGaps creates placeholder files until the store's next file ID is
-// target, so a streamed FileCreate for target lands on the right ID.
-func (db *DB) fillFIDGaps(target pagefile.FileID) error {
-	if _, err := db.store.FileName(target); err == nil {
-		return nil
-	} else if !errors.Is(err, pagefile.ErrNoSuchFile) {
-		return err
-	}
-	var max pagefile.FileID
-	for fid := pagefile.FileID(1); ; fid++ {
-		if _, err := db.store.FileName(fid); errors.Is(err, pagefile.ErrNoSuchFile) {
-			break
-		} else if err != nil {
-			return err
-		}
-		max = fid
-	}
-	for max+1 < target {
-		got, err := db.store.CreateFile(fmt.Sprintf("__repl_gap_%d", max+1))
-		if err != nil {
-			return err
-		}
-		if got != max+1 {
-			return fmt.Errorf("engine: gap file created as %d, expected %d", got, max+1)
-		}
-		max = got
 	}
 	return nil
 }

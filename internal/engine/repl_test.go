@@ -263,6 +263,59 @@ func TestReplicationFollowerCrashRestart(t *testing.T) {
 	assertReplicaMatches(t, p, f2, "Org", "Dept", "Emp1")
 }
 
+// TestReplicationScratchFIDGap burns file IDs on the primary with unlogged
+// scratch query outputs, then creates a set whose logged FileCreate lands
+// past the gap. The follower must place the new set's file on the logged ID
+// (filling the gap with placeholders), and a restart — whose recovery
+// replays those same FileCreate records from the local log — must come back
+// identical rather than failing on the ID mismatch.
+func TestReplicationScratchFIDGap(t *testing.T) {
+	p, addr := startPrimary(t, repl.Config{})
+	defineEmployeeSchema(t, p)
+	st := populate(t, p, 1, 2, 10)
+
+	fdir := t.TempDir()
+	f := startFollower(t, fdir, addr)
+	waitCaughtUp(t, p, f)
+
+	for i := 0; i < 3; i++ {
+		if _, err := p.Query(Query{Set: "Emp1", Project: []string{"name"}, EmitOutput: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.CreateSet("Late", "EMP"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert("Late", map[string]schema.Value{
+		"name": str("gapped"), "age": num(28), "salary": num(7), "dept": ref(st.depts[0]),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, p, f)
+	assertReplicaMatches(t, p, f, "Org", "Dept", "Emp1")
+	res, err := f.Query(Query{Set: "Late", Project: []string{"name"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("follower sees %d rows in the gapped set, want 1", len(res.Rows))
+	}
+
+	// Crash-restart the follower: recovery replays the local log — gapped
+	// FileCreate records included — before the stream resumes.
+	f.CrashStop()
+	f2 := startFollower(t, fdir, addr)
+	waitCaughtUp(t, p, f2)
+	assertReplicaMatches(t, p, f2, "Org", "Dept", "Emp1")
+	res, err = f2.Query(Query{Set: "Late", Project: []string{"name"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("restarted follower sees %d rows in the gapped set, want 1", len(res.Rows))
+	}
+}
+
 // TestReplicationResyncAfterTruncation detaches the follower, advances and
 // checkpoints the primary (truncating the records the follower would need),
 // and re-attaches: the primary must deny log catch-up and ship a snapshot.

@@ -70,12 +70,14 @@ type Follower struct {
 	target Target
 	cfg    FollowerConfig
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	connected      atomic.Bool
 	applied        atomic.Uint64 // last commit LSN durably applied
 	primaryDurable atomic.Uint64 // primary's durable LSN per last heartbeat/batch
+	hbSeq          atomic.Uint64 // heartbeats fully processed (see ConfirmCaughtUp)
 	reconnects     atomic.Int64
 	badFrames      atomic.Int64
 	snapshots      atomic.Int64
@@ -103,13 +105,10 @@ func StartFollower(addr string, target Target, cfg FollowerConfig) *Follower {
 }
 
 // Stop ends the session and waits for the applier goroutine to exit. No
-// ApplyTxns call is in flight after it returns.
+// ApplyTxns call is in flight after it returns. Safe for concurrent callers
+// (Promote and a racing Close may both own a reference to the same session).
 func (f *Follower) Stop() {
-	select {
-	case <-f.stop:
-	default:
-		close(f.stop)
-	}
+	f.stopOnce.Do(func() { close(f.stop) })
 	f.wg.Wait()
 }
 
@@ -253,6 +252,10 @@ func (f *Follower) session() error {
 			if err := writeMsg(conn, MsgAck, putU64(f.applied.Load())); err != nil {
 				return err
 			}
+			// A processed heartbeat is proof of freshness: the primary had
+			// nothing durable beyond lsn when it sent it, and everything
+			// shipped before it has been applied (the stream is ordered).
+			f.hbSeq.Add(1)
 		case MsgDeny:
 			return fmt.Errorf("%w: %s", ErrDenied, payload)
 		default:
@@ -300,6 +303,46 @@ func (f *Follower) decode(frames []byte, pending *Txn) ([]Txn, error) {
 		}
 	}
 	return txns, nil
+}
+
+// ConfirmCaughtUp establishes, with evidence no older than the call, whether
+// this replica may be promoted. It returns nil when the session to the
+// primary is down (the primary is presumed dead; nothing it acked through
+// this follower can be newer than what is applied), or once a heartbeat
+// processed *after* the call shows the applied LSN has reached everything
+// the primary holds durable. It returns ErrFollowerLagged when the follower
+// is demonstrably behind a live primary, and — because heartbeats only flow
+// on an idle stream — when the primary is still actively committing, which
+// is exactly when promotion would fork the history. Lag figures from before
+// the call are never trusted: they can be stale by a full heartbeat
+// interval, during which a live primary may have committed records this
+// replica never saw.
+func (f *Follower) ConfirmCaughtUp() error {
+	if f.connected.Load() && f.applied.Load() < f.primaryDurable.Load() {
+		return fmt.Errorf("%w: %d records behind a live primary",
+			ErrFollowerLagged, f.primaryDurable.Load()-f.applied.Load())
+	}
+	// Stale accounting says caught up; wait for fresh proof. The wait is
+	// bounded by IdleTimeout: a connection silent that long is declared dead
+	// by the session itself, flipping connected off.
+	seq := f.hbSeq.Load()
+	deadline := time.Now().Add(f.cfg.IdleTimeout + time.Second)
+	for {
+		if !f.connected.Load() {
+			return nil
+		}
+		if s := f.hbSeq.Load(); s != seq {
+			seq = s
+			if f.applied.Load() >= f.primaryDurable.Load() {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: no heartbeat confirmed catch-up with the live primary",
+				ErrFollowerLagged)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 func (f *Follower) setErr(err error) {

@@ -17,7 +17,9 @@ import (
 type Config struct {
 	// Heartbeat is how often an idle stream sends MsgHeartbeat (default 1s).
 	Heartbeat time.Duration
-	// BatchBytes bounds one MsgRecords payload (default 256 KiB).
+	// BatchBytes bounds one MsgRecords payload (default 256 KiB, clamped to
+	// half the wire protocol's payload limit so a batch can never exceed
+	// what the follower will accept).
 	BatchBytes int
 	// WriteTimeout is the per-message send deadline; a follower that cannot
 	// drain its socket within it is dropped rather than ever blocking the
@@ -42,6 +44,13 @@ func (c *Config) fill() {
 	}
 	if c.BatchBytes <= 0 {
 		c.BatchBytes = 256 << 10
+	}
+	// The follower rejects any envelope above maxPayload before reading it,
+	// and the log's tail reader may overshoot the byte budget by one frame.
+	// An unclamped BatchBytes would livelock the stream: every oversized
+	// batch rejected, the follower reconnecting and re-receiving it forever.
+	if c.BatchBytes > maxPayload/2 {
+		c.BatchBytes = maxPayload / 2
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
@@ -73,6 +82,10 @@ type Primary struct {
 
 	wg sync.WaitGroup
 
+	// retainSet records that Serve registered the WAL retain hook, so Close
+	// only unregisters a hook this Primary actually owns.
+	retainSet atomic.Bool
+
 	syncTimeouts atomic.Int64 // semi-sync waits that degraded to async
 	unreplicated atomic.Int64 // semi-sync commits acked with no follower connected
 	resyncs      atomic.Int64 // followers sent back for a full snapshot
@@ -91,23 +104,19 @@ type followerConn struct {
 
 // NewPrimary wires a shipper to the log. snap must return a consistent
 // snapshot of the store at a known LSN with the log quiescent (the engine
-// takes it under its writer lock). The WAL retain interlock is registered
-// here and released by Close.
+// takes it under its writer lock). Construction touches nothing shared: the
+// WAL retain interlock is registered by Serve and released by Close, so a
+// Primary that is built but never serves (a second ServeReplication call
+// losing the registration race) cannot disturb the active shipper's hook.
 func NewPrimary(log *wal.Manager, snap func() (*Snapshot, error), cfg Config) *Primary {
 	cfg.fill()
-	p := &Primary{
+	return &Primary{
 		log:       log,
 		snap:      snap,
 		cfg:       cfg,
 		followers: make(map[int64]*followerConn),
 		ackNotify: make(chan struct{}),
 	}
-	retainBytes := cfg.RetainBytes
-	if retainBytes < 0 {
-		retainBytes = 0 // wal treats 0 as unbounded
-	}
-	log.SetRetain(p.minNeeded, retainBytes)
-	return p
 }
 
 // minNeeded is the WAL retain hook: the minimum LSN a connected follower
@@ -125,7 +134,9 @@ func (p *Primary) minNeeded() (uint64, bool) {
 }
 
 // Serve accepts follower connections on ln until Close. It returns
-// immediately; connection handling runs in background goroutines.
+// immediately; connection handling runs in background goroutines. The WAL
+// retain interlock is registered here, before the first follower can
+// connect.
 func (p *Primary) Serve(ln net.Listener) {
 	p.mu.Lock()
 	if p.closed {
@@ -135,6 +146,21 @@ func (p *Primary) Serve(ln net.Listener) {
 	}
 	p.ln = ln
 	p.mu.Unlock()
+	// Register outside p.mu: Checkpoint calls the hook with the wal lock
+	// held and the hook takes p.mu, so holding p.mu across SetRetain would
+	// invert that order. A Close racing this registration is handled by the
+	// re-check below (both sides may clear the hook; clearing is idempotent).
+	retainBytes := p.cfg.RetainBytes
+	if retainBytes < 0 {
+		retainBytes = 0 // wal treats 0 as unbounded
+	}
+	p.log.SetRetain(p.minNeeded, retainBytes)
+	p.retainSet.Store(true)
+	if p.isClosed() {
+		p.log.SetRetain(nil, 0)
+		ln.Close()
+		return
+	}
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -153,7 +179,7 @@ func (p *Primary) Serve(ln net.Listener) {
 }
 
 // Close stops the listener, drops every follower, and unregisters the WAL
-// retain hook so checkpoints truncate freely again.
+// retain hook (if Serve registered it) so checkpoints truncate freely again.
 func (p *Primary) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -170,7 +196,9 @@ func (p *Primary) Close() {
 	p.ackNotify = make(chan struct{})
 	p.mu.Unlock()
 
-	p.log.SetRetain(nil, 0)
+	if p.retainSet.Load() {
+		p.log.SetRetain(nil, 0)
+	}
 	if ln != nil {
 		ln.Close()
 	}

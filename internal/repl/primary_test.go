@@ -1,0 +1,22 @@
+package repl
+
+import "testing"
+
+// TestConfigClampsBatchBytes guards the batch/envelope interlock: a batch
+// sized at or above the wire payload limit would be rejected by every
+// follower before it is read, livelocking the stream (reconnect, resend the
+// same oversized batch, reject, forever) with no error on the primary.
+func TestConfigClampsBatchBytes(t *testing.T) {
+	for _, set := range []int{maxPayload / 2, maxPayload, maxPayload * 4} {
+		c := Config{BatchBytes: set}
+		c.fill()
+		if c.BatchBytes > maxPayload/2 {
+			t.Fatalf("BatchBytes %d filled to %d, above the %d clamp", set, c.BatchBytes, maxPayload/2)
+		}
+	}
+	var def Config
+	def.fill()
+	if def.BatchBytes != 256<<10 {
+		t.Fatalf("default BatchBytes = %d, want 256 KiB", def.BatchBytes)
+	}
+}

@@ -376,6 +376,9 @@ func ApplyCommitted(store pagefile.Store, files []FileCreate, pages []PageImage,
 		if _, err := store.FileName(fc.FID); err == nil {
 			continue // file survived the crash
 		}
+		if err := fillFIDGap(store, fc.FID, rep); err != nil {
+			return err
+		}
 		got, err := store.CreateFile(fc.Name)
 		if err != nil {
 			return fmt.Errorf("wal: replay create file %q: %w", fc.Name, err)
@@ -420,6 +423,37 @@ func ApplyCommitted(store pagefile.Store, files []FileCreate, pages []PageImage,
 			return fmt.Errorf("wal: replay write page %v: %w", img.PID, err)
 		}
 		rep.PagesApplied++
+	}
+	return nil
+}
+
+// fillFIDGap grows the store's file-ID sequence with placeholder files until
+// the next CreateFile lands on fid. The log can reference IDs the store never
+// allocated: unlogged scratch files (query outputs) consume IDs without a
+// FileCreate record, and on a replica those files never exist at all. Both
+// replay paths — restart recovery here in Open and live follower apply —
+// must burn the same IDs so a logged FileCreate lands where the log says;
+// sharing this helper is what keeps a crash between a follower's log append
+// and its store apply recoverable.
+func fillFIDGap(store pagefile.Store, fid pagefile.FileID, rep *RecoveryReport) error {
+	next := pagefile.FileID(1)
+	for {
+		if _, err := store.FileName(next); errors.Is(err, pagefile.ErrNoSuchFile) {
+			break
+		} else if err != nil {
+			return fmt.Errorf("wal: replay probe file %d: %w", next, err)
+		}
+		next++
+	}
+	for ; next < fid; next++ {
+		got, err := store.CreateFile(fmt.Sprintf("__repl_gap_%d", next))
+		if err != nil {
+			return fmt.Errorf("wal: replay gap file %d: %w", next, err)
+		}
+		if got != next {
+			return fmt.Errorf("wal: replay gap file created as %d, expected %d", got, next)
+		}
+		rep.FilesCreated++
 	}
 	return nil
 }

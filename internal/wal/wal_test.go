@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -145,6 +146,60 @@ func TestReplayRecreatesFileAndPages(t *testing.T) {
 	}
 	if n != 3 {
 		t.Fatalf("recreated file has %d pages, want 3 (grown to cover page 2)", n)
+	}
+}
+
+// TestReplayFillsFileIDGaps reproduces a replica's restart recovery over a
+// log whose FileCreate references an ID beyond the store's next one: the
+// primary consumed the intermediate IDs with unlogged scratch files this
+// store never materialized. Replay must burn the gap with placeholders so
+// the logged create lands on the logged ID — the same sequence live
+// follower apply produces — instead of failing deterministically and
+// leaving the directory unopenable.
+func TestReplayFillsFileIDGaps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	store := pagefile.NewMemStore()
+	if _, err := store.CreateFile("base"); err != nil { // FID 1
+		t.Fatal(err)
+	}
+
+	m, _ := openT(t, path, store, 0)
+	// FIDs 2 and 3 belonged to scratch query outputs on the primary: never
+	// logged, never shipped. FID 4 is a real logged create whose pages the
+	// crash caught before any store apply.
+	files := []FileCreate{{FID: 4, Name: "late"}}
+	pages := []PageImage{{PID: pagefile.PageID{File: 4, Page: 0}, Data: fill(0x7D)}}
+	lsn, _, err := m.AppendCommit(files, pages, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, rep := openT(t, path, store, 0)
+	defer m2.Close()
+	if rep.FilesCreated != 3 {
+		t.Fatalf("replay created %d files, want 3 (2 gap placeholders + 1 logged)", rep.FilesCreated)
+	}
+	for fid := pagefile.FileID(2); fid <= 3; fid++ {
+		name, err := store.FileName(fid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("__repl_gap_%d", fid); name != want {
+			t.Fatalf("FID %d is %q, want %q", fid, name, want)
+		}
+	}
+	if name, err := store.FileName(4); err != nil || name != "late" {
+		t.Fatalf("FID 4 is %q (%v), want %q", name, err, "late")
+	}
+	if rep.PagesApplied != 1 {
+		t.Fatalf("replay applied %d pages, want 1", rep.PagesApplied)
 	}
 }
 
