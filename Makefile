@@ -37,10 +37,13 @@ test:
 	$(GO) test ./...
 
 # The short-mode sweep covers every package; the second pass runs the
-# sharded-pool / parallel-scan / concurrent-reader tests un-shortened.
+# sharded-pool / parallel-scan / concurrent-reader tests un-shortened, and
+# the third hammers the fine-grained locking paths (disjoint writers,
+# overlapping footprints, randomized multi-set transactions) a second time.
 race:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/buffer ./internal/heap ./internal/engine ./internal/obs ./internal/repl .
+	$(GO) test -race -count=2 -run 'TestDisjointWritersConcurrent|TestOverlappingFootprintsSerialize|TestRandomizedMultiSetFootprints|TestSnapshotReadersNoLockWait' ./internal/engine
 
 # Scan throughput across pool shard counts and scan worker counts, on a
 # memory-backed store with simulated device latency. Writes BENCH_scan.json

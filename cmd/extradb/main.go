@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -44,7 +45,13 @@ func main() {
 	shipListen := flag.String("ship-listen", "", "ship the WAL to follower replicas connecting on this address (requires -dir)")
 	follow := flag.String("follow", "", "open as a read-only follower replicating from this primary address (requires -dir)")
 	syncFollowers := flag.Int("sync-followers", 0, "with -ship-listen: commits wait for this many follower acks (0 = asynchronous)")
+	mutexProfile := flag.Int("mutexprofile", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off; try 5 when hunting lock contention)")
 	flag.Parse()
+	if *mutexProfile > 0 {
+		// Exposes engine-lock and per-set-lock contention through the pprof
+		// mutex profile (pair with -listen to scrape it).
+		runtime.SetMutexProfileFraction(*mutexProfile)
+	}
 	stayUp := *listen != "" || *shipListen != "" || *follow != ""
 	if flag.NArg() == 0 && !stayUp {
 		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-listen ADDR] [-ship-listen ADDR] [-follow ADDR] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")

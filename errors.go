@@ -23,6 +23,13 @@ var (
 	// ErrTxnDone: a statement on a transaction that already committed,
 	// rolled back, or aborted.
 	ErrTxnDone = engine.ErrTxnDone
+	// ErrWriteConflict: a fine-grained transaction (BeginSets) touched state
+	// outside its declared footprint — a mutation on an undeclared set, a
+	// query that would drain deferred propagation for one, or a statement
+	// needing exclusive mode — or a per-set lock wait was cancelled by the
+	// context. The transaction is aborted; retry with the right footprint
+	// (or an exclusive Begin).
+	ErrWriteConflict = engine.ErrWriteConflict
 	// ErrTypeMismatch: a value's kind does not match the field it is
 	// assigned to.
 	ErrTypeMismatch = schema.ErrTypeMismatch

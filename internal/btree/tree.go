@@ -25,14 +25,25 @@ type Tree struct {
 	fid  pagefile.FileID
 	name string
 	tr   *obs.Trace
+	mode pinMode
 
 	leafCap int
 	intCap  int
 }
 
+// pinMode selects how a view pins pages, mirroring the heap's view modes.
+type pinMode int
+
+const (
+	modePlain    pinMode = iota // direct frame pins (coarse exclusive lock)
+	modeCapture                 // scoped capture: private copies installed at MarkDirty
+	modeSnapshot                // detached committed-state copies, read-only
+)
+
 // WithTrace returns a view of the tree whose page I/O is charged to tr in
-// addition to the global counters. tr may be nil (untraced view, often t
-// itself).
+// addition to the global counters, keeping the receiver's pin mode (so
+// re-tracing a capture or snapshot view never strips its isolation). tr may
+// be nil (untraced view, often t itself).
 func (t *Tree) WithTrace(tr *obs.Trace) *Tree {
 	if t == nil || t.tr == tr {
 		return t
@@ -42,9 +53,52 @@ func (t *Tree) WithTrace(tr *obs.Trace) *Tree {
 	return &v
 }
 
+// WithCapture returns a view whose page access goes through the pool's
+// scoped capture. The caller must hold the engine's per-set lock covering
+// this index for the lifetime of the view.
+func (t *Tree) WithCapture(tr *obs.Trace) *Tree {
+	if t == nil {
+		return nil
+	}
+	v := *t
+	v.tr = tr
+	v.mode = modeCapture
+	return &v
+}
+
+// WithSnapshot returns a read-only view that reads detached copies of the
+// committed state and never blocks on writers.
+func (t *Tree) WithSnapshot(tr *obs.Trace) *Tree {
+	if t == nil {
+		return nil
+	}
+	v := *t
+	v.tr = tr
+	v.mode = modeSnapshot
+	return &v
+}
+
+// guardWrite refuses mutation through a snapshot view: the pinned copies are
+// detached from the pool, so the rebalanced pages would be silently
+// discarded.
+func (t *Tree) guardWrite() error {
+	if t.mode == modeSnapshot {
+		return fmt.Errorf("btree: write to file %d through a snapshot view", t.fid)
+	}
+	return nil
+}
+
 // page pins one of the tree's pages, charging the tree's trace.
 func (t *Tree) page(pageNo uint32) (*buffer.Handle, error) {
-	return t.pool.GetT(pagefile.PageID{File: t.fid, Page: pageNo}, t.tr)
+	pid := pagefile.PageID{File: t.fid, Page: pageNo}
+	switch t.mode {
+	case modeCapture:
+		return t.pool.GetCaptureT(pid, t.tr)
+	case modeSnapshot:
+		return t.pool.GetSnapshotT(pid, t.tr)
+	default:
+		return t.pool.GetT(pid, t.tr)
+	}
 }
 
 // MinPoolFrames is the minimum buffer pool size a Tree requires.
@@ -195,7 +249,14 @@ func (t *Tree) allocNode(m *meta, leaf bool) (*buffer.Handle, uint32, error) {
 		h.MarkDirty()
 		return h, pageNo, nil
 	}
-	h, pid, err := t.pool.NewPageT(t.fid, t.tr)
+	var h *buffer.Handle
+	var pid pagefile.PageID
+	var err error
+	if t.mode == modeCapture {
+		h, pid, err = t.pool.NewPageCaptureT(t.fid, t.tr)
+	} else {
+		h, pid, err = t.pool.NewPageT(t.fid, t.tr)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -220,6 +281,9 @@ func (t *Tree) freeNode(m *meta, pageNo uint32) error {
 
 // Insert adds (key, oid). It returns ErrExists if the exact pair is present.
 func (t *Tree) Insert(key Key, oid pagefile.OID) error {
+	if err := t.guardWrite(); err != nil {
+		return err
+	}
 	m, err := t.loadMeta()
 	if err != nil {
 		return err
@@ -327,6 +391,9 @@ func (t *Tree) insert(m *meta, pageNo uint32, level int, e entry) (split bool, s
 
 // Delete removes the exact (key, oid) pair, returning ErrNotFound if absent.
 func (t *Tree) Delete(key Key, oid pagefile.OID) error {
+	if err := t.guardWrite(); err != nil {
+		return err
+	}
 	m, err := t.loadMeta()
 	if err != nil {
 		return err

@@ -78,19 +78,39 @@ type Pool struct {
 	// barrier error aborts that write-back and leaves the frame dirty.
 	barrier func(pagefile.PageID) error
 
-	// Transaction capture. While active (one writer at a time; the engine's
-	// exclusive lock encloses the capture window), every pin taken by GetT
+	// Transaction capture. Two kinds of window share the capture map:
+	//
+	// The legacy exclusive window (BeginCapture/EndCapture) assumes one
+	// writer holding the engine's exclusive lock: every pin taken by GetT
 	// copies the frame's pin-time image, and the first MarkDirty per page
 	// registers that image — the page's state at transaction begin — in the
-	// capture map. Registered frames are pinned in spirit: the clock refuses
-	// to evict them and FlushAll skips them (no-steal), so RollbackCapture
-	// can restore every registered page by copying its pre-image back into
-	// the still-resident frame. capActive is the fast path: when false (no
-	// transaction open) pins take no copies and the clock takes no map
-	// lookups.
-	capActive atomic.Bool
-	capMu     sync.Mutex
-	capture   map[pagefile.PageID]*capEntry
+	// capture map. capExcl marks this window.
+	//
+	// Scoped windows (BeginScope/EndScope) support concurrent writers to
+	// disjoint file sets: pins taken through GetCaptureT work on a private
+	// copy of the page, installed into the frame (and registered) only at
+	// MarkDirty, so concurrent snapshot readers (GetSnapshotT) never observe
+	// a half-modified frame and read the registered pre-image — the state at
+	// transaction begin — while the owning transaction is uncommitted.
+	// Ownership of a capture entry is resolved by file id: scopes operate on
+	// disjoint file sets, so EndScope/RollbackScope(files) affect exactly
+	// their own entries.
+	//
+	// In both kinds, registered frames are pinned in spirit: the clock
+	// refuses to evict them and FlushAll skips them (no-steal), so rollback
+	// can restore every registered page into the still-resident frame.
+	// capCount is the fast path: when zero (no window open) pins take no
+	// copies and the clock takes no map lookups.
+	//
+	// Lock order: a shard mutex is always taken before capMu, never after.
+	capExcl  atomic.Bool
+	capCount atomic.Int32
+	capMu    sync.Mutex
+	capture  map[pagefile.PageID]*capEntry
+	// fileEpochs counts committed scope entries per file (bumped in EndScope
+	// under capMu). Multi-page snapshot traversals validate against it; see
+	// FileEpoch. Lazily allocated; nil reads as epoch 0 everywhere.
+	fileEpochs map[pagefile.FileID]uint64
 }
 
 // capEntry is one registered page: its image and dirty bit as of transaction
@@ -203,25 +223,49 @@ type Handle struct {
 	sh  *shard
 	idx int
 	pid pagefile.PageID
-	// pre is the pin-time copy of the page taken while a transaction capture
-	// was active (nil otherwise); preDirty is the frame's dirty bit at the
-	// same instant. MarkDirty registers the pair as the page's rollback
-	// image.
+	// pre is the pin-time copy of the page taken while a legacy exclusive
+	// capture was active (nil otherwise); preDirty is the frame's dirty bit
+	// at the same instant. MarkDirty registers the pair as the page's
+	// rollback image.
 	pre      *pagefile.Page
 	preDirty bool
+	// priv is the handle's private working copy of the page (scoped-capture
+	// and snapshot pins). Page() returns it instead of the shared frame;
+	// for capture pins MarkDirty installs it into the frame under the locks.
+	priv *pagefile.Page
+	// detached marks a snapshot handle: priv is the page, there is no pin on
+	// any frame, and Unpin/MarkDirty are no-ops.
+	detached bool
 }
 
 // PageID returns the identity of the pinned page.
 func (h *Handle) PageID() pagefile.PageID { return h.pid }
 
-// Page returns the page bytes. Valid only while pinned.
-func (h *Handle) Page() *pagefile.Page { return &h.sh.frames[h.idx].page }
+// Page returns the page bytes. Valid only while pinned. Scoped-capture and
+// snapshot pins return the handle's private copy, so callers never touch the
+// shared frame outside the pool's locks.
+func (h *Handle) Page() *pagefile.Page {
+	if h.priv != nil {
+		return h.priv
+	}
+	return &h.sh.frames[h.idx].page
+}
 
 // MarkDirty records that the page was modified and must be written back
 // before eviction. If the pin was taken inside a transaction capture, the
 // pin-time image becomes the page's rollback image (first registration per
-// page wins, so the image is always the state at transaction begin).
+// page wins, so the image is always the state at transaction begin). For
+// scoped-capture pins this is also the moment the private working copy is
+// installed into the shared frame — modifications without MarkDirty are
+// discarded. Snapshot handles ignore it.
 func (h *Handle) MarkDirty() {
+	if h.detached {
+		return
+	}
+	if h.priv != nil {
+		h.p.installScoped(h)
+		return
+	}
 	h.sh.mu.Lock()
 	h.sh.frames[h.idx].dirty = true
 	h.sh.mu.Unlock()
@@ -231,8 +275,12 @@ func (h *Handle) MarkDirty() {
 }
 
 // Unpin releases the pin. Unpinning a page that is not pinned (a caller bug)
-// returns ErrNotPinned and leaves the pool unchanged.
+// returns ErrNotPinned and leaves the pool unchanged. Snapshot handles hold
+// no pin; their Unpin is a no-op.
 func (h *Handle) Unpin() error {
+	if h.detached {
+		return nil
+	}
 	h.sh.mu.Lock()
 	defer h.sh.mu.Unlock()
 	f := &h.sh.frames[h.idx]
@@ -241,6 +289,27 @@ func (h *Handle) Unpin() error {
 	}
 	f.pins--
 	return nil
+}
+
+// installScoped publishes a scoped-capture handle's private working copy into
+// the shared frame, registering the frame's pristine image as the rollback
+// pre-image on the page's first installation. The whole decision runs under
+// shard mutex + capMu so concurrent snapshot readers see either the pre-image
+// (entry present) or the untouched frame — never a torn state.
+func (p *Pool) installScoped(h *Handle) {
+	h.sh.mu.Lock()
+	f := &h.sh.frames[h.idx]
+	p.capMu.Lock()
+	if _, ok := p.capture[h.pid]; !ok {
+		// First dirtying of this page in the scope: the frame still holds the
+		// transaction-begin image (all of this scope's modifications live in
+		// priv until installed), so capture it as the rollback image.
+		p.capture[h.pid] = &capEntry{pre: f.page, prevDirty: f.dirty}
+	}
+	f.page = *h.priv
+	f.dirty = true
+	p.capMu.Unlock()
+	h.sh.mu.Unlock()
 }
 
 // Get pins page pid, reading it from the store on a miss.
@@ -301,7 +370,7 @@ func (p *Pool) GetT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
 	f.ref = true
 	sh.table[pid] = idx
 	h := &Handle{p: p, sh: sh, idx: idx, pid: pid}
-	if p.capActive.Load() {
+	if p.capExcl.Load() {
 		h.pre = new(pagefile.Page)
 		*h.pre = f.page
 		h.preDirty = false
@@ -311,18 +380,130 @@ func (p *Pool) GetT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
 }
 
 // pinLocked pins the resident frame idx, taking the pin-time capture copy if
-// a transaction is open. Caller holds sh.mu.
+// a legacy exclusive capture is open. Caller holds sh.mu.
 func (p *Pool) pinLocked(sh *shard, idx int, pid pagefile.PageID) *Handle {
 	f := &sh.frames[idx]
 	f.pins++
 	f.ref = true
 	h := &Handle{p: p, sh: sh, idx: idx, pid: pid}
-	if p.capActive.Load() {
+	if p.capExcl.Load() {
 		h.pre = new(pagefile.Page)
 		*h.pre = f.page
 		h.preDirty = f.dirty
 	}
 	return h
+}
+
+// GetCaptureT pins page pid for a scoped capture: the returned handle works
+// on a private copy of the page, which MarkDirty installs into the shared
+// frame (registering the rollback pre-image on first installation). Within
+// one scope the frame always holds the scope's last installed state, so
+// repeated pin/modify/MarkDirty cycles compose; a scope must not hold two
+// pins of the same page with interleaved modification (heap and btree never
+// do). The caller must hold the engine's per-set lock covering the page's
+// file for the whole scope.
+func (p *Pool) GetCaptureT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
+	h, err := p.GetT(pid, tr)
+	if err != nil {
+		return nil, err
+	}
+	// Convert the plain pin into a scoped-capture pin: drop any legacy
+	// pre-image (mutually exclusive modes; capExcl cannot be set while scopes
+	// run, but be explicit) and take the private working copy under the shard
+	// mutex so the copy is coherent against concurrent installs.
+	h.pre, h.preDirty = nil, false
+	priv := new(pagefile.Page)
+	h.sh.mu.Lock()
+	*priv = h.sh.frames[h.idx].page
+	h.sh.mu.Unlock()
+	h.priv = priv
+	return h, nil
+}
+
+// GetSnapshotT reads page pid without blocking on writers: it returns a
+// detached handle holding a private copy of either the page's registered
+// capture pre-image (an uncommitted scope owns the frame — the reader sees
+// the transaction-begin state) or the frame itself. The handle holds no pin;
+// Unpin and MarkDirty are no-ops. On a miss the page is read through the
+// pool normally (charged to tr) and left resident unpinned.
+func (p *Pool) GetSnapshotT(pid pagefile.PageID, tr *obs.Trace) (*Handle, error) {
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	if idx, ok := sh.table[pid]; ok {
+		p.hits.Add(1)
+		tr.Hit(1)
+		sh.frames[idx].ref = true
+		priv := new(pagefile.Page)
+		if p.capCount.Load() > 0 {
+			p.capMu.Lock()
+			if e, reg := p.capture[pid]; reg {
+				*priv = e.pre
+			} else {
+				*priv = sh.frames[idx].page
+			}
+			p.capMu.Unlock()
+		} else {
+			*priv = sh.frames[idx].page
+		}
+		sh.mu.Unlock()
+		return &Handle{p: p, pid: pid, priv: priv, detached: true}, nil
+	}
+	idx, err := sh.victim(p, tr)
+	if errors.Is(err, ErrPoolExhausted) {
+		sh.mu.Unlock()
+		runtime.Gosched()
+		sh.mu.Lock()
+		if i2, ok := sh.table[pid]; ok {
+			p.hits.Add(1)
+			tr.Hit(1)
+			sh.frames[i2].ref = true
+			priv := new(pagefile.Page)
+			if p.capCount.Load() > 0 {
+				p.capMu.Lock()
+				if e, reg := p.capture[pid]; reg {
+					*priv = e.pre
+				} else {
+					*priv = sh.frames[i2].page
+				}
+				p.capMu.Unlock()
+			} else {
+				*priv = sh.frames[i2].page
+			}
+			sh.mu.Unlock()
+			return &Handle{p: p, pid: pid, priv: priv, detached: true}, nil
+		}
+		idx, err = sh.victim(p, tr)
+	}
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("buffer: pinning %s: %w", pid, err)
+	}
+	p.misses.Add(1)
+	tr.Miss(1)
+	f := &sh.frames[idx]
+	readStart := time.Now()
+	if err := p.store.ReadPage(pid, &f.page); err != nil {
+		f.valid = false
+		sh.mu.Unlock()
+		return nil, err
+	}
+	stall := time.Since(readStart)
+	p.readStall.Observe(stall)
+	tr.ReadStall(stall)
+	tr.StoreRead(1)
+	f.pid = pid
+	f.valid = true
+	f.dirty = false
+	f.pins = 0
+	f.ref = true
+	sh.table[pid] = idx
+	// A page absent from the pool cannot be registered in a capture
+	// (registered frames are unevictable), so the fresh image is the
+	// committed state.
+	priv := new(pagefile.Page)
+	*priv = f.page
+	sh.mu.Unlock()
+	return &Handle{p: p, pid: pid, priv: priv, detached: true}, nil
 }
 
 // NewPage allocates a fresh page in file fid, pins it, and returns the
@@ -364,7 +545,7 @@ func (p *Pool) NewPageT(fid pagefile.FileID, tr *obs.Trace) (*Handle, pagefile.P
 	sh.table[pid] = idx
 	sh.mu.Unlock()
 	h := &Handle{p: p, sh: sh, idx: idx, pid: pid}
-	if p.capActive.Load() {
+	if p.capExcl.Load() {
 		// A page allocated inside a transaction is registered right away:
 		// its rollback image is all zeroes, exactly what Allocate left in
 		// the store, so a rolled-back allocation is just an empty page.
@@ -372,6 +553,28 @@ func (p *Pool) NewPageT(fid pagefile.FileID, tr *obs.Trace) (*Handle, pagefile.P
 		h.preDirty = false
 		p.registerCapture(pid, h.pre, false, true)
 	}
+	return h, pid, nil
+}
+
+// NewPageCaptureT is NewPageT for a scoped capture: the fresh page is
+// registered immediately with an all-zero rollback image (what Allocate left
+// in the store), and the returned handle works on a private copy like
+// GetCaptureT. Concurrent snapshot readers of the page see the zero image —
+// a valid empty page — until the scope commits.
+func (p *Pool) NewPageCaptureT(fid pagefile.FileID, tr *obs.Trace) (*Handle, pagefile.PageID, error) {
+	h, pid, err := p.NewPageT(fid, tr)
+	if err != nil {
+		return nil, pagefile.PageID{}, err
+	}
+	h.pre, h.preDirty = nil, false
+	h.sh.mu.Lock()
+	p.capMu.Lock()
+	if _, ok := p.capture[pid]; !ok {
+		p.capture[pid] = &capEntry{isNew: true}
+	}
+	p.capMu.Unlock()
+	h.sh.mu.Unlock()
+	h.priv = new(pagefile.Page)
 	return h, pid, nil
 }
 
@@ -525,7 +728,7 @@ func (p *Pool) Invalidate(pid pagefile.PageID) error {
 // experiment harness calls Reset between queries so each query starts with a
 // cold cache, matching the cost model.
 func (p *Pool) Reset() error {
-	if p.capActive.Load() {
+	if p.capCount.Load() != 0 {
 		return ErrCaptureActive
 	}
 	defer p.lockAll()()
@@ -730,24 +933,39 @@ func (p *Pool) writeBarrier(pid pagefile.PageID) error {
 
 // --- transaction capture ---
 
-// BeginCapture opens a transaction capture window. The caller must hold an
-// exclusive writer lock over all pool mutators for the whole window (the
-// engine's write lock); the pool only enforces that windows do not nest.
+// BeginCapture opens the legacy exclusive capture window. The caller must
+// hold an exclusive writer lock over all pool mutators for the whole window
+// (the engine's write lock); the pool only enforces that windows do not nest
+// — including with scoped windows.
 func (p *Pool) BeginCapture() error {
 	p.capMu.Lock()
 	defer p.capMu.Unlock()
-	if p.capActive.Load() {
+	if p.capCount.Load() != 0 {
 		return ErrCaptureActive
 	}
 	p.capture = make(map[pagefile.PageID]*capEntry)
-	p.capActive.Store(true)
+	p.capExcl.Store(true)
+	p.capCount.Store(1)
 	return nil
+}
+
+// BeginScope opens a scoped capture window for one transaction. Scopes from
+// concurrent transactions coexist in the shared capture map; the engine
+// guarantees their file sets are disjoint (per-set locking), which is what
+// makes EndScope/RollbackScope(files) resolve entry ownership correctly.
+func (p *Pool) BeginScope() {
+	p.capMu.Lock()
+	if p.capture == nil {
+		p.capture = make(map[pagefile.PageID]*capEntry)
+	}
+	p.capCount.Add(1)
+	p.capMu.Unlock()
 }
 
 // capturedDirty reports whether pid is registered in an open capture — such
 // frames must neither be evicted nor flushed until the capture closes.
 func (p *Pool) capturedDirty(pid pagefile.PageID) bool {
-	if !p.capActive.Load() {
+	if p.capCount.Load() == 0 {
 		return false
 	}
 	p.capMu.Lock()
@@ -762,7 +980,7 @@ func (p *Pool) capturedDirty(pid pagefile.PageID) bool {
 func (p *Pool) registerCapture(pid pagefile.PageID, pre *pagefile.Page, prevDirty, isNew bool) {
 	p.capMu.Lock()
 	defer p.capMu.Unlock()
-	if !p.capActive.Load() {
+	if p.capCount.Load() == 0 {
 		return
 	}
 	if _, ok := p.capture[pid]; ok {
@@ -847,8 +1065,115 @@ func (p *Pool) StampLSN(pid pagefile.PageID, lsn uint64) {
 func (p *Pool) EndCapture() {
 	p.capMu.Lock()
 	p.capture = nil
-	p.capActive.Store(false)
+	p.capExcl.Store(false)
+	p.capCount.Store(0)
 	p.capMu.Unlock()
+}
+
+// ScopeDirty returns the ids of every page registered in the capture map
+// whose file is in files — the scope's dirty working set — sorted by (file,
+// page) so commit records are deterministic.
+func (p *Pool) ScopeDirty(files map[pagefile.FileID]bool) []pagefile.PageID {
+	p.capMu.Lock()
+	pids := make([]pagefile.PageID, 0, len(p.capture))
+	for pid := range p.capture {
+		if files[pid.File] {
+			pids = append(pids, pid)
+		}
+	}
+	p.capMu.Unlock()
+	sort.Slice(pids, func(i, j int) bool {
+		if pids[i].File != pids[j].File {
+			return pids[i].File < pids[j].File
+		}
+		return pids[i].Page < pids[j].Page
+	})
+	return pids
+}
+
+// EndScope closes one scoped window, keeping every modification to pages of
+// files: the transaction committed. Dropping the entries is the visibility
+// point — snapshot readers switch from the pre-images to the frames' new
+// committed state, atomically per page — so each touched file's commit epoch
+// is bumped here (and only here; rollback restores the images readers were
+// already seeing).
+func (p *Pool) EndScope(files map[pagefile.FileID]bool) {
+	p.capMu.Lock()
+	for pid := range p.capture {
+		if files[pid.File] {
+			delete(p.capture, pid)
+			if p.fileEpochs == nil {
+				p.fileEpochs = make(map[pagefile.FileID]uint64)
+			}
+			p.fileEpochs[pid.File]++
+		}
+	}
+	if p.capCount.Add(-1) == 0 {
+		p.capture = nil
+	}
+	p.capMu.Unlock()
+}
+
+// FileEpoch returns fid's commit epoch: the number of page entries committed
+// into the file by scoped windows. Snapshot readers whose consistency spans
+// multiple page reads (a B-tree descent) read the epoch before and after the
+// traversal; an unchanged epoch proves no commit republished the file's pages
+// mid-walk.
+func (p *Pool) FileEpoch(fid pagefile.FileID) uint64 {
+	p.capMu.Lock()
+	defer p.capMu.Unlock()
+	return p.fileEpochs[fid]
+}
+
+// RollbackScope closes one scoped window by restoring every registered page
+// of files to its transaction-begin image and dirty bit. Restoration and
+// entry removal are atomic per page (shard mutex + capMu), so a concurrent
+// snapshot reader sees either the pre-image via the entry or the restored
+// frame — never the aborted modifications.
+func (p *Pool) RollbackScope(files map[pagefile.FileID]bool) error {
+	p.capMu.Lock()
+	pids := make([]pagefile.PageID, 0, len(p.capture))
+	for pid := range p.capture {
+		if files[pid.File] {
+			pids = append(pids, pid)
+		}
+	}
+	p.capMu.Unlock()
+
+	var errs []error
+	for _, pid := range pids {
+		sh := p.shardOf(pid)
+		sh.mu.Lock()
+		p.capMu.Lock()
+		e, ok := p.capture[pid]
+		if !ok {
+			p.capMu.Unlock()
+			sh.mu.Unlock()
+			continue
+		}
+		idx, res := sh.table[pid]
+		if !res || !sh.frames[idx].valid {
+			// Should be impossible: registration makes the frame unevictable.
+			delete(p.capture, pid)
+			p.capMu.Unlock()
+			sh.mu.Unlock()
+			errs = append(errs, fmt.Errorf("buffer: rollback: %s not resident", pid))
+			continue
+		}
+		f := &sh.frames[idx]
+		f.page = e.pre
+		f.dirty = e.prevDirty
+		delete(p.capture, pid)
+		p.capMu.Unlock()
+		sh.mu.Unlock()
+	}
+
+	p.capMu.Lock()
+	if p.capCount.Add(-1) == 0 {
+		p.capture = nil
+	}
+	p.capMu.Unlock()
+	return errors.Join(errs...)
 }
 
 // RollbackCapture closes the capture window by restoring every registered
@@ -862,7 +1187,8 @@ func (p *Pool) RollbackCapture() error {
 		entries[pid] = e
 	}
 	p.capture = nil
-	p.capActive.Store(false)
+	p.capExcl.Store(false)
+	p.capCount.Store(0)
 	p.capMu.Unlock()
 
 	var errs []error

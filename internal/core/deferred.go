@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"github.com/exodb/fieldrepl/internal/catalog"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 )
@@ -21,25 +23,47 @@ type pendKey struct {
 	terminal pagefile.OID
 }
 
+// pendState is the deferred-propagation queue, shared by pointer across all
+// WithSession views of a Manager. The mutex guards only the queue structure;
+// the propagations themselves run outside it, serialized per path by the
+// engine's per-set locking (every session that drains a path holds the locks
+// of the sets the path touches).
+type pendState struct {
+	mu      sync.Mutex
+	pending map[pendKey]bool
+	order   []pendKey
+}
+
 // enqueueDeferred records that the terminal at oid changed under path p.
 func (m *Manager) enqueueDeferred(p *catalog.Path, oid pagefile.OID) {
-	if m.pending == nil {
-		m.pending = make(map[pendKey]bool)
+	s := m.pend
+	s.mu.Lock()
+	if s.pending == nil {
+		s.pending = make(map[pendKey]bool)
 	}
 	k := pendKey{path: p.ID, terminal: oid}
-	if !m.pending[k] {
-		m.pending[k] = true
-		m.pendingOrder = append(m.pendingOrder, k)
+	if !s.pending[k] {
+		s.pending[k] = true
+		s.order = append(s.order, k)
 	}
+	s.mu.Unlock()
 }
 
 // PendingPropagations reports the number of queued (path, terminal)
 // propagations.
-func (m *Manager) PendingPropagations() int { return len(m.pending) }
+func (m *Manager) PendingPropagations() int {
+	s := m.pend
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
 
 // HasPending reports whether path p has queued propagations.
 func (m *Manager) HasPending(p *catalog.Path) bool {
-	for k := range m.pending {
+	s := m.pend
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.pending {
 		if k.path == p.ID {
 			return true
 		}
@@ -47,25 +71,31 @@ func (m *Manager) HasPending(p *catalog.Path) bool {
 	return false
 }
 
-// FlushPath drains the deferred-propagation queue for one path.
+// FlushPath drains the deferred-propagation queue for one path. The caller
+// must hold locking that excludes concurrent writers of the path's sets (the
+// engine's per-set locks or its exclusive lock).
 func (m *Manager) FlushPath(p *catalog.Path) error {
-	if len(m.pending) == 0 {
+	s := m.pend
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
 		return nil
 	}
-	kept := m.pendingOrder[:0]
+	kept := s.order[:0]
 	var toRun []pendKey
-	for _, k := range m.pendingOrder {
-		if !m.pending[k] {
+	for _, k := range s.order {
+		if !s.pending[k] {
 			continue
 		}
 		if k.path == p.ID {
 			toRun = append(toRun, k)
-			delete(m.pending, k)
+			delete(s.pending, k)
 		} else {
 			kept = append(kept, k)
 		}
 	}
-	m.pendingOrder = kept
+	s.order = kept
+	s.mu.Unlock()
 	for _, k := range toRun {
 		if err := m.runDeferred(p, k.terminal); err != nil {
 			return err
@@ -74,15 +104,20 @@ func (m *Manager) FlushPath(p *catalog.Path) error {
 	return nil
 }
 
-// FlushAllPending drains the whole deferred-propagation queue.
+// FlushAllPending drains the whole deferred-propagation queue. Callers hold
+// the engine's exclusive lock.
 func (m *Manager) FlushAllPending() error {
-	if len(m.pending) == 0 {
+	s := m.pend
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
 		return nil
 	}
-	order := m.pendingOrder
-	m.pendingOrder = nil
-	pending := m.pending
-	m.pending = nil
+	order := s.order
+	s.order = nil
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
 	for _, k := range order {
 		if !pending[k] {
 			continue

@@ -62,9 +62,10 @@ type Manager struct {
 	listener  Listener
 	inlineMax int
 
-	// Deferred-propagation queue (see deferred.go).
-	pending      map[pendKey]bool
-	pendingOrder []pendKey
+	// Deferred-propagation queue, shared by pointer across all WithSession
+	// views so a propagation queued through one session is visible to — and
+	// drainable by — every other (see deferred.go).
+	pend *pendState
 }
 
 // Option configures a Manager.
@@ -81,11 +82,22 @@ func WithInlineMax(n int) Option { return func(m *Manager) { m.inlineMax = n } }
 
 // New returns a Manager.
 func New(cat *catalog.Catalog, st Storage, opts ...Option) *Manager {
-	m := &Manager{cat: cat, st: st, inlineMax: 1}
+	m := &Manager{cat: cat, st: st, inlineMax: 1, pend: &pendState{}}
 	for _, o := range opts {
 		o(m)
 	}
 	return m
+}
+
+// WithSession returns a view of the manager bound to a per-session Storage
+// and Listener (the engine's fine-grained transaction or snapshot-read
+// session), sharing the catalog, inlining threshold, and deferred queue with
+// the parent. The view is cheap and need not be released.
+func (m *Manager) WithSession(st Storage, l Listener) *Manager {
+	v := *m
+	v.st = st
+	v.listener = l
+	return &v
 }
 
 // Catalog returns the manager's catalog.

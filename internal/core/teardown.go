@@ -20,17 +20,20 @@ import (
 // remaining path are dismantled.
 func (m *Manager) TeardownPath(p *catalog.Path) error {
 	// Purge any pending deferred propagation for p.
-	if m.pending != nil {
-		kept := m.pendingOrder[:0]
-		for _, k := range m.pendingOrder {
+	s := m.pend
+	s.mu.Lock()
+	if s.pending != nil {
+		kept := s.order[:0]
+		for _, k := range s.order {
 			if k.path == p.ID {
-				delete(m.pending, k)
+				delete(s.pending, k)
 				continue
 			}
 			kept = append(kept, k)
 		}
-		m.pendingOrder = kept
+		s.order = kept
 	}
+	s.mu.Unlock()
 
 	// Determine which links die with p. PathsWithLink still includes p
 	// itself at this point, so "dead" means p is the only user.

@@ -260,13 +260,14 @@ func (db *DB) HiddenChanged(source pagefile.OID, p *catalog.Path, f catalog.Repl
 }
 
 // maintainBaseIndexes applies an object transition (nil old = insert, nil
-// new = delete) to the base-field indexes of a set.
-func (db *DB) maintainBaseIndexes(set string, oid pagefile.OID, old, new *schema.Object) error {
-	for _, ix := range db.cat.IndexesOn(set) {
+// new = delete) to the base-field indexes of a set, through the session's
+// views (index files are part of a fine writer's footprint).
+func (s *sess) maintainBaseIndexes(set string, oid pagefile.OID, old, new *schema.Object) error {
+	for _, ix := range s.db.cat.IndexesOn(set) {
 		if ix.IsPathIndex() {
 			continue
 		}
-		tree, ok := db.treeFor(ix.Name)
+		tree, ok := s.treeFor(ix.Name)
 		if !ok {
 			continue
 		}
@@ -301,12 +302,12 @@ func (db *DB) maintainBaseIndexes(set string, oid pagefile.OID, old, new *schema
 // with (old -> zero) transitions while unregistering a deleted source, and
 // the final zero-value entries are removed below in Delete via
 // removePathIndexZeroEntries.
-func (db *DB) removePathIndexZeroEntries(set string, oid pagefile.OID) {
-	for _, ix := range db.cat.IndexesOn(set) {
+func (s *sess) removePathIndexZeroEntries(set string, oid pagefile.OID) {
+	for _, ix := range s.db.cat.IndexesOn(set) {
 		if !ix.IsPathIndex() {
 			continue
 		}
-		if tree, ok := db.treeFor(ix.Name); ok {
+		if tree, ok := s.treeFor(ix.Name); ok {
 			_ = tree.Delete(keyFor(schema.Zero(ix.KeyKind)), oid)
 		}
 	}

@@ -12,14 +12,17 @@ import (
 )
 
 // DML operations are atomic. With a WAL each one-shot call runs as an
-// implicit transaction: its modifications are captured in the buffer pool,
-// logged and group-committed on success, and rolled back physically on
-// failure — no half-applied state, no taint. Without a WAL (in-memory
-// databases) they are atomic-or-loud: when replication or index maintenance
-// fails midway, the operation either compensates (unwinding what it already
-// did, so the failure is clean) or — when the compensation itself fails —
-// taints the set in the catalog so the inconsistency is never silent.
-// Repair() re-derives the tainted state from the primary objects.
+// implicit transaction under the per-set locks of its write footprint: its
+// modifications are captured in a buffer-pool scope, logged and
+// group-committed on success, and rolled back physically on failure — no
+// half-applied state, no taint — while writers to disjoint footprints
+// proceed concurrently. Without a WAL (in-memory databases) they serialize
+// behind the exclusive lock and are atomic-or-loud: when replication or
+// index maintenance fails midway, the operation either compensates
+// (unwinding what it already did, so the failure is clean) or — when the
+// compensation itself fails — taints the set in the catalog so the
+// inconsistency is never silent. Repair() re-derives the tainted state from
+// the primary objects.
 
 // Insert stores a new object in a set and returns its OID. Replicated
 // hidden fields, inverted-path structures, S′ registration, and indexes are
@@ -29,15 +32,11 @@ func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 		return pagefile.OID{}, err
 	}
 	tr := db.obs.Start(obs.KindDML, set, "insert")
-	db.lockWriter(tr)
-	db.writerTrace = tr
 	var oid pagefile.OID
-	lsn, err := db.oneShot(tr, func() (ierr error) {
-		oid, ierr = db.insert(set, vals)
+	lsn, err := db.writeShot(nil, tr, []string{set}, func(s *sess) (ierr error) {
+		oid, ierr = s.insert(set, vals)
 		return ierr
 	})
-	db.writerTrace = nil
-	db.mu.Unlock()
 	if err == nil {
 		err = db.waitDurable(lsn, tr)
 	}
@@ -48,12 +47,12 @@ func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 	return oid, nil
 }
 
-func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
-	s, ok := db.cat.SetByName(set)
+func (s *sess) insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
+	c, ok := s.db.cat.SetByName(set)
 	if !ok {
 		return pagefile.OID{}, fmt.Errorf("%w: %s", ErrNoSuchSet, set)
 	}
-	typ, err := db.cat.SetType(set)
+	typ, err := s.db.cat.SetType(set)
 	if err != nil {
 		return pagefile.OID{}, err
 	}
@@ -63,7 +62,7 @@ func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 			return pagefile.OID{}, err
 		}
 	}
-	file, err := db.heapFor(s.FileID)
+	file, err := s.heapFor(c.FileID)
 	if err != nil {
 		return pagefile.OID{}, err
 	}
@@ -71,21 +70,21 @@ func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 	if err != nil {
 		return pagefile.OID{}, err
 	}
-	if err := db.mgr.OnInsert(s, oid, obj); err != nil {
-		if db.txn == nil {
-			db.undoInsert(s, oid, obj, false, err)
+	if err := s.manager().OnInsert(c, oid, obj); err != nil {
+		if !s.rollsBack() {
+			s.undoInsert(c, oid, obj, false, err)
 		}
 		return pagefile.OID{}, err
 	}
-	if err := db.maintainBaseIndexes(set, oid, nil, obj); err != nil {
-		if db.txn == nil {
-			db.undoInsert(s, oid, obj, true, err)
+	if err := s.maintainBaseIndexes(set, oid, nil, obj); err != nil {
+		if !s.rollsBack() {
+			s.undoInsert(c, oid, obj, true, err)
 		}
 		return pagefile.OID{}, err
 	}
-	if err := db.takeIdxErr(); err != nil {
-		if db.txn == nil {
-			db.undoInsert(s, oid, obj, true, err)
+	if err := s.takeIdxErr(); err != nil {
+		if !s.rollsBack() {
+			s.undoInsert(c, oid, obj, true, err)
 		}
 		return pagefile.OID{}, err
 	}
@@ -96,35 +95,37 @@ func (db *DB) insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 // state is unregistered and the record deleted, so the failed operation
 // leaves no trace. indexed says whether base-index maintenance already ran.
 // If the unwind itself fails, the set is tainted. Only the legacy (no-WAL)
-// path calls it; a transaction rolls back physically instead.
-func (db *DB) undoInsert(s *catalog.Set, oid pagefile.OID, obj *schema.Object, indexed bool, cause error) {
-	if err := db.mgr.OnDelete(s, oid, obj); err != nil && !errors.Is(err, core.ErrStillReferenced) {
-		db.taint(s.Name, cause)
+// path calls it; a capture scope or transaction rolls back physically
+// instead.
+func (s *sess) undoInsert(c *catalog.Set, oid pagefile.OID, obj *schema.Object, indexed bool, cause error) {
+	if err := s.manager().OnDelete(c, oid, obj); err != nil && !errors.Is(err, core.ErrStillReferenced) {
+		s.taint(c.Name, cause)
 		return
 	}
-	db.removePathIndexZeroEntries(s.Name, oid)
+	s.removePathIndexZeroEntries(c.Name, oid)
 	if indexed {
-		if err := db.maintainBaseIndexes(s.Name, oid, obj, nil); err != nil {
-			db.taint(s.Name, cause)
+		if err := s.maintainBaseIndexes(c.Name, oid, obj, nil); err != nil {
+			s.taint(c.Name, cause)
 			return
 		}
 	}
-	file, err := db.heapFor(s.FileID)
+	file, err := s.heapFor(c.FileID)
 	if err == nil {
 		err = file.Delete(oid)
 	}
 	if err != nil {
-		db.taint(s.Name, cause)
+		s.taint(c.Name, cause)
 		return
 	}
 	// A deferred index error raised during the unwind also means the unwind
 	// was incomplete.
-	if err := db.takeIdxErr(); err != nil {
-		db.taint(s.Name, cause)
+	if err := s.takeIdxErr(); err != nil {
+		s.taint(c.Name, cause)
 	}
 }
 
-// Get reads an object.
+// Get reads an object. On a WAL-backed database the read is a page-level
+// snapshot that never blocks on concurrent writers.
 func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -132,7 +133,7 @@ func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.ReadObject(oid, typ)
+	return db.readSess(nil).readObject(oid, typ)
 }
 
 // Update applies field changes to the object at oid, propagating through
@@ -143,13 +144,9 @@ func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value)
 		return err
 	}
 	tr := db.obs.Start(obs.KindDML, set, "update")
-	db.lockWriter(tr)
-	db.writerTrace = tr
-	lsn, err := db.oneShot(tr, func() error {
-		return db.update(set, oid, vals)
+	lsn, err := db.writeShot(nil, tr, []string{set}, func(s *sess) error {
+		return s.update(set, oid, vals)
 	})
-	db.writerTrace = nil
-	db.mu.Unlock()
 	if err == nil {
 		err = db.waitDurable(lsn, tr)
 	}
@@ -157,16 +154,16 @@ func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value)
 	return err
 }
 
-func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
-	s, ok := db.cat.SetByName(set)
+func (s *sess) update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
+	c, ok := s.db.cat.SetByName(set)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchSet, set)
 	}
-	typ, err := db.cat.SetType(set)
+	typ, err := s.db.cat.SetType(set)
 	if err != nil {
 		return err
 	}
-	old, err := db.ReadObject(oid, typ)
+	old, err := s.readObject(oid, typ)
 	if err != nil {
 		return err
 	}
@@ -176,29 +173,29 @@ func (db *DB) update(set string, oid pagefile.OID, vals map[string]schema.Value)
 			return err
 		}
 	}
-	if err := db.WriteObject(oid, next); err != nil {
+	if err := s.WriteObject(oid, next); err != nil {
 		return err
 	}
-	if err := db.mgr.OnUpdate(s, oid, old, next); err != nil {
-		// Propagation stopped partway. In a transaction the whole capture
-		// rolls back; on the legacy path, restore the pre-update object so
-		// the primary data reads as if the update never happened, and taint
-		// the set — the derived structures may reflect either state and only
-		// a Repair pass re-derives them reliably.
-		if db.txn == nil {
-			if werr := db.WriteObject(oid, old); werr != nil {
+	if err := s.manager().OnUpdate(c, oid, old, next); err != nil {
+		// Propagation stopped partway. A capture scope or transaction rolls
+		// back physically; on the legacy path, restore the pre-update object
+		// so the primary data reads as if the update never happened, and
+		// taint the set — the derived structures may reflect either state and
+		// only a Repair pass re-derives them reliably.
+		if !s.rollsBack() {
+			if werr := s.WriteObject(oid, old); werr != nil {
 				err = errors.Join(err, werr)
 			}
 		}
-		db.taint(set, err)
+		s.taint(set, err)
 		return err
 	}
-	if err := db.maintainBaseIndexes(set, oid, old, next); err != nil {
-		db.taint(set, err)
+	if err := s.maintainBaseIndexes(set, oid, old, next); err != nil {
+		s.taint(set, err)
 		return err
 	}
-	if err := db.takeIdxErr(); err != nil {
-		db.taint(set, err)
+	if err := s.takeIdxErr(); err != nil {
+		s.taint(set, err)
 		return err
 	}
 	return nil
@@ -212,13 +209,9 @@ func (db *DB) Delete(set string, oid pagefile.OID) error {
 		return err
 	}
 	tr := db.obs.Start(obs.KindDML, set, "delete")
-	db.lockWriter(tr)
-	db.writerTrace = tr
-	lsn, err := db.oneShot(tr, func() error {
-		return db.delete(set, oid)
+	lsn, err := db.writeShot(nil, tr, []string{set}, func(s *sess) error {
+		return s.delete(set, oid)
 	})
-	db.writerTrace = nil
-	db.mu.Unlock()
 	if err == nil {
 		err = db.waitDurable(lsn, tr)
 	}
@@ -226,50 +219,51 @@ func (db *DB) Delete(set string, oid pagefile.OID) error {
 	return err
 }
 
-func (db *DB) delete(set string, oid pagefile.OID) error {
-	s, ok := db.cat.SetByName(set)
+func (s *sess) delete(set string, oid pagefile.OID) error {
+	c, ok := s.db.cat.SetByName(set)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchSet, set)
 	}
-	typ, err := db.cat.SetType(set)
+	typ, err := s.db.cat.SetType(set)
 	if err != nil {
 		return err
 	}
-	obj, err := db.ReadObject(oid, typ)
+	obj, err := s.readObject(oid, typ)
 	if err != nil {
 		return err
 	}
-	if err := db.mgr.OnDelete(s, oid, obj); err != nil {
+	if err := s.manager().OnDelete(c, oid, obj); err != nil {
 		// ErrStillReferenced is a clean refusal raised before any mutation;
 		// anything else stopped partway through unregistration.
 		if !errors.Is(err, core.ErrStillReferenced) {
-			db.taint(set, err)
+			s.taint(set, err)
 		}
 		return err
 	}
-	db.removePathIndexZeroEntries(set, oid)
-	if err := db.maintainBaseIndexes(set, oid, obj, nil); err != nil {
-		db.taint(set, err)
+	s.removePathIndexZeroEntries(set, oid)
+	if err := s.maintainBaseIndexes(set, oid, obj, nil); err != nil {
+		s.taint(set, err)
 		return err
 	}
-	file, err := db.heapFor(s.FileID)
+	file, err := s.heapFor(c.FileID)
 	if err != nil {
 		return err
 	}
 	if err := file.Delete(oid); err != nil {
 		// Unregistered from every path but still present in the set: loudly
 		// inconsistent; Repair re-registers it.
-		db.taint(set, err)
+		s.taint(set, err)
 		return err
 	}
-	return db.takeIdxErr()
+	return s.takeIdxErr()
 }
 
-// Count returns the number of objects in a set.
+// Count returns the number of objects in a set. On a WAL-backed database the
+// scan reads page-level snapshots and never blocks on concurrent writers.
 func (db *DB) Count(set string) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	f, err := db.SetFile(set)
+	f, err := db.readSess(nil).SetFile(set)
 	if err != nil {
 		return 0, err
 	}

@@ -77,11 +77,14 @@ type Config struct {
 	WALDisabled bool
 }
 
-// DB is a database instance. It is safe for concurrent use: read-only
-// operations (Query without output emission, Get, Count, Inverse, the stats
-// accessors) run concurrently under a shared reader lock, while mutations
-// (DML, DDL, Repair, cache control) are serialized behind the writer lock,
-// so concurrent readers never interleave with a writer.
+// DB is a database instance. It is safe for concurrent use. On a WAL-backed
+// database, DML statements lock only their write footprint — the target set
+// plus every set reachable through replicated-field/inverse-link propagation
+// — so writers to disjoint footprints run and commit concurrently, and
+// read-only operations (Query, Get, Count, Inverse) read page-level
+// snapshots that never block on writers. DDL, replication control, explicit
+// Begin transactions, cache control, and all statements on a database
+// without a WAL serialize behind the exclusive lock as before.
 type DB struct {
 	store   pagefile.Store
 	pool    *buffer.Pool
@@ -90,10 +93,24 @@ type DB struct {
 	dir     string
 	workers int
 
-	// mu is the engine's reader/writer boundary. Exported entry points
-	// acquire it; the internal helpers they call (including the core.Storage
-	// implementation the replication manager re-enters through) never do.
+	// mu is the engine's coarse/fine boundary. Coarse operations — DDL,
+	// replication control, explicit Begin transactions, cache control, and
+	// the no-WAL DML path — take it exclusively. Fine-grained writers (WAL
+	// DML) and readers take it shared and coordinate among themselves through
+	// setLocks and the buffer pool's capture scopes. Internal helpers
+	// (including the core.Storage implementation the replication manager
+	// re-enters through) never acquire it.
 	mu sync.RWMutex
+	// setLocks is the per-set lock manager for fine-grained writers: each
+	// statement locks its whole write footprint in sorted order before
+	// mutating anything (see footprint.go, lockmgr.go).
+	setLocks *lockMgr
+	// fsMu guards files/trees/nextOut/scratchFIDs in shared-lock contexts,
+	// where a session registering a query scratch file races with other
+	// sessions' lookups. Exclusive-lock holders access the maps directly
+	// (the RWMutex orders them against every shared-mode access). Leaf-level:
+	// nothing is called while holding it.
+	fsMu sync.Mutex
 
 	files   map[pagefile.FileID]*heap.File
 	trees   map[string]*btree.Tree
@@ -291,6 +308,7 @@ func Open(cfg Config) (*DB, error) {
 		lockWait:    obs.NewHistogram(),
 		wal:         walMgr,
 		scratchFIDs: map[pagefile.FileID]bool{},
+		setLocks:    newLockMgr(),
 	}
 	inlineMax := cfg.InlineMax
 	if inlineMax == 0 {
@@ -811,20 +829,25 @@ func (db *DB) FlushAll() error {
 	return db.pool.FlushAll()
 }
 
-// VerifyReplication runs the full replication invariant checker.
+// VerifyReplication runs the full replication invariant checker. It takes
+// the exclusive lock: the checker cross-references primary objects, link
+// structures, and S′ files, and a fine-grained writer committing between
+// those reads would produce false positives.
 func (db *DB) VerifyReplication() []error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.mgr.Verify()
 }
 
 // ErrNoSuchSet is returned for operations on unknown sets.
 var ErrNoSuchSet = errors.New("engine: no such set")
 
-// SetStats reports the physical statistics of a set's heap file.
+// SetStats reports the physical statistics of a set's heap file. It takes
+// the exclusive lock so the multi-page walk never interleaves with a
+// fine-grained writer's commit.
 func (db *DB) SetStats(set string) (heap.Stats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	f, err := db.SetFile(set)
 	if err != nil {
 		return heap.Stats{}, err

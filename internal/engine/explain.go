@@ -228,6 +228,10 @@ func (db *DB) contentionSummaries() map[string]obs.HistSummary {
 		"pool_read_stall":  read.Summary(),
 		"pool_write_stall": write.Summary(),
 	}
+	// Per-set lock waits ("set_lock_wait|<set>"), present once contended.
+	for k, v := range db.setLocks.waitSummaries() {
+		out[k] = v
+	}
 	if db.wal != nil {
 		out["wal_fsync_wait"] = db.wal.FsyncWaitHist().Summary()
 	}
@@ -251,12 +255,15 @@ func (db *DB) SetSlowQueryLog(threshold time.Duration, sink func(obs.Record)) {
 // FlushAllTraced writes back all dirty buffered pages like FlushAll and
 // returns the flush's own trace record, so measurement code can account the
 // write-backs a query left dirty to that query's workload without a global
-// counter delta.
+// counter delta. It runs under the shared lock: the flush skips pages
+// captured by in-flight writers (their write-back is gated on commit
+// anyway), so it never blocks behind — or publishes partial state of — a
+// concurrent transaction.
 func (db *DB) FlushAllTraced() (obs.Record, error) {
 	tr := db.obs.Start(obs.KindFlush, "", "")
-	db.lockWriter(tr)
+	db.mu.RLock()
 	err := db.pool.FlushAllT(tr)
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	rec := db.obs.Finish(tr)
 	return rec, err
 }

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"sort"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+)
+
+// footprint is a DML statement's write footprint: the sets whose locks the
+// statement must hold (sorted by name, the global acquisition order) and the
+// page files a commit in that footprint can dirty — set heaps, the sets'
+// index trees, and the link/S′ files of every replication path the footprint
+// intersects. The file set bounds the buffer-pool capture scope the statement
+// commits or rolls back.
+type footprint struct {
+	sets  []string
+	files map[pagefile.FileID]bool
+}
+
+// computeFootprint derives the footprint of a statement targeting the given
+// sets. Replication couples sets through types: updating an object whose type
+// appears in a replication path can propagate hidden values, link structures,
+// and S′ registrations into any set holding objects of the path's other
+// types — and those paths' types can chain into further paths. The closure is
+// the fixpoint over path type-lists.
+//
+// A target set whose type appears in no path propagates nowhere: its
+// footprint is itself alone, so writers to unreplicated sets never share
+// locks (the disjoint-writer scaling case). Callers hold db.mu in either
+// mode; the catalog is only mutated under the exclusive lock.
+func (db *DB) computeFootprint(targets ...string) footprint {
+	fp := footprint{files: map[pagefile.FileID]bool{}}
+	inSets := map[string]bool{}
+	for _, t := range targets {
+		inSets[t] = true
+	}
+
+	// Type closure: seed with the targets' types, then absorb every path
+	// sharing a type with the closure until nothing new joins.
+	closure := map[string]bool{}
+	for _, t := range targets {
+		if s, ok := db.cat.SetByName(t); ok {
+			closure[s.TypeName] = true
+		}
+	}
+	paths := db.cat.Paths()
+	inPath := map[uint8]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range paths {
+			if inPath[p.ID] {
+				continue
+			}
+			hit := false
+			for _, t := range p.Types {
+				if closure[t.Name] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			inPath[p.ID] = true
+			changed = true
+			for _, t := range p.Types {
+				if !closure[t.Name] {
+					closure[t.Name] = true
+				}
+			}
+		}
+	}
+
+	// Sets: the targets always; other sets only when a path actually couples
+	// their type (a set of an unreplicated type shares its type's other sets'
+	// heaps with no one).
+	if len(inPath) > 0 {
+		for _, s := range db.cat.Sets() {
+			if closure[s.TypeName] {
+				inSets[s.Name] = true
+			}
+		}
+	}
+	for name := range inSets {
+		fp.sets = append(fp.sets, name)
+	}
+	sort.Strings(fp.sets)
+
+	// Files: set heaps, their indexes, and the intersecting paths' link and
+	// S′ files.
+	for _, name := range fp.sets {
+		s, ok := db.cat.SetByName(name)
+		if !ok {
+			continue
+		}
+		fp.files[s.FileID] = true
+		for _, ix := range db.cat.IndexesOn(name) {
+			fp.files[ix.FileID] = true
+		}
+	}
+	for _, p := range paths {
+		if !inPath[p.ID] {
+			continue
+		}
+		links := p.Links
+		if p.CollapsedLink != nil {
+			links = append(links, p.CollapsedLink)
+		}
+		for _, l := range links {
+			if l.HasFile {
+				fp.files[l.FileID] = true
+			}
+		}
+		if p.Group != nil && p.Group.HasFile {
+			fp.files[p.Group.FileID] = true
+		}
+	}
+	return fp
+}
+
+// contains reports whether every set in other's lock list is covered by fp.
+func (fp footprint) contains(other footprint) bool {
+	held := map[string]bool{}
+	for _, s := range fp.sets {
+		held[s] = true
+	}
+	for _, s := range other.sets {
+		if !held[s] {
+			return false
+		}
+	}
+	return true
+}

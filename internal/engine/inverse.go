@@ -39,14 +39,17 @@ func (db *DB) Inverse(source, refExpr string, target pagefile.OID) (oids []pagef
 		cur = next
 	}
 
-	if got, ok, err := db.mgr.InverseLookup(source, refs, target); err != nil {
+	// A read session: link structures and objects are read through snapshot
+	// views, concurrent with fine-grained writers.
+	s := db.readSess(nil)
+	if got, ok, err := s.manager().InverseLookup(source, refs, target); err != nil {
 		return nil, "", err
 	} else if ok {
 		return got, "inverted-path", nil
 	}
 
 	// Fallback: scan the source set and walk each object's chain.
-	file, err := db.SetFile(source)
+	file, err := s.SetFile(source)
 	if err != nil {
 		return nil, "", err
 	}
@@ -55,7 +58,7 @@ func (db *DB) Inverse(source, refExpr string, target pagefile.OID) (oids []pagef
 		if err != nil {
 			return err
 		}
-		reached, err := db.chainReaches(typ, obj, refs, target)
+		reached, err := s.chainReaches(typ, obj, refs, target)
 		if err != nil {
 			return err
 		}
@@ -69,7 +72,7 @@ func (db *DB) Inverse(source, refExpr string, target pagefile.OID) (oids []pagef
 
 // chainReaches walks obj's reference chain and reports whether it ends at
 // target.
-func (db *DB) chainReaches(typ *schema.Type, obj *schema.Object, refs []string, target pagefile.OID) (bool, error) {
+func (s *sess) chainReaches(typ *schema.Type, obj *schema.Object, refs []string, target pagefile.OID) (bool, error) {
 	cur, curType := obj, typ
 	for i, r := range refs {
 		v, _ := cur.Get(r)
@@ -80,11 +83,11 @@ func (db *DB) chainReaches(typ *schema.Type, obj *schema.Object, refs []string, 
 			return v.R == target, nil
 		}
 		f, _ := curType.Field(r)
-		nextType, ok := db.cat.TypeByName(f.RefType)
+		nextType, ok := s.db.cat.TypeByName(f.RefType)
 		if !ok {
 			return false, fmt.Errorf("engine: unknown type %s", f.RefType)
 		}
-		next, err := db.ReadObject(v.R, nextType)
+		next, err := s.readObject(v.R, nextType)
 		if err != nil {
 			return false, err
 		}
@@ -125,6 +128,7 @@ type ReplStorage struct {
 func (db *DB) ReplicationStorage() ([]ReplStorage, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	s := db.readSess(nil)
 	var out []ReplStorage
 	for _, p := range db.cat.Paths() {
 		rs := ReplStorage{Path: p.Spec.String(), Strategy: p.Strategy.String()}
@@ -136,7 +140,7 @@ func (db *DB) ReplicationStorage() ([]ReplStorage, error) {
 			if !l.HasFile {
 				continue
 			}
-			f, err := db.heapFor(l.FileID)
+			f, err := s.heapFor(l.FileID)
 			if err != nil {
 				return nil, err
 			}
@@ -147,7 +151,7 @@ func (db *DB) ReplicationStorage() ([]ReplStorage, error) {
 			rs.LinkPages += n
 		}
 		if p.Group != nil && p.Group.HasFile {
-			f, err := db.heapFor(p.Group.FileID)
+			f, err := s.heapFor(p.Group.FileID)
 			if err != nil {
 				return nil, err
 			}

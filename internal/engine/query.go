@@ -87,10 +87,11 @@ type Result struct {
 	OutputPages uint32
 }
 
-// Query executes a retrieve. Pure reads run under the engine's shared
-// reader lock, concurrently with other readers; a query that must mutate —
-// emitting an output file or draining deferred propagation — upgrades to
-// the writer lock first.
+// Query executes a retrieve. On a WAL-backed database, reads — including
+// output-emitting queries — run under the shared lock against page-level
+// snapshots, fully concurrent with writers and never charged any lock wait;
+// only a query that must drain deferred propagation upgrades to the
+// exclusive lock (the drain mutates derived state).
 //
 // With ScanWorkers > 1 a non-indexed query evaluates predicates and
 // projections in parallel across page ranges; the result rows then arrive
@@ -133,15 +134,30 @@ func queryDetail(q Query) string {
 }
 
 // runQuery acquires the right lock mode for q and executes it, charging I/O
-// to tr.
+// to tr. Three regimes:
+//
+//   - Draining queries (pending deferred propagation on a resolved path)
+//     mutate derived state and run coarsely: exclusive lock, implicit
+//     transaction. So do emitting queries on a no-WAL database (the legacy
+//     regime, where only the exclusive lock protects the scratch registry).
+//   - Everything else on a WAL-backed database runs in a read session under
+//     the shared lock: snapshot page views, no set locks, no lock wait. An
+//     emitting query's scratch file is plain-mode (session-local, unlogged)
+//     and its registration is serialized by fsMu.
+//   - Everything else on a no-WAL database reads plain views under the
+//     shared lock, exactly the legacy read path.
+//
+// A deferred propagation enqueued by a writer that commits while a read
+// session is already executing is not drained by that query — the reader
+// observes the committed terminal values with the hidden copies still stale,
+// which is exactly the deferred path's published state; the next query
+// drains it.
 func (db *DB) runQuery(ctx context.Context, q Query, tr *obs.Trace) (*Result, error) {
 	db.mu.RLock()
-	if q.EmitOutput || db.hasDeferredFor(q) {
-		// Deferred propagation can only be enqueued under the writer lock,
-		// so the re-check inside query (flushDeferredFor) is authoritative
-		// once we hold it.
+	coarse := db.hasDeferredFor(q) || (q.EmitOutput && db.wal == nil)
+	if coarse {
 		db.mu.RUnlock()
-		// Both mutating branches are writes: emitting an output file creates
+		// Both coarse branches are writes: emitting an output file creates
 		// an unlogged scratch file (which would desynchronize file IDs with
 		// the primary), and draining deferred propagation mutates derived
 		// state the primary will also stream. A follower refuses rather than
@@ -149,20 +165,14 @@ func (db *DB) runQuery(ctx context.Context, q Query, tr *obs.Trace) (*Result, er
 		if err := db.writable(); err != nil {
 			return nil, err
 		}
-		db.lockWriter(tr)
-		// Bind the writer trace so deferred-propagation drains and output
-		// inserts performed through core.Storage are charged to this query.
-		db.writerTrace = tr
 		var res *Result
-		// The mutating branch runs as an implicit transaction: a deferred
+		// The coarse branch runs as an implicit transaction: a deferred
 		// drain that fails partway rolls back instead of leaving derived
 		// state half-propagated.
-		lsn, err := db.oneShot(tr, func() (qerr error) {
-			res, qerr = db.query(ctx, q, tr)
+		lsn, err := db.coarseShot(tr, func(s *sess) (qerr error) {
+			res, qerr = s.query(ctx, q, true)
 			return qerr
 		})
-		db.writerTrace = nil
-		db.mu.Unlock()
 		if err == nil {
 			err = db.waitDurable(lsn, tr)
 		}
@@ -172,36 +182,39 @@ func (db *DB) runQuery(ctx context.Context, q Query, tr *obs.Trace) (*Result, er
 		return res, nil
 	}
 	defer db.mu.RUnlock()
-	return db.query(ctx, q, tr)
+	if q.EmitOutput {
+		// Scratch files desynchronize follower file IDs; refuse like the
+		// coarse branch does.
+		if err := db.writable(); err != nil {
+			return nil, err
+		}
+	}
+	return db.readSess(tr).query(ctx, q, false)
 }
 
-func (db *DB) query(ctx context.Context, q Query, tr *obs.Trace) (*Result, error) {
-	typ, err := db.cat.SetType(q.Set)
+// query executes q through the session's views. drain says whether to flush
+// pending deferred propagation for the resolved paths first — true on every
+// writing path (coarse query, fine transaction on an in-footprint set),
+// false in pure read sessions (runQuery routes queries that would need a
+// drain to the coarse path).
+func (s *sess) query(ctx context.Context, q Query, drain bool) (*Result, error) {
+	typ, err := s.db.cat.SetType(q.Set)
 	if err != nil {
 		return nil, err
 	}
-	if err := db.flushDeferredFor(q); err != nil {
-		return nil, err
+	if drain {
+		if err := s.flushDeferredFor(q); err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{}
 
 	var out *heap.File
 	if q.EmitOutput {
-		db.nextOut++
-		out, err = heap.Create(db.pool, fmt.Sprintf("__out_%d", db.nextOut))
+		out, err = s.newScratch()
 		if err != nil {
 			return nil, err
 		}
-		db.files[out.ID()] = out
-		db.scratchFIDs[out.ID()] = true
-		if t := db.txn; t != nil {
-			// Output files are session scratch: not logged at commit, and the
-			// in-memory registration is unwound at rollback (the on-disk file,
-			// if any, is an orphan a reopen ignores).
-			fid := out.ID()
-			t.scratchFile(fid, func() { delete(db.files, fid) })
-		}
-		out = out.WithTrace(tr)
 	}
 
 	// eval applies the predicates and builds the projected row; it touches
@@ -215,20 +228,20 @@ func (db *DB) query(ctx context.Context, q Query, tr *obs.Trace) (*Result, error
 			}
 		}
 		if q.Where != nil {
-			okRow, err := db.evalPred(q.Set, obj, q.Where, tr)
+			okRow, err := s.evalPred(q.Set, obj, q.Where)
 			if err != nil || !okRow {
 				return Row{}, false, err
 			}
 		}
 		for i := range q.Filters {
-			okRow, err := db.evalPred(q.Set, obj, &q.Filters[i], tr)
+			okRow, err := s.evalPred(q.Set, obj, &q.Filters[i])
 			if err != nil || !okRow {
 				return Row{}, false, err
 			}
 		}
 		row := Row{OID: oid, Values: make([]schema.Value, len(q.Project))}
 		for i, expr := range q.Project {
-			v, err := db.resolveExpr(q.Set, obj, expr, tr)
+			v, err := s.resolveExpr(q.Set, obj, expr)
 			if err != nil {
 				return Row{}, false, err
 			}
@@ -253,16 +266,16 @@ func (db *DB) query(ctx context.Context, q Query, tr *obs.Trace) (*Result, error
 		return emit(row)
 	}
 
-	ran, err := db.tryIndexedAccess(q, typ, res, process, tr)
+	ran, err := s.tryIndexedAccess(ctx, q, typ, res, process)
 	if err != nil {
 		return nil, err
 	}
 	if !ran {
-		file, err := db.SetFile(q.Set)
+		file, err := s.SetFile(q.Set)
 		if err != nil {
 			return nil, err
 		}
-		if err := db.scanProcess(file.WithTrace(tr), typ, eval, emit, tr); err != nil {
+		if err := s.scanProcess(file, typ, eval, emit); err != nil {
 			return nil, err
 		}
 	}
@@ -281,11 +294,11 @@ func (db *DB) query(ctx context.Context, q Query, tr *obs.Trace) (*Result, error
 // accumulation and output-file inserts stay single-writer). Parallel scan
 // workers share file's trace (the counters are atomic), so the whole scan's
 // page I/O merges into the owning operation's trace.
-func (db *DB) scanProcess(file *heap.File, typ *schema.Type, eval func(pagefile.OID, *schema.Object) (Row, bool, error), emit func(Row) error, tr *obs.Trace) error {
-	if db.workers > 1 {
-		tr.SetPlan("scan-parallel")
+func (s *sess) scanProcess(file *heap.File, typ *schema.Type, eval func(pagefile.OID, *schema.Object) (Row, bool, error), emit func(Row) error) error {
+	if s.db.workers > 1 {
+		s.tr.SetPlan("scan-parallel")
 		var mu sync.Mutex
-		return file.ScanParallel(db.workers, func(oid pagefile.OID, payload []byte) error {
+		return file.ScanParallel(s.db.workers, func(oid pagefile.OID, payload []byte) error {
 			obj, err := schema.Decode(typ, payload)
 			if err != nil {
 				return err
@@ -299,7 +312,7 @@ func (db *DB) scanProcess(file *heap.File, typ *schema.Type, eval func(pagefile.
 			return emit(row)
 		})
 	}
-	tr.SetPlan("scan")
+	s.tr.SetPlan("scan")
 	return file.Scan(func(oid pagefile.OID, payload []byte) error {
 		obj, err := schema.Decode(typ, payload)
 		if err != nil {
@@ -314,7 +327,9 @@ func (db *DB) scanProcess(file *heap.File, typ *schema.Type, eval func(pagefile.
 }
 
 // deferredPathsFor returns the deferred replication paths with pending
-// propagations that the query's expressions resolve through.
+// propagations that the query's expressions resolve through. Safe under
+// either lock mode: the catalog is read-only here and the pending queue is
+// internally synchronized.
 func (db *DB) deferredPathsFor(q Query) []*catalog.Path {
 	exprs := append([]string(nil), q.Project...)
 	if q.Where != nil {
@@ -354,25 +369,40 @@ func (db *DB) deferredPathsFor(q Query) []*catalog.Path {
 }
 
 // hasDeferredFor reports whether the query would have to drain deferred
-// propagation (and therefore needs the writer lock).
+// propagation (and therefore needs the exclusive lock or an in-footprint
+// fine transaction).
 func (db *DB) hasDeferredFor(q Query) bool { return len(db.deferredPathsFor(q)) > 0 }
 
 // flushDeferredFor drains deferred propagation for every replication path
 // the query's expressions resolve through ("not propagated until needed",
 // paper §8): the first read after a burst of terminal updates pays one
 // propagation per distinct updated terminal.
-func (db *DB) flushDeferredFor(q Query) error {
-	for _, p := range db.deferredPathsFor(q) {
-		if err := db.mgr.FlushPath(p); err != nil {
+func (s *sess) flushDeferredFor(q Query) error {
+	for _, p := range s.db.deferredPathsFor(q) {
+		if err := s.manager().FlushPath(p); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// idxEpochRetries bounds how many times a snapshot index traversal re-runs
+// when concurrent commits keep republishing the index file mid-walk before
+// falling back to serializing behind the set's lock.
+const idxEpochRetries = 4
+
 // tryIndexedAccess drives process over index-qualified candidates. It
 // reports false when no usable index exists.
-func (db *DB) tryIndexedAccess(q Query, typ *schema.Type, res *Result, process func(pagefile.OID, *schema.Object) error, tr *obs.Trace) (bool, error) {
+//
+// Through a snapshot view a B-tree descent is only page-atomic, and a commit
+// landing between two page reads can tear the traversal (a split moves keys
+// the walk then misses). Snapshot traversals therefore collect the qualified
+// OIDs first and validate against the index file's commit epoch, retrying on
+// change; if the epoch keeps moving, a read session serializes briefly
+// behind the set's lock (charged as lock wait — the pathological case), and
+// a fine session escalates to exclusive mode instead of taking set locks out
+// of footprint order.
+func (s *sess) tryIndexedAccess(ctx context.Context, q Query, typ *schema.Type, res *Result, process func(pagefile.OID, *schema.Object) error) (bool, error) {
 	if q.Where == nil || q.ForceScan {
 		return false, nil
 	}
@@ -380,39 +410,101 @@ func (db *DB) tryIndexedAccess(q Query, typ *schema.Type, res *Result, process f
 	var ix *catalog.Index
 	var found bool
 	if len(refs) == 0 {
-		ix, found = db.cat.IndexFor(q.Set, field)
+		ix, found = s.db.cat.IndexFor(q.Set, field)
 	} else {
-		ix, found = db.cat.PathIndexFor(q.Set, refs, field)
+		ix, found = s.db.cat.PathIndexFor(q.Set, refs, field)
 	}
 	if !found {
 		return false, nil
 	}
-	tree := db.trees[ix.Name]
-	if tree == nil {
+	tree, snapshot, ok := s.treeView(ix.Name)
+	if !ok {
 		return false, nil
 	}
 	res.UsedIndex = ix.Name
-	tr.SetPlan("index:" + ix.Name)
+	s.tr.SetPlan("index:" + ix.Name)
 	lo, hi := keyRange(q.Where)
-	var cbErr error
-	err := tree.WithTrace(tr).Range(lo, hi, func(_ btree.Key, oid pagefile.OID) bool {
-		obj, rerr := db.readObjectT(oid, typ, tr)
-		if rerr != nil {
-			cbErr = rerr
-			return false
+
+	if !snapshot {
+		var cbErr error
+		err := tree.Range(lo, hi, func(_ btree.Key, oid pagefile.OID) bool {
+			obj, rerr := s.readObject(oid, typ)
+			if rerr != nil {
+				cbErr = rerr
+				return false
+			}
+			// The predicate is rechecked on the resolved value: string keys
+			// are prefix-truncated and range bounds may be exclusive.
+			if perr := process(oid, obj); perr != nil {
+				cbErr = perr
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = cbErr
 		}
-		// The predicate is rechecked on the resolved value: string keys are
-		// prefix-truncated and range bounds may be exclusive.
-		if perr := process(oid, obj); perr != nil {
-			cbErr = perr
-			return false
-		}
-		return true
-	})
-	if err == nil {
-		err = cbErr
+		return true, err
 	}
-	return true, err
+
+	oids, err := s.snapshotIndexRange(ctx, q.Set, ix, tree, lo, hi)
+	if err != nil {
+		return true, err
+	}
+	for _, oid := range oids {
+		obj, err := s.readObject(oid, typ)
+		if err != nil {
+			return true, err
+		}
+		if err := process(oid, obj); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// snapshotIndexRange collects the OIDs in [lo, hi] from a snapshot tree
+// view, validating the traversal against the index file's commit epoch. A
+// traversal error with a changed epoch counts as torn (a mid-walk commit can
+// route the descent through a page image that no longer parses) and retries
+// like a key tear would.
+func (s *sess) snapshotIndexRange(ctx context.Context, set string, ix *catalog.Index, tree *btree.Tree, lo, hi btree.Key) ([]pagefile.OID, error) {
+	pool := s.db.pool
+	var oids []pagefile.OID
+	collect := func() error {
+		oids = oids[:0]
+		return tree.Range(lo, hi, func(_ btree.Key, oid pagefile.OID) bool {
+			oids = append(oids, oid)
+			return true
+		})
+	}
+	for attempt := 0; attempt <= idxEpochRetries; attempt++ {
+		e0 := pool.FileEpoch(ix.FileID)
+		err := collect()
+		if pool.FileEpoch(ix.FileID) == e0 {
+			if err != nil {
+				return nil, err
+			}
+			return oids, nil
+		}
+		// Torn: a commit republished index pages mid-walk; discard and retry.
+	}
+	if s.mode == sessFine {
+		// Taking set locks outside the declared footprint here could deadlock
+		// against a writer acquiring its sorted footprint; escalate instead.
+		return nil, fmt.Errorf("%w: index %s keeps changing under snapshot traversal", errNeedsCoarse, ix.Name)
+	}
+	// Read session: serialize briefly behind the set's writers. The set lock
+	// covers the index file (index trees are part of every footprint built
+	// over their set), so the traversal is stable while we hold it.
+	if err := s.db.setLocks.acquire(ctx, []string{set}, s.tr); err != nil {
+		return nil, err
+	}
+	defer s.db.setLocks.release([]string{set})
+	if err := collect(); err != nil {
+		return nil, err
+	}
+	return oids, nil
 }
 
 // keyRange computes the inclusive key range covering a predicate; exactness
@@ -440,9 +532,9 @@ func splitExpr(expr string) (refs []string, field string) {
 
 // evalPred evaluates a predicate against an object, resolving path
 // expressions through replicated data when possible and charging any reads
-// to tr.
-func (db *DB) evalPred(set string, obj *schema.Object, p *Pred, tr *obs.Trace) (bool, error) {
-	v, err := db.resolveExpr(set, obj, p.Expr, tr)
+// to the session's trace.
+func (s *sess) evalPred(set string, obj *schema.Object, p *Pred) (bool, error) {
+	v, err := s.resolveExpr(set, obj, p.Expr)
 	if err != nil {
 		return false, err
 	}
@@ -511,7 +603,7 @@ func compareValues(a, b schema.Value) (int, error) {
 //  3. a replicated reference attribute covering a prefix (§3.3.3 path
 //     collapsing), continuing with a shortened functional join,
 //  4. a full functional join.
-func (db *DB) resolveExpr(set string, obj *schema.Object, expr string, tr *obs.Trace) (schema.Value, error) {
+func (s *sess) resolveExpr(set string, obj *schema.Object, expr string) (schema.Value, error) {
 	refs, field := splitExpr(expr)
 	if len(refs) == 0 {
 		v, ok := obj.Get(field)
@@ -522,20 +614,20 @@ func (db *DB) resolveExpr(set string, obj *schema.Object, expr string, tr *obs.T
 	}
 	// 1-2. Exact replicated path.
 	spec := catalog.PathSpec{Source: set, Refs: refs, Field: field}
-	if p, ok := db.cat.FindPath(spec, catalog.InPlace); ok {
-		return db.readReplicatedByName(p, obj, field, tr)
+	if p, ok := s.db.cat.FindPath(spec, catalog.InPlace); ok {
+		return s.readReplicatedByName(p, obj, field)
 	}
-	if p, ok := db.cat.FindPath(spec, catalog.Separate); ok {
-		return db.readReplicatedByName(p, obj, field, tr)
+	if p, ok := s.db.cat.FindPath(spec, catalog.Separate); ok {
+		return s.readReplicatedByName(p, obj, field)
 	}
 	// 3. Longest replicated reference prefix (collapsing).
 	for k := len(refs) - 1; k >= 1; k-- {
 		prefixSpec := catalog.PathSpec{Source: set, Refs: refs[:k], Field: refs[k]}
-		p, ok := db.cat.FindPath(prefixSpec, catalog.InPlace)
+		p, ok := s.db.cat.FindPath(prefixSpec, catalog.InPlace)
 		if !ok {
 			continue
 		}
-		hidden, err := db.readReplicatedByName(p, obj, refs[k], tr)
+		hidden, err := s.readReplicatedByName(p, obj, refs[k])
 		if err != nil {
 			return schema.Value{}, err
 		}
@@ -544,35 +636,35 @@ func (db *DB) resolveExpr(set string, obj *schema.Object, expr string, tr *obs.T
 		}
 		// Jump to position k+1 and walk the rest functionally.
 		termField, _ := p.TerminalType().Field(p.Spec.Field)
-		startType, ok := db.cat.TypeByName(termField.RefType)
+		startType, ok := s.db.cat.TypeByName(termField.RefType)
 		if !ok {
 			return schema.Value{}, fmt.Errorf("engine: unknown type %s", termField.RefType)
 		}
-		return db.walkFunctional(startType, hidden.R, refs[k+1:], field, tr)
+		return s.walkFunctional(startType, hidden.R, refs[k+1:], field)
 	}
 	// 4. Full functional join.
-	typ, err := db.cat.SetType(set)
+	typ, err := s.db.cat.SetType(set)
 	if err != nil {
 		return schema.Value{}, err
 	}
-	return db.walkObjectPath(typ, obj, refs, field, tr)
+	return s.walkObjectPath(typ, obj, refs, field)
 }
 
 // walkFunctional follows refs starting from an OID of type startType.
-func (db *DB) walkFunctional(startType *schema.Type, start pagefile.OID, refs []string, field string, tr *obs.Trace) (schema.Value, error) {
+func (s *sess) walkFunctional(startType *schema.Type, start pagefile.OID, refs []string, field string) (schema.Value, error) {
 	if start.IsNil() {
 		return schema.Value{}, nil
 	}
-	obj, err := db.readObjectT(start, startType, tr)
+	obj, err := s.readObject(start, startType)
 	if err != nil {
 		return schema.Value{}, err
 	}
-	return db.walkObjectPath(startType, obj, refs, field, tr)
+	return s.walkObjectPath(startType, obj, refs, field)
 }
 
 // walkObjectPath performs the functional joins of a path expression,
 // reading one object per level.
-func (db *DB) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string, field string, tr *obs.Trace) (schema.Value, error) {
+func (s *sess) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string, field string) (schema.Value, error) {
 	cur := obj
 	curType := typ
 	for _, r := range refs {
@@ -586,11 +678,11 @@ func (db *DB) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string
 			// else an invalid value.
 			return schema.Value{}, nil
 		}
-		nextType, ok := db.cat.TypeByName(f.RefType)
+		nextType, ok := s.db.cat.TypeByName(f.RefType)
 		if !ok {
 			return schema.Value{}, fmt.Errorf("engine: unknown type %s", f.RefType)
 		}
-		next, err := db.readObjectT(v.R, nextType, tr)
+		next, err := s.readObject(v.R, nextType)
 		if err != nil {
 			return schema.Value{}, err
 		}
@@ -604,14 +696,14 @@ func (db *DB) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []string
 }
 
 // readReplicatedByName resolves a replicated field by name on path p.
-func (db *DB) readReplicatedByName(p *catalog.Path, obj *schema.Object, field string, tr *obs.Trace) (schema.Value, error) {
+func (s *sess) readReplicatedByName(p *catalog.Path, obj *schema.Object, field string) (schema.Value, error) {
 	fields := p.Fields
 	if p.Strategy == catalog.Separate {
 		fields = p.Group.Fields
 	}
 	for _, f := range fields {
 		if f.Name == field {
-			return db.mgr.ReadReplicated(p, obj, f.Idx, tr)
+			return s.manager().ReadReplicated(p, obj, f.Idx, s.tr)
 		}
 	}
 	return schema.Value{}, fmt.Errorf("engine: path %s does not replicate %q", p.Spec, field)
@@ -647,7 +739,8 @@ func encodeRow(r Row) []byte {
 // the number updated — the cost model's update query. The collection phase
 // fans predicate evaluation out to ScanWorkers goroutines when configured
 // (the matches are sorted back to physical order); the mutations themselves
-// always run serially behind the writer lock.
+// run serially within the statement, under the per-set locks of the set's
+// footprint (WAL) or the exclusive lock (no WAL).
 func (db *DB) UpdateWhere(set string, where Pred, vals map[string]schema.Value) (int, error) {
 	n, _, err := db.updateWhereTraced(nil, set, where, vals)
 	return n, err
@@ -674,15 +767,11 @@ func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, val
 		return 0, obs.Record{}, err
 	}
 	tr := db.obs.Start(obs.KindUpdate, set, where.Expr)
-	db.lockWriter(tr)
-	db.writerTrace = tr
 	var n int
-	lsn, err := db.oneShot(tr, func() (uerr error) {
-		n, uerr = db.updateWhere(ctx, set, where, vals, tr)
+	lsn, err := db.writeShot(ctx, tr, []string{set}, func(s *sess) (uerr error) {
+		n, uerr = s.updateWhere(ctx, set, where, vals)
 		return uerr
 	})
-	db.writerTrace = nil
-	db.mu.Unlock()
 	if err == nil {
 		err = db.waitDurable(lsn, tr)
 	}
@@ -693,12 +782,12 @@ func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, val
 	return n, rec, nil
 }
 
-func (db *DB) updateWhere(ctx context.Context, set string, where Pred, vals map[string]schema.Value, tr *obs.Trace) (int, error) {
-	typ, err := db.cat.SetType(set)
+func (s *sess) updateWhere(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, error) {
+	typ, err := s.db.cat.SetType(set)
 	if err != nil {
 		return 0, err
 	}
-	if err := db.flushDeferredFor(Query{Set: set, Where: &where}); err != nil {
+	if err := s.flushDeferredFor(Query{Set: set, Where: &where}); err != nil {
 		return 0, err
 	}
 	// Collect matching OIDs first (index or scan), then update; collecting
@@ -710,7 +799,7 @@ func (db *DB) updateWhere(ctx context.Context, set string, where Pred, vals map[
 				return err
 			}
 		}
-		ok, err := db.evalPred(set, obj, &where, tr)
+		ok, err := s.evalPred(set, obj, &where)
 		if err != nil {
 			return err
 		}
@@ -720,12 +809,12 @@ func (db *DB) updateWhere(ctx context.Context, set string, where Pred, vals map[
 		return nil
 	}
 	q := Query{Set: set, Where: &where}
-	ran, err := db.tryIndexedAccess(q, typ, &Result{}, collect, tr)
+	ran, err := s.tryIndexedAccess(ctx, q, typ, &Result{}, collect)
 	if err != nil {
 		return 0, err
 	}
 	if !ran {
-		file, err := db.SetFile(set)
+		file, err := s.SetFile(set)
 		if err != nil {
 			return 0, err
 		}
@@ -735,17 +824,17 @@ func (db *DB) updateWhere(ctx context.Context, set string, where Pred, vals map[
 					return Row{}, false, err
 				}
 			}
-			ok, err := db.evalPred(set, obj, &where, tr)
+			ok, err := s.evalPred(set, obj, &where)
 			return Row{OID: oid}, ok, err
 		}
 		emit := func(row Row) error {
 			matches = append(matches, row.OID)
 			return nil
 		}
-		if err := db.scanProcess(file, typ, eval, emit, tr); err != nil {
+		if err := s.scanProcess(file, typ, eval, emit); err != nil {
 			return 0, err
 		}
-		if db.workers > 1 {
+		if s.db.workers > 1 {
 			// Parallel collection delivers matches in arbitrary order; sort
 			// back to physical order so the update pass (and any forwarding
 			// it causes) is deterministic regardless of worker count.
@@ -758,7 +847,7 @@ func (db *DB) updateWhere(ctx context.Context, set string, where Pred, vals map[
 				return 0, err
 			}
 		}
-		if err := db.update(set, oid, vals); err != nil {
+		if err := s.update(set, oid, vals); err != nil {
 			return 0, err
 		}
 	}

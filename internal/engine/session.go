@@ -1,0 +1,463 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/exodb/fieldrepl/internal/btree"
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/core"
+	"github.com/exodb/fieldrepl/internal/heap"
+	"github.com/exodb/fieldrepl/internal/obs"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+	"github.com/exodb/fieldrepl/internal/wal"
+)
+
+// errNeedsCoarse is raised by a fine-grained session when a statement turns
+// out to need something only exclusive mode performs — creating a link or S′
+// page file on first use, or an index traversal that cannot stabilize under
+// concurrent commits. One-shot statements catch it, roll back (nothing has
+// escaped the capture scope), and transparently retry under the exclusive
+// lock; BeginSets transactions surface it wrapped in ErrWriteConflict.
+var errNeedsCoarse = errors.New("engine: statement requires exclusive mode")
+
+// sessMode selects how a statement session locks and views pages.
+type sessMode int
+
+const (
+	// sessCoarse runs under db.mu.Lock with the legacy direct state: plain
+	// page views, db.writerTrace binding, compensate-or-taint on the no-WAL
+	// path. DDL, replication control, explicit Begin transactions, and the
+	// no-WAL DML path use it.
+	sessCoarse sessMode = iota
+	// sessFine runs under db.mu.RLock plus the per-set locks of its
+	// footprint: in-footprint files are capture views (private copies until
+	// commit), out-of-footprint files are snapshot views (reads of committed
+	// state; writes refuse). Independent writers to disjoint footprints
+	// commit concurrently.
+	sessFine
+	// sessRead runs under db.mu.RLock with no set locks: snapshot views
+	// everywhere (plain views on a no-WAL database, where writers still hold
+	// the exclusive lock), so readers never block on — or observe partial
+	// state from — fine-grained writers.
+	sessRead
+)
+
+// sess is one statement's (or transaction's) execution context: it decides
+// lock mode, page-view isolation, trace binding, and where deferred
+// index-maintenance errors accumulate. It implements core.Storage and
+// core.Listener so replication propagation triggered by its statements flows
+// through the same views. The statement bodies (insert, update, delete,
+// query, updateWhere) are sess methods, shared verbatim between the coarse
+// and fine paths.
+type sess struct {
+	db   *DB
+	tr   *obs.Trace
+	mode sessMode
+	mgr  *core.Manager // fine/read: manager view bound to this sess
+	fp   footprint     // fine only
+
+	// txn is the enclosing fine-grained transaction (BeginSets), nil for
+	// one-shots. Coarse sessions use db.txn instead.
+	txn *Txn
+	// idxErr is the fine/read-mode deferred index-maintenance error (the
+	// coarse mode uses db.idxErr, which needs the exclusive lock).
+	idxErr error
+}
+
+func (db *DB) coarseSess(tr *obs.Trace) *sess {
+	return &sess{db: db, tr: tr, mode: sessCoarse}
+}
+
+func (db *DB) readSess(tr *obs.Trace) *sess {
+	s := &sess{db: db, tr: tr, mode: sessRead}
+	s.mgr = db.mgr.WithSession(s, s)
+	return s
+}
+
+func (db *DB) fineSess(tr *obs.Trace, fp footprint) *sess {
+	s := &sess{db: db, tr: tr, mode: sessFine, fp: fp}
+	s.mgr = db.mgr.WithSession(s, s)
+	return s
+}
+
+// manager returns the replication manager to run propagation through: the
+// engine's own (whose Storage/Listener is the DB, correct under the exclusive
+// lock) for coarse sessions, the session-bound view otherwise.
+func (s *sess) manager() *core.Manager {
+	if s.mode == sessCoarse {
+		return s.db.mgr
+	}
+	return s.mgr
+}
+
+// rollsBack reports whether a failed statement is undone physically (page
+// rollback) rather than by compensation: always in fine mode (the capture
+// scope restores pre-images), and in coarse mode when a transaction —
+// explicit or the one-shot implicit one — is open.
+func (s *sess) rollsBack() bool {
+	if s.mode == sessCoarse {
+		return s.db.txn != nil
+	}
+	return true
+}
+
+// taint marks a set inconsistent after a failed compensation. Only the
+// coarse no-WAL path ever needs it; fine sessions roll back physically, so
+// nothing inconsistent survives (and the catalog must not be written under
+// the shared lock).
+func (s *sess) taint(set string, cause error) {
+	if s.mode == sessCoarse {
+		s.db.taint(set, cause)
+	}
+}
+
+func (s *sess) takeIdxErr() error {
+	if s.mode == sessCoarse {
+		return s.db.takeIdxErr()
+	}
+	err := s.idxErr
+	s.idxErr = nil
+	return err
+}
+
+// --- page views ---
+
+// lookupFile reads the file registry under fsMu, safe in shared-lock
+// contexts where a concurrent session may be registering a scratch file.
+func (db *DB) lookupFile(fid pagefile.FileID) (*heap.File, bool) {
+	db.fsMu.Lock()
+	f, ok := db.files[fid]
+	db.fsMu.Unlock()
+	return f, ok
+}
+
+func (db *DB) lookupTree(name string) (*btree.Tree, bool) {
+	db.fsMu.Lock()
+	t, ok := db.trees[name]
+	db.fsMu.Unlock()
+	return t, ok
+}
+
+// heapFor returns the heap file view for fid in this session's isolation
+// mode: the writer-trace-bound plain view in coarse mode; a capture view for
+// in-footprint files and a snapshot view for everything else in fine mode;
+// a snapshot view in read mode (plain on a no-WAL database, preserving the
+// legacy read path and its readahead behavior — writers there still hold the
+// exclusive lock).
+func (s *sess) heapFor(fid pagefile.FileID) (*heap.File, error) {
+	if s.mode == sessCoarse {
+		return s.db.heapFor(fid)
+	}
+	f, ok := s.db.lookupFile(fid)
+	if !ok {
+		return nil, fmt.Errorf("engine: no heap file %d", fid)
+	}
+	switch {
+	case s.mode == sessFine && s.fp.files[fid]:
+		return f.WithCapture(s.tr), nil
+	case s.db.wal == nil:
+		return f.WithTrace(s.tr), nil
+	default:
+		return f.WithSnapshot(s.tr), nil
+	}
+}
+
+// treeView returns the named index tree in this session's isolation mode,
+// and whether the returned view is a snapshot (multi-page traversals over a
+// snapshot must validate against the file's commit epoch; see
+// tryIndexedAccess).
+func (s *sess) treeView(name string) (t *btree.Tree, snapshot bool, ok bool) {
+	if s.mode == sessCoarse {
+		t, ok = s.db.treeFor(name)
+		return t, false, ok
+	}
+	base, ok := s.db.lookupTree(name)
+	if !ok {
+		return nil, false, false
+	}
+	switch {
+	case s.mode == sessFine && s.fp.files[base.FileID()]:
+		return base.WithCapture(s.tr), false, true
+	case s.db.wal == nil:
+		return base.WithTrace(s.tr), false, true
+	default:
+		return base.WithSnapshot(s.tr), true, true
+	}
+}
+
+func (s *sess) treeFor(name string) (*btree.Tree, bool) {
+	t, _, ok := s.treeView(name)
+	return t, ok
+}
+
+func (s *sess) readObject(oid pagefile.OID, typ *schema.Type) (*schema.Object, error) {
+	f, err := s.heapFor(oid.File)
+	if err != nil {
+		return nil, err
+	}
+	data, err := f.Read(oid)
+	if err != nil {
+		return nil, err
+	}
+	return schema.Decode(typ, data)
+}
+
+// inFootprint reports whether a fine session's locks cover set. Non-fine
+// modes are unrestricted (coarse holds the exclusive lock; read sessions
+// never write).
+func (s *sess) inFootprint(set string) bool {
+	if s.mode != sessFine {
+		return true
+	}
+	for _, name := range s.fp.sets {
+		if name == set {
+			return true
+		}
+	}
+	return false
+}
+
+// --- core.Storage ---
+
+func (s *sess) ReadObject(oid pagefile.OID, typ *schema.Type) (*schema.Object, error) {
+	return s.readObject(oid, typ)
+}
+
+func (s *sess) WriteObject(oid pagefile.OID, o *schema.Object) error {
+	if s.mode == sessRead {
+		return fmt.Errorf("engine: write through read-only session")
+	}
+	if s.mode == sessFine && !s.fp.files[oid.File] {
+		// The footprint closure should cover every file propagation writes;
+		// reaching here means it did not — escalate to exclusive mode rather
+		// than write through a snapshot view.
+		return fmt.Errorf("%w: write outside footprint (file %d)", errNeedsCoarse, oid.File)
+	}
+	f, err := s.heapFor(oid.File)
+	if err != nil {
+		return err
+	}
+	return f.Update(oid, o.Encode())
+}
+
+func (s *sess) LinkFile(l *catalog.Link) (*heap.File, error) {
+	if s.mode == sessCoarse {
+		return s.db.LinkFile(l)
+	}
+	if !l.HasFile {
+		// First use of this link needs a page file (a catalog mutation);
+		// only exclusive mode creates files.
+		return nil, fmt.Errorf("%w: link %d has no file yet", errNeedsCoarse, l.ID)
+	}
+	return s.heapFor(l.FileID)
+}
+
+func (s *sess) GroupFile(g *catalog.Group) (*heap.File, error) {
+	if s.mode == sessCoarse {
+		return s.db.GroupFile(g)
+	}
+	if !g.HasFile {
+		return nil, fmt.Errorf("%w: S′ group %d has no file yet", errNeedsCoarse, g.ID)
+	}
+	return s.heapFor(g.FileID)
+}
+
+func (s *sess) RecreateGroupFile(g *catalog.Group) (*heap.File, error) {
+	if s.mode == sessCoarse {
+		return s.db.RecreateGroupFile(g)
+	}
+	// Only path rebuilds (DDL) recreate S′ files.
+	return nil, fmt.Errorf("%w: recreating S′ group %d", errNeedsCoarse, g.ID)
+}
+
+func (s *sess) SetFile(name string) (*heap.File, error) {
+	set, ok := s.db.cat.SetByName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchSet, name)
+	}
+	return s.heapFor(set.FileID)
+}
+
+// --- core.Listener ---
+
+// HiddenChanged keeps indexes on replicated paths exact as propagation
+// rewrites hidden values, mirroring DB.HiddenChanged through the session's
+// views and error slot.
+func (s *sess) HiddenChanged(source pagefile.OID, p *catalog.Path, f catalog.ReplField, old, new schema.Value) {
+	if s.mode == sessRead {
+		return // read sessions never propagate
+	}
+	ix, ok := s.db.cat.PathIndexFor(p.Spec.Source, p.Spec.Refs, f.Name)
+	if !ok {
+		return
+	}
+	tree, ok := s.treeFor(ix.Name)
+	if !ok {
+		return
+	}
+	if err := tree.Delete(keyFor(old), source); err != nil && !errors.Is(err, btree.ErrNotFound) {
+		s.setIdxErr(err)
+	}
+	if err := tree.Insert(keyFor(new), source); err != nil && !errors.Is(err, btree.ErrExists) {
+		s.setIdxErr(err)
+	}
+}
+
+func (s *sess) setIdxErr(err error) {
+	if s.mode == sessCoarse {
+		s.db.idxErr = err
+		return
+	}
+	s.idxErr = err
+}
+
+// --- scratch output files ---
+
+// newScratch creates a session-local query output file and registers it with
+// the engine. Scratch files are never logged or shipped (followers fill the
+// ID gap with placeholders) and their pages bypass the capture scope, so an
+// emitting query inside a fine transaction writes them directly.
+func (s *sess) newScratch() (*heap.File, error) {
+	db := s.db
+	if s.mode == sessCoarse {
+		db.nextOut++
+		out, err := heap.Create(db.pool, fmt.Sprintf("__out_%d", db.nextOut))
+		if err != nil {
+			return nil, err
+		}
+		db.files[out.ID()] = out
+		db.scratchFIDs[out.ID()] = true
+		if t := db.txn; t != nil {
+			fid := out.ID()
+			t.scratchFile(fid, func() { delete(db.files, fid) })
+		}
+		return out.WithTrace(s.tr), nil
+	}
+	// Shared-lock context: the registries are contended with other sessions,
+	// so claim the name and register under fsMu (creation itself does page
+	// I/O and runs outside it).
+	db.fsMu.Lock()
+	db.nextOut++
+	n := db.nextOut
+	db.fsMu.Unlock()
+	out, err := heap.Create(db.pool, fmt.Sprintf("__out_%d", n))
+	if err != nil {
+		return nil, err
+	}
+	fid := out.ID()
+	db.fsMu.Lock()
+	db.files[fid] = out
+	db.scratchFIDs[fid] = true
+	db.fsMu.Unlock()
+	if t := s.txn; t != nil {
+		t.scratchFile(fid, func() {
+			db.fsMu.Lock()
+			delete(db.files, fid)
+			db.fsMu.Unlock()
+		})
+	}
+	return out.WithTrace(s.tr), nil
+}
+
+// --- fine-grained commit path ---
+
+// commitFine logs and publishes a fine session's capture scope: the scope's
+// dirty pages are snapshotted, appended as one WAL commit, LSN-stamped, and
+// released to readers by EndScope — the per-page-atomic visibility point.
+// Returns the commit LSN for waitDurable (0 when nothing was dirtied).
+// Called with the per-set locks and db.mu.RLock held.
+func (s *sess) commitFine() (uint64, error) {
+	db := s.db
+	pids := db.pool.ScopeDirty(s.fp.files)
+	if len(pids) == 0 {
+		db.pool.EndScope(s.fp.files)
+		return 0, nil
+	}
+	images := make([]wal.PageImage, 0, len(pids))
+	for _, pid := range pids {
+		data, ok := db.pool.SnapshotPage(pid)
+		if !ok {
+			// Unreachable: no-steal keeps captured frames resident.
+			err := fmt.Errorf("engine: commit: page %v not resident", pid)
+			return 0, errors.Join(err, s.rollbackFine())
+		}
+		images = append(images, wal.PageImage{PID: pid, Data: data})
+	}
+	lsn, nbytes, err := db.wal.AppendCommit(nil, images, nil)
+	if err != nil {
+		return 0, errors.Join(err, s.rollbackFine())
+	}
+	for i := range images {
+		db.pool.StampLSN(images[i].PID, images[i].LSN)
+	}
+	db.pool.EndScope(s.fp.files)
+	s.tr.WAL(int64(len(images))+1, int64(nbytes))
+	return lsn, nil
+}
+
+// rollbackFine restores the scope's pages to their statement-begin images
+// and closes the scope. Catalog state needs no unwinding: fine sessions
+// never mutate it (errNeedsCoarse guards every file-creating path).
+func (s *sess) rollbackFine() error {
+	return s.db.pool.RollbackScope(s.fp.files)
+}
+
+// --- statement runners ---
+
+// writeShot runs fn as one atomic write statement against the sets in
+// targets: fine-grained (shared lock + per-set locks) on a WAL-backed
+// database, exclusive otherwise — or when the statement turns out to need
+// exclusive mode (errNeedsCoarse), in which case the fine attempt has rolled
+// back completely and the statement retries coarsely.
+func (db *DB) writeShot(ctx context.Context, tr *obs.Trace, targets []string, fn func(*sess) error) (uint64, error) {
+	if db.wal != nil {
+		lsn, err := db.fineShot(ctx, tr, targets, fn)
+		if !errors.Is(err, errNeedsCoarse) {
+			return lsn, err
+		}
+	}
+	return db.coarseShot(tr, fn)
+}
+
+// coarseShot is the legacy statement runner: exclusive lock, writer-trace
+// binding, one-shot implicit transaction (WAL) or bare compensate-or-taint
+// execution (no WAL).
+func (db *DB) coarseShot(tr *obs.Trace, fn func(*sess) error) (uint64, error) {
+	db.lockWriter(tr)
+	db.writerTrace = tr
+	s := db.coarseSess(tr)
+	lsn, err := db.oneShot(tr, func() error { return fn(s) })
+	db.writerTrace = nil
+	db.mu.Unlock()
+	return lsn, err
+}
+
+// fineShot runs fn under the shared engine lock plus the per-set locks of
+// the statement's footprint, capturing its page writes in a scoped window
+// that commits through the WAL or rolls back physically. Writers to disjoint
+// footprints proceed concurrently end to end (their WAL appends group-commit
+// onto shared fsyncs); writers to overlapping footprints serialize on the
+// first shared set lock.
+func (db *DB) fineShot(ctx context.Context, tr *obs.Trace, targets []string, fn func(*sess) error) (uint64, error) {
+	db.mu.RLock()
+	fp := db.computeFootprint(targets...)
+	if err := db.setLocks.acquire(ctx, fp.sets, tr); err != nil {
+		db.mu.RUnlock()
+		return 0, err
+	}
+	s := db.fineSess(tr, fp)
+	db.pool.BeginScope()
+	err := fn(s)
+	var lsn uint64
+	if err == nil {
+		lsn, err = s.commitFine()
+	} else if rerr := s.rollbackFine(); rerr != nil {
+		err = errors.Join(err, rerr)
+	}
+	db.setLocks.release(fp.sets)
+	db.mu.RUnlock()
+	return lsn, err
+}

@@ -15,8 +15,9 @@ import (
 // committed, rolled back, or aborted.
 var ErrTxnDone = errors.New("engine: transaction has already been committed or rolled back")
 
-// Txn is a multi-statement transaction. It is created by DB.Begin, which
-// takes the engine's writer lock; the transaction holds that lock until
+// Txn is a multi-statement transaction. Two forms exist:
+//
+// DB.Begin takes the engine's exclusive lock; the transaction holds it until
 // Commit or Rollback, so its statements see and produce a state no other
 // operation can interleave with. All modifications — the statements' own
 // writes and every replication propagation and index update they trigger —
@@ -24,18 +25,32 @@ var ErrTxnDone = errors.New("engine: transaction has already been committed or r
 // while the transaction runs) and either committed atomically through the
 // WAL or discarded in-memory by Rollback.
 //
+// DB.BeginSets declares the transaction's write footprint up front and takes
+// only the shared lock plus the per-set locks of the footprint's closure:
+// transactions over disjoint footprints run and commit concurrently.
+// Mutating statements are confined to the declared sets (a statement outside
+// them fails with ErrWriteConflict and aborts); queries may touch any set,
+// reading committed snapshots outside the footprint.
+//
 // A failed mutating statement aborts the whole transaction: the engine's
 // internals may have propagated partway, so the only consistent outcome is a
 // full rollback. The statement's error is returned and every later call
 // returns ErrTxnDone. Read-only statements (Get, Count, a pure Query) fail
 // without aborting. A transaction must be used from a single goroutine, and
 // the goroutine must not call the DB's one-shot operations while the
-// transaction is open (they would deadlock behind its writer lock).
+// transaction is open (they would deadlock behind its locks — for a
+// BeginSets transaction, whenever the footprints overlap).
 type Txn struct {
 	db   *DB
 	ctx  context.Context
 	tr   *obs.Trace
+	s    *sess
 	done bool
+
+	// fine marks a BeginSets transaction: shared lock + per-set locks + a
+	// buffer-pool scope, instead of the exclusive lock + capture.
+	fine bool
+	fp   footprint
 
 	// undo unwinds catalog/in-memory registrations (file-creation links,
 	// scratch registrations) on rollback, in reverse order. Page state needs
@@ -50,10 +65,10 @@ type Txn struct {
 	catDirty bool
 }
 
-// Begin starts a transaction. ctx, when non-nil, is checked at every
-// statement and during scans: cancellation aborts the transaction. Begin
-// blocks until the engine's writer lock is available; the lock is held until
-// Commit or Rollback.
+// Begin starts an exclusive transaction. ctx, when non-nil, is checked at
+// every statement and during scans: cancellation aborts the transaction.
+// Begin blocks until the engine's writer lock is available; the lock is held
+// until Commit or Rollback.
 func (db *DB) Begin(ctx context.Context) (*Txn, error) {
 	if err := db.writable(); err != nil {
 		return nil, err
@@ -66,8 +81,51 @@ func (db *DB) Begin(ctx context.Context) (*Txn, error) {
 		return nil, err
 	}
 	t := &Txn{db: db, ctx: ctx, tr: tr}
+	t.s = db.coarseSess(tr)
 	db.txn = t
 	db.writerTrace = tr
+	return t, nil
+}
+
+// BeginSets starts a fine-grained transaction whose mutating statements are
+// confined to the given sets. The per-set locks of the footprint closure
+// (the sets plus everything their replicated fields and inverse links reach)
+// are held until Commit or Rollback; a concurrent transaction or statement
+// with a disjoint footprint is never blocked. Mutations outside the declared
+// sets fail with ErrWriteConflict and abort; so does a statement that turns
+// out to need exclusive mode (for instance the first write through a
+// replication path whose link file does not exist yet). On a database
+// without a WAL, BeginSets falls back to the exclusive Begin — there is no
+// fine-grained path without page capture and logging.
+func (db *DB) BeginSets(ctx context.Context, sets ...string) (*Txn, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
+	if db.wal == nil {
+		return db.Begin(ctx)
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("engine: BeginSets requires at least one set")
+	}
+	tr := db.obs.Start(obs.KindTxn, "", "txn-sets")
+	db.mu.RLock()
+	for _, name := range sets {
+		if _, ok := db.cat.SetByName(name); !ok {
+			db.mu.RUnlock()
+			db.obs.Finish(tr)
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchSet, name)
+		}
+	}
+	fp := db.computeFootprint(sets...)
+	if err := db.setLocks.acquire(ctx, fp.sets, tr); err != nil {
+		db.mu.RUnlock()
+		db.obs.Finish(tr)
+		return nil, err
+	}
+	db.pool.BeginScope()
+	t := &Txn{db: db, ctx: ctx, tr: tr, fine: true, fp: fp}
+	t.s = db.fineSess(tr, fp)
+	t.s.txn = t
 	return t, nil
 }
 
@@ -86,18 +144,61 @@ func (t *Txn) check() error {
 	return nil
 }
 
+// checkTarget confines a fine transaction's mutations to its declared sets.
+// A violation aborts: the caller declared the wrong footprint and must
+// restart with the right one.
+func (t *Txn) checkTarget(set string) error {
+	if !t.fine || t.s.inFootprint(set) {
+		return nil
+	}
+	err := fmt.Errorf("%w: set %q is outside the transaction's declared footprint %v", ErrWriteConflict, set, t.fp.sets)
+	t.abort()
+	return err
+}
+
+// statementErr maps a fine-mode escalation demand to the public conflict
+// error; the capture scope has kept the failed statement invisible either
+// way.
+func (t *Txn) statementErr(err error) error {
+	if t.fine && errors.Is(err, errNeedsCoarse) {
+		return fmt.Errorf("%w: %w", ErrWriteConflict, err)
+	}
+	return err
+}
+
 // abort rolls the transaction back after a failed mutating statement and
-// releases the lock.
+// releases its locks.
 func (t *Txn) abort() {
-	t.db.rollbackTxnLocked(t)
+	if t.fine {
+		t.rollbackFineTxn()
+	} else {
+		t.db.rollbackTxnLocked(t)
+	}
 	t.finish()
 }
 
-// unbind clears the engine's transaction binding and releases the writer
-// lock. Callers have already committed or rolled back.
+// rollbackFineTxn restores the scope's pages and unwinds the transaction's
+// registrations (scratch files), in reverse order.
+func (t *Txn) rollbackFineTxn() error {
+	err := t.s.rollbackFine()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	t.undo = nil
+	return err
+}
+
+// unbind releases the transaction's locks and, for exclusive transactions,
+// clears the engine's transaction binding. Callers have already committed or
+// rolled back.
 func (t *Txn) unbind() {
 	db := t.db
 	t.done = true
+	if t.fine {
+		db.setLocks.release(t.fp.sets)
+		db.mu.RUnlock()
+		return
+	}
 	db.txn = nil
 	db.writerTrace = nil
 	db.mu.Unlock()
@@ -117,8 +218,12 @@ func (t *Txn) Insert(set string, vals map[string]schema.Value) (pagefile.OID, er
 	if err := t.check(); err != nil {
 		return pagefile.OID{}, err
 	}
-	oid, err := t.db.insert(set, vals)
+	if err := t.checkTarget(set); err != nil {
+		return pagefile.OID{}, err
+	}
+	oid, err := t.s.insert(set, vals)
 	if err != nil {
+		err = t.statementErr(err)
 		t.abort()
 		return pagefile.OID{}, err
 	}
@@ -131,7 +236,11 @@ func (t *Txn) Update(set string, oid pagefile.OID, vals map[string]schema.Value)
 	if err := t.check(); err != nil {
 		return err
 	}
-	if err := t.db.update(set, oid, vals); err != nil {
+	if err := t.checkTarget(set); err != nil {
+		return err
+	}
+	if err := t.s.update(set, oid, vals); err != nil {
+		err = t.statementErr(err)
 		t.abort()
 		return err
 	}
@@ -146,14 +255,20 @@ func (t *Txn) Delete(set string, oid pagefile.OID) error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	if err := t.db.delete(set, oid); err != nil {
+	if err := t.checkTarget(set); err != nil {
+		return err
+	}
+	if err := t.s.delete(set, oid); err != nil {
+		err = t.statementErr(err)
 		t.abort()
 		return err
 	}
 	return nil
 }
 
-// Get reads an object. Errors do not abort the transaction.
+// Get reads an object. Errors do not abort the transaction. A fine
+// transaction sees its own uncommitted writes inside the footprint and
+// committed snapshots outside it.
 func (t *Txn) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 	if err := t.check(); err != nil {
 		return nil, err
@@ -162,7 +277,7 @@ func (t *Txn) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.db.ReadObject(oid, typ)
+	return t.s.readObject(oid, typ)
 }
 
 // Count returns the number of objects in a set. Errors do not abort the
@@ -171,7 +286,7 @@ func (t *Txn) Count(set string) (int, error) {
 	if err := t.check(); err != nil {
 		return 0, err
 	}
-	f, err := t.db.SetFile(set)
+	f, err := t.s.SetFile(set)
 	if err != nil {
 		return 0, err
 	}
@@ -182,14 +297,35 @@ func (t *Txn) Count(set string) (int, error) {
 // writes. A query that only reads fails without aborting; one that mutates —
 // emitting an output file or draining deferred propagation — aborts the
 // transaction on error, because the mutation may have applied partway.
+//
+// In a fine transaction, a query on an in-footprint set drains that set's
+// pending deferred propagation like any write path would; a query whose set
+// lies outside the footprint cannot drain (the propagation would write
+// unlocked files) and fails with ErrWriteConflict when a drain is pending.
 func (t *Txn) Query(q Query) (*Result, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
-	mutates := q.EmitOutput || t.db.hasDeferredFor(q)
-	res, err := t.db.query(t.ctx, q, t.tr)
-	if err != nil && mutates {
-		t.abort()
+	drain := true
+	if t.fine {
+		drain = t.s.inFootprint(q.Set)
+		if !drain && t.db.hasDeferredFor(q) {
+			err := fmt.Errorf("%w: query on %q must drain deferred propagation outside the transaction's footprint %v", ErrWriteConflict, q.Set, t.fp.sets)
+			t.abort()
+			return nil, err
+		}
+	}
+	mutates := q.EmitOutput || (drain && t.db.hasDeferredFor(q))
+	res, err := t.s.query(t.ctx, q, drain)
+	if err != nil {
+		if t.fine && errors.Is(err, errNeedsCoarse) {
+			err = t.statementErr(err)
+			t.abort()
+			return nil, err
+		}
+		if mutates {
+			t.abort()
+		}
 	}
 	return res, err
 }
@@ -200,8 +336,12 @@ func (t *Txn) UpdateWhere(set string, where Pred, vals map[string]schema.Value) 
 	if err := t.check(); err != nil {
 		return 0, err
 	}
-	n, err := t.db.updateWhere(t.ctx, set, where, vals, t.tr)
+	if err := t.checkTarget(set); err != nil {
+		return 0, err
+	}
+	n, err := t.s.updateWhere(t.ctx, set, where, vals)
 	if err != nil {
+		err = t.statementErr(err)
 		t.abort()
 		return 0, err
 	}
@@ -219,9 +359,23 @@ func (t *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	db := t.db
-	lsn, err := db.commitTxnLocked(t)
+	var lsn uint64
+	var err error
+	if t.fine {
+		lsn, err = t.s.commitFine()
+		if err != nil {
+			// commitFine already rolled the pages back; unwind the
+			// registrations too.
+			for i := len(t.undo) - 1; i >= 0; i-- {
+				t.undo[i]()
+			}
+			t.undo = nil
+		}
+	} else {
+		lsn, err = db.commitTxnLocked(t)
+	}
 	t.unbind()
-	// The durability wait happens after the writer lock is released, so
+	// The durability wait happens after the locks are released, so
 	// concurrent committers can append and pile onto one fsync.
 	if err == nil {
 		err = db.waitDurable(lsn, t.tr)
@@ -238,7 +392,12 @@ func (t *Txn) Rollback() error {
 	if t.done {
 		return ErrTxnDone
 	}
-	err := t.db.rollbackTxnLocked(t)
+	var err error
+	if t.fine {
+		err = t.rollbackFineTxn()
+	} else {
+		err = t.db.rollbackTxnLocked(t)
+	}
 	t.finish()
 	return err
 }
@@ -263,11 +422,11 @@ func (t *Txn) scratchFile(fid pagefile.FileID, undo func()) {
 	t.undo = append(t.undo, undo)
 }
 
-// commitTxnLocked logs and closes a transaction's capture. It returns the
-// commit LSN for WaitDurable — 0 when nothing needed logging (a read-only
-// transaction, or no WAL at all). On append failure the transaction is
-// rolled back, so the caller never sees half-applied state. Called under
-// db.mu.Lock with the capture open.
+// commitTxnLocked logs and closes an exclusive transaction's capture. It
+// returns the commit LSN for WaitDurable — 0 when nothing needed logging (a
+// read-only transaction, or no WAL at all). On append failure the
+// transaction is rolled back, so the caller never sees half-applied state.
+// Called under db.mu.Lock with the capture open.
 func (db *DB) commitTxnLocked(t *Txn) (uint64, error) {
 	if db.wal == nil {
 		// No durability layer: the capture held the modifications in the

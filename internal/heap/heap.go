@@ -53,6 +53,23 @@ func slotReadErr(oid pagefile.OID, err error) error {
 	return fmt.Errorf("%w: %v (%v)", ErrNotFound, oid, err)
 }
 
+// pinMode selects how a view pins pages in the buffer pool.
+type pinMode int
+
+const (
+	// modePlain pins frames directly (GetT/NewPageT) — the historical
+	// behavior, correct under the engine's coarse exclusive lock.
+	modePlain pinMode = iota
+	// modeCapture pins through the pool's scoped capture (GetCaptureT):
+	// modifications work on a private copy installed at MarkDirty, so
+	// concurrent snapshot readers never see uncommitted bytes. Used by
+	// fine-grained writers holding the per-set locks for this file.
+	modeCapture
+	// modeSnapshot reads through GetSnapshotT: detached copies of the
+	// committed state, never blocking on (or racing with) writers.
+	modeSnapshot
+)
+
 // File is a heap file. WithTrace returns lightweight views of the same file
 // that charge their page I/O to an obs.Trace; all views share one append
 // cursor, so inserts through any view stay coherent.
@@ -62,6 +79,7 @@ type File struct {
 	name string
 	app  *appendCursor
 	tr   *obs.Trace
+	mode pinMode
 }
 
 // appendCursor tracks the page inserts are currently appended to. It is
@@ -103,8 +121,10 @@ func Open(pool *buffer.Pool, id pagefile.FileID) (*File, error) {
 
 // WithTrace returns a view of the file whose page I/O (buffer gets, new
 // pages, prefetches) is charged to tr in addition to the global counters.
-// The view shares the underlying file's pool and append cursor; tr may be
-// nil, which returns an untraced view (often f itself).
+// The view shares the underlying file's pool and append cursor, and keeps
+// the receiver's pin mode, so re-tracing a capture or snapshot view never
+// strips its isolation; tr may be nil, which returns an untraced view (often
+// f itself).
 func (f *File) WithTrace(tr *obs.Trace) *File {
 	if f == nil || f.tr == tr {
 		return f
@@ -112,6 +132,65 @@ func (f *File) WithTrace(tr *obs.Trace) *File {
 	v := *f
 	v.tr = tr
 	return &v
+}
+
+// WithCapture returns a view whose page access goes through the pool's
+// scoped capture: writes work on private copies installed at MarkDirty, and
+// the modified pages are registered for the enclosing scope's commit or
+// rollback. The caller must hold the engine's per-set lock covering this
+// file for the lifetime of the view.
+func (f *File) WithCapture(tr *obs.Trace) *File {
+	if f == nil {
+		return nil
+	}
+	v := *f
+	v.tr = tr
+	v.mode = modeCapture
+	return &v
+}
+
+// WithSnapshot returns a read-only view that never blocks on writers: every
+// page access yields a detached copy of the committed state (an uncommitted
+// concurrent scope's pages read as their transaction-begin image). The
+// mutating entry points refuse loudly through a snapshot view — a write
+// there would touch a detached copy and silently vanish.
+func (f *File) WithSnapshot(tr *obs.Trace) *File {
+	if f == nil {
+		return nil
+	}
+	v := *f
+	v.tr = tr
+	v.mode = modeSnapshot
+	return &v
+}
+
+// guardWrite refuses mutation through a snapshot view: the pinned copies are
+// detached from the pool, so a write would be silently discarded.
+func (f *File) guardWrite() error {
+	if f.mode == modeSnapshot {
+		return fmt.Errorf("heap: write to %s through a snapshot view", f.name)
+	}
+	return nil
+}
+
+// get pins a page according to the view's mode.
+func (f *File) get(pid pagefile.PageID) (*buffer.Handle, error) {
+	switch f.mode {
+	case modeCapture:
+		return f.pool.GetCaptureT(pid, f.tr)
+	case modeSnapshot:
+		return f.pool.GetSnapshotT(pid, f.tr)
+	default:
+		return f.pool.GetT(pid, f.tr)
+	}
+}
+
+// newPage allocates a fresh page according to the view's mode.
+func (f *File) newPage() (*buffer.Handle, pagefile.PageID, error) {
+	if f.mode == modeCapture {
+		return f.pool.NewPageCaptureT(f.id, f.tr)
+	}
+	return f.pool.NewPageT(f.id, f.tr)
 }
 
 // ID returns the file's id in the store.
@@ -162,6 +241,9 @@ func decodePayload(rec []byte) ([]byte, error) {
 
 // Insert appends a record and returns its OID.
 func (f *File) Insert(payload []byte) (pagefile.OID, error) {
+	if err := f.guardWrite(); err != nil {
+		return pagefile.OID{}, err
+	}
 	if len(payload) > MaxPayload {
 		return pagefile.OID{}, fmt.Errorf("heap: payload of %d bytes exceeds max %d", len(payload), MaxPayload)
 	}
@@ -172,6 +254,9 @@ func (f *File) Insert(payload []byte) (pagefile.OID, error) {
 // used to keep derived files (link objects, separate-replication S′ sets) in
 // the same physical order as the objects they shadow.
 func (f *File) InsertNear(payload []byte, hint uint32) (pagefile.OID, error) {
+	if err := f.guardWrite(); err != nil {
+		return pagefile.OID{}, err
+	}
 	if len(payload) > MaxPayload {
 		return pagefile.OID{}, fmt.Errorf("heap: payload of %d bytes exceeds max %d", len(payload), MaxPayload)
 	}
@@ -200,7 +285,7 @@ func (f *File) insertRecord(rec []byte, retryNewPage bool) (pagefile.OID, error)
 	if !retryNewPage {
 		return pagefile.OID{}, pagefile.ErrPageFull
 	}
-	h, pid, err := f.pool.NewPageT(f.id, f.tr)
+	h, pid, err := f.newPage()
 	if err != nil {
 		return pagefile.OID{}, err
 	}
@@ -217,7 +302,7 @@ func (f *File) insertRecord(rec []byte, retryNewPage bool) (pagefile.OID, error)
 }
 
 func (f *File) tryInsertOn(page uint32, rec []byte) (pagefile.OID, bool, error) {
-	h, err := f.pool.GetT(pagefile.PageID{File: f.id, Page: page}, f.tr)
+	h, err := f.get(pagefile.PageID{File: f.id, Page: page})
 	if err != nil {
 		return pagefile.OID{}, false, err
 	}
@@ -287,7 +372,7 @@ func (f *File) rawRead(oid pagefile.OID) ([]byte, error) {
 	if oid.File != f.id {
 		return nil, fmt.Errorf("heap: OID %v is not in file %d", oid, f.id)
 	}
-	h, err := f.pool.GetT(oid.PageID(), f.tr)
+	h, err := f.get(oid.PageID())
 	if err != nil {
 		return nil, err
 	}
@@ -309,10 +394,13 @@ func (f *File) rawRead(oid pagefile.OID) ([]byte, error) {
 // payload no longer fits on the home page, the body is moved and a
 // forwarding stub is installed.
 func (f *File) Update(oid pagefile.OID, payload []byte) error {
+	if err := f.guardWrite(); err != nil {
+		return err
+	}
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("heap: payload of %d bytes exceeds max %d", len(payload), MaxPayload)
 	}
-	h, err := f.pool.GetT(oid.PageID(), f.tr)
+	h, err := f.get(oid.PageID())
 	if err != nil {
 		return err
 	}
@@ -343,7 +431,7 @@ func (f *File) Update(oid pagefile.OID, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		h2, err := f.pool.GetT(oid.PageID(), f.tr)
+		h2, err := f.get(oid.PageID())
 		if err != nil {
 			return err
 		}
@@ -373,7 +461,7 @@ func (f *File) Update(oid pagefile.OID, payload []byte) error {
 // updateMoved updates a record whose body lives at target, repointing the
 // stub at home if the body must move again.
 func (f *File) updateMoved(home, target pagefile.OID, payload []byte) error {
-	h, err := f.pool.GetT(target.PageID(), f.tr)
+	h, err := f.get(target.PageID())
 	if err != nil {
 		return err
 	}
@@ -397,7 +485,7 @@ func (f *File) updateMoved(home, target pagefile.OID, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	hh, err := f.pool.GetT(home.PageID(), f.tr)
+	hh, err := f.get(home.PageID())
 	if err != nil {
 		return err
 	}
@@ -427,7 +515,10 @@ func (f *File) insertBody(rec []byte, nearPage uint32) (pagefile.OID, error) {
 
 // Delete removes the record at oid, including a moved body if forwarded.
 func (f *File) Delete(oid pagefile.OID) error {
-	h, err := f.pool.GetT(oid.PageID(), f.tr)
+	if err := f.guardWrite(); err != nil {
+		return err
+	}
+	h, err := f.get(oid.PageID())
 	if err != nil {
 		return err
 	}
@@ -461,7 +552,7 @@ func (f *File) Delete(oid pagefile.OID) error {
 	h.MarkDirty()
 	h.Unpin()
 	if kind == kindStub {
-		ht, err := f.pool.GetT(target.PageID(), f.tr)
+		ht, err := f.get(target.PageID())
 		if err != nil {
 			return err
 		}
@@ -488,7 +579,14 @@ func (f *File) Scan(fn func(oid pagefile.OID, payload []byte) error) error {
 	if err != nil {
 		return err
 	}
+	// Readahead only for plain-mode views: the engine's coarse lock excludes
+	// concurrent write-backs there, which the batched prefetch read requires.
+	// Snapshot and capture views run concurrently with other sessions'
+	// evictions and read page-at-a-time through the pool instead.
 	ra := uint32(f.pool.Readahead())
+	if f.mode != modePlain {
+		ra = 0
+	}
 	for page := uint32(0); page < n; page++ {
 		if ra > 0 && page%ra == 0 {
 			f.pool.PrefetchT(f.id, page, int(ra), f.tr)
@@ -519,7 +617,11 @@ func (f *File) ScanParallel(workers int, fn func(oid pagefile.OID, payload []byt
 	}
 	// Workers claim fixed chunks of pages; with readahead on, a claimed
 	// chunk is prefetched with one batched read before it is scanned.
+	// As in Scan, prefetch is plain-mode only.
 	ra := f.pool.Readahead()
+	if f.mode != modePlain {
+		ra = 0
+	}
 	chunk := uint32(ra)
 	if chunk == 0 {
 		chunk = 8
@@ -572,7 +674,7 @@ func (f *File) ScanParallel(workers int, fn func(oid pagefile.OID, payload []byt
 // the pin, the pin is dropped, and then fn runs (so fn may itself use the
 // pool), with forwarded records resolved through their stubs.
 func (f *File) scanPage(page uint32, fn func(oid pagefile.OID, payload []byte) error) error {
-	h, err := f.pool.GetT(pagefile.PageID{File: f.id, Page: page}, f.tr)
+	h, err := f.get(pagefile.PageID{File: f.id, Page: page})
 	if err != nil {
 		return err
 	}

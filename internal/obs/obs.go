@@ -58,6 +58,10 @@ type Counters struct {
 	// for reads and for databases running without a WAL.
 	WALRecords int64 `json:"wal_records,omitempty"`
 	WALBytes   int64 `json:"wal_bytes,omitempty"`
+	// LockConflicts counts per-set write locks the operation found held by
+	// another writer and had to wait for (fine-grained DML); zero for reads,
+	// uncontended writes, and coarse-mode operations.
+	LockConflicts int64 `json:"lock_conflicts,omitempty"`
 }
 
 // PageAccesses returns hits + misses: the number of buffer pool page
@@ -70,15 +74,16 @@ func (c Counters) IO() int64 { return c.StoreReads + c.StoreWrites }
 // Add returns c + d.
 func (c Counters) Add(d Counters) Counters {
 	return Counters{
-		StoreReads:  c.StoreReads + d.StoreReads,
-		StoreWrites: c.StoreWrites + d.StoreWrites,
-		StoreAllocs: c.StoreAllocs + d.StoreAllocs,
-		Hits:        c.Hits + d.Hits,
-		Misses:      c.Misses + d.Misses,
-		Prefetched:  c.Prefetched + d.Prefetched,
-		Flushes:     c.Flushes + d.Flushes,
-		WALRecords:  c.WALRecords + d.WALRecords,
-		WALBytes:    c.WALBytes + d.WALBytes,
+		StoreReads:    c.StoreReads + d.StoreReads,
+		StoreWrites:   c.StoreWrites + d.StoreWrites,
+		StoreAllocs:   c.StoreAllocs + d.StoreAllocs,
+		Hits:          c.Hits + d.Hits,
+		Misses:        c.Misses + d.Misses,
+		Prefetched:    c.Prefetched + d.Prefetched,
+		Flushes:       c.Flushes + d.Flushes,
+		WALRecords:    c.WALRecords + d.WALRecords,
+		WALBytes:      c.WALBytes + d.WALBytes,
+		LockConflicts: c.LockConflicts + d.LockConflicts,
 	}
 }
 
@@ -94,15 +99,16 @@ type Trace struct {
 	start  time.Time
 	plan   atomic.Pointer[string]
 
-	storeReads  atomic.Int64
-	storeWrites atomic.Int64
-	storeAllocs atomic.Int64
-	hits        atomic.Int64
-	misses      atomic.Int64
-	prefetched  atomic.Int64
-	flushes     atomic.Int64
-	walRecords  atomic.Int64
-	walBytes    atomic.Int64
+	storeReads    atomic.Int64
+	storeWrites   atomic.Int64
+	storeAllocs   atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	prefetched    atomic.Int64
+	flushes       atomic.Int64
+	walRecords    atomic.Int64
+	walBytes      atomic.Int64
+	lockConflicts atomic.Int64
 
 	// Wall-time decomposition: time the operation spent waiting for the
 	// engine writer lock, for the WAL durability rendezvous (fsync wait),
@@ -181,7 +187,16 @@ func (t *Trace) WAL(n, b int64) {
 	}
 }
 
-// LockWait charges time spent waiting to acquire the engine writer lock.
+// LockConflict charges n per-set lock conflicts: acquisitions that found the
+// lock held by another writer.
+func (t *Trace) LockConflict(n int64) {
+	if t != nil {
+		t.lockConflicts.Add(n)
+	}
+}
+
+// LockWait charges time spent waiting to acquire the engine writer lock or a
+// per-set write lock.
 func (t *Trace) LockWait(d time.Duration) {
 	if t != nil && d > 0 {
 		t.lockWaitNs.Add(int64(d))
@@ -226,15 +241,16 @@ func (t *Trace) Counters() Counters {
 		return Counters{}
 	}
 	return Counters{
-		StoreReads:  t.storeReads.Load(),
-		StoreWrites: t.storeWrites.Load(),
-		StoreAllocs: t.storeAllocs.Load(),
-		Hits:        t.hits.Load(),
-		Misses:      t.misses.Load(),
-		Prefetched:  t.prefetched.Load(),
-		Flushes:     t.flushes.Load(),
-		WALRecords:  t.walRecords.Load(),
-		WALBytes:    t.walBytes.Load(),
+		StoreReads:    t.storeReads.Load(),
+		StoreWrites:   t.storeWrites.Load(),
+		StoreAllocs:   t.storeAllocs.Load(),
+		Hits:          t.hits.Load(),
+		Misses:        t.misses.Load(),
+		Prefetched:    t.prefetched.Load(),
+		Flushes:       t.flushes.Load(),
+		WALRecords:    t.walRecords.Load(),
+		WALBytes:      t.walBytes.Load(),
+		LockConflicts: t.lockConflicts.Load(),
 	}
 }
 

@@ -15,12 +15,15 @@ import (
 // fsync); a crash after Commit returns never loses the transaction, and a
 // crash before it never exposes any part of it.
 //
-// A transaction holds the database's writer lock from Begin to
-// Commit/Rollback: concurrent operations queue behind it. Use it from a
-// single goroutine, and do not call the DB's own methods while a transaction
-// is open — they would deadlock behind its lock. A failed mutating statement
-// aborts the transaction (it is rolled back automatically and every later
-// call returns ErrTxnDone); read-only statements fail without aborting.
+// A Begin transaction holds the database's exclusive lock from Begin to
+// Commit/Rollback: concurrent operations queue behind it. A BeginSets
+// transaction instead holds only the per-set locks of its declared write
+// footprint, so transactions over disjoint sets run and commit concurrently.
+// Either way: use it from a single goroutine, and do not call the DB's own
+// write methods while a transaction is open — they can deadlock behind its
+// locks. A failed mutating statement aborts the transaction (it is rolled
+// back automatically and every later call returns ErrTxnDone); read-only
+// statements fail without aborting.
 type Txn struct {
 	t *engine.Txn
 }
@@ -30,6 +33,22 @@ type Txn struct {
 // means no cancellation. Begin blocks until the writer lock is available.
 func (db *DB) Begin(ctx context.Context) (*Txn, error) {
 	t, err := db.e.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{t: t}, nil
+}
+
+// BeginSets starts a fine-grained transaction confined to the given sets:
+// only their per-set locks (plus those of every set reachable through
+// replicated fields and inverse links — the write footprint's closure) are
+// held, and transactions over disjoint footprints proceed fully in parallel.
+// Mutating a set outside the footprint fails with ErrWriteConflict and
+// aborts; queries may read any set, seeing committed snapshots outside the
+// footprint. On an in-memory database (no WAL) BeginSets falls back to the
+// exclusive Begin.
+func (db *DB) BeginSets(ctx context.Context, sets ...string) (*Txn, error) {
+	t, err := db.e.BeginSets(ctx, sets...)
 	if err != nil {
 		return nil, err
 	}
