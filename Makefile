@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet test race bench walbench obsbench replbench soak fuzz check ci
+.PHONY: all help build vet test race bench walbench obsbench replbench loadbench soak fuzz check ci
 
 # Per-target fuzzing time for `make fuzz` (override: make fuzz FUZZTIME=2m).
 FUZZTIME ?= 30s
@@ -17,6 +17,7 @@ help:
 	@echo "  walbench - commit throughput / group-commit fsync batching -> BENCH_commit.json"
 	@echo "  obsbench - histogram quantile accuracy + tracing overhead gate -> BENCH_latency.json"
 	@echo "  replbench - steady-state replication lag (LSN + ms, p50/p99) -> BENCH_repl.json"
+	@echo "  loadbench - 1000+ concurrent network clients, zero-read-lock-wait gate -> BENCH_server.json"
 	@echo "  soak   - exhaustive fault-injection soak"
 	@echo "  fuzz   - slotted-page and WAL-frame fuzzers (FUZZTIME=$(FUZZTIME) each)"
 	@echo "  check  - build + vet + test + race"
@@ -42,7 +43,7 @@ test:
 # overlapping footprints, randomized multi-set transactions) a second time.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/buffer ./internal/heap ./internal/engine ./internal/obs ./internal/repl .
+	$(GO) test -race ./internal/buffer ./internal/heap ./internal/engine ./internal/obs ./internal/repl ./internal/server .
 	$(GO) test -race -count=2 -run 'TestDisjointWritersConcurrent|TestOverlappingFootprintsSerialize|TestRandomizedMultiSetFootprints|TestSnapshotReadersNoLockWait' ./internal/engine
 
 # Scan throughput across pool shard counts and scan worker counts, on a
@@ -69,6 +70,13 @@ obsbench:
 # LSNs behind and milliseconds to visibility (p50/p99). Writes BENCH_repl.json.
 replbench:
 	$(GO) run ./cmd/replbench -out BENCH_repl.json
+
+# Multi-client serving gate: 1000 concurrent read-only native-protocol
+# sessions retrieve while 64 writer sessions commit; read sessions must
+# accumulate exactly zero per-set lock wait (snapshot reads never queue
+# behind writers). Writes BENCH_server.json and exits non-zero on failure.
+loadbench:
+	$(GO) run ./cmd/loadbench -out BENCH_server.json
 
 # Exhaustive fault soak: one injected fault at every I/O index of the
 # calibration run (the untagged test samples every 7th index).

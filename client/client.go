@@ -1,0 +1,281 @@
+// Package client is the native-protocol Go client for a fieldrepl query
+// server (DB.Serve / extradb -serve). A Client is one server session:
+// variable bindings and open transactions persist across Exec calls, and
+// the server attributes the session's traces to the origin label returned
+// by Origin. Clients are safe for concurrent use but serialize requests —
+// the protocol is strictly request/response — so latency-sensitive callers
+// should pool one Client per worker.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/exodb/fieldrepl/internal/extra"
+	"github.com/exodb/fieldrepl/internal/server"
+)
+
+// Result is one statement's output.
+type Result = server.Result
+
+// Sentinel errors mapped back from the server's coded Error frames; both
+// also match the root package's sentinels with errors.Is.
+var (
+	ErrTooManyConnections = server.ErrTooManyConnections
+	ErrSessionClosed      = extra.ErrSessionClosed
+)
+
+// ErrClosed: a request on a Client after Close.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError is a statement failure reported by the server (parse error,
+// unknown set, write conflict, ...). The session survives it.
+type ServerError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+// Config tunes a Client. The zero value means 5s dials and reconnect
+// enabled.
+type Config struct {
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// NoReconnect disables transparent redialing. By default a request that
+	// finds the connection dead before any request byte reached the server
+	// redials once and retries; requests that may have reached the server
+	// are never retried (an Exec is not idempotent).
+	NoReconnect bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Client is one native-protocol connection to a query server.
+type Client struct {
+	addr string
+	cfg  Config
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	origin string
+	closed bool
+}
+
+// Dial connects to a query server and completes the session handshake.
+func Dial(addr string, cfg Config) (*Client, error) {
+	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked dials and handshakes; c.mu must be held.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if _, err := conn.Write([]byte(server.Magic)); err != nil {
+		conn.Close()
+		return err
+	}
+	br := bufio.NewReader(conn)
+	typ, payload, err := server.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	switch typ {
+	case server.MsgHello:
+		_ = conn.SetDeadline(time.Time{})
+		c.conn, c.br, c.origin = conn, br, string(payload)
+		return nil
+	case server.MsgError:
+		conn.Close()
+		return wireError(payload)
+	default:
+		conn.Close()
+		return fmt.Errorf("client: unexpected handshake frame 0x%02x", typ)
+	}
+}
+
+// Origin returns the session's trace-attribution label ("sess-N") from the
+// server's handshake. After a reconnect it reflects the new session.
+func (c *Client) Origin() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.origin
+}
+
+// Exec runs a script on the session, returning one Result per statement.
+// Statement failures come back as *ServerError (the session survives them);
+// connection failures come back as network errors after the session's
+// bindings and open transaction are lost (a redial starts a fresh session).
+func (c *Client) Exec(ctx context.Context, script string) ([]Result, error) {
+	typ, payload, err := c.request(ctx, server.MsgExec, []byte(script))
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case server.MsgResult:
+		return server.DecodeResults(payload)
+	case server.MsgError:
+		return nil, wireError(payload)
+	default:
+		return nil, fmt.Errorf("client: unexpected frame 0x%02x", typ)
+	}
+}
+
+// Ping round-trips a no-op request, reconnecting if needed.
+func (c *Client) Ping(ctx context.Context) error {
+	typ, payload, err := c.request(ctx, server.MsgPing, nil)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case server.MsgPong:
+		return nil
+	case server.MsgError:
+		return wireError(payload)
+	default:
+		return fmt.Errorf("client: unexpected frame 0x%02x", typ)
+	}
+}
+
+// Close ends the session: a best-effort Bye frame tells the server to roll
+// back an open transaction immediately rather than on read error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = server.WriteFrame(c.conn, server.MsgBye, nil)
+	err := c.conn.Close()
+	c.conn, c.br = nil, nil
+	return err
+}
+
+// request performs one framed round trip. If the connection is found dead
+// before any request byte is written, it redials once (unless NoReconnect);
+// once bytes may have reached the server the request is never replayed.
+func (c *Client) request(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				return 0, nil, err
+			}
+		}
+		rtyp, rpayload, sent, err := c.roundTrip(ctx, typ, payload)
+		if err == nil {
+			return rtyp, rpayload, nil
+		}
+		c.conn.Close()
+		c.conn, c.br = nil, nil
+		// Replay only requests the server can not have seen any of, once.
+		if sent || c.cfg.NoReconnect || attempt > 0 || ctx.Err() != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// roundTrip writes one frame and reads the reply; sent reports whether any
+// request byte may have reached the wire.
+func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte) (rtyp byte, rpayload []byte, sent bool, err error) {
+	conn, br := c.conn, c.br
+	stop := watchCtx(ctx, conn)
+	defer stop()
+	// A quick liveness probe before writing: a dead connection (server
+	// restarted, idle timeout fired) usually has a readable EOF pending.
+	if br.Buffered() == 0 {
+		_ = conn.SetReadDeadline(time.Now())
+		_, perr := br.Peek(1)
+		if d, ok := ctx.Deadline(); ok {
+			_ = conn.SetReadDeadline(d)
+		} else {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
+		if perr != nil {
+			var ne net.Error
+			if !errors.As(perr, &ne) || !ne.Timeout() {
+				return 0, nil, false, fmt.Errorf("client: connection dead: %w", perr)
+			}
+		}
+	}
+	if err := server.WriteFrame(conn, typ, payload); err != nil {
+		return 0, nil, true, err
+	}
+	rtyp, rpayload, err = server.ReadFrame(br)
+	if err != nil {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		return 0, nil, true, err
+	}
+	return rtyp, rpayload, true, nil
+}
+
+// watchCtx aborts conn's pending reads/writes when ctx is cancelled or its
+// deadline passes; the returned stop must be called to clear the deadline
+// and release the watcher.
+func watchCtx(ctx context.Context, conn net.Conn) (stop func()) {
+	if d, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(d)
+	}
+	if ctx.Done() == nil {
+		return func() { _ = conn.SetDeadline(time.Time{}) }
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Now())
+		case <-quit:
+		}
+	}()
+	return func() {
+		close(quit)
+		_ = conn.SetDeadline(time.Time{})
+	}
+}
+
+func wireError(payload []byte) error {
+	code, msg := server.DecodeError(payload)
+	switch code {
+	case server.ErrCodeTooManyConns:
+		return fmt.Errorf("client: %w", ErrTooManyConnections)
+	case server.ErrCodeSessionDone:
+		return fmt.Errorf("client: %w", ErrSessionClosed)
+	default:
+		return &ServerError{Code: code, Msg: msg}
+	}
+}

@@ -5,16 +5,17 @@
 //	extradb script.extra [more.extra ...]    # run script files in order
 //	extradb -                                 # read a script from stdin
 //	extradb -dir ./data script.extra          # persist (and reopen) under ./data
+//	extradb -serve :7070 -dir ./data          # serve statements to network clients
 //	extradb -listen :8080 script.extra        # keep serving /metrics after the scripts
 //	extradb -dir ./data -ship-listen :7071    # ship the WAL to read replicas
 //	extradb -dir ./rep -follow host:7071      # run as a read-only follower
 //
 // Retrieve statements print aligned tables; other statements print one-line
-// summaries. With -listen, -ship-listen, or -follow the process stays up
-// after the scripts finish — serving telemetry, shipping the log, or
-// replaying the primary's stream — until interrupted; SIGINT/SIGTERM shut the
-// telemetry server down gracefully (in-flight scrapes finish) and close the
-// database cleanly.
+// summaries. With -serve, -listen, -ship-listen, or -follow the process stays
+// up after the scripts finish — serving clients or telemetry, shipping the
+// log, or replaying the primary's stream — until interrupted; SIGINT/SIGTERM
+// shut the servers down and close the database cleanly (deferred closes run
+// on every exit path, so the store is never abandoned with dirty state).
 package main
 
 import (
@@ -32,6 +33,16 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "extradb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the whole lifecycle so that every exit path — including errors —
+// unwinds through the deferred Close calls. (An os.Exit inside would skip
+// them, leaving a -dir database without its clean shutdown.)
+func run() error {
 	dir := flag.String("dir", "", "store page files under this directory (default: in-memory)")
 	pool := flag.Int("pool", 1024, "buffer pool size in pages")
 	showIO := flag.Bool("io", false, "print page I/O after each statement")
@@ -41,6 +52,8 @@ func main() {
 	explain := flag.Bool("explain", false, "print each statement's per-operation I/O trace")
 	metrics := flag.Bool("metrics", false, "print the observability snapshot as JSON after all scripts")
 	slowMS := flag.Int("slowms", 0, "log operations slower than this many milliseconds to stderr (0 = off)")
+	serve := flag.String("serve", "", "serve surface-language statements to network clients (native protocol + JSON HTTP) on this address and stay up")
+	maxConns := flag.Int("maxconns", 0, "with -serve: cap concurrent client connections (0 = default 1024)")
 	listen := flag.String("listen", "", "serve /metrics, /debug/vars, /debug/traces, /debug/pprof on this address and stay up after the scripts")
 	shipListen := flag.String("ship-listen", "", "ship the WAL to follower replicas connecting on this address (requires -dir)")
 	follow := flag.String("follow", "", "open as a read-only follower replicating from this primary address (requires -dir)")
@@ -52,9 +65,9 @@ func main() {
 		// mutex profile (pair with -listen to scrape it).
 		runtime.SetMutexProfileFraction(*mutexProfile)
 	}
-	stayUp := *listen != "" || *shipListen != "" || *follow != ""
+	stayUp := *serve != "" || *listen != "" || *shipListen != "" || *follow != ""
 	if flag.NArg() == 0 && !stayUp {
-		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-listen ADDR] [-ship-listen ADDR] [-follow ADDR] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-serve ADDR] [-listen ADDR] [-ship-listen ADDR] [-follow ADDR] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
 		os.Exit(2)
 	}
 
@@ -75,19 +88,19 @@ func main() {
 		db, err = fieldrepl.Open(cfg)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer db.Close()
 	if *slowMS > 0 {
 		db.SetSlowQueryLog(time.Duration(*slowMS)*time.Millisecond, func(r fieldrepl.TraceRecord) {
-			fmt.Fprintf(os.Stderr, "-- slow: #%d %s set=%s plan=%s wall=%v io=%d pages\n",
-				r.ID, r.Kind, r.Set, r.Plan, r.Wall, r.StoreReads+r.StoreWrites)
+			fmt.Fprintf(os.Stderr, "-- slow: #%d %s origin=%s set=%s plan=%s wall=%v io=%d pages\n",
+				r.ID, r.Kind, r.Origin, r.Set, r.Plan, r.Wall, r.StoreReads+r.StoreWrites)
 		})
 	}
 	if *shipListen != "" {
 		addr, err := db.ServeReplication(*shipListen, fieldrepl.ReplicationConfig{MinSyncFollowers: *syncFollowers})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "-- replication: shipping WAL on %s\n", addr)
 	}
@@ -98,9 +111,18 @@ func main() {
 	if *listen != "" {
 		srv, err = db.ServeMetrics(*listen)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "-- telemetry: http://%s/metrics\n", srv.Addr())
+	}
+	var qsrv *fieldrepl.Server
+	if *serve != "" {
+		qsrv, err = db.Serve(*serve, fieldrepl.ServerConfig{MaxConns: *maxConns})
+		if err != nil {
+			return err
+		}
+		defer qsrv.Close()
+		fmt.Fprintf(os.Stderr, "-- serving: %s (native protocol and POST /exec)\n", qsrv.Addr())
 	}
 	// seen tracks trace ids already printed by -explain. The recent ring is in
 	// completion order, not id order (ids are issued at operation start), so a
@@ -117,10 +139,10 @@ func main() {
 			src, err = os.ReadFile(arg)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		before := db.IO()
-		outs, err := db.Exec(string(src))
+		outs, err := db.ExecCtx(ctx, string(src))
 		for _, o := range outs {
 			if len(o.Columns) > 0 {
 				fmt.Println(o.Table())
@@ -129,7 +151,7 @@ func main() {
 			}
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *showIO {
 			fmt.Printf("-- I/O: %v\n", db.IO().Sub(before))
@@ -150,7 +172,7 @@ func main() {
 	if *metrics {
 		js, err := db.MetricsJSON()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(string(js))
 	}
@@ -158,6 +180,9 @@ func main() {
 		<-ctx.Done()
 		stop() // restore default handling: a second signal kills immediately
 		fmt.Fprintln(os.Stderr, "-- shutting down")
+		if qsrv != nil {
+			_ = qsrv.Close()
+		}
 		if srv != nil {
 			// Graceful: stop accepting scrapes, let in-flight responses
 			// finish, bounded so shutdown can't hang on a stuck client.
@@ -166,9 +191,5 @@ func main() {
 			_ = srv.Shutdown(sctx)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "extradb: %v\n", err)
-	os.Exit(1)
+	return nil
 }

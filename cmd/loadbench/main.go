@@ -1,0 +1,283 @@
+// Command loadbench drives a fleet of concurrent native-protocol clients
+// into an in-process query server and verifies the PR's headline property at
+// scale: with ≥1000 read-only sessions retrieving while writer sessions
+// commit inserts, the read sessions accumulate exactly zero set-lock wait —
+// snapshot reads never queue behind writers. It writes the measured
+// throughput, client-side latency percentiles, and the lock-wait gate to
+// BENCH_server.json and exits non-zero if the gate fails.
+//
+//	go run ./cmd/loadbench                        # 1000 readers + 64 writers, 5s
+//	go run ./cmd/loadbench -readers 2000 -dur 10s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/exodb/fieldrepl"
+	"github.com/exodb/fieldrepl/client"
+
+	"flag"
+)
+
+const schema = `
+define type DEPT (
+    name:   char[],
+    budget: int
+)
+define type EMP (
+    name:   char[],
+    age:    int,
+    salary: int,
+    dept:   ref DEPT
+)
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+let research = insert Dept (name = "Research", budget = 100)
+insert Emp1 (name = "Alice", age = 30, salary = 120000, dept = research)
+insert Emp1 (name = "Bob", age = 40, salary = 90000, dept = research)
+insert Emp1 (name = "Carol", age = 50, salary = 150000, dept = research)
+`
+
+type sideReport struct {
+	Conns  int     `json:"conns"`
+	Ops    int64   `json:"ops"`
+	Errors int64   `json:"errors"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	// LockWaitNs is summed over this side's engine traces: time blocked on
+	// per-set write locks. The gate requires it to be exactly 0 for reads.
+	LockWaitNs int64 `json:"lock_wait_ns"`
+}
+
+type report struct {
+	DurationSec float64               `json:"duration_sec"`
+	Reads       sideReport            `json:"reads"`
+	Writes      sideReport            `json:"writes"`
+	Server      fieldrepl.ServerStats `json:"server"`
+	GatePass    bool                  `json:"gate_pass"`
+	Gate        string                `json:"gate"`
+}
+
+func main() {
+	readers := flag.Int("readers", 1000, "concurrent read-only client connections")
+	writers := flag.Int("writers", 64, "concurrent writer client connections")
+	dur := flag.Duration("dur", 5*time.Second, "measurement window")
+	out := flag.String("out", "BENCH_server.json", "report path")
+	dir := flag.String("dir", "", "database directory (default: a temp dir; file-backed either way, the WAL enables per-set locking)")
+	flag.Parse()
+	if err := run(*readers, *writers, *dur, *out, *dir); err != nil {
+		fmt.Fprintf(os.Stderr, "loadbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(readers, writers int, dur time.Duration, out, dir string) error {
+	raiseNoFile(uint64(2*(readers+writers) + 512))
+
+	if dir == "" {
+		td, err := os.MkdirTemp("", "loadbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(td)
+		dir = td
+	}
+	db, err := fieldrepl.Open(fieldrepl.Config{Dir: dir, PoolPages: 4096})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if _, err := db.Exec(schema); err != nil {
+		return err
+	}
+
+	// Trace accumulation: every engine operation (threshold 1ns = all of
+	// them) adds its lock wait to its kind's counter. Queries come from the
+	// read sessions, dml from the writers.
+	var readLockWait, writeLockWait, queryTraces atomic.Int64
+	db.SetSlowQueryLog(time.Nanosecond, func(r fieldrepl.TraceRecord) {
+		switch r.Kind {
+		case "query":
+			queryTraces.Add(1)
+			readLockWait.Add(r.LockWaitNs)
+		case "dml":
+			writeLockWait.Add(r.LockWaitNs)
+		}
+	})
+
+	srv, err := db.Serve("127.0.0.1:0", fieldrepl.ServerConfig{MaxConns: readers + writers + 16})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "loadbench: %d readers + %d writers against %s for %v\n", readers, writers, srv.Addr(), dur)
+
+	type worker struct {
+		ops, errs int64
+		lats      []time.Duration
+	}
+	dial := func() (*client.Client, error) {
+		var lastErr error
+		for attempt := 0; attempt < 5; attempt++ {
+			c, err := client.Dial(srv.Addr(), client.Config{DialTimeout: 30 * time.Second})
+			if err == nil {
+				return c, nil
+			}
+			lastErr = err
+			time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
+		}
+		return nil, lastErr
+	}
+
+	// Connect the whole fleet before the clock starts, so the measurement
+	// window is all-steady-state concurrency.
+	total := readers + writers
+	clients := make([]*client.Client, total)
+	var dialErr atomic.Value
+	var cwg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			c, err := dial()
+			if err != nil {
+				dialErr.Store(err)
+				return
+			}
+			clients[i] = c
+		}(i)
+	}
+	cwg.Wait()
+	if err, _ := dialErr.Load().(error); err != nil {
+		return fmt.Errorf("connecting fleet: %w", err)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	if got := srv.Stats().Active; got < int64(total) {
+		return fmt.Errorf("only %d of %d connections active", got, total)
+	}
+
+	const maxSamples = 50_000 // per worker; enough for stable percentiles
+	ws := make([]worker, total)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, w := clients[i], &ws[i]
+			isWriter := i >= readers
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				script := `retrieve (Emp1.name) where Emp1.salary > 100000`
+				if isWriter {
+					script = fmt.Sprintf(`insert Emp1 (name = "w%d-%d", age = 20, salary = 50000, dept = nil)`, i, n)
+				}
+				t0 := time.Now()
+				_, err := c.Exec(context.Background(), script)
+				if err != nil {
+					w.errs++
+					continue
+				}
+				w.ops++
+				if len(w.lats) < maxSamples {
+					w.lats = append(w.lats, time.Since(t0))
+				}
+			}
+		}(i)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	stats := srv.Stats()
+	db.SetSlowQueryLog(0, nil)
+
+	gather := func(lo, hi int) (ops, errs int64, lats []time.Duration) {
+		for i := lo; i < hi; i++ {
+			ops += ws[i].ops
+			errs += ws[i].errs
+			lats = append(lats, ws[i].lats...)
+		}
+		return
+	}
+	rOps, rErrs, rLats := gather(0, readers)
+	wOps, wErrs, wLats := gather(readers, total)
+
+	rep := report{
+		DurationSec: elapsed.Seconds(),
+		Reads: sideReport{
+			Conns: readers, Ops: rOps, Errors: rErrs,
+			P50Us: pctUs(rLats, 0.50), P99Us: pctUs(rLats, 0.99),
+			LockWaitNs: readLockWait.Load(),
+		},
+		Writes: sideReport{
+			Conns: writers, Ops: wOps, Errors: wErrs,
+			P50Us: pctUs(wLats, 0.50), P99Us: pctUs(wLats, 0.99),
+			LockWaitNs: writeLockWait.Load(),
+		},
+		Server: stats,
+	}
+	rep.Gate = fmt.Sprintf("%d concurrent read sessions, %d retrieves traced, read lock wait = %dns (want 0), %d concurrent committing writers (%d inserts)",
+		readers, queryTraces.Load(), rep.Reads.LockWaitNs, writers, wOps)
+	rep.GatePass = readers >= 1000 && rOps > 0 && wOps > 0 && rErrs == 0 &&
+		queryTraces.Load() > 0 && rep.Reads.LockWaitNs == 0
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadbench: reads %d ops (p50 %.0fµs p99 %.0fµs, lock wait %dns), writes %d ops (p50 %.0fµs p99 %.0fµs)\n",
+		rOps, rep.Reads.P50Us, rep.Reads.P99Us, rep.Reads.LockWaitNs, wOps, rep.Writes.P50Us, rep.Writes.P99Us)
+	if !rep.GatePass {
+		return fmt.Errorf("gate failed: %s", rep.Gate)
+	}
+	fmt.Fprintf(os.Stderr, "loadbench: gate passed: %s\n", rep.Gate)
+	return nil
+}
+
+func pctUs(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(p * float64(len(lats)-1))
+	return float64(lats[idx]) / float64(time.Microsecond)
+}
+
+// raiseNoFile lifts the soft open-file limit toward the hard limit so a
+// multi-thousand-connection fleet (two descriptors per in-process
+// connection) doesn't trip EMFILE.
+func raiseNoFile(want uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= want {
+		return
+	}
+	lim.Cur = lim.Max
+	if want < lim.Max {
+		lim.Cur = lim.Max // go to the hard limit; headroom is free
+	}
+	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

@@ -3,6 +3,7 @@ package fieldrepl
 import (
 	"github.com/exodb/fieldrepl/internal/core"
 	"github.com/exodb/fieldrepl/internal/engine"
+	"github.com/exodb/fieldrepl/internal/extra"
 	"github.com/exodb/fieldrepl/internal/heap"
 	"github.com/exodb/fieldrepl/internal/pagefile"
 	"github.com/exodb/fieldrepl/internal/repl"
@@ -54,4 +55,7 @@ var (
 	// the replication history. Retry once caught up, or after the primary is
 	// truly gone (the session drops).
 	ErrFollowerLagged = repl.ErrFollowerLagged
+	// ErrSessionClosed: a statement on a Session (or network connection)
+	// after Close. The session's open transaction, if any, was rolled back.
+	ErrSessionClosed = extra.ErrSessionClosed
 )

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/exodb/fieldrepl/internal/catalog"
@@ -54,15 +55,25 @@ type Config struct {
 }
 
 // DB is a database handle. It is safe for concurrent use: read-only
-// operations (Get, Query, Count, the stats accessors) run concurrently, and
-// mutations are serialized by the engine's writer lock — single-writer with
-// parallel readers. Concurrent writers overlap only in the group-commit
-// durability wait, which is what lets them share fsyncs. The handle's own
-// exclusive lock guards DDL, script execution, and lifecycle (Close).
+// operations (Get, Query, Count, the stats accessors) run concurrently on
+// the snapshot read path, and mutations coordinate through the engine's
+// per-set write locks (WAL-backed databases) or its writer lock. Concurrent
+// writers overlap in the group-commit durability wait, which is what lets
+// them share fsyncs. The handle's own exclusive lock guards DDL and
+// lifecycle (Close); surface-language statements take it only for schema
+// statements — a retrieve script never queues behind writers.
 type DB struct {
-	mu     sync.RWMutex
-	e      *engine.DB
-	interp *extra.Interp
+	mu       sync.RWMutex
+	e        *engine.DB
+	nextSess atomic.Uint64
+	def      *Session
+}
+
+// newDB wraps an opened engine in a public handle with its default session.
+func newDB(e *engine.DB) *DB {
+	db := &DB{e: e}
+	db.def = db.NewSession()
+	return db
 }
 
 // lock acquires the writer lock and returns the unlock func, for one-line
@@ -92,7 +103,7 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{e: e, interp: extra.NewInterp(e)}, nil
+	return newDB(e), nil
 }
 
 // Close flushes and releases the database.
@@ -339,29 +350,29 @@ func (o Output) Table() string {
 
 // Exec runs a script in the EXTRA-style surface language ("define type ...",
 // "create ...", "replicate ...", "build btree on ...", "insert ...",
-// "retrieve ... where ...", "replace ...", "delete ..."), returning one
-// Output per statement. Variable bindings (let x = insert ...) persist
-// across calls.
+// "retrieve ... where ...", "replace ...", "delete ...", "begin"/"commit"/
+// "rollback"), returning one Output per statement. Variable bindings (let x
+// = insert ...) persist across calls: Exec runs on the handle's default
+// Session. Statements take only the locks their class needs — retrieve runs
+// on the snapshot read path concurrent with writers, DML goes through the
+// engine's per-set locks, and only schema statements serialize on the
+// exclusive handle lock. For concurrent scripting, give each goroutine its
+// own NewSession (concurrent Exec calls on the handle share the default
+// session's bindings and serialize per statement).
 func (db *DB) Exec(script string) ([]Output, error) {
-	defer db.lock()()
-	outs, err := db.interp.Exec(script)
-	converted := make([]Output, len(outs))
-	for i, o := range outs {
-		converted[i] = Output{Message: o.Message, Columns: o.Columns, Rows: o.Rows, OID: OID{inner: o.OID}}
-	}
-	return converted, err
+	return db.def.Exec(script)
+}
+
+// ExecCtx is Exec under a context: cancellation is checked between
+// statements, per record inside queries, and in per-set lock waits. A nil
+// ctx behaves like Exec.
+func (db *DB) ExecCtx(ctx context.Context, script string) ([]Output, error) {
+	return db.def.ExecCtx(ctx, script)
 }
 
 // ExecOne runs a single-statement script.
 func (db *DB) ExecOne(stmt string) (Output, error) {
-	outs, err := db.Exec(stmt)
-	if err != nil {
-		return Output{}, err
-	}
-	if len(outs) != 1 {
-		return Output{}, fmt.Errorf("fieldrepl: expected one statement, got %d", len(outs))
-	}
-	return outs[0], nil
+	return db.def.ExecOne(stmt)
 }
 
 // IO returns cumulative page-level I/O counters: only buffer-pool misses and

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -28,12 +29,21 @@ import (
 // hidden fields, inverted-path structures, S′ registration, and indexes are
 // maintained. The insert is durable when Insert returns.
 func (db *DB) Insert(set string, vals map[string]schema.Value) (pagefile.OID, error) {
+	return db.InsertCtx(nil, set, vals)
+}
+
+// InsertCtx is Insert under a context: a cancellation while the statement
+// waits for its per-set locks aborts it with an ErrWriteConflict-wrapped
+// ctx error, and the trace is attributed to the context's session origin. A
+// nil ctx behaves like Insert.
+func (db *DB) InsertCtx(ctx context.Context, set string, vals map[string]schema.Value) (pagefile.OID, error) {
 	if err := db.writable(); err != nil {
 		return pagefile.OID{}, err
 	}
 	tr := db.obs.Start(obs.KindDML, set, "insert")
+	tr.SetOrigin(obs.OriginFrom(ctx))
 	var oid pagefile.OID
-	lsn, err := db.writeShot(nil, tr, []string{set}, func(s *sess) (ierr error) {
+	lsn, err := db.writeShot(ctx, tr, []string{set}, func(s *sess) (ierr error) {
 		oid, ierr = s.insert(set, vals)
 		return ierr
 	})
@@ -140,11 +150,19 @@ func (db *DB) Get(set string, oid pagefile.OID) (*schema.Object, error) {
 // every replication structure and index. The update is durable when Update
 // returns.
 func (db *DB) Update(set string, oid pagefile.OID, vals map[string]schema.Value) error {
+	return db.UpdateCtx(nil, set, oid, vals)
+}
+
+// UpdateCtx is Update under a context: a cancellation while the statement
+// waits for its per-set locks aborts it, and the trace is attributed to the
+// context's session origin. A nil ctx behaves like Update.
+func (db *DB) UpdateCtx(ctx context.Context, set string, oid pagefile.OID, vals map[string]schema.Value) error {
 	if err := db.writable(); err != nil {
 		return err
 	}
 	tr := db.obs.Start(obs.KindDML, set, "update")
-	lsn, err := db.writeShot(nil, tr, []string{set}, func(s *sess) error {
+	tr.SetOrigin(obs.OriginFrom(ctx))
+	lsn, err := db.writeShot(ctx, tr, []string{set}, func(s *sess) error {
 		return s.update(set, oid, vals)
 	})
 	if err == nil {
@@ -205,11 +223,19 @@ func (s *sess) update(set string, oid pagefile.OID, vals map[string]schema.Value
 // path are refused (core.ErrStillReferenced). The delete is durable when
 // Delete returns.
 func (db *DB) Delete(set string, oid pagefile.OID) error {
+	return db.DeleteCtx(nil, set, oid)
+}
+
+// DeleteCtx is Delete under a context: a cancellation while the statement
+// waits for its per-set locks aborts it, and the trace is attributed to the
+// context's session origin. A nil ctx behaves like Delete.
+func (db *DB) DeleteCtx(ctx context.Context, set string, oid pagefile.OID) error {
 	if err := db.writable(); err != nil {
 		return err
 	}
 	tr := db.obs.Start(obs.KindDML, set, "delete")
-	lsn, err := db.writeShot(nil, tr, []string{set}, func(s *sess) error {
+	tr.SetOrigin(obs.OriginFrom(ctx))
+	lsn, err := db.writeShot(ctx, tr, []string{set}, func(s *sess) error {
 		return s.delete(set, oid)
 	})
 	if err == nil {

@@ -107,6 +107,7 @@ func (db *DB) Query(q Query) (*Result, error) {
 // Query.
 func (db *DB) QueryCtx(ctx context.Context, q Query) (*Result, error) {
 	tr := db.obs.Start(obs.KindQuery, q.Set, queryDetail(q))
+	tr.SetOrigin(obs.OriginFrom(ctx))
 	res, err := db.runQuery(ctx, q, tr)
 	db.obs.Finish(tr)
 	return res, err
@@ -767,6 +768,7 @@ func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, val
 		return 0, obs.Record{}, err
 	}
 	tr := db.obs.Start(obs.KindUpdate, set, where.Expr)
+	tr.SetOrigin(obs.OriginFrom(ctx))
 	var n int
 	lsn, err := db.writeShot(ctx, tr, []string{set}, func(s *sess) (uerr error) {
 		n, uerr = s.updateWhere(ctx, set, where, vals)

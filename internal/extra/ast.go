@@ -87,6 +87,20 @@ type DeleteStmt struct {
 	Filters []*PredStmt
 }
 
+// BeginStmt is "begin" (exclusive transaction) or "begin on SetA, SetB"
+// (fine-grained transaction confined to the named sets' footprint closure).
+type BeginStmt struct {
+	Sets []string
+}
+
+// CommitStmt is "commit": atomically apply and make durable everything since
+// the matching begin.
+type CommitStmt struct{}
+
+// RollbackStmt is "rollback" (or "abort"): discard everything since the
+// matching begin.
+type RollbackStmt struct{}
+
 // UnreplicateStmt is "unreplicate [separate|inplace] Set.ref...field".
 type UnreplicateStmt struct {
 	Path     string
@@ -100,11 +114,49 @@ type DropIndexStmt struct {
 
 func (*UnreplicateStmt) stmt() {}
 func (*DropIndexStmt) stmt()   {}
-func (*DefineTypeStmt) stmt()  {}
-func (*CreateSetStmt) stmt()   {}
-func (*ReplicateStmt) stmt()   {}
-func (*BuildIndexStmt) stmt()  {}
-func (*InsertStmt) stmt()      {}
-func (*RetrieveStmt) stmt()    {}
-func (*ReplaceStmt) stmt()     {}
-func (*DeleteStmt) stmt()      {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+
+// Class partitions statements by the isolation a caller must provide:
+// schema-changing statements need the handle's exclusive lock, mutating
+// statements coordinate through the engine's per-set write locks, and
+// read-only statements run on the snapshot read path. Transaction-control
+// statements coordinate through the engine transaction they open or close.
+type Class int
+
+const (
+	// ClassDDL: define type, create, replicate, unreplicate, build/drop
+	// btree — catalog mutations serialized by the exclusive lock.
+	ClassDDL Class = iota
+	// ClassWrite: insert, replace, delete — DML that the engine runs under
+	// the per-set locks of its footprint (WAL) or its own writer lock.
+	ClassWrite
+	// ClassRead: retrieve — executes on the snapshot read path and never
+	// waits on writers.
+	ClassRead
+	// ClassTxn: begin, commit, rollback — transaction control.
+	ClassTxn
+)
+
+// Classify reports a statement's Class.
+func Classify(s Stmt) Class {
+	switch s.(type) {
+	case *RetrieveStmt:
+		return ClassRead
+	case *InsertStmt, *ReplaceStmt, *DeleteStmt:
+		return ClassWrite
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return ClassTxn
+	default:
+		return ClassDDL
+	}
+}
+func (*DefineTypeStmt) stmt() {}
+func (*CreateSetStmt) stmt()  {}
+func (*ReplicateStmt) stmt()  {}
+func (*BuildIndexStmt) stmt() {}
+func (*InsertStmt) stmt()     {}
+func (*RetrieveStmt) stmt()   {}
+func (*ReplaceStmt) stmt()    {}
+func (*DeleteStmt) stmt()     {}

@@ -1,6 +1,8 @@
 package extra
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -10,16 +12,49 @@ import (
 	"github.com/exodb/fieldrepl/internal/schema"
 )
 
+// ErrSessionClosed is returned by statements issued on a session that has
+// been closed (explicitly, or because its network connection ended).
+var ErrSessionClosed = errors.New("extra: session closed")
+
 // Interp executes EXTRA statements against a database, keeping variable
-// bindings (let x = insert ...) across calls.
+// bindings (let x = insert ...) and an optionally open transaction (begin ...
+// commit) across calls. An Interp is one session's state: it is not safe for
+// concurrent use — callers serialize statements per session and give each
+// concurrent session its own Interp.
 type Interp struct {
 	DB  *engine.DB
 	Env map[string]pagefile.OID
+
+	// txn is the session's open transaction (begin ... commit/rollback), nil
+	// outside one. While open, DML and retrieve statements route through it.
+	txn *engine.Txn
+	// closed is set by Close; every later statement fails with
+	// ErrSessionClosed.
+	closed bool
 }
 
 // NewInterp returns an interpreter over db.
 func NewInterp(db *engine.DB) *Interp {
 	return &Interp{DB: db, Env: map[string]pagefile.OID{}}
+}
+
+// TxnOpen reports whether a begin statement's transaction is still open.
+func (in *Interp) TxnOpen() bool { return in.txn != nil }
+
+// Close releases the session's state, rolling back an open transaction.
+// Statements after Close fail with ErrSessionClosed; closing twice is a
+// no-op.
+func (in *Interp) Close() error {
+	in.closed = true
+	if in.txn == nil {
+		return nil
+	}
+	t := in.txn
+	in.txn = nil
+	if err := t.Rollback(); err != nil && !errors.Is(err, engine.ErrTxnDone) {
+		return err
+	}
+	return nil
 }
 
 // Output is the result of executing one statement.
@@ -35,13 +70,26 @@ type Output struct {
 
 // Exec parses and executes a script, returning one Output per statement.
 func (in *Interp) Exec(src string) ([]Output, error) {
+	return in.ExecCtx(context.Background(), src)
+}
+
+// ExecCtx is Exec under a context: cancellation is checked between
+// statements and threaded into each statement's query, update, and per-set
+// lock waits, so a cancelled script stops promptly. The context's obs origin
+// (if any) labels every trace the script produces.
+func (in *Interp) ExecCtx(ctx context.Context, src string) ([]Output, error) {
 	stmts, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	var outs []Output
 	for _, s := range stmts {
-		o, err := in.execStmt(s)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return outs, err
+			}
+		}
+		o, err := in.ExecStmt(ctx, s)
 		if err != nil {
 			return outs, err
 		}
@@ -62,7 +110,62 @@ func (in *Interp) ExecOne(src string) (Output, error) {
 	return outs[0], nil
 }
 
-func (in *Interp) execStmt(s Stmt) (Output, error) {
+// --- statement targets ---
+//
+// Outside a transaction, statements hit the engine's one-shot paths (each
+// DML statement an implicit durable transaction, each retrieve a snapshot
+// read) with the statement context threaded through. Inside one, they route
+// through the open engine.Txn, whose own locks and capture provide isolation;
+// the transaction outlives any single statement context (a begin issued by
+// one network request must survive that request's cancellation), so only the
+// context's values — not its cancellation — carry over.
+
+func (in *Interp) insert(ctx context.Context, set string, vals map[string]schema.Value) (pagefile.OID, error) {
+	if in.txn != nil {
+		return in.txn.Insert(set, vals)
+	}
+	return in.DB.InsertCtx(ctx, set, vals)
+}
+
+func (in *Interp) update(ctx context.Context, set string, oid pagefile.OID, vals map[string]schema.Value) error {
+	if in.txn != nil {
+		return in.txn.Update(set, oid, vals)
+	}
+	return in.DB.UpdateCtx(ctx, set, oid, vals)
+}
+
+func (in *Interp) deleteOne(ctx context.Context, set string, oid pagefile.OID) error {
+	if in.txn != nil {
+		return in.txn.Delete(set, oid)
+	}
+	return in.DB.DeleteCtx(ctx, set, oid)
+}
+
+func (in *Interp) query(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	if in.txn != nil {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		return in.txn.Query(q)
+	}
+	return in.DB.QueryCtx(ctx, q)
+}
+
+// ExecStmt executes one parsed statement under ctx. DDL inside an open
+// transaction is refused (the transaction stays open).
+func (in *Interp) ExecStmt(ctx context.Context, s Stmt) (Output, error) {
+	if in.closed {
+		return Output{}, ErrSessionClosed
+	}
+	if in.txn != nil && Classify(s) == ClassDDL {
+		return Output{}, fmt.Errorf("extra: schema statements are not allowed inside a transaction")
+	}
+	return in.execStmt(ctx, s)
+}
+
+func (in *Interp) execStmt(ctx context.Context, s Stmt) (Output, error) {
 	switch st := s.(type) {
 	case *DefineTypeStmt:
 		if err := in.DB.DefineType(st.Name, st.Fields); err != nil {
@@ -129,7 +232,7 @@ func (in *Interp) execStmt(s Stmt) (Output, error) {
 			}
 			vals[a.Field] = v
 		}
-		oid, err := in.DB.Insert(st.Set, vals)
+		oid, err := in.insert(ctx, st.Set, vals)
 		if err != nil {
 			return Output{}, err
 		}
@@ -153,7 +256,7 @@ func (in *Interp) execStmt(s Stmt) (Output, error) {
 			}
 			q.Filters = append(q.Filters, p)
 		}
-		res, err := in.DB.Query(q)
+		res, err := in.query(ctx, q)
 		if err != nil {
 			return Output{}, err
 		}
@@ -182,25 +285,74 @@ func (in *Interp) execStmt(s Stmt) (Output, error) {
 			}
 			vals[a.Field] = v
 		}
-		n, err := in.replaceWhere(st, vals)
+		n, err := in.replaceWhere(ctx, st, vals)
 		if err != nil {
 			return Output{}, err
 		}
 		return Output{Message: fmt.Sprintf("replaced %d objects in %s", n, st.Set)}, nil
 	case *DeleteStmt:
-		n, err := in.deleteWhere(st)
+		n, err := in.deleteWhere(ctx, st)
 		if err != nil {
 			return Output{}, err
 		}
 		return Output{Message: fmt.Sprintf("deleted %d objects from %s", n, st.Set)}, nil
+	case *BeginStmt:
+		if in.txn != nil {
+			return Output{}, fmt.Errorf("extra: a transaction is already open (commit or rollback it first)")
+		}
+		// The transaction must outlive this statement's context — a begin
+		// issued over the network is followed by statements from later
+		// requests — so cancellation is shorn off; origin and other values
+		// carry over for trace attribution.
+		tctx := ctx
+		if tctx != nil {
+			tctx = context.WithoutCancel(tctx)
+		}
+		var (
+			t   *engine.Txn
+			err error
+		)
+		if len(st.Sets) > 0 {
+			t, err = in.DB.BeginSets(tctx, st.Sets...)
+		} else {
+			t, err = in.DB.Begin(tctx)
+		}
+		if err != nil {
+			return Output{}, err
+		}
+		in.txn = t
+		if len(st.Sets) > 0 {
+			return Output{Message: fmt.Sprintf("begun transaction on %s", strings.Join(st.Sets, ", "))}, nil
+		}
+		return Output{Message: "begun transaction"}, nil
+	case *CommitStmt:
+		if in.txn == nil {
+			return Output{}, fmt.Errorf("extra: no open transaction to commit")
+		}
+		t := in.txn
+		in.txn = nil
+		if err := t.Commit(); err != nil {
+			return Output{}, err
+		}
+		return Output{Message: "committed"}, nil
+	case *RollbackStmt:
+		if in.txn == nil {
+			return Output{}, fmt.Errorf("extra: no open transaction to rollback")
+		}
+		t := in.txn
+		in.txn = nil
+		if err := t.Rollback(); err != nil {
+			return Output{}, err
+		}
+		return Output{Message: "rolled back"}, nil
 	default:
 		return Output{}, fmt.Errorf("extra: unknown statement %T", s)
 	}
 }
 
 // replaceWhere collects matching OIDs through the executor (so conjuncts
-// and indexes apply), then updates each.
-func (in *Interp) replaceWhere(st *ReplaceStmt, vals map[string]schema.Value) (int, error) {
+// and indexes apply), then updates each, checking ctx between objects.
+func (in *Interp) replaceWhere(ctx context.Context, st *ReplaceStmt, vals map[string]schema.Value) (int, error) {
 	q := engine.Query{Set: st.Set}
 	if st.Where != nil {
 		p, err := in.toPred(st.Where)
@@ -216,19 +368,24 @@ func (in *Interp) replaceWhere(st *ReplaceStmt, vals map[string]schema.Value) (i
 		}
 		q.Filters = append(q.Filters, p)
 	}
-	res, err := in.DB.Query(q)
+	res, err := in.query(ctx, q)
 	if err != nil {
 		return 0, err
 	}
 	for _, row := range res.Rows {
-		if err := in.DB.Update(st.Set, row.OID, vals); err != nil {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		if err := in.update(ctx, st.Set, row.OID, vals); err != nil {
 			return 0, err
 		}
 	}
 	return len(res.Rows), nil
 }
 
-func (in *Interp) deleteWhere(st *DeleteStmt) (int, error) {
+func (in *Interp) deleteWhere(ctx context.Context, st *DeleteStmt) (int, error) {
 	q := engine.Query{Set: st.Set}
 	if st.Where != nil {
 		p, err := in.toPred(st.Where)
@@ -244,12 +401,17 @@ func (in *Interp) deleteWhere(st *DeleteStmt) (int, error) {
 		}
 		q.Filters = append(q.Filters, p)
 	}
-	res, err := in.DB.Query(q)
+	res, err := in.query(ctx, q)
 	if err != nil {
 		return 0, err
 	}
 	for _, row := range res.Rows {
-		if err := in.DB.Delete(st.Set, row.OID); err != nil {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		if err := in.deleteOne(ctx, st.Set, row.OID); err != nil {
 			return 0, err
 		}
 	}

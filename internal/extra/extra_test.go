@@ -338,3 +338,75 @@ func TestWhereAndConjuncts(t *testing.T) {
 		t.Fatalf("rows = %v", out.Rows)
 	}
 }
+
+// TestTxnStatements: the surface language's begin/commit/rollback drive a
+// real engine transaction with the session's isolation semantics.
+func TestTxnStatements(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	if _, err := in.Exec(`
+begin
+insert Emp1 (name = "Dave", age = 33, salary = 80000, dept = nil)
+commit
+`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := in.ExecOne("retrieve (Emp1.name)")
+	if err != nil || len(out.Rows) != 4 {
+		t.Fatalf("rows = %v, err = %v", out.Rows, err)
+	}
+
+	if _, err := in.Exec(`
+begin
+insert Emp1 (name = "Gone", age = 1, salary = 1, dept = nil)
+rollback
+`); err != nil {
+		t.Fatal(err)
+	}
+	out, err = in.ExecOne("retrieve (Emp1.name)")
+	if err != nil || len(out.Rows) != 4 {
+		t.Fatalf("after rollback rows = %v, err = %v", out.Rows, err)
+	}
+}
+
+func TestTxnRefusesDDLAndNesting(t *testing.T) {
+	in := newInterp(t)
+	if _, err := in.ExecOne("begin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ExecOne("define type Q ( x: int )"); err == nil || !strings.Contains(err.Error(), "not allowed inside") {
+		t.Fatalf("DDL inside txn: err = %v", err)
+	}
+	if _, err := in.ExecOne("begin"); err == nil || !strings.Contains(err.Error(), "already open") {
+		t.Fatalf("nested begin: err = %v", err)
+	}
+	if _, err := in.ExecOne("rollback"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ExecOne("commit"); err == nil {
+		t.Fatal("commit with no open transaction should fail")
+	}
+}
+
+// TestInterpCloseRollsBack: Close rolls an open transaction back and later
+// statements fail with ErrSessionClosed.
+func TestInterpCloseRollsBack(t *testing.T) {
+	in := newInterp(t)
+	seed(t, in)
+	if _, err := in.Exec("begin\ninsert Emp1 (name = \"Orphan\", age = 1, salary = 1, dept = nil)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Exec("retrieve (Emp1.name)"); err != ErrSessionClosed {
+		t.Fatalf("err = %v, want ErrSessionClosed", err)
+	}
+	// The rollback took effect: a fresh interpreter on the same engine sees
+	// only the seeded rows.
+	in2 := NewInterp(in.DB)
+	out, err := in2.ExecOne("retrieve (Emp1.name)")
+	if err != nil || len(out.Rows) != 3 {
+		t.Fatalf("rows = %v, err = %v", out.Rows, err)
+	}
+}

@@ -109,6 +109,14 @@ func (p *parser) statement() (Stmt, error) {
 		return p.replace()
 	case p.at(tokIdent, "delete"):
 		return p.delete()
+	case p.at(tokIdent, "begin"):
+		return p.begin()
+	case p.at(tokIdent, "commit"):
+		p.pos++
+		return &CommitStmt{}, nil
+	case p.at(tokIdent, "rollback"), p.at(tokIdent, "abort"):
+		p.pos++
+		return &RollbackStmt{}, nil
 	default:
 		return nil, fmt.Errorf("extra: line %d: unexpected %s at start of statement", p.cur().line, p.cur())
 	}
@@ -529,6 +537,26 @@ func (p *parser) replace() (Stmt, error) {
 				return nil, err
 			}
 			st.Filters = append(st.Filters, more)
+		}
+	}
+	return st, nil
+}
+
+// begin parses "begin" or "begin on SetA, SetB" (a fine-grained transaction
+// confined to the named sets).
+func (p *parser) begin() (Stmt, error) {
+	p.pos++ // begin
+	st := &BeginStmt{}
+	if p.accept(tokIdent, "on") {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Sets = append(st.Sets, name)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
 		}
 	}
 	return st, nil

@@ -98,6 +98,7 @@ type Trace struct {
 	detail string
 	start  time.Time
 	plan   atomic.Pointer[string]
+	origin atomic.Pointer[string]
 
 	storeReads    atomic.Int64
 	storeWrites   atomic.Int64
@@ -235,6 +236,14 @@ func (t *Trace) SetPlan(plan string) {
 	}
 }
 
+// SetOrigin labels the trace with the session (or other caller identity) the
+// operation ran on behalf of. Empty origins are ignored; the last call wins.
+func (t *Trace) SetOrigin(origin string) {
+	if t != nil && origin != "" {
+		t.origin.Store(&origin)
+	}
+}
+
 // Counters returns a snapshot of the trace's counters.
 func (t *Trace) Counters() Counters {
 	if t == nil {
@@ -258,11 +267,14 @@ func (t *Trace) Counters() Counters {
 // the unit the metrics snapshot, the slow-query log, and extradb -explain
 // report.
 type Record struct {
-	ID     uint64    `json:"id"`
-	Kind   string    `json:"kind"`
-	Set    string    `json:"set,omitempty"`
-	Detail string    `json:"detail,omitempty"`
-	Plan   string    `json:"plan,omitempty"`
+	ID     uint64 `json:"id"`
+	Kind   string `json:"kind"`
+	Set    string `json:"set,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	Plan   string `json:"plan,omitempty"`
+	// Origin is the session identity the operation ran on behalf of (set by
+	// the network server's per-session execution), empty for direct API calls.
+	Origin string    `json:"origin,omitempty"`
 	Start  time.Time `json:"start"`
 	// Wall is the operation's wall-clock duration (JSON: nanoseconds).
 	Wall time.Duration `json:"wall_ns"`
@@ -385,6 +397,9 @@ func (r *Registry) Finish(t *Trace) Record {
 	}
 	if p := t.plan.Load(); p != nil {
 		rec.Plan = *p
+	}
+	if o := t.origin.Load(); o != nil {
+		rec.Origin = *o
 	}
 	r.observeLatency(rec.Kind, rec.Set, rec.Wall)
 	r.mu.Lock()

@@ -1,0 +1,30 @@
+package obs
+
+import "context"
+
+// originKey carries a session identity through a context so the engine can
+// label the traces of every operation a session executes, without threading a
+// session parameter through each statement signature.
+type originKey struct{}
+
+// WithOrigin returns a context whose operations are attributed to origin
+// (e.g. "sess-42"). An empty origin returns ctx unchanged.
+func WithOrigin(ctx context.Context, origin string) context.Context {
+	if origin == "" {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, originKey{}, origin)
+}
+
+// OriginFrom extracts the origin label from ctx, "" when none (or ctx is
+// nil).
+func OriginFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	origin, _ := ctx.Value(originKey{}).(string)
+	return origin
+}

@@ -23,6 +23,9 @@ type TraceRecord struct {
 	// Set is the target set, Detail the predicate expression or DML verb.
 	Set    string `json:"set,omitempty"`
 	Detail string `json:"detail,omitempty"`
+	// Origin attributes the operation to the session that ran it ("sess-N"
+	// for Session/network-server statements; empty for direct API calls).
+	Origin string `json:"origin,omitempty"`
 	// Plan is the executor's access-path choice: "scan", "scan-parallel", or
 	// "index:<name>".
 	Plan  string        `json:"plan,omitempty"`
@@ -59,7 +62,7 @@ func (r TraceRecord) PageAccesses() int64 { return r.Hits + r.Misses }
 
 func toTraceRecord(r obs.Record) TraceRecord {
 	return TraceRecord{
-		ID: r.ID, Kind: r.Kind, Set: r.Set, Detail: r.Detail, Plan: r.Plan,
+		ID: r.ID, Kind: r.Kind, Set: r.Set, Detail: r.Detail, Plan: r.Plan, Origin: r.Origin,
 		Start: r.Start, Wall: r.Wall,
 		StoreReads: r.StoreReads, StoreWrites: r.StoreWrites, StoreAllocs: r.StoreAllocs,
 		Hits: r.Hits, Misses: r.Misses, Prefetched: r.Prefetched, Flushes: r.Flushes,

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"github.com/exodb/fieldrepl/internal/engine"
-	"github.com/exodb/fieldrepl/internal/extra"
 	"github.com/exodb/fieldrepl/internal/repl"
 )
 
@@ -102,7 +101,7 @@ func OpenFollower(cfg Config, primaryAddr string, fcfg FollowerConfig) (*DB, err
 	if err != nil {
 		return nil, err
 	}
-	return &DB{e: e, interp: extra.NewInterp(e)}, nil
+	return newDB(e), nil
 }
 
 // Promote turns a follower into a writable primary after the old primary is

@@ -1,0 +1,150 @@
+package fieldrepl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/exodb/fieldrepl/internal/extra"
+	"github.com/exodb/fieldrepl/internal/obs"
+)
+
+// Session is one client's surface-language execution context: its own
+// variable bindings (let x = insert ...), its own open transaction (begin
+// ... commit), and its own trace attribution. Sessions are independent —
+// statements from concurrent sessions interleave under the engine's
+// fine-grained locks (reads on the snapshot path, DML on per-set locks),
+// never behind one another's scripts. A Session serializes its own
+// statements internally, so sharing one across goroutines is safe but
+// pointless; give each client its own.
+type Session struct {
+	db     *DB
+	origin string
+
+	mu     sync.Mutex
+	in     *extra.Interp
+	closed bool
+}
+
+// NewSession creates an independent surface-language session. Sessions are
+// cheap; the network server creates one per connection. Close a session when
+// done — an open transaction is rolled back.
+func (db *DB) NewSession() *Session {
+	return &Session{
+		db:     db,
+		origin: fmt.Sprintf("sess-%d", db.nextSess.Add(1)),
+		in:     extra.NewInterp(db.e),
+	}
+}
+
+// Origin returns the session's trace-attribution label ("sess-N"): every
+// trace produced by the session's statements carries it, so slow-query logs
+// and /debug/traces attribute work to the session that ran it.
+func (s *Session) Origin() string { return s.origin }
+
+// Exec runs a script in the EXTRA-style surface language, returning one
+// Output per statement. See DB.Exec for the statement repertoire and locking
+// behavior.
+func (s *Session) Exec(script string) ([]Output, error) {
+	return s.ExecCtx(nil, script)
+}
+
+// ExecCtx is Exec under a context: cancellation is checked between
+// statements, per record inside queries, and in per-set lock waits, so a
+// disconnecting client's statement stops fetching pages promptly. A nil ctx
+// behaves like Exec.
+func (s *Session) ExecCtx(ctx context.Context, script string) ([]Output, error) {
+	outs, err := s.execRaw(ctx, script)
+	converted := make([]Output, len(outs))
+	for i, o := range outs {
+		converted[i] = Output{Message: o.Message, Columns: o.Columns, Rows: o.Rows, OID: OID{inner: o.OID}}
+	}
+	return converted, err
+}
+
+// ExecOne runs a single-statement script.
+func (s *Session) ExecOne(stmt string) (Output, error) {
+	return s.execOne(nil, stmt)
+}
+
+// ExecOneCtx is ExecOne under a context.
+func (s *Session) ExecOneCtx(ctx context.Context, stmt string) (Output, error) {
+	return s.execOne(ctx, stmt)
+}
+
+func (s *Session) execOne(ctx context.Context, stmt string) (Output, error) {
+	outs, err := s.ExecCtx(ctx, stmt)
+	if err != nil {
+		return Output{}, err
+	}
+	if len(outs) != 1 {
+		return Output{}, fmt.Errorf("fieldrepl: expected one statement, got %d", len(outs))
+	}
+	return outs[0], nil
+}
+
+// Close ends the session, rolling back an open transaction. Statements after
+// Close fail with ErrSessionClosed. Closing twice is a no-op.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.in.Close()
+}
+
+// execRaw executes the script statement by statement, taking the handle lock
+// each statement needs — this is where the surface language stopped
+// over-serializing: a retrieve runs under the shared lock on the engine's
+// snapshot read path (never queueing behind writers), DML runs under the
+// shared lock with the engine's per-set locks providing write isolation, and
+// only schema statements take the exclusive lock. Internal so the network
+// server can reuse it without converting outputs twice.
+func (s *Session) execRaw(ctx context.Context, script string) ([]extra.Output, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, extra.ErrSessionClosed
+	}
+	ctx = obs.WithOrigin(ctx, s.origin)
+	stmts, err := extra.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	var outs []extra.Output
+	for _, st := range stmts {
+		if err := ctx.Err(); err != nil {
+			return outs, err
+		}
+		out, err := s.execStmt(ctx, st)
+		if err != nil {
+			return outs, err
+		}
+		outs = append(outs, out)
+	}
+	return outs, nil
+}
+
+// execStmt runs one statement under the handle-lock mode its class needs.
+func (s *Session) execStmt(ctx context.Context, st extra.Stmt) (extra.Output, error) {
+	db := s.db
+	if s.in.TxnOpen() || extra.Classify(st) == extra.ClassTxn {
+		// Transaction statements coordinate through the engine transaction's
+		// own locks; holding the handle lock across a begin (which blocks on
+		// the engine writer lock) would stall unrelated handle operations.
+		return s.in.ExecStmt(ctx, st)
+	}
+	switch extra.Classify(st) {
+	case extra.ClassDDL:
+		defer db.lock()()
+	default:
+		// DML and retrieve take the shared lock like the public Insert/
+		// Query wrappers: the engine serializes writers on per-set locks and
+		// runs reads on the snapshot path, and an exclusive handle lock here
+		// would both defeat group commit and queue readers behind writers.
+		defer db.rlock()()
+	}
+	return s.in.ExecStmt(ctx, st)
+}
