@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet test race bench walbench obsbench replbench loadbench soak fuzz check ci
+.PHONY: all help build vet test race bench walbench obsbench replbench loadbench querybench soak fuzz check ci
 
 # Per-target fuzzing time for `make fuzz` (override: make fuzz FUZZTIME=2m).
 FUZZTIME ?= 30s
@@ -18,6 +18,7 @@ help:
 	@echo "  obsbench - histogram quantile accuracy + tracing overhead gate -> BENCH_latency.json"
 	@echo "  replbench - steady-state replication lag (LSN + ms, p50/p99) -> BENCH_repl.json"
 	@echo "  loadbench - 1000+ concurrent network clients, zero-read-lock-wait gate -> BENCH_server.json"
+	@echo "  querybench - planner query shapes (point/range/path3/aggregate), fused-vs-baseline gate -> BENCH_query.json"
 	@echo "  soak   - exhaustive fault-injection soak"
 	@echo "  fuzz   - slotted-page and WAL-frame fuzzers (FUZZTIME=$(FUZZTIME) each)"
 	@echo "  check  - build + vet + test + race"
@@ -77,6 +78,14 @@ replbench:
 # behind writers). Writes BENCH_server.json and exits non-zero on failure.
 loadbench:
 	$(GO) run ./cmd/loadbench -out BENCH_server.json
+
+# Planner gate: the four query shapes (point probe, index range, 3-level
+# path, aggregate) compiled with DB.Plan, each pairing predicted with
+# observed pages; fused path queries must beat the record-at-a-time
+# no-fuse baseline by 2x without replication. Writes BENCH_query.json and
+# exits non-zero on regression.
+querybench:
+	$(GO) run ./cmd/querybench -out BENCH_query.json -check
 
 # Exhaustive fault soak: one injected fault at every I/O index of the
 # calibration run (the untagged test samples every 7th index).

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,7 +50,7 @@ func run() error {
 	workers := flag.Int("workers", 1, "goroutines for non-indexed scan predicate evaluation (1 = sequential)")
 	shards := flag.Int("shards", 1, "buffer pool lock shards")
 	readahead := flag.Int("readahead", 0, "scan readahead in pages (0 = off)")
-	explain := flag.Bool("explain", false, "print each statement's per-operation I/O trace")
+	explain := flag.Bool("explain", false, "print each statement's plan (chosen operators, costed alternatives) and per-operation I/O trace")
 	metrics := flag.Bool("metrics", false, "print the observability snapshot as JSON after all scripts")
 	slowMS := flag.Int("slowms", 0, "log operations slower than this many milliseconds to stderr (0 = off)")
 	serve := flag.String("serve", "", "serve surface-language statements to network clients (native protocol + JSON HTTP) on this address and stay up")
@@ -148,6 +149,12 @@ func run() error {
 				fmt.Println(o.Table())
 			} else {
 				fmt.Println(o.Message)
+			}
+			// Explain statements always carry a plan; with -explain every
+			// planned statement prints its full decision — the chosen operator
+			// pipeline and each costed-but-rejected alternative.
+			if o.Plan != "" && (*explain || strings.HasPrefix(o.Message, "explained")) {
+				fmt.Println(o.Plan)
 			}
 		}
 		if err != nil {

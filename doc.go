@@ -52,10 +52,32 @@
 //	db.Exec(`replicate Emp1.dept.name`)
 //	db.Exec(`retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000`)
 //
+// # Planning and explain
+//
+// Queries go through a cost-based planner: access paths (B-tree index
+// ranges, clustered and unclustered heap scans, replicated-field fast paths)
+// are costed in predicted page I/O against measured catalog statistics.
+// DB.Plan compiles a query into a first-class Plan value whose Explain
+// method renders the chosen operator pipeline, every costed alternative with
+// its rejection reason, and — after Plan.Run — the predicted page count next
+// to the pages actually read. The surface language exposes the same
+// rendering through "explain <stmt>".
+//
+// # Canonical context-first API
+//
+// The context-taking methods are the canonical forms — QueryCtx,
+// UpdateWhereCtx, ExecCtx, InsertCtx-style variants where present, and
+// DB.Plan/Plan.Run — and each context-free name (Query, UpdateWhere, Exec)
+// is a thin compatibility wrapper that delegates to its Ctx form with a nil
+// context. New code should pass a context; the wrappers exist so existing
+// callers keep compiling and behaving identically.
+//
 // # Measurement
 //
-// The engine counts page-level I/O at its buffer-pool boundary (IO,
-// ResetIO) and supports cold-cache measurement (ColdCache), which the
-// included experiments use to reproduce the paper's analytical results on a
-// running system. See DESIGN.md and EXPERIMENTS.md in the repository.
+// The engine counts page-level I/O at its buffer-pool boundary (IO) and
+// supports cold-cache measurement (ColdCache), which the included
+// experiments use to reproduce the paper's analytical results on a running
+// system. Prefer per-operation traces (RecentTraces, SetSlowQueryLog,
+// MetricsJSON) or IO deltas over the deprecated ResetIO. See DESIGN.md and
+// EXPERIMENTS.md in the repository.
 package fieldrepl

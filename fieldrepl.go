@@ -265,7 +265,7 @@ func toEngineQuery(q Query) (engine.Query, error) {
 	}
 	eq := engine.Query{
 		Set: q.Set, Project: q.Project, Where: ep,
-		EmitOutput: q.EmitOutput, ForceScan: q.ForceScan,
+		EmitOutput: q.EmitOutput, ForceScan: q.ForceScan, NoFuse: q.NoFuse,
 	}
 	for i := range q.Filters {
 		fp, err := toEnginePred(&q.Filters[i])
@@ -302,17 +302,25 @@ func (db *DB) Query(q Query) (*Result, error) {
 // during scans and index ranges (including parallel scan workers), so a
 // cancelled query stops fetching pages promptly and returns ctx.Err(). A nil
 // ctx behaves like Query.
+//
+// QueryCtx is the canonical form; Query is a thin wrapper over it. The
+// result's Plan field carries the planner's rendered decision with this
+// execution's observed page count.
 func (db *DB) QueryCtx(ctx context.Context, q Query) (*Result, error) {
 	defer db.rlock()()
 	eq, err := toEngineQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.e.QueryCtx(ctx, eq)
+	res, rec, err := db.e.QueryTracedCtx(ctx, eq)
 	if err != nil {
 		return nil, err
 	}
-	return fromEngineResult(res), nil
+	out := fromEngineResult(res)
+	if res.Decision != nil {
+		out.Plan = res.Decision.RenderObserved(rec.IO())
+	}
+	return out, nil
 }
 
 // UpdateWhere applies vals to every object matching where, returning the
@@ -340,6 +348,11 @@ type Output struct {
 	Columns []string
 	Rows    [][]string
 	OID     OID
+	// Plan carries the rendered planner decision for "explain <stmt>"
+	// statements: the chosen operator pipeline, every costed alternative with
+	// its rejection reason, and (for executed retrieves) predicted vs
+	// observed pages.
+	Plan string
 }
 
 // Table renders a retrieve output as an aligned text table.

@@ -36,6 +36,17 @@ func Int64FromKey(k Key) int64 {
 	return int64(binary.BigEndian.Uint64(k[0:8]) ^ (1 << 63))
 }
 
+// Float64FromKey decodes a key produced by Float64Key.
+func Float64FromKey(k Key) float64 {
+	bits := binary.BigEndian.Uint64(k[0:8])
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits)
+}
+
 // Float64Key encodes v so byte comparison matches float order (NaNs sort
 // after +Inf; -0 and +0 encode differently but adjacently).
 func Float64Key(v float64) Key {

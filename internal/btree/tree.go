@@ -638,3 +638,61 @@ func (t *Tree) Height() (int, error) {
 	}
 	return m.height, nil
 }
+
+// Bounds returns the smallest and largest keys currently in the tree — the
+// key domain the planner interpolates range selectivities over. ok is false
+// when the tree is empty. Cost: one descent down each edge of the tree
+// (2×height page pins, overlapping at the root).
+func (t *Tree) Bounds() (lo, hi Key, ok bool, err error) {
+	m, err := t.loadMeta()
+	if err != nil || m.count == 0 {
+		return Key{}, Key{}, false, err
+	}
+	if lo, err = t.edgeKey(m, false); err != nil {
+		return Key{}, Key{}, false, err
+	}
+	if hi, err = t.edgeKey(m, true); err != nil {
+		return Key{}, Key{}, false, err
+	}
+	return lo, hi, true, nil
+}
+
+// edgeKey descends the leftmost (rightmost=false) or rightmost chain of
+// children and returns the first (last) key of the edge leaf.
+func (t *Tree) edgeKey(m meta, rightmost bool) (Key, error) {
+	pageNo := m.root
+	for level := m.height; level > 1; level-- {
+		h, err := t.page(pageNo)
+		if err != nil {
+			return Key{}, err
+		}
+		n, nerr := asNode(h.Page())
+		if nerr != nil {
+			h.Unpin()
+			return Key{}, nerr
+		}
+		if rightmost {
+			pageNo = n.childAt(n.nkeys())
+		} else {
+			pageNo = n.childAt(0)
+		}
+		h.Unpin()
+	}
+	h, err := t.page(pageNo)
+	if err != nil {
+		return Key{}, err
+	}
+	defer h.Unpin()
+	n, err := asNode(h.Page())
+	if err != nil {
+		return Key{}, err
+	}
+	k := n.nkeys()
+	if k == 0 {
+		return Key{}, nil
+	}
+	if rightmost {
+		return n.leafEntry(k - 1).key, nil
+	}
+	return n.leafEntry(0).key, nil
+}

@@ -832,6 +832,26 @@ func (p *Pool) PrefetchT(fid pagefile.FileID, start uint32, n int, tr *obs.Trace
 	return loaded
 }
 
+// PrefetchPagesT prefetches an explicit ascending list of page numbers,
+// batching maximal consecutive runs into vectored store reads via PrefetchT.
+// It serves index-range fetches: the planner's executor collects the
+// qualifying OIDs, sorts and dedupes their pages, and warms them in one pass
+// so the per-object reads that follow hit the pool. Pages out of range are
+// clamped and resident pages skipped by the underlying run logic. The same
+// no-concurrent-writer caveat as Prefetch applies.
+func (p *Pool) PrefetchPagesT(fid pagefile.FileID, pages []uint32, tr *obs.Trace) int {
+	loaded := 0
+	for i := 0; i < len(pages); {
+		j := i + 1
+		for j < len(pages) && pages[j] == pages[j-1]+1 {
+			j++
+		}
+		loaded += p.PrefetchT(fid, pages[i], j-i, tr)
+		i = j
+	}
+	return loaded
+}
+
 // resident reports whether pid is currently framed.
 func (p *Pool) resident(pid pagefile.PageID) bool {
 	sh := p.shardOf(pid)

@@ -1,0 +1,62 @@
+package costmodel
+
+import "math"
+
+// Access-path costing over measured statistics.
+//
+// The Section-6 model in costmodel.go predicts page I/O from the paper's
+// synthetic parameters (set sizes, fanouts, field widths). The planner needs
+// the same arithmetic — Yao's function for unclustered fetches, page-fraction
+// ceilings for clustered ones, height-plus-leaf-span index probes — but
+// driven by what the storage layer actually reports: heap page counts from
+// the store and cardinalities from B+tree metadata. These helpers are that
+// arithmetic, shared by internal/plan.
+
+// AccessStats are the measured physical statistics of one heap file.
+type AccessStats struct {
+	Pages   float64 // heap page count
+	Card    float64 // record count
+	PerPage float64 // records per page, consistent with Pages and Card
+}
+
+// ClusteredFetchPages predicts the heap pages read to fetch the matching
+// records through a clustered index: the qualifying records are physically
+// contiguous, so the fetch touches only the qualifying fraction of the file.
+func ClusteredFetchPages(s AccessStats, sel float64) float64 {
+	p := math.Ceil(sel * s.Pages)
+	if p < 1 {
+		p = 1
+	}
+	if p > s.Pages {
+		p = s.Pages
+	}
+	return p
+}
+
+// UnclusteredFetchPages predicts the heap pages read to fetch matches
+// records through an unclustered index, using Yao's function: the matches
+// are scattered, and the expected number of distinct pages touched is
+// Pages x Yao(Card, PerPage, matches).
+func UnclusteredFetchPages(s AccessStats, matches float64) float64 {
+	if s.Card <= 0 || s.PerPage <= 0 {
+		return s.Pages
+	}
+	p := s.Pages * Yao(s.Card, s.PerPage, matches)
+	if p > s.Pages {
+		p = s.Pages
+	}
+	return p
+}
+
+// IndexProbePages predicts the index pages read by a range probe: the
+// descent (height) plus the qualifying span of the leaf chain.
+func IndexProbePages(height, leafPages, sel float64) float64 {
+	leaf := math.Ceil(sel * leafPages)
+	if leaf < 1 {
+		leaf = 1
+	}
+	if leafPages > 0 && leaf > leafPages {
+		leaf = leafPages
+	}
+	return height + leaf
+}

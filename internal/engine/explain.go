@@ -7,6 +7,7 @@ import (
 	"github.com/exodb/fieldrepl/internal/catalog"
 	"github.com/exodb/fieldrepl/internal/costmodel"
 	"github.com/exodb/fieldrepl/internal/obs"
+	"github.com/exodb/fieldrepl/internal/plan"
 	"github.com/exodb/fieldrepl/internal/schema"
 	"github.com/exodb/fieldrepl/internal/wal"
 )
@@ -40,6 +41,12 @@ type Explain struct {
 	LogWaitNs    int64 `json:"log_wait_ns,omitempty"`
 	ReadStallNs  int64 `json:"read_stall_ns,omitempty"`
 	WriteStallNs int64 `json:"write_stall_ns,omitempty"`
+	// Plan is the cost-based planner's rendered decision — the chosen
+	// operator pipeline, every costed alternative with its rejection reason,
+	// and the planner's page prediction paired with the observed trace pages.
+	// Decision is the same record structured for programmatic use.
+	Plan     string         `json:"plan,omitempty"`
+	Decision *plan.Decision `json:"decision,omitempty"`
 }
 
 // ExplainQuery executes q like Query and returns, alongside the result, the
@@ -59,6 +66,10 @@ func (db *DB) ExplainQuery(q Query, params *costmodel.Params) (*Result, *Explain
 		exprs = append(exprs, f.Expr)
 	}
 	ex := db.explain(rec, costmodel.ReadQuery, db.readStrategy(q.Set, exprs), db.indexSetting(q.Set, res.UsedIndex), params)
+	if res.Decision != nil {
+		ex.Decision = res.Decision
+		ex.Plan = res.Decision.RenderObserved(rec.IO())
+	}
 	return res, ex, nil
 }
 
@@ -67,7 +78,7 @@ func (db *DB) ExplainQuery(q Query, params *costmodel.Params) (*Result, *Explain
 // replication path terminating at the updated set (the propagation the
 // update pays for); NoReplication when no path targets it.
 func (db *DB) ExplainUpdateWhere(set string, where Pred, vals map[string]schema.Value, params *costmodel.Params) (int, *Explain, error) {
-	n, rec, err := db.UpdateWhereTraced(set, where, vals)
+	n, rec, d, err := db.updateWhereDecided(nil, set, where, vals)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -76,6 +87,10 @@ func (db *DB) ExplainUpdateWhere(set string, where Pred, vals map[string]schema.
 	setting := db.indexSettingLocked(set, "", &where)
 	db.mu.RUnlock()
 	ex := db.explain(rec, costmodel.UpdateQuery, st, setting, params)
+	if d != nil {
+		ex.Decision = d
+		ex.Plan = d.RenderObserved(rec.IO())
+	}
 	return n, ex, nil
 }
 

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"sync"
+
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// fuseState is a per-query memo implementing Odra-style join fusion for
+// functional joins: the multi-level path traversal still runs as one pass,
+// but every decoded traversal target and every resolved terminal value is
+// cached for the query's lifetime. Sharing-heavy reference graphs (many
+// employees per department, many departments per organization) then read and
+// decode each target once per query instead of once per source record — the
+// traversal's page cost is capped at the target sets' total pages, which is
+// exactly what the planner's fused-path costing assumes.
+//
+// The memo lives on the session only for the duration of one query
+// (installed after any deferred-propagation drain, discarded before the
+// query returns), so it can never serve values stale against a mutation: no
+// write runs inside a query, and updateWhere's collection phase never
+// installs one. The mutex makes it safe for parallel scan workers, which
+// evaluate path predicates concurrently.
+type fuseState struct {
+	mu    sync.Mutex
+	objs  map[pagefile.OID]*schema.Object
+	terms map[termKey]schema.Value
+}
+
+// termKey memoizes a resolved terminal value by the first reference OID the
+// walk departs from plus the path expression — every source record pointing
+// at the same first-level target resolves to the same terminal value.
+type termKey struct {
+	oid  pagefile.OID
+	expr string
+}
+
+func newFuseState() *fuseState {
+	return &fuseState{
+		objs:  make(map[pagefile.OID]*schema.Object),
+		terms: make(map[termKey]schema.Value),
+	}
+}
+
+// readObjectFused is readObject through the fusion memo: traversal targets
+// are decoded once per query. Only walk paths use it — source-set records
+// stream from the scan and are never cached.
+func (s *sess) readObjectFused(oid pagefile.OID, typ *schema.Type) (*schema.Object, error) {
+	f := s.fuse
+	if f == nil {
+		return s.readObject(oid, typ)
+	}
+	f.mu.Lock()
+	obj, ok := f.objs[oid]
+	f.mu.Unlock()
+	if ok {
+		return obj, nil
+	}
+	obj, err := s.readObject(oid, typ)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.objs[oid] = obj
+	f.mu.Unlock()
+	return obj, nil
+}
+
+// term looks up a memoized terminal value.
+func (f *fuseState) term(k termKey) (schema.Value, bool) {
+	f.mu.Lock()
+	v, ok := f.terms[k]
+	f.mu.Unlock()
+	return v, ok
+}
+
+func (f *fuseState) setTerm(k termKey, v schema.Value) {
+	f.mu.Lock()
+	f.terms[k] = v
+	f.mu.Unlock()
+}

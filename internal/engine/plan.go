@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/exodb/fieldrepl/internal/btree"
+	"github.com/exodb/fieldrepl/internal/catalog"
+	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/plan"
+	"github.com/exodb/fieldrepl/internal/schema"
+)
+
+// This file feeds the cost-based planner (internal/plan) from live state:
+// heap page counts from store metadata, cardinalities from B+tree metadata
+// when the set carries any index, path-resolution strategies from the
+// catalog. Statistics gathering costs no heap I/O — at most a couple of
+// index meta-page pins, which are buffer hits after the first query.
+
+// PlanQuery runs the planner for q without executing it, returning the
+// decision Explain renders: the chosen access path, every costed
+// alternative, and the operator pipeline. It takes only the shared lock.
+func (db *DB) PlanQuery(q Query) (*plan.Decision, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, err := db.cat.SetType(q.Set); err != nil {
+		return nil, err
+	}
+	d, _ := db.readSess(nil).planQuery(q)
+	return d, nil
+}
+
+// PlanUpdateWhere plans the collection phase of an UpdateWhere without
+// executing it.
+func (db *DB) PlanUpdateWhere(set string, where Pred) (*plan.Decision, error) {
+	return db.PlanQuery(Query{Set: set, Where: &where})
+}
+
+// planQuery gathers statistics and costs q's access paths. It returns the
+// decision and, when the decision is an index range, the catalog index to
+// drive it with. Callers hold the session's locks.
+func (s *sess) planQuery(q Query) (*plan.Decision, *catalog.Index) {
+	in := plan.Input{
+		Source:    s.setStats(q.Set),
+		ForceScan: q.ForceScan,
+		Workers:   s.db.workers,
+	}
+
+	var ix *catalog.Index
+	if q.Where != nil {
+		refs, field := splitExpr(q.Where.Expr)
+		var found bool
+		if len(refs) == 0 {
+			ix, found = s.db.cat.IndexFor(q.Set, field)
+		} else {
+			ix, found = s.db.cat.PathIndexFor(q.Set, refs, field)
+		}
+		if !found {
+			ix = nil
+		}
+		in.Where = s.predInfo(q.Where, in.Source)
+		if ix != nil {
+			in.Index = s.indexInfo(ix)
+			if in.Index == nil {
+				ix = nil
+			}
+		}
+		if ix != nil && q.Where.Op != OpEQ {
+			// With an index over the predicate we know the key domain; an
+			// edge-descent gives its bounds and the range interpolates to a
+			// real selectivity instead of the System R constant.
+			if sel, ok := s.interpolateRange(q.Where, ix); ok {
+				if sel < 1/in.Source.Card {
+					sel = 1 / in.Source.Card
+				}
+				if sel > 1 {
+					sel = 1
+				}
+				in.Where.Selectivity = sel
+			}
+		}
+	}
+
+	in.Paths = s.pathExprs(q, ix)
+	if q.EmitOutput {
+		est := in.Source.Card
+		if in.Where != nil {
+			est = in.Where.Selectivity * in.Source.Card
+		}
+		per := in.Source.PerPage
+		if per < 1 {
+			per = 1
+		}
+		in.EmitPages = math.Ceil(est / per)
+		if in.EmitPages < 1 {
+			in.EmitPages = 1
+		}
+	}
+
+	d := plan.Choose(in)
+	if d.Access != plan.IndexRange {
+		ix = nil
+	}
+	return d, ix
+}
+
+// setStats measures set's physical statistics. Page counts come from store
+// metadata (not page I/O); the cardinality is exact — one meta-page pin —
+// whenever the set carries any index, and estimated from the schema's field
+// widths otherwise.
+func (s *sess) setStats(set string) plan.SetStats {
+	st := plan.SetStats{Set: set, Pages: 1, Card: 1, PerPage: 1}
+	cs, ok := s.db.cat.SetByName(set)
+	if !ok {
+		return st
+	}
+	if np, err := s.db.store.NumPages(cs.FileID); err == nil && np > 0 {
+		st.Pages = float64(np)
+	}
+	for _, ix := range s.db.cat.IndexesOn(set) {
+		tree, ok := s.treeFor(ix.Name)
+		if !ok {
+			continue
+		}
+		if n, err := tree.Count(); err == nil {
+			st.Card = float64(n)
+			st.Exact = true
+			break
+		}
+	}
+	if !st.Exact {
+		per := 1.0
+		if typ, err := s.db.cat.SetType(set); err == nil {
+			per = estPerPage(typ)
+		}
+		st.Card = st.Pages * per
+	}
+	if st.Card < 1 {
+		st.Card = 1
+	}
+	st.PerPage = st.Card / st.Pages
+	if st.PerPage < 1 {
+		st.PerPage = 1
+	}
+	return st
+}
+
+// estPerPage estimates records per page from the schema's field widths, for
+// sets with no index to count exactly.
+func estPerPage(typ *schema.Type) float64 {
+	size := 24.0 // object header + slot overhead
+	for _, f := range typ.Fields {
+		switch f.Kind {
+		case schema.KindInt, schema.KindFloat:
+			size += 8
+		case schema.KindString:
+			size += 16 // guess: short strings dominate
+		case schema.KindRef:
+			size += pagefile.OIDSize
+		}
+	}
+	per := math.Floor(float64(pagefile.UserBytes) / size)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// predInfo estimates the qualifying predicate's selectivity: exact-match
+// 1/card, open ranges 1/3, between 1/4 — clamped to [1/card, 1]. Without
+// value distributions these are the classic System R constants.
+func (s *sess) predInfo(p *Pred, st plan.SetStats) *plan.PredInfo {
+	var sel float64
+	switch p.Op {
+	case OpEQ:
+		sel = 1 / st.Card
+	case OpBetween:
+		sel = 0.25
+	default:
+		sel = 1.0 / 3
+	}
+	if sel < 1/st.Card {
+		sel = 1 / st.Card
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	detail := p.Expr + " " + p.Op.String() + " " + valueStr(p.Value)
+	if p.Op == OpBetween {
+		detail += " and " + valueStr(p.Value2)
+	}
+	return &plan.PredInfo{Expr: p.Expr, Op: p.Op.String(), Detail: detail, Selectivity: sel}
+}
+
+// interpolateRange estimates a range predicate's selectivity by uniform
+// interpolation over the index's measured key domain [min, max]. Reports
+// false for key kinds without a numeric interpretation (strings) or when the
+// tree is empty.
+func (s *sess) interpolateRange(p *Pred, ix *catalog.Index) (float64, bool) {
+	tree, _, ok := s.treeView(ix.Name)
+	if !ok {
+		return 0, false
+	}
+	loK, hiK, nonEmpty, err := tree.Bounds()
+	if err != nil || !nonEmpty {
+		return 0, false
+	}
+	var mn, mx, v1, v2 float64
+	switch ix.KeyKind {
+	case schema.KindInt:
+		if p.Value.Kind != schema.KindInt {
+			return 0, false
+		}
+		mn, mx = float64(btree.Int64FromKey(loK)), float64(btree.Int64FromKey(hiK))
+		v1 = float64(p.Value.I)
+		if p.Op == OpBetween {
+			if p.Value2.Kind != schema.KindInt {
+				return 0, false
+			}
+			v2 = float64(p.Value2.I)
+		}
+	case schema.KindFloat:
+		if p.Value.Kind != schema.KindFloat {
+			return 0, false
+		}
+		mn, mx = btree.Float64FromKey(loK), btree.Float64FromKey(hiK)
+		v1 = p.Value.F
+		if p.Op == OpBetween {
+			if p.Value2.Kind != schema.KindFloat {
+				return 0, false
+			}
+			v2 = p.Value2.F
+		}
+	default:
+		return 0, false
+	}
+	span := mx - mn
+	if span <= 0 {
+		return 1, true
+	}
+	frac := func(x float64) float64 {
+		pos := (x - mn) / span
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > 1 {
+			pos = 1
+		}
+		return pos
+	}
+	switch p.Op {
+	case OpLT, OpLE:
+		return frac(v1), true
+	case OpGT, OpGE:
+		return 1 - frac(v1), true
+	case OpBetween:
+		sel := frac(v2) - frac(v1)
+		if sel < 0 {
+			sel = 0
+		}
+		return sel, true
+	default:
+		return 0, false
+	}
+}
+
+func valueStr(v schema.Value) string {
+	switch v.Kind {
+	case schema.KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case schema.KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case schema.KindString:
+		return fmt.Sprintf("%q", v.S)
+	case schema.KindRef:
+		return v.R.String()
+	default:
+		return "?"
+	}
+}
+
+// indexInfo measures the candidate index: height and entry count from its
+// meta page, leaf page count from the file size minus the meta page and an
+// internal-node estimate (one per level above the leaves — fanouts are wide,
+// so the internal layers above the first round to a page or two at most).
+func (s *sess) indexInfo(ix *catalog.Index) *plan.IndexInfo {
+	tree, _, ok := s.treeView(ix.Name)
+	if !ok {
+		return nil
+	}
+	h, err := tree.Height()
+	if err != nil || h < 1 {
+		h = 1
+	}
+	info := &plan.IndexInfo{Name: ix.Name, Expr: ix.Field, Clustered: ix.Clustered, Height: float64(h)}
+	if len(ix.Path) > 0 {
+		info.Expr = joinPath(ix.Path, ix.Field)
+	}
+	if n, err := tree.Count(); err == nil {
+		info.Entries = float64(n)
+	}
+	np, err := s.db.store.NumPages(ix.FileID)
+	if err != nil || np == 0 {
+		np = uint32(h) + 1
+	}
+	info.LeafPages = float64(np) - 1 - float64(h-1)
+	if info.LeafPages < 1 {
+		info.LeafPages = 1
+	}
+	return info
+}
+
+func joinPath(refs []string, field string) string {
+	out := ""
+	for _, r := range refs {
+		out += r + "."
+	}
+	return out + field
+}
+
+// pathExprs classifies every dotted path expression in q by how resolveExpr
+// will serve it: exact in-place replication (free), exact separate
+// replication (one S′ fetch per record), or a fused functional join whose
+// page cost the memo caps at the traversed sets' total pages. ix is the
+// index candidate over the Where expression, whose keys cover that path.
+func (s *sess) pathExprs(q Query, ix *catalog.Index) []plan.PathExpr {
+	type src struct {
+		expr    string
+		filter  bool
+		covered bool
+	}
+	var exprs []src
+	if q.Where != nil {
+		exprs = append(exprs, src{q.Where.Expr, true, ix != nil && len(ix.Path) > 0})
+	}
+	for i := range q.Filters {
+		exprs = append(exprs, src{q.Filters[i].Expr, true, false})
+	}
+	for _, e := range q.Project {
+		exprs = append(exprs, src{e, false, false})
+	}
+
+	seen := make(map[string]int)
+	var out []plan.PathExpr
+	for _, e := range exprs {
+		refs, field := splitExpr(e.expr)
+		if len(refs) == 0 {
+			continue
+		}
+		if i, dup := seen[e.expr]; dup {
+			out[i].Filter = out[i].Filter || e.filter
+			out[i].Covered = out[i].Covered || e.covered
+			continue
+		}
+		p := s.classifyPath(q.Set, e.expr, refs, field)
+		p.Filter = e.filter
+		p.Covered = e.covered
+		seen[e.expr] = len(out)
+		out = append(out, p)
+	}
+	return out
+}
+
+// classifyPath mirrors resolveExpr's preference order without doing any I/O.
+func (s *sess) classifyPath(set, expr string, refs []string, field string) plan.PathExpr {
+	p := plan.PathExpr{Expr: expr}
+	spec := catalog.PathSpec{Source: set, Refs: refs, Field: field}
+	if _, ok := s.db.cat.FindPath(spec, catalog.InPlace); ok {
+		p.Kind = plan.PathInPlace
+		return p
+	}
+	if _, ok := s.db.cat.FindPath(spec, catalog.Separate); ok {
+		p.Kind = plan.PathSeparate
+		return p
+	}
+	p.Kind = plan.PathFused
+	p.Levels = len(refs)
+	skip := 0
+	// A replicated reference prefix (§3.3.3 collapsing) shortens the walk:
+	// the hidden ref jumps straight to level k+1.
+	for k := len(refs) - 1; k >= 1; k-- {
+		prefixSpec := catalog.PathSpec{Source: set, Refs: refs[:k], Field: refs[k]}
+		if _, ok := s.db.cat.FindPath(prefixSpec, catalog.InPlace); ok {
+			p.Levels = len(refs) - k
+			skip = k
+			break
+		}
+	}
+	// The memo's page ceiling: total heap pages of the sets actually walked.
+	if typ, err := s.db.cat.SetType(set); err == nil {
+		cur := typ
+		for i, r := range refs {
+			f, ok := cur.Field(r)
+			if !ok || f.Kind != schema.KindRef {
+				break
+			}
+			next, ok := s.db.cat.TypeByName(f.RefType)
+			if !ok {
+				break
+			}
+			if i >= skip {
+				p.LevelPages += s.typePages(next)
+			}
+			cur = next
+		}
+	}
+	return p
+}
+
+// typePages sums the heap pages of the sets holding objects of typ.
+func (s *sess) typePages(typ *schema.Type) float64 {
+	var pages float64
+	for _, set := range s.db.cat.Sets() {
+		if set.TypeName != typ.Name {
+			continue
+		}
+		if np, err := s.db.store.NumPages(set.FileID); err == nil {
+			pages += float64(np)
+		}
+	}
+	return pages
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/exodb/fieldrepl/internal/heap"
 	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/pagefile"
+	"github.com/exodb/fieldrepl/internal/plan"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
 
@@ -69,6 +70,9 @@ type Query struct {
 	EmitOutput bool
 	// ForceScan disables index selection (for baseline measurements).
 	ForceScan bool
+	// NoFuse disables the per-query join-fusion memo, forcing record-at-a-time
+	// functional joins (for baseline measurements).
+	NoFuse bool
 }
 
 // Row is one result tuple.
@@ -85,6 +89,9 @@ type Result struct {
 	// OutputPages is the page count of the generated output file when
 	// EmitOutput was set.
 	OutputPages uint32
+	// Decision is the cost-based planner's record for this execution: chosen
+	// access path, costed alternatives, operator pipeline, predicted pages.
+	Decision *plan.Decision
 }
 
 // Query executes a retrieve. On a WAL-backed database, reads — including
@@ -106,10 +113,7 @@ func (db *DB) Query(q Query) (*Result, error) {
 // cancelled query stops fetching pages promptly. A nil ctx behaves like
 // Query.
 func (db *DB) QueryCtx(ctx context.Context, q Query) (*Result, error) {
-	tr := db.obs.Start(obs.KindQuery, q.Set, queryDetail(q))
-	tr.SetOrigin(obs.OriginFrom(ctx))
-	res, err := db.runQuery(ctx, q, tr)
-	db.obs.Finish(tr)
+	res, _, err := db.QueryTracedCtx(ctx, q)
 	return res, err
 }
 
@@ -120,8 +124,18 @@ func (db *DB) QueryCtx(ctx context.Context, q Query) (*Result, error) {
 // Reset/IO-delta pattern, which counts every concurrent operation's pages —
 // is the way to measure per-query I/O.
 func (db *DB) QueryTraced(q Query) (*Result, obs.Record, error) {
+	return db.QueryTracedCtx(nil, q)
+}
+
+// QueryTracedCtx is the canonical retrieve implementation: every other query
+// entry point (Query, QueryCtx, QueryTraced, ExplainQuery, the public API's
+// Plan.Run) is a thin wrapper over it. It plans, executes under the regime
+// runQuery selects, and returns the result — carrying the planner's Decision
+// — plus the operation's completed trace record.
+func (db *DB) QueryTracedCtx(ctx context.Context, q Query) (*Result, obs.Record, error) {
 	tr := db.obs.Start(obs.KindQuery, q.Set, queryDetail(q))
-	res, err := db.runQuery(nil, q, tr)
+	tr.SetOrigin(obs.OriginFrom(ctx))
+	res, err := db.runQuery(ctx, q, tr)
 	rec := db.obs.Finish(tr)
 	return res, rec, err
 }
@@ -209,6 +223,16 @@ func (s *sess) query(ctx context.Context, q Query, drain bool) (*Result, error) 
 		}
 	}
 	res := &Result{}
+	// Plan after any drain (the drain can grow files and rewrite replicated
+	// state the statistics should reflect).
+	decision, ix := s.planQuery(q)
+	res.Decision = decision
+	if !q.NoFuse {
+		// Join-fusion memo for the query's functional joins; strictly
+		// read-only state, discarded with the query.
+		s.fuse = newFuseState()
+		defer func() { s.fuse = nil }()
+	}
 
 	var out *heap.File
 	if q.EmitOutput {
@@ -267,9 +291,12 @@ func (s *sess) query(ctx context.Context, q Query, drain bool) (*Result, error) 
 		return emit(row)
 	}
 
-	ran, err := s.tryIndexedAccess(ctx, q, typ, res, process)
-	if err != nil {
-		return nil, err
+	ran := false
+	if decision.Access == plan.IndexRange && ix != nil {
+		ran, err = s.indexedAccess(ctx, q, typ, ix, res, process)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !ran {
 		file, err := s.SetFile(q.Set)
@@ -392,32 +419,25 @@ func (s *sess) flushDeferredFor(q Query) error {
 // falling back to serializing behind the set's lock.
 const idxEpochRetries = 4
 
-// tryIndexedAccess drives process over index-qualified candidates. It
-// reports false when no usable index exists.
+// indexedAccess drives process over the records qualified by the planner's
+// chosen index range, in key order. It reports false when the session has no
+// view of the index (the caller falls back to a scan).
+//
+// Execution is page-batched: the qualifying OIDs are collected from the leaf
+// chain first (whose pages the iterator itself reads ahead), their distinct
+// heap pages are then warmed in sorted vectored batches through the
+// scan-readahead machinery, and the objects are processed from the pool —
+// the index-range analogue of the heap scan's page-at-a-time evaluation.
 //
 // Through a snapshot view a B-tree descent is only page-atomic, and a commit
 // landing between two page reads can tear the traversal (a split moves keys
-// the walk then misses). Snapshot traversals therefore collect the qualified
-// OIDs first and validate against the index file's commit epoch, retrying on
-// change; if the epoch keeps moving, a read session serializes briefly
-// behind the set's lock (charged as lock wait — the pathological case), and
-// a fine session escalates to exclusive mode instead of taking set locks out
-// of footprint order.
-func (s *sess) tryIndexedAccess(ctx context.Context, q Query, typ *schema.Type, res *Result, process func(pagefile.OID, *schema.Object) error) (bool, error) {
-	if q.Where == nil || q.ForceScan {
-		return false, nil
-	}
-	refs, field := splitExpr(q.Where.Expr)
-	var ix *catalog.Index
-	var found bool
-	if len(refs) == 0 {
-		ix, found = s.db.cat.IndexFor(q.Set, field)
-	} else {
-		ix, found = s.db.cat.PathIndexFor(q.Set, refs, field)
-	}
-	if !found {
-		return false, nil
-	}
+// the walk then misses). Snapshot traversals therefore validate the collected
+// OIDs against the index file's commit epoch, retrying on change; if the
+// epoch keeps moving, a read session serializes briefly behind the set's
+// lock (charged as lock wait — the pathological case), and a fine session
+// escalates to exclusive mode instead of taking set locks out of footprint
+// order.
+func (s *sess) indexedAccess(ctx context.Context, q Query, typ *schema.Type, ix *catalog.Index, res *Result, process func(pagefile.OID, *schema.Object) error) (bool, error) {
 	tree, snapshot, ok := s.treeView(ix.Name)
 	if !ok {
 		return false, nil
@@ -426,42 +446,82 @@ func (s *sess) tryIndexedAccess(ctx context.Context, q Query, typ *schema.Type, 
 	s.tr.SetPlan("index:" + ix.Name)
 	lo, hi := keyRange(q.Where)
 
-	if !snapshot {
-		var cbErr error
-		err := tree.Range(lo, hi, func(_ btree.Key, oid pagefile.OID) bool {
-			obj, rerr := s.readObject(oid, typ)
-			if rerr != nil {
-				cbErr = rerr
-				return false
-			}
-			// The predicate is rechecked on the resolved value: string keys
-			// are prefix-truncated and range bounds may be exclusive.
-			if perr := process(oid, obj); perr != nil {
-				cbErr = perr
-				return false
-			}
+	var oids []pagefile.OID
+	var err error
+	if snapshot {
+		oids, err = s.snapshotIndexRange(ctx, q.Set, ix, tree, lo, hi)
+	} else {
+		err = tree.Range(lo, hi, func(_ btree.Key, oid pagefile.OID) bool {
+			oids = append(oids, oid)
 			return true
 		})
-		if err == nil {
-			err = cbErr
-		}
-		return true, err
 	}
-
-	oids, err := s.snapshotIndexRange(ctx, q.Set, ix, tree, lo, hi)
 	if err != nil {
 		return true, err
 	}
+	s.prefetchOIDPages(oids)
 	for _, oid := range oids {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return true, err
+			}
+		}
 		obj, err := s.readObject(oid, typ)
 		if err != nil {
 			return true, err
 		}
+		// The predicate is rechecked on the resolved value: string keys are
+		// prefix-truncated and range bounds may be exclusive.
 		if err := process(oid, obj); err != nil {
 			return true, err
 		}
 	}
 	return true, nil
+}
+
+// prefetchOIDPages warms the distinct heap pages behind a batch of qualifying
+// OIDs, turning the index fetch's scattered single-page reads into sorted
+// vectored batches. Plain-mode views only — capture and snapshot views read
+// page-at-a-time for the same reason heap.Scan disables readahead there
+// (prefetch installs raw frames, which must not race concurrent write-backs)
+// — and only with readahead configured, preserving the paper-figure
+// invariant that readahead off means zero prefetches and misses equal store
+// reads.
+func (s *sess) prefetchOIDPages(oids []pagefile.OID) {
+	if len(oids) < 2 || s.db.pool.Readahead() <= 0 {
+		return
+	}
+	fid := oids[0].File
+	if !s.plainHeap(fid) {
+		return
+	}
+	pages := make([]uint32, 0, len(oids))
+	for _, oid := range oids {
+		if oid.File == fid {
+			pages = append(pages, oid.Page)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	dedup := pages[:1]
+	for _, p := range pages[1:] {
+		if p != dedup[len(dedup)-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	s.db.pool.PrefetchPagesT(fid, dedup, s.tr)
+}
+
+// plainHeap mirrors heapFor's mode selection: true when the session reads
+// fid through a plain (directly framed, write-back-free) view.
+func (s *sess) plainHeap(fid pagefile.FileID) bool {
+	switch s.mode {
+	case sessCoarse:
+		return true
+	case sessFine:
+		return !s.fp.files[fid] && s.db.wal == nil
+	default:
+		return s.db.wal == nil
+	}
 }
 
 // snapshotIndexRange collects the OIDs in [lo, hi] from a snapshot tree
@@ -635,18 +695,46 @@ func (s *sess) resolveExpr(set string, obj *schema.Object, expr string) (schema.
 		if hidden.Kind != schema.KindRef {
 			continue
 		}
-		// Jump to position k+1 and walk the rest functionally.
+		// Jump to position k+1 and walk the rest functionally. The walk from
+		// a given target is the same for every source record that shares it,
+		// so the fused terminal memo applies here too.
 		termField, _ := p.TerminalType().Field(p.Spec.Field)
 		startType, ok := s.db.cat.TypeByName(termField.RefType)
 		if !ok {
 			return schema.Value{}, fmt.Errorf("engine: unknown type %s", termField.RefType)
 		}
+		if f := s.fuse; f != nil {
+			tk := termKey{oid: hidden.R, expr: expr}
+			if v, hit := f.term(tk); hit {
+				return v, nil
+			}
+			v, err := s.walkFunctional(startType, hidden.R, refs[k+1:], field)
+			if err == nil {
+				f.setTerm(tk, v)
+			}
+			return v, err
+		}
 		return s.walkFunctional(startType, hidden.R, refs[k+1:], field)
 	}
-	// 4. Full functional join.
+	// 4. Full functional join, fused when the memo is installed: the terminal
+	// value reached from a given first-level target is the same for every
+	// source record referencing it.
 	typ, err := s.db.cat.SetType(set)
 	if err != nil {
 		return schema.Value{}, err
+	}
+	if f := s.fuse; f != nil {
+		if v0, ok := obj.Get(refs[0]); ok && v0.Kind == schema.KindRef {
+			k := termKey{oid: v0.R, expr: expr}
+			if v, hit := f.term(k); hit {
+				return v, nil
+			}
+			v, err := s.walkObjectPath(typ, obj, refs, field)
+			if err == nil {
+				f.setTerm(k, v)
+			}
+			return v, err
+		}
 	}
 	return s.walkObjectPath(typ, obj, refs, field)
 }
@@ -656,7 +744,7 @@ func (s *sess) walkFunctional(startType *schema.Type, start pagefile.OID, refs [
 	if start.IsNil() {
 		return schema.Value{}, nil
 	}
-	obj, err := s.readObject(start, startType)
+	obj, err := s.readObjectFused(start, startType)
 	if err != nil {
 		return schema.Value{}, err
 	}
@@ -683,7 +771,7 @@ func (s *sess) walkObjectPath(typ *schema.Type, obj *schema.Object, refs []strin
 		if !ok {
 			return schema.Value{}, fmt.Errorf("engine: unknown type %s", f.RefType)
 		}
-		next, err := s.readObject(v.R, nextType)
+		next, err := s.readObjectFused(v.R, nextType)
 		if err != nil {
 			return schema.Value{}, err
 		}
@@ -764,14 +852,23 @@ func (db *DB) UpdateWhereTraced(set string, where Pred, vals map[string]schema.V
 }
 
 func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, obs.Record, error) {
+	n, rec, _, err := db.updateWhereDecided(ctx, set, where, vals)
+	return n, rec, err
+}
+
+// updateWhereDecided is the canonical update-query implementation: every
+// UpdateWhere entry point wraps it. It additionally returns the collection
+// phase's plan decision for Explain.
+func (db *DB) updateWhereDecided(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, obs.Record, *plan.Decision, error) {
 	if err := db.writable(); err != nil {
-		return 0, obs.Record{}, err
+		return 0, obs.Record{}, nil, err
 	}
 	tr := db.obs.Start(obs.KindUpdate, set, where.Expr)
 	tr.SetOrigin(obs.OriginFrom(ctx))
 	var n int
+	var d *plan.Decision
 	lsn, err := db.writeShot(ctx, tr, []string{set}, func(s *sess) (uerr error) {
-		n, uerr = s.updateWhere(ctx, set, where, vals)
+		n, d, uerr = s.updateWhere(ctx, set, where, vals)
 		return uerr
 	})
 	if err == nil {
@@ -779,21 +876,24 @@ func (db *DB) updateWhereTraced(ctx context.Context, set string, where Pred, val
 	}
 	rec := db.obs.Finish(tr)
 	if err != nil {
-		return 0, rec, err
+		return 0, rec, d, err
 	}
-	return n, rec, nil
+	return n, rec, d, nil
 }
 
-func (s *sess) updateWhere(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, error) {
+func (s *sess) updateWhere(ctx context.Context, set string, where Pred, vals map[string]schema.Value) (int, *plan.Decision, error) {
 	typ, err := s.db.cat.SetType(set)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := s.flushDeferredFor(Query{Set: set, Where: &where}); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
+	q := Query{Set: set, Where: &where}
+	decision, ix := s.planQuery(q)
 	// Collect matching OIDs first (index or scan), then update; collecting
-	// first keeps the scan stable under heap mutation.
+	// first keeps the scan stable under heap mutation. No fusion memo here:
+	// the mutation pass would invalidate it mid-statement.
 	var matches []pagefile.OID
 	collect := func(oid pagefile.OID, obj *schema.Object) error {
 		if ctx != nil {
@@ -810,15 +910,17 @@ func (s *sess) updateWhere(ctx context.Context, set string, where Pred, vals map
 		}
 		return nil
 	}
-	q := Query{Set: set, Where: &where}
-	ran, err := s.tryIndexedAccess(ctx, q, typ, &Result{}, collect)
-	if err != nil {
-		return 0, err
+	ran := false
+	if decision.Access == plan.IndexRange && ix != nil {
+		ran, err = s.indexedAccess(ctx, q, typ, ix, &Result{}, collect)
+		if err != nil {
+			return 0, decision, err
+		}
 	}
 	if !ran {
 		file, err := s.SetFile(set)
 		if err != nil {
-			return 0, err
+			return 0, decision, err
 		}
 		eval := func(oid pagefile.OID, obj *schema.Object) (Row, bool, error) {
 			if ctx != nil {
@@ -834,7 +936,7 @@ func (s *sess) updateWhere(ctx context.Context, set string, where Pred, vals map
 			return nil
 		}
 		if err := s.scanProcess(file, typ, eval, emit); err != nil {
-			return 0, err
+			return 0, decision, err
 		}
 		if s.db.workers > 1 {
 			// Parallel collection delivers matches in arbitrary order; sort
@@ -846,12 +948,12 @@ func (s *sess) updateWhere(ctx context.Context, set string, where Pred, vals map
 	for _, oid := range matches {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return 0, err
+				return 0, decision, err
 			}
 		}
 		if err := s.update(set, oid, vals); err != nil {
-			return 0, err
+			return 0, decision, err
 		}
 	}
-	return len(matches), nil
+	return len(matches), decision, nil
 }

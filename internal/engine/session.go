@@ -65,6 +65,9 @@ type sess struct {
 	// idxErr is the fine/read-mode deferred index-maintenance error (the
 	// coarse mode uses db.idxErr, which needs the exclusive lock).
 	idxErr error
+	// fuse is the per-query join-fusion memo, installed by sess.query for the
+	// duration of one retrieve and nil everywhere else (see fused.go).
+	fuse *fuseState
 }
 
 func (db *DB) coarseSess(tr *obs.Trace) *sess {

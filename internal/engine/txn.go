@@ -339,7 +339,7 @@ func (t *Txn) UpdateWhere(set string, where Pred, vals map[string]schema.Value) 
 	if err := t.checkTarget(set); err != nil {
 		return 0, err
 	}
-	n, err := t.s.updateWhere(t.ctx, set, where, vals)
+	n, _, err := t.s.updateWhere(t.ctx, set, where, vals)
 	if err != nil {
 		err = t.statementErr(err)
 		t.abort()

@@ -101,6 +101,14 @@ type CommitStmt struct{}
 // matching begin.
 type RollbackStmt struct{}
 
+// ExplainStmt is "explain STMT": render the cost-based planner's decision
+// for the inner statement. A retrieve is executed (so the plan carries
+// observed pages); replace and delete are planned only, without running the
+// mutation.
+type ExplainStmt struct {
+	Inner Stmt
+}
+
 // UnreplicateStmt is "unreplicate [separate|inplace] Set.ref...field".
 type UnreplicateStmt struct {
 	Path     string
@@ -112,6 +120,7 @@ type DropIndexStmt struct {
 	Name string
 }
 
+func (*ExplainStmt) stmt()     {}
 func (*UnreplicateStmt) stmt() {}
 func (*DropIndexStmt) stmt()   {}
 func (*BeginStmt) stmt()       {}
@@ -142,6 +151,10 @@ const (
 // Classify reports a statement's Class.
 func Classify(s Stmt) Class {
 	switch s.(type) {
+	case *ExplainStmt:
+		// explain replace/delete only plans — it never mutates — so every
+		// explain runs on the read path.
+		return ClassRead
 	case *RetrieveStmt:
 		return ClassRead
 	case *InsertStmt, *ReplaceStmt, *DeleteStmt:

@@ -66,6 +66,10 @@ type Output struct {
 	Rows    [][]string
 	// OID is the inserted object's id for insert statements.
 	OID pagefile.OID
+	// Plan is the rendered planner decision for explain statements: chosen
+	// operator pipeline, costed alternatives with rejection reasons, and
+	// (for executed retrieves) predicted vs observed pages.
+	Plan string
 }
 
 // Exec parses and executes a script, returning one Output per statement.
@@ -240,21 +244,12 @@ func (in *Interp) execStmt(ctx context.Context, s Stmt) (Output, error) {
 			in.Env[st.BindVar] = oid
 		}
 		return Output{Message: fmt.Sprintf("inserted %v into %s", oid, st.Set), OID: oid}, nil
+	case *ExplainStmt:
+		return in.explain(ctx, st)
 	case *RetrieveStmt:
-		q := engine.Query{Set: st.Set, Project: st.Project, EmitOutput: st.Emit}
-		if st.Where != nil {
-			p, err := in.toPred(st.Where)
-			if err != nil {
-				return Output{}, err
-			}
-			q.Where = &p
-		}
-		for _, f := range st.Filters {
-			p, err := in.toPred(f)
-			if err != nil {
-				return Output{}, err
-			}
-			q.Filters = append(q.Filters, p)
+		q, err := in.buildQuery(st.Set, st.Project, st.Emit, st.Where, st.Filters)
+		if err != nil {
+			return Output{}, err
 		}
 		res, err := in.query(ctx, q)
 		if err != nil {
@@ -274,6 +269,9 @@ func (in *Interp) execStmt(ctx context.Context, s Stmt) (Output, error) {
 		out.Message = fmt.Sprintf("%d objects", len(res.Rows))
 		if res.UsedIndex != "" {
 			out.Message += " (via index " + res.UsedIndex + ")"
+		}
+		if res.Decision != nil {
+			out.Plan = res.Decision.Render()
 		}
 		return out, nil
 	case *ReplaceStmt:
@@ -350,23 +348,87 @@ func (in *Interp) execStmt(ctx context.Context, s Stmt) (Output, error) {
 	}
 }
 
-// replaceWhere collects matching OIDs through the executor (so conjuncts
-// and indexes apply), then updates each, checking ctx between objects.
-func (in *Interp) replaceWhere(ctx context.Context, st *ReplaceStmt, vals map[string]schema.Value) (int, error) {
-	q := engine.Query{Set: st.Set}
-	if st.Where != nil {
-		p, err := in.toPred(st.Where)
+// buildQuery assembles the engine query shared by retrieve execution, DML
+// collection, and explain.
+func (in *Interp) buildQuery(set string, project []string, emit bool, where *PredStmt, filters []*PredStmt) (engine.Query, error) {
+	q := engine.Query{Set: set, Project: project, EmitOutput: emit}
+	if where != nil {
+		p, err := in.toPred(where)
 		if err != nil {
-			return 0, err
+			return engine.Query{}, err
 		}
 		q.Where = &p
 	}
-	for _, f := range st.Filters {
+	for _, f := range filters {
 		p, err := in.toPred(f)
 		if err != nil {
-			return 0, err
+			return engine.Query{}, err
 		}
 		q.Filters = append(q.Filters, p)
+	}
+	return q, nil
+}
+
+// explain renders the planner's decision for the inner statement. A retrieve
+// is executed on the snapshot read path, so the rendering pairs the predicted
+// page count with the pages actually read; replace and delete are planned
+// only — their collection query is costed but the mutation never runs.
+func (in *Interp) explain(ctx context.Context, st *ExplainStmt) (Output, error) {
+	if in.txn != nil {
+		return Output{}, fmt.Errorf("extra: explain is not allowed inside a transaction")
+	}
+	switch s := st.Inner.(type) {
+	case *RetrieveStmt:
+		q, err := in.buildQuery(s.Set, s.Project, s.Emit, s.Where, s.Filters)
+		if err != nil {
+			return Output{}, err
+		}
+		res, rec, err := in.DB.QueryTracedCtx(ctx, q)
+		if err != nil {
+			return Output{}, err
+		}
+		out := Output{Message: fmt.Sprintf("explained retrieve: %d objects", len(res.Rows))}
+		if res.Decision != nil {
+			out.Plan = res.Decision.RenderObserved(rec.IO())
+		}
+		return out, nil
+	case *ReplaceStmt:
+		return in.explainCollect(ctx, "replace", s.Set, s.Where, s.Filters)
+	case *DeleteStmt:
+		return in.explainCollect(ctx, "delete", s.Set, s.Where, s.Filters)
+	default:
+		return Output{}, fmt.Errorf("extra: explain supports retrieve, replace, and delete statements")
+	}
+}
+
+// explainCollect plans a DML statement's collection query without executing
+// the mutation.
+func (in *Interp) explainCollect(ctx context.Context, verb, set string, where *PredStmt, filters []*PredStmt) (Output, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
+	}
+	q, err := in.buildQuery(set, nil, false, where, filters)
+	if err != nil {
+		return Output{}, err
+	}
+	d, err := in.DB.PlanQuery(q)
+	if err != nil {
+		return Output{}, err
+	}
+	return Output{
+		Message: fmt.Sprintf("explained %s on %s (planned only, not executed)", verb, set),
+		Plan:    d.Render(),
+	}, nil
+}
+
+// replaceWhere collects matching OIDs through the executor (so conjuncts
+// and indexes apply), then updates each, checking ctx between objects.
+func (in *Interp) replaceWhere(ctx context.Context, st *ReplaceStmt, vals map[string]schema.Value) (int, error) {
+	q, err := in.buildQuery(st.Set, nil, false, st.Where, st.Filters)
+	if err != nil {
+		return 0, err
 	}
 	res, err := in.query(ctx, q)
 	if err != nil {
@@ -386,20 +448,9 @@ func (in *Interp) replaceWhere(ctx context.Context, st *ReplaceStmt, vals map[st
 }
 
 func (in *Interp) deleteWhere(ctx context.Context, st *DeleteStmt) (int, error) {
-	q := engine.Query{Set: st.Set}
-	if st.Where != nil {
-		p, err := in.toPred(st.Where)
-		if err != nil {
-			return 0, err
-		}
-		q.Where = &p
-	}
-	for _, f := range st.Filters {
-		p, err := in.toPred(f)
-		if err != nil {
-			return 0, err
-		}
-		q.Filters = append(q.Filters, p)
+	q, err := in.buildQuery(st.Set, nil, false, st.Where, st.Filters)
+	if err != nil {
+		return 0, err
 	}
 	res, err := in.query(ctx, q)
 	if err != nil {

@@ -103,6 +103,18 @@ func (p *parser) statement() (Stmt, error) {
 			return nil, fmt.Errorf("extra: line %d: let binds only insert statements", p.cur().line)
 		}
 		return p.insert(name)
+	case p.at(tokIdent, "explain"):
+		p.pos++
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case *RetrieveStmt, *ReplaceStmt, *DeleteStmt:
+			return &ExplainStmt{Inner: inner}, nil
+		default:
+			return nil, fmt.Errorf("extra: explain supports retrieve, replace, and delete statements")
+		}
 	case p.at(tokIdent, "retrieve"):
 		return p.retrieve()
 	case p.at(tokIdent, "replace"):

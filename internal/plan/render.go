@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render returns the human-readable plan text: the chosen operator pipeline
+// followed by every costed candidate with its selection or rejection reason.
+func (d *Decision) Render() string {
+	return d.render(-1)
+}
+
+// RenderObserved renders the plan with the observed page count from the
+// executed operation's trace paired against the prediction.
+func (d *Decision) RenderObserved(observed int64) string {
+	return d.render(observed)
+}
+
+func (d *Decision) render(observed int64) string {
+	if d == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %s on %s", d.AccessStr, d.Set)
+	if d.Index != "" {
+		fmt.Fprintf(&b, " via %s (%s)", d.Index, clusteredStr(d.Clustered))
+	}
+	if d.Parallel {
+		b.WriteString(" [parallel]")
+	}
+	fmt.Fprintf(&b, "  est_rows=%s", num(d.EstRows))
+	if observed >= 0 {
+		fmt.Fprintf(&b, "  predicted=%s pages observed=%d pages", num(d.PredictedPages), observed)
+	} else {
+		fmt.Fprintf(&b, "  predicted=%s pages", num(d.PredictedPages))
+	}
+	b.WriteByte('\n')
+	for _, op := range d.Operators {
+		fmt.Fprintf(&b, "  -> %s", op.Name)
+		if op.Detail != "" {
+			fmt.Fprintf(&b, " [%s]", op.Detail)
+		}
+		fmt.Fprintf(&b, "  (%s pages)\n", num(op.Pages))
+	}
+	b.WriteString("candidates:\n")
+	for _, c := range d.Candidates {
+		mark := " "
+		if c.Chosen {
+			mark = "*"
+		}
+		name := c.Access.String()
+		if c.Index != "" {
+			name += "(" + c.Index + ")"
+		}
+		fmt.Fprintf(&b, "  %s %-28s %8s pages  %s\n", mark, name, num(c.Pages), c.Reason)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// num formats a page count compactly: integers without a decimal point,
+// fractional predictions with one digit.
+func num(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtPages(format string, args ...float64) string {
+	out := make([]interface{}, len(args))
+	for i, a := range args {
+		out[i] = num(a)
+	}
+	return fmt.Sprintf(strings.ReplaceAll(format, "%s", "%v"), out...)
+}
+
+func fmtLevels(n int) string {
+	if n == 1 {
+		return "1 level, memoized"
+	}
+	return fmt.Sprintf("%d levels, memoized", n)
+}

@@ -68,6 +68,8 @@ type Result struct {
 	Columns []string   `json:"columns,omitempty"`
 	Rows    [][]string `json:"rows,omitempty"`
 	OID     string     `json:"oid,omitempty"`
+	// Plan is the rendered planner decision for explain statements.
+	Plan string `json:"plan,omitempty"`
 }
 
 // WriteFrame writes one framed message.
@@ -144,6 +146,7 @@ func EncodeResults(rs []Result) []byte {
 			}
 		}
 		b = appendString(b, r.OID)
+		b = appendString(b, r.Plan)
 	}
 	return b
 }
@@ -196,6 +199,9 @@ func DecodeResults(b []byte) ([]Result, error) {
 			r.Rows = append(r.Rows, row)
 		}
 		if r.OID, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if r.Plan, b, err = readString(b); err != nil {
 			return nil, err
 		}
 		rs = append(rs, r)

@@ -86,7 +86,7 @@ func (a sessAdapter) Exec(ctx context.Context, script string) ([]server.Result, 
 	outs, err := a.s.execRaw(ctx, script)
 	rs := make([]server.Result, len(outs))
 	for i, o := range outs {
-		rs[i] = server.Result{Message: o.Message, Columns: o.Columns, Rows: o.Rows}
+		rs[i] = server.Result{Message: o.Message, Columns: o.Columns, Rows: o.Rows, Plan: o.Plan}
 		if !o.OID.IsNil() {
 			rs[i].OID = o.OID.String()
 		}

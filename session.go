@@ -57,7 +57,7 @@ func (s *Session) ExecCtx(ctx context.Context, script string) ([]Output, error) 
 	outs, err := s.execRaw(ctx, script)
 	converted := make([]Output, len(outs))
 	for i, o := range outs {
-		converted[i] = Output{Message: o.Message, Columns: o.Columns, Rows: o.Rows, OID: OID{inner: o.OID}}
+		converted[i] = Output{Message: o.Message, Columns: o.Columns, Rows: o.Rows, OID: OID{inner: o.OID}, Plan: o.Plan}
 	}
 	return converted, err
 }

@@ -159,6 +159,10 @@ type Query struct {
 	EmitOutput bool
 	// ForceScan disables index selection.
 	ForceScan bool
+	// NoFuse disables the per-query join-fusion memo, forcing every path
+	// expression to traverse record-at-a-time. Used for baseline
+	// measurements; leave false otherwise.
+	NoFuse bool
 }
 
 // Row is one result tuple.
@@ -178,6 +182,10 @@ type Result struct {
 	// OutputPages is the size of the generated output file when EmitOutput
 	// was set.
 	OutputPages int
+	// Plan is the cost-based planner's rendered decision for this execution:
+	// the chosen operator pipeline, every costed alternative with its
+	// rejection reason, and predicted vs observed pages.
+	Plan string
 }
 
 // Record is a decoded object's visible fields.
