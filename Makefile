@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet test race bench walbench obsbench replbench loadbench querybench soak fuzz check ci
+.PHONY: all help build vet test race bench walbench obsbench replbench loadbench querybench advisorbench soak fuzz check ci
 
 # Per-target fuzzing time for `make fuzz` (override: make fuzz FUZZTIME=2m).
 FUZZTIME ?= 30s
@@ -19,6 +19,7 @@ help:
 	@echo "  replbench - steady-state replication lag (LSN + ms, p50/p99) -> BENCH_repl.json"
 	@echo "  loadbench - 1000+ concurrent network clients, zero-read-lock-wait gate -> BENCH_server.json"
 	@echo "  querybench - planner query shapes (point/range/path3/aggregate), fused-vs-baseline gate -> BENCH_query.json"
+	@echo "  advisorbench - workload-advisor convergence + <=5% advisory overhead gate -> BENCH_advisor.json"
 	@echo "  soak   - exhaustive fault-injection soak"
 	@echo "  fuzz   - slotted-page and WAL-frame fuzzers (FUZZTIME=$(FUZZTIME) each)"
 	@echo "  check  - build + vet + test + race"
@@ -86,6 +87,15 @@ loadbench:
 # exits non-zero on regression.
 querybench:
 	$(GO) run ./cmd/querybench -out BENCH_query.json -check
+
+# Workload-advisor gate: on a replayed read-heavy -> update-heavy workload
+# the recommendation must converge to the Section-6 optimum within the window
+# ring's budget, and the whole advisory pipeline (trace stamping, trace
+# subscription, windowed aggregation, drift histograms) must cost <= 5% of
+# the same warm query workload with the advisor disabled. Writes
+# BENCH_advisor.json and exits non-zero on regression.
+advisorbench:
+	$(GO) run ./cmd/advisorbench -out BENCH_advisor.json
 
 # Exhaustive fault soak: one injected fault at every I/O index of the
 # calibration run (the untagged test samples every 7th index).

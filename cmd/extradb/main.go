@@ -52,6 +52,7 @@ func run() error {
 	readahead := flag.Int("readahead", 0, "scan readahead in pages (0 = off)")
 	explain := flag.Bool("explain", false, "print each statement's plan (chosen operators, costed alternatives) and per-operation I/O trace")
 	metrics := flag.Bool("metrics", false, "print the observability snapshot as JSON after all scripts")
+	advise := flag.Bool("advise", false, "print the workload advisor's report as JSON after all scripts")
 	slowMS := flag.Int("slowms", 0, "log operations slower than this many milliseconds to stderr (0 = off)")
 	serve := flag.String("serve", "", "serve surface-language statements to network clients (native protocol + JSON HTTP) on this address and stay up")
 	maxConns := flag.Int("maxconns", 0, "with -serve: cap concurrent client connections (0 = default 1024)")
@@ -68,7 +69,7 @@ func run() error {
 	}
 	stayUp := *serve != "" || *listen != "" || *shipListen != "" || *follow != ""
 	if flag.NArg() == 0 && !stayUp {
-		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-slowms N] [-serve ADDR] [-listen ADDR] [-ship-listen ADDR] [-follow ADDR] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: extradb [-dir DIR] [-io] [-explain] [-metrics] [-advise] [-slowms N] [-serve ADDR] [-listen ADDR] [-ship-listen ADDR] [-follow ADDR] [-workers N] [-shards N] [-readahead K] script.extra ... (or - for stdin)")
 		os.Exit(2)
 	}
 
@@ -178,6 +179,13 @@ func run() error {
 	}
 	if *metrics {
 		js, err := db.MetricsJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(js))
+	}
+	if *advise {
+		js, err := db.AdviseJSON()
 		if err != nil {
 			return err
 		}

@@ -52,6 +52,16 @@ type Config struct {
 	// restoring the pre-WAL durability mode (explicit Sync, compensate-or-
 	// taint failure handling). Used for baseline measurements.
 	WALDisabled bool
+	// AdvisorDisabled turns the workload advisor off: completed traces are
+	// not aggregated and Advise reports Enabled=false. Used for overhead
+	// baselines (cmd/advisorbench).
+	AdvisorDisabled bool
+	// AdvisorWindowOps/AdvisorWindows size the advisor's aggregation windows:
+	// path-relevant operations per window, and how many windows the
+	// recommendation mix spans before a workload shift ages out. Zero takes
+	// the defaults (256 ops, 8 windows).
+	AdvisorWindowOps int
+	AdvisorWindows   int
 }
 
 // DB is a database handle. It is safe for concurrent use: read-only
@@ -94,6 +104,8 @@ func (cfg Config) engineConfig() engine.Config {
 		PoolPages: cfg.PoolPages, Dir: cfg.Dir, InlineMax: cfg.InlineMax,
 		PoolShards: cfg.PoolShards, Readahead: cfg.Readahead, ScanWorkers: cfg.ScanWorkers,
 		WALPath: cfg.WALPath, CommitInterval: cfg.CommitInterval, WALDisabled: cfg.WALDisabled,
+		AdvisorDisabled:  cfg.AdvisorDisabled,
+		AdvisorWindowOps: cfg.AdvisorWindowOps, AdvisorWindows: cfg.AdvisorWindows,
 	}
 }
 

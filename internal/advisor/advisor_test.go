@@ -1,0 +1,132 @@
+package advisor
+
+import (
+	"testing"
+
+	"github.com/exodb/fieldrepl/internal/costmodel"
+	"github.com/exodb/fieldrepl/internal/obs"
+)
+
+func queryRec(path string, rows, pages int64) obs.Record {
+	rec := obs.Record{Kind: obs.KindQuery, Set: "Emp1", Plan: "scan", Rows: rows}
+	rec.Paths = []string{path}
+	rec.Counters.Hits = pages // drift compares predictions against Hits+Misses
+	return rec
+}
+
+func updateRec(path string, rows int64) obs.Record {
+	rec := obs.Record{Kind: obs.KindUpdate, Set: "Dept", Rows: rows}
+	rec.Paths = []string{path}
+	return rec
+}
+
+func facts(key string) []PathFacts {
+	return []PathFacts{{
+		Key:     key,
+		Current: costmodel.InPlace,
+		Setting: costmodel.Unclustered,
+		Params:  costmodel.Default(),
+	}}
+}
+
+func TestWindowRingAgesOutOldMix(t *testing.T) {
+	a := New(Config{WindowOps: 4, Windows: 2})
+	const path = "Emp1.dept.name"
+	for i := 0; i < 8; i++ {
+		a.Observe(queryRec(path, 2, 5))
+	}
+	rec := a.Report(facts(path)).Recommendations[0]
+	if rec.UpdateFraction != 0 || rec.WindowReads != 8 {
+		t.Fatalf("read phase: fraction=%v windowReads=%d", rec.UpdateFraction, rec.WindowReads)
+	}
+
+	// Three full update windows: with a 2-window ring plus the (empty)
+	// current window, every read window must have aged out.
+	for i := 0; i < 12; i++ {
+		a.Observe(updateRec(path, 1))
+	}
+	rec = a.Report(facts(path)).Recommendations[0]
+	if rec.WindowReads != 0 {
+		t.Fatalf("reads survived the ring: windowReads=%d", rec.WindowReads)
+	}
+	if rec.UpdateFraction != 1 {
+		t.Fatalf("update fraction = %v, want 1", rec.UpdateFraction)
+	}
+	if rec.Reads != 8 || rec.Updates != 12 {
+		t.Fatalf("all-time counts = %d/%d, want 8/12", rec.Reads, rec.Updates)
+	}
+	if got := a.Report(facts(path)).WindowsRotated; got != 5 {
+		t.Fatalf("windows rotated = %d, want 5", got)
+	}
+}
+
+func TestObserveClassification(t *testing.T) {
+	a := New(Config{WindowOps: 100, Windows: 2})
+	const path = "Emp1.dept.name"
+	a.Observe(queryRec(path, 1, 1))
+	a.Observe(updateRec(path, 1))
+	dml := obs.Record{Kind: obs.KindDML, Set: "Dept", Detail: "update", Rows: 1, Paths: []string{path}}
+	a.Observe(dml)
+	// Inserts, deletes, flushes: counted as traces, never as path ops.
+	a.Observe(obs.Record{Kind: obs.KindDML, Set: "Dept", Detail: "insert", Paths: []string{path}})
+	a.Observe(obs.Record{Kind: obs.KindFlush})
+
+	rep := a.Report(facts(path))
+	if rep.TracesObserved != 5 {
+		t.Fatalf("traces observed = %d, want 5", rep.TracesObserved)
+	}
+	if rep.OpsObserved != 3 {
+		t.Fatalf("path ops observed = %d, want 3", rep.OpsObserved)
+	}
+	rec := rep.Recommendations[0]
+	if rec.Reads != 1 || rec.Updates != 2 {
+		t.Fatalf("mix = %d reads / %d updates, want 1/2", rec.Reads, rec.Updates)
+	}
+}
+
+func TestDriftFeedsConfidence(t *testing.T) {
+	a := New(Config{WindowOps: 8, Windows: 2})
+	const path = "Emp1.dept.name"
+	// Model predicts 10 pages; observation matches exactly → zero error,
+	// enough samples → high confidence.
+	for i := 0; i < 16; i++ {
+		rec := queryRec(path, 1, 10)
+		rec.PredictedPages = 10
+		a.Observe(rec)
+	}
+	out := a.Report(facts(path)).Recommendations[0]
+	if out.Confidence != ConfidenceHigh {
+		t.Fatalf("confidence = %q, want high (drift %+v)", out.Confidence, out.ModelError)
+	}
+	if out.ModelError.Samples != 16 || out.ModelError.P95Pct != 0 {
+		t.Fatalf("drift = %+v, want 16 samples at 0%%", out.ModelError)
+	}
+
+	// Now the model badly mispredicts (observed 30 vs predicted 10 → 200%
+	// error): confidence must drop to low even with plenty of samples.
+	b := New(Config{WindowOps: 8, Windows: 2})
+	for i := 0; i < 16; i++ {
+		rec := queryRec(path, 1, 30)
+		rec.PredictedPages = 10
+		b.Observe(rec)
+	}
+	out = b.Report(facts(path)).Recommendations[0]
+	if out.Confidence != ConfidenceLow {
+		t.Fatalf("confidence = %q, want low (drift %+v)", out.Confidence, out.ModelError)
+	}
+	if rep := b.Report(facts(path)); len(rep.ModelDrift) == 0 {
+		t.Fatal("per-access drift missing")
+	}
+}
+
+func TestStrategySlug(t *testing.T) {
+	for st, want := range map[costmodel.Strategy]string{
+		costmodel.NoReplication: "no-replication",
+		costmodel.InPlace:       "in-place",
+		costmodel.Separate:      "separate",
+	} {
+		if got := StrategySlug(st); got != want {
+			t.Errorf("StrategySlug(%v) = %q, want %q", st, got, want)
+		}
+	}
+}

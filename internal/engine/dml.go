@@ -163,6 +163,13 @@ func (db *DB) UpdateCtx(ctx context.Context, set string, oid pagefile.OID, vals 
 	tr := db.obs.Start(obs.KindDML, set, "update")
 	tr.SetOrigin(obs.OriginFrom(ctx))
 	lsn, err := db.writeShot(ctx, tr, []string{set}, func(s *sess) error {
+		// Advisor metadata: the fields written and the replication paths the
+		// update propagates into. Stamped inside the closure (it needs the
+		// session's catalog view); idempotent under the fine→coarse retry.
+		if typ, terr := s.db.cat.SetType(set); terr == nil {
+			s.stampUpdateMeta(typ, vals)
+		}
+		s.tr.SetRows(1)
 		return s.update(set, oid, vals)
 	})
 	if err == nil {

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/exodb/fieldrepl/internal/advisor"
 	"github.com/exodb/fieldrepl/internal/btree"
 	"github.com/exodb/fieldrepl/internal/buffer"
 	"github.com/exodb/fieldrepl/internal/catalog"
@@ -75,6 +76,15 @@ type Config struct {
 	// WALDisabled turns the WAL off for a file-backed database, restoring
 	// the pre-WAL durability mode (used for baseline measurements).
 	WALDisabled bool
+	// AdvisorDisabled turns the workload advisor off: no trace subscription,
+	// no per-path mix aggregation, and Advise reports Enabled=false. Used for
+	// overhead baselines (cmd/advisorbench).
+	AdvisorDisabled bool
+	// AdvisorWindowOps/AdvisorWindows size the advisor's aggregation windows
+	// (operations per window, windows retained); zero takes the advisor's
+	// defaults. Tests and benchmarks shrink them to converge fast.
+	AdvisorWindowOps int
+	AdvisorWindows   int
 }
 
 // DB is a database instance. It is safe for concurrent use. On a WAL-backed
@@ -118,6 +128,11 @@ type DB struct {
 
 	// obs issues per-operation I/O traces (see internal/obs).
 	obs *obs.Registry
+	// advisor aggregates the completed-trace stream into per-replicated-path
+	// read/update mixes and model-drift histograms (nil when
+	// Config.AdvisorDisabled); advisorCancel detaches its obs subscription.
+	advisor       *advisor.Advisor
+	advisorCancel func()
 	// lockWait is the writer-lock contention histogram: how long each write
 	// operation blocked acquiring db.mu exclusively. Together with the WAL's
 	// fsync-wait and the pool's stall histograms it decomposes a slow commit
@@ -318,6 +333,10 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.inlineMax = inlineMax
 	db.mgr = core.New(db.cat, db, core.WithInlineMax(inlineMax), core.WithListener(db))
+	if !cfg.AdvisorDisabled {
+		db.advisor = advisor.New(advisor.Config{WindowOps: cfg.AdvisorWindowOps, Windows: cfg.AdvisorWindows})
+		db.advisorCancel = db.obs.Subscribe(db.advisor.Observe)
+	}
 	if reopen {
 		if err := db.rehydrate(); err != nil {
 			if walMgr != nil {
@@ -389,6 +408,10 @@ func (db *DB) Close() error {
 	// follower applier acquires db.mu inside ApplyTxns, and the primary's
 	// snapshot callback does too.
 	db.closeRepl()
+	if db.advisorCancel != nil {
+		db.advisorCancel()
+		db.advisorCancel = nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.pool.FlushAll(); err != nil {

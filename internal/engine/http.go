@@ -12,15 +12,19 @@ import (
 // only, mounted on a private mux (nothing touches http.DefaultServeMux):
 //
 //	/metrics        Prometheus text exposition (version 0.0.4)
+//	/advisor        the workload advisor's report as JSON (DB.Advise)
 //	/debug/vars     the Metrics snapshot as JSON (expvar-style)
 //	/debug/traces   the recent-trace ring as NDJSON, completion order
 //	/debug/pprof/   the standard runtime profiles (CPU, heap, goroutine, ...)
 //
-// Every endpoint reads lock-free snapshots, so scraping never contends with
-// queries. Series names and labels are documented in docs/observability.md.
+// Every endpoint reads lock-free snapshots (the advisor report additionally
+// takes the shared engine lock to read the catalog), so scraping never
+// contends with queries. Series names and labels are documented in
+// docs/observability.md.
 func (db *DB) MetricsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", db.handleProm)
+	mux.HandleFunc("/advisor", db.handleAdvisor)
 	mux.HandleFunc("/debug/vars", db.handleVars)
 	mux.HandleFunc("/debug/traces", db.handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -99,7 +103,50 @@ func (db *DB) handleProm(w http.ResponseWriter, _ *http.Request) {
 		for _, fi := range ps.Followers {
 			obs.PromValue(w, "fieldrepl_repl_follower_lag_lsn", float64(fi.LagLSN), "addr", fi.Addr)
 		}
+		obs.PromHeader(w, "fieldrepl_repl_follower_lag_ms", "gauge", "Per-follower replication lag in milliseconds (time the oldest unacked record has been outstanding).")
+		for _, fi := range ps.Followers {
+			obs.PromValue(w, "fieldrepl_repl_follower_lag_ms", fi.LagMs, "addr", fi.Addr)
+		}
 	}
+	if db.advisor != nil {
+		rep := db.Advise()
+		obs.PromCounter(w, "fieldrepl_advisor_windows_total", "Advisor aggregation windows completed.", rep.WindowsRotated)
+		obs.PromCounter(w, "fieldrepl_advisor_ops_total", "Path-relevant operations the advisor aggregated.", rep.OpsObserved)
+		if len(rep.Recommendations) > 0 {
+			obs.PromHeader(w, "fieldrepl_advisor_path_reads_total", "counter", "Read queries observed through each path.")
+			for _, r := range rep.Recommendations {
+				obs.PromValue(w, "fieldrepl_advisor_path_reads_total", float64(r.Reads), "path", r.Path)
+			}
+			obs.PromHeader(w, "fieldrepl_advisor_path_updates_total", "counter", "Updates observed propagating into each path.")
+			for _, r := range rep.Recommendations {
+				obs.PromValue(w, "fieldrepl_advisor_path_updates_total", float64(r.Updates), "path", r.Path)
+			}
+			obs.PromHeader(w, "fieldrepl_advisor_path_update_fraction", "gauge", "Windowed update fraction of each path's observed mix.")
+			for _, r := range rep.Recommendations {
+				obs.PromValue(w, "fieldrepl_advisor_path_update_fraction", r.UpdateFraction, "path", r.Path)
+			}
+			obs.PromHeader(w, "fieldrepl_advisor_strategy_cost", "gauge", "Section-6 pages per operation for each strategy at the observed mix.")
+			for _, r := range rep.Recommendations {
+				for _, st := range []string{"no-replication", "in-place", "separate"} {
+					obs.PromValue(w, "fieldrepl_advisor_strategy_cost", r.Costs[st].Total, "path", r.Path, "strategy", st)
+				}
+			}
+			obs.PromHeader(w, "fieldrepl_advisor_predicted_savings_pct", "gauge", "Predicted total-cost saving of the recommended strategy over the current one.")
+			for _, r := range rep.Recommendations {
+				obs.PromValue(w, "fieldrepl_advisor_predicted_savings_pct", r.PredictedSavingsPct, "path", r.Path, "recommended", r.Recommended)
+			}
+		}
+		if len(rep.ModelDrift) > 0 {
+			obs.PromHeader(w, "fieldrepl_advisor_model_error_pct", "gauge", "Predicted-vs-observed page error quantiles per access label.")
+			for _, label := range obs.SortedKeys(rep.ModelDrift) {
+				d := rep.ModelDrift[label]
+				obs.PromValue(w, "fieldrepl_advisor_model_error_pct", d.P50Pct, "access", label, "quantile", "0.5")
+				obs.PromValue(w, "fieldrepl_advisor_model_error_pct", d.P95Pct, "access", label, "quantile", "0.95")
+				obs.PromValue(w, "fieldrepl_advisor_model_error_pct", d.P99Pct, "access", label, "quantile", "0.99")
+			}
+		}
+	}
+
 	if f := db.follower.Load(); f != nil {
 		fs := f.Status()
 		connected := 0.0
@@ -114,6 +161,14 @@ func (db *DB) handleProm(w http.ResponseWriter, _ *http.Request) {
 		obs.PromHeader(w, "fieldrepl_repl_apply_seconds", "histogram", "Follower batch apply latency (receipt to local durability).")
 		obs.PromHistogram(w, "fieldrepl_repl_apply_seconds", f.ApplyHist())
 	}
+}
+
+// handleAdvisor serves the advisor report as indented JSON.
+func (db *DB) handleAdvisor(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(db.Advise())
 }
 
 func (db *DB) handleVars(w http.ResponseWriter, _ *http.Request) {

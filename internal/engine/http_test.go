@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/exodb/fieldrepl/internal/advisor"
 	"github.com/exodb/fieldrepl/internal/obs"
 	"github.com/exodb/fieldrepl/internal/schema"
 )
@@ -31,6 +32,8 @@ func workload(t *testing.T, db *DB) {
 	for _, q := range []Query{
 		{Set: "Emp1", Project: []string{"name", "salary"}},
 		{Set: "Emp1", Project: []string{"name"}, Where: &Pred{Expr: "salary", Op: OpGT, Value: num(60000)}},
+		// A dotted-path read, so the advisor has a path to aggregate.
+		{Set: "Emp1", Project: []string{"name"}, Where: &Pred{Expr: "dept.name", Op: OpEQ, Value: str("dept-01")}},
 	} {
 		if _, err := db.Query(q); err != nil {
 			t.Fatal(err)
@@ -67,6 +70,15 @@ func TestMetricsHandlerProm(t *testing.T) {
 		"fieldrepl_store_reads_total",
 		"fieldrepl_ops_completed_total",
 		"# TYPE fieldrepl_op_latency_seconds histogram",
+		"fieldrepl_advisor_windows_total",
+		"fieldrepl_advisor_ops_total",
+		`fieldrepl_advisor_path_reads_total{path="Emp1.dept.name"}`,
+		`fieldrepl_advisor_path_update_fraction{path="Emp1.dept.name"}`,
+		`fieldrepl_advisor_strategy_cost{path="Emp1.dept.name",strategy="no-replication"}`,
+		`fieldrepl_advisor_strategy_cost{path="Emp1.dept.name",strategy="separate"}`,
+		`fieldrepl_advisor_predicted_savings_pct{path="Emp1.dept.name",`,
+		`quantile="0.95"`,
+		"# TYPE fieldrepl_advisor_model_error_pct gauge",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -190,6 +202,7 @@ func TestMetricsHandlerTraces(t *testing.T) {
 	var n int
 	dec := json.NewDecoder(w.Body)
 	var last obs.Record
+	var sawPredicted, sawPaths bool
 	for dec.More() {
 		var rec obs.Record
 		if err := dec.Decode(&rec); err != nil {
@@ -198,15 +211,59 @@ func TestMetricsHandlerTraces(t *testing.T) {
 		if rec.Kind == "" {
 			t.Fatalf("trace line %d has empty kind", n)
 		}
+		sawPredicted = sawPredicted || rec.PredictedPages > 0
+		sawPaths = sawPaths || len(rec.Paths) > 0
 		last = rec
 		n++
 	}
 	if n == 0 {
 		t.Fatal("no trace lines")
 	}
+	// Planned operations carry the planner's page prediction and the dotted
+	// query its path keys, so predicted-vs-observed is visible per trace.
+	if !sawPredicted {
+		t.Fatal("no trace carried predicted_pages")
+	}
+	if !sawPaths {
+		t.Fatal("no trace carried path keys")
+	}
 	// workload ends with a flush, and the ring is completion-ordered.
 	if last.Kind != obs.KindFlush {
 		t.Fatalf("last trace kind = %q, want %q", last.Kind, obs.KindFlush)
+	}
+}
+
+func TestAdvisorEndpoint(t *testing.T) {
+	db := openEmployeeDB(t, Config{})
+	workload(t, db)
+	w := get(t, db, "/advisor")
+	if w.Code != 200 {
+		t.Fatalf("/advisor status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var rep advisor.Report
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Enabled {
+		t.Fatal("/advisor report disabled")
+	}
+	if rep.TracesObserved == 0 {
+		t.Fatal("/advisor observed no traces")
+	}
+	var found bool
+	for _, rec := range rep.Recommendations {
+		if rec.Path == "Emp1.dept.name" {
+			found = true
+			if rec.WindowReads == 0 {
+				t.Fatalf("dotted-path recommendation has no reads: %+v", rec)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no recommendation for Emp1.dept.name: %+v", rep.Recommendations)
 	}
 }
 

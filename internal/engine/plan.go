@@ -145,21 +145,34 @@ func (s *sess) setStats(set string) plan.SetStats {
 	return st
 }
 
+// objBytes estimates one object's stored size from the schema's field widths.
+// Shared by the planner's records-per-page estimate and the advisor's live
+// cost-model parameters (RSize/SSize).
+func objBytes(typ *schema.Type) float64 {
+	size := 24.0 // object header + slot overhead
+	for _, f := range typ.Fields {
+		size += fieldBytes(f.Kind)
+	}
+	return size
+}
+
+// fieldBytes estimates one field's stored width by kind.
+func fieldBytes(k schema.Kind) float64 {
+	switch k {
+	case schema.KindInt, schema.KindFloat:
+		return 8
+	case schema.KindString:
+		return 16 // guess: short strings dominate
+	case schema.KindRef:
+		return pagefile.OIDSize
+	}
+	return 8
+}
+
 // estPerPage estimates records per page from the schema's field widths, for
 // sets with no index to count exactly.
 func estPerPage(typ *schema.Type) float64 {
-	size := 24.0 // object header + slot overhead
-	for _, f := range typ.Fields {
-		switch f.Kind {
-		case schema.KindInt, schema.KindFloat:
-			size += 8
-		case schema.KindString:
-			size += 16 // guess: short strings dominate
-		case schema.KindRef:
-			size += pagefile.OIDSize
-		}
-	}
-	per := math.Floor(float64(pagefile.UserBytes) / size)
+	per := math.Floor(float64(pagefile.UserBytes) / objBytes(typ))
 	if per < 1 {
 		per = 1
 	}

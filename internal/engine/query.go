@@ -227,6 +227,10 @@ func (s *sess) query(ctx context.Context, q Query, drain bool) (*Result, error) 
 	// state the statistics should reflect).
 	decision, ix := s.planQuery(q)
 	res.Decision = decision
+	// Advisor metadata: the planner's page prediction (paired with observed
+	// pages at Finish) and the replicated-path keys the query reads through.
+	s.tr.SetPredictedPages(decision.PredictedPages)
+	s.tr.SetPaths(s.pathKeysForQuery(q))
 	if !q.NoFuse {
 		// Join-fusion memo for the query's functional joins; strictly
 		// read-only state, discarded with the query.
@@ -313,6 +317,7 @@ func (s *sess) query(ctx context.Context, q Query, drain bool) (*Result, error) 
 			return nil, err
 		}
 	}
+	s.tr.SetRows(int64(len(res.Rows)))
 	return res, nil
 }
 
@@ -891,6 +896,11 @@ func (s *sess) updateWhere(ctx context.Context, set string, where Pred, vals map
 	}
 	q := Query{Set: set, Where: &where}
 	decision, ix := s.planQuery(q)
+	// Advisor metadata: prediction for drift tracking, written fields and the
+	// replication paths the update propagates into for the workload mix.
+	// Idempotent (last call wins) under the fine→coarse retry.
+	s.tr.SetPredictedPages(decision.PredictedPages)
+	s.stampUpdateMeta(typ, vals)
 	// Collect matching OIDs first (index or scan), then update; collecting
 	// first keeps the scan stable under heap mutation. No fusion memo here:
 	// the mutation pass would invalidate it mid-statement.
@@ -955,5 +965,6 @@ func (s *sess) updateWhere(ctx context.Context, set string, where Pred, vals map
 			return 0, decision, err
 		}
 	}
+	s.tr.SetRows(int64(len(matches)))
 	return len(matches), decision, nil
 }

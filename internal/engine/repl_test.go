@@ -486,6 +486,20 @@ func TestPromoteRefusesConnectedLaggedFollower(t *testing.T) {
 		fs := f.ReplicationStatus().Follower
 		return fs != nil && fs.Connected && fs.LagLSN > 0
 	})
+	// The primary's per-follower view must report the same lag, in LSNs and
+	// in wall-clock milliseconds (time the oldest unacked record has waited).
+	waitCond(t, 15*time.Second, "primary to report follower lag", func() bool {
+		ps := p.ReplicationStatus().Primary
+		if ps == nil {
+			return false
+		}
+		for _, fi := range ps.Followers {
+			if fi.LagLSN > 0 && fi.LagMs > 0 {
+				return true
+			}
+		}
+		return false
+	})
 	if err := f.Promote(); !errors.Is(err, repl.ErrFollowerLagged) {
 		f.mu.Unlock()
 		t.Fatalf("Promote on lagged connected follower: %v, want ErrFollowerLagged", err)

@@ -120,6 +120,12 @@ type DropIndexStmt struct {
 	Name string
 }
 
+// AdviseStmt is `advise`: the workload advisor's report as a table — one row
+// per path with the observed mix, the costed strategies, and the
+// recommendation.
+type AdviseStmt struct{}
+
+func (*AdviseStmt) stmt()      {}
 func (*ExplainStmt) stmt()     {}
 func (*UnreplicateStmt) stmt() {}
 func (*DropIndexStmt) stmt()   {}
@@ -156,6 +162,10 @@ func Classify(s Stmt) Class {
 		// explain runs on the read path.
 		return ClassRead
 	case *RetrieveStmt:
+		return ClassRead
+	case *AdviseStmt:
+		// advise reads aggregated telemetry and the catalog (shared lock
+		// inside the engine); it never mutates.
 		return ClassRead
 	case *InsertStmt, *ReplaceStmt, *DeleteStmt:
 		return ClassWrite

@@ -246,6 +246,8 @@ func (in *Interp) execStmt(ctx context.Context, s Stmt) (Output, error) {
 		return Output{Message: fmt.Sprintf("inserted %v into %s", oid, st.Set), OID: oid}, nil
 	case *ExplainStmt:
 		return in.explain(ctx, st)
+	case *AdviseStmt:
+		return in.advise()
 	case *RetrieveStmt:
 		q, err := in.buildQuery(st.Set, st.Project, st.Emit, st.Where, st.Filters)
 		if err != nil {
@@ -346,6 +348,35 @@ func (in *Interp) execStmt(ctx context.Context, s Stmt) (Output, error) {
 	default:
 		return Output{}, fmt.Errorf("extra: unknown statement %T", s)
 	}
+}
+
+// advise renders the workload advisor's report as a table: one row per path,
+// costed strategies, recommendation, and confidence.
+func (in *Interp) advise() (Output, error) {
+	rep := in.DB.Advise()
+	if !rep.Enabled {
+		return Output{Message: "advisor disabled"}, nil
+	}
+	out := Output{Columns: []string{
+		"path", "current", "recommended", "reads", "updates",
+		"update_frac", "cost_none", "cost_inplace", "cost_separate",
+		"savings_pct", "confidence",
+	}}
+	for _, r := range rep.Recommendations {
+		out.Rows = append(out.Rows, []string{
+			r.Path, r.Current, r.Recommended,
+			fmt.Sprintf("%d", r.Reads), fmt.Sprintf("%d", r.Updates),
+			fmt.Sprintf("%.3f", r.UpdateFraction),
+			fmt.Sprintf("%.2f", r.Costs["no-replication"].Total),
+			fmt.Sprintf("%.2f", r.Costs["in-place"].Total),
+			fmt.Sprintf("%.2f", r.Costs["separate"].Total),
+			fmt.Sprintf("%.1f", r.PredictedSavingsPct),
+			r.Confidence,
+		})
+	}
+	out.Message = fmt.Sprintf("advised %d paths (%d ops over %d windows)",
+		len(rep.Recommendations), rep.OpsObserved, rep.WindowsRotated)
+	return out, nil
 }
 
 // buildQuery assembles the engine query shared by retrieve execution, DML

@@ -115,6 +115,9 @@ func (p *parser) statement() (Stmt, error) {
 		default:
 			return nil, fmt.Errorf("extra: explain supports retrieve, replace, and delete statements")
 		}
+	case p.at(tokIdent, "advise"):
+		p.pos++
+		return &AdviseStmt{}, nil
 	case p.at(tokIdent, "retrieve"):
 		return p.retrieve()
 	case p.at(tokIdent, "replace"):

@@ -25,6 +25,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -99,6 +100,14 @@ type Trace struct {
 	start  time.Time
 	plan   atomic.Pointer[string]
 	origin atomic.Pointer[string]
+	// paths/fields carry the operation's replication-relevant metadata: the
+	// dotted path expressions a query resolved (or an update propagated
+	// through) and the field names an update wrote. Stamped once by the
+	// engine at plan time; pointers so the stores are atomic and nil-safe.
+	paths     atomic.Pointer[[]string]
+	fields    atomic.Pointer[[]string]
+	rows      atomic.Int64
+	predicted atomic.Uint64 // math.Float64bits of the planner's page prediction
 
 	storeReads    atomic.Int64
 	storeWrites   atomic.Int64
@@ -244,6 +253,39 @@ func (t *Trace) SetOrigin(origin string) {
 	}
 }
 
+// SetPredictedPages records the planner's page-access prediction for the
+// operation, pairing it with the observed Hits+Misses on the finished record.
+func (t *Trace) SetPredictedPages(pages float64) {
+	if t != nil && pages > 0 {
+		t.predicted.Store(math.Float64bits(pages))
+	}
+}
+
+// SetPaths records the replicated-path keys (PathSpec dotted form) the
+// operation read through or propagated updates into. The slice must not be
+// mutated after the call; the last call wins.
+func (t *Trace) SetPaths(paths []string) {
+	if t != nil && len(paths) > 0 {
+		t.paths.Store(&paths)
+	}
+}
+
+// SetFields records the field names an update wrote. The slice must not be
+// mutated after the call; the last call wins.
+func (t *Trace) SetFields(fields []string) {
+	if t != nil && len(fields) > 0 {
+		t.fields.Store(&fields)
+	}
+}
+
+// SetRows records how many objects the operation returned (queries) or
+// modified (updates). The last call wins.
+func (t *Trace) SetRows(n int64) {
+	if t != nil {
+		t.rows.Store(n)
+	}
+}
+
 // Counters returns a snapshot of the trace's counters.
 func (t *Trace) Counters() Counters {
 	if t == nil {
@@ -289,6 +331,17 @@ type Record struct {
 	LogWaitNs    int64 `json:"log_wait_ns,omitempty"`
 	ReadStallNs  int64 `json:"read_stall_ns,omitempty"`
 	WriteStallNs int64 `json:"write_stall_ns,omitempty"`
+	// PredictedPages is the planner's Section-6 page-access prediction for the
+	// operation, paired with the observed PageAccesses (hits+misses); zero when
+	// the operation was not planned (flushes, transactions).
+	PredictedPages float64 `json:"predicted_pages,omitempty"`
+	// Paths lists the replicated-path keys (dotted PathSpec form) the
+	// operation read through or propagated updates into; Fields lists the
+	// field names an update wrote; Rows is the result/match count. Stamped by
+	// the engine for the advisor's workload aggregation.
+	Paths  []string `json:"paths,omitempty"`
+	Fields []string `json:"fields,omitempty"`
+	Rows   int64    `json:"rows,omitempty"`
 }
 
 func (r Record) String() string {
@@ -322,6 +375,11 @@ type Registry struct {
 
 	slowAt   time.Duration
 	slowSink func(Record)
+
+	// subs is the completed-trace subscriber list (the advisor's feed).
+	// Copy-on-write under mu so Finish's steady-state cost when nobody is
+	// subscribed is a single atomic load.
+	subs atomic.Pointer[[]*subscriber]
 
 	// latKind maps kind -> *Histogram; latKindSet maps kind+"\x00"+set ->
 	// *setHist. Histograms are created on first finish of a key and then
@@ -401,6 +459,16 @@ func (r *Registry) Finish(t *Trace) Record {
 	if o := t.origin.Load(); o != nil {
 		rec.Origin = *o
 	}
+	if bits := t.predicted.Load(); bits != 0 {
+		rec.PredictedPages = math.Float64frombits(bits)
+	}
+	if ps := t.paths.Load(); ps != nil {
+		rec.Paths = *ps
+	}
+	if fs := t.fields.Load(); fs != nil {
+		rec.Fields = *fs
+	}
+	rec.Rows = t.rows.Load()
 	r.observeLatency(rec.Kind, rec.Set, rec.Wall)
 	r.mu.Lock()
 	delete(r.active, t.id)
@@ -421,7 +489,55 @@ func (r *Registry) Finish(t *Trace) Record {
 	if slow {
 		sink(rec)
 	}
+	// Subscribers run outside the registry lock, like the slow sink, so a
+	// subscriber may re-enter registry accessors without deadlock.
+	if subs := r.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			s.fn(rec)
+		}
+	}
 	return rec
+}
+
+// subscriber wraps a completed-trace callback so Subscribe can hand back a
+// cancel func that removes exactly this registration.
+type subscriber struct{ fn func(Record) }
+
+// Subscribe registers fn to be invoked with every completed trace record,
+// after the record is folded into the registry (outside the registry lock).
+// fn must be safe for concurrent invocation — overlapping operations finish
+// concurrently. The returned cancel removes the registration; it is
+// idempotent. An operation finishing concurrently with cancel may still
+// invoke fn once.
+func (r *Registry) Subscribe(fn func(Record)) (cancel func()) {
+	s := &subscriber{fn: fn}
+	r.mu.Lock()
+	var next []*subscriber
+	if cur := r.subs.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, s)
+	r.subs.Store(&next)
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		cur := r.subs.Load()
+		if cur == nil {
+			return
+		}
+		var next []*subscriber
+		for _, e := range *cur {
+			if e != s {
+				next = append(next, e)
+			}
+		}
+		if len(next) == 0 {
+			r.subs.Store(nil)
+		} else {
+			r.subs.Store(&next)
+		}
+	}
 }
 
 // SetSlowQuery configures slow-operation logging: every trace finishing with

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestNilTraceIsSafe(t *testing.T) {
 		t.Fatalf("nil trace Counters = %+v, want zero", c)
 	}
 	r := NewRegistry(4096)
-	if rec := r.Finish(nil); rec != (Record{}) {
+	if rec := r.Finish(nil); !reflect.DeepEqual(rec, Record{}) {
 		t.Fatalf("Finish(nil) = %+v, want zero Record", rec)
 	}
 }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSubscribeDeliversCompletedRecords(t *testing.T) {
+	r := NewRegistry(4096)
+	var got []Record
+	cancel := r.Subscribe(func(rec Record) { got = append(got, rec) })
+	defer cancel()
+
+	tr := r.Start(KindQuery, "Emp1", "")
+	tr.StoreRead(3)
+	tr.SetPlan("scan")
+	tr.SetPredictedPages(4)
+	tr.SetPaths([]string{"Emp1.dept.name"})
+	tr.SetRows(7)
+	r.Finish(tr)
+
+	up := r.Start(KindUpdate, "Dept", "")
+	up.SetFields([]string{"budget", "name"})
+	up.SetRows(2)
+	r.Finish(up)
+
+	if len(got) != 2 {
+		t.Fatalf("subscriber saw %d records, want 2", len(got))
+	}
+	q := got[0]
+	if q.Kind != KindQuery || q.Set != "Emp1" {
+		t.Fatalf("first record = %s/%s, want query/Emp1", q.Kind, q.Set)
+	}
+	if q.PredictedPages != 4 {
+		t.Fatalf("PredictedPages = %v, want 4", q.PredictedPages)
+	}
+	if !reflect.DeepEqual(q.Paths, []string{"Emp1.dept.name"}) {
+		t.Fatalf("Paths = %v", q.Paths)
+	}
+	if q.Rows != 7 {
+		t.Fatalf("Rows = %d, want 7", q.Rows)
+	}
+	if !reflect.DeepEqual(got[1].Fields, []string{"budget", "name"}) {
+		t.Fatalf("Fields = %v", got[1].Fields)
+	}
+}
+
+func TestSubscribeCancelStopsDelivery(t *testing.T) {
+	r := NewRegistry(4096)
+	var a, b atomic.Int64
+	cancelA := r.Subscribe(func(Record) { a.Add(1) })
+	cancelB := r.Subscribe(func(Record) { b.Add(1) })
+
+	r.Finish(r.Start(KindQuery, "R", ""))
+	cancelA()
+	r.Finish(r.Start(KindQuery, "R", ""))
+	cancelA() // double-cancel is a no-op
+	r.Finish(r.Start(KindQuery, "R", ""))
+	cancelB()
+	r.Finish(r.Start(KindQuery, "R", ""))
+
+	if got := a.Load(); got != 1 {
+		t.Fatalf("cancelled subscriber A saw %d records, want 1", got)
+	}
+	if got := b.Load(); got != 3 {
+		t.Fatalf("subscriber B saw %d records, want 3", got)
+	}
+}
+
+func TestSubscribeConcurrentFinish(t *testing.T) {
+	r := NewRegistry(4096)
+	var seen atomic.Int64
+	cancel := r.Subscribe(func(Record) { seen.Add(1) })
+	defer cancel()
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr := r.Start(KindQuery, "R", "")
+				tr.Hit(1)
+				r.Finish(tr)
+			}
+		}()
+	}
+	// Churn subscriptions while traces finish: delivery to the stable
+	// subscriber must survive concurrent subscribe/cancel.
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; i < 50; i++ {
+			c := r.Subscribe(func(Record) {})
+			c()
+		}
+	}()
+	wg.Wait()
+	churn.Wait()
+	if got := seen.Load(); got != workers*perWorker {
+		t.Fatalf("subscriber saw %d records, want %d", got, workers*perWorker)
+	}
+}

@@ -100,6 +100,12 @@ type followerConn struct {
 	acked atomic.Uint64 // last LSN the follower has durably applied
 	sent  atomic.Uint64 // last LSN shipped to it
 	since time.Time
+	// behindSince is the unix-nano instant the follower first fell behind
+	// (records sent and not yet fully acked), 0 while caught up. The shipping
+	// loop arms it (CAS so only the first unacked batch sets the epoch); the
+	// ack goroutine clears it when acks cover the durable frontier. Status
+	// turns it into a milliseconds-behind gauge.
+	behindSince atomic.Int64
 }
 
 // NewPrimary wires a shipper to the log. snap must return a consistent
@@ -272,6 +278,9 @@ func (p *Primary) handle(conn net.Conn) {
 			}
 			if lsn, err := u64(payload); err == nil && lsn > fc.acked.Load() {
 				fc.acked.Store(lsn)
+				if lsn >= p.log.DurableLSN() {
+					fc.behindSince.Store(0)
+				}
 				p.broadcastAcks()
 			}
 		}
@@ -309,6 +318,7 @@ func (p *Primary) ship(fc *followerConn, startLSN uint64) {
 				return
 			}
 			fc.sent.Store(cur.LSN)
+			fc.behindSince.CompareAndSwap(0, time.Now().UnixNano())
 			continue
 		}
 		// Caught up: sleep until more log is durable or the heartbeat is due.
@@ -412,10 +422,13 @@ func (p *Primary) WaitReplicated(lsn uint64) {
 
 // FollowerInfo is the primary's lag accounting for one connected follower.
 type FollowerInfo struct {
-	Addr         string  `json:"addr"`
-	AckedLSN     uint64  `json:"acked_lsn"`
-	SentLSN      uint64  `json:"sent_lsn"`
-	LagLSN       uint64  `json:"lag_lsn"` // primary durable LSN − acked
+	Addr     string `json:"addr"`
+	AckedLSN uint64 `json:"acked_lsn"`
+	SentLSN  uint64 `json:"sent_lsn"`
+	LagLSN   uint64 `json:"lag_lsn"` // primary durable LSN − acked
+	// LagMs is how long the follower has been behind, in milliseconds: time
+	// since its oldest outstanding (sent, unacked) batch. 0 while caught up.
+	LagMs        float64 `json:"lag_ms"`
 	ConnectedSec float64 `json:"connected_sec"`
 }
 
@@ -452,6 +465,9 @@ func (p *Primary) Status() PrimaryStatus {
 		}
 		if st.DurableLSN > acked {
 			info.LagLSN = st.DurableLSN - acked
+			if at := fc.behindSince.Load(); at != 0 {
+				info.LagMs = float64(time.Now().UnixNano()-at) / 1e6
+			}
 		}
 		st.Followers = append(st.Followers, info)
 	}

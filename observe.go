@@ -54,6 +54,16 @@ type TraceRecord struct {
 	LogWaitNs    int64 `json:"log_wait_ns,omitempty"`
 	ReadStallNs  int64 `json:"read_stall_ns,omitempty"`
 	WriteStallNs int64 `json:"write_stall_ns,omitempty"`
+	// PredictedPages is the planner's Section-6 page-access prediction, paired
+	// with the observed PageAccesses(); zero for unplanned operations.
+	PredictedPages float64 `json:"predicted_pages,omitempty"`
+	// Paths lists the replicated-path keys ("Set.ref...field") the operation
+	// read through or propagated updates into; Fields the field names an
+	// update wrote; Rows the result/match count. This is the raw material the
+	// workload advisor aggregates.
+	Paths  []string `json:"paths,omitempty"`
+	Fields []string `json:"fields,omitempty"`
+	Rows   int64    `json:"rows,omitempty"`
 }
 
 // PageAccesses returns hits + misses — the operation's logical page requests,
@@ -70,6 +80,8 @@ func toTraceRecord(r obs.Record) TraceRecord {
 		Bytes:      r.Bytes,
 		LockWaitNs: r.LockWaitNs, LogWaitNs: r.LogWaitNs,
 		ReadStallNs: r.ReadStallNs, WriteStallNs: r.WriteStallNs,
+		PredictedPages: r.PredictedPages,
+		Paths:          r.Paths, Fields: r.Fields, Rows: r.Rows,
 	}
 }
 
@@ -152,7 +164,9 @@ func (db *DB) SetSlowQueryLog(threshold time.Duration, sink func(TraceRecord)) {
 //
 //	/metrics        Prometheus text exposition: per-kind and per-(kind, set)
 //	                latency histograms, lock-wait / WAL fsync-wait / buffer
-//	                stall histograms, and all I/O, pool, and WAL counters
+//	                stall histograms, all I/O, pool, and WAL counters, and the
+//	                advisor's per-path mix / savings / model-error series
+//	/advisor        the workload advisor's report as JSON (DB.Advise)
 //	/debug/vars     the MetricsJSON snapshot
 //	/debug/traces   the recent-trace ring as NDJSON, completion order
 //	/debug/pprof/   the standard runtime profiles

@@ -118,7 +118,10 @@ type ReplFollowerInfo struct {
 	AckedLSN uint64 `json:"acked_lsn"`
 	SentLSN  uint64 `json:"sent_lsn"`
 	// LagLSN is the primary's durable LSN minus the follower's last ack.
-	LagLSN       uint64  `json:"lag_lsn"`
+	LagLSN uint64 `json:"lag_lsn"`
+	// LagMs is how long the follower has been behind, in milliseconds: time
+	// since its oldest outstanding (sent, unacked) batch. 0 while caught up.
+	LagMs        float64 `json:"lag_ms"`
 	ConnectedSec float64 `json:"connected_sec"`
 }
 
@@ -175,7 +178,7 @@ func (db *DB) ReplicationStatus() ReplicationStatus {
 		for _, fi := range p.Followers {
 			pub.Followers = append(pub.Followers, ReplFollowerInfo{
 				Addr: fi.Addr, AckedLSN: fi.AckedLSN, SentLSN: fi.SentLSN,
-				LagLSN: fi.LagLSN, ConnectedSec: fi.ConnectedSec,
+				LagLSN: fi.LagLSN, LagMs: fi.LagMs, ConnectedSec: fi.ConnectedSec,
 			})
 		}
 		out.Primary = &pub
